@@ -1,0 +1,154 @@
+// Command tabann annotates a table corpus against a catalog and emits the
+// annotations as JSON: per table, the column types, cell entities and
+// column-pair relations (na entries omitted).
+//
+// Usage:
+//
+//	tabann -catalog data/catalog.json -corpus data/corpus.json > annotations.json
+//	tabann -catalog data/catalog.json -html page.html -method simple
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/feature"
+	"repro/internal/table"
+)
+
+// jsonAnnotation is the stable output shape.
+type jsonAnnotation struct {
+	TableID string            `json:"table_id"`
+	Columns map[string]string `json:"column_types,omitempty"` // col index -> type name
+	Cells   []jsonCell        `json:"cells,omitempty"`
+	Rels    []jsonRel         `json:"relations,omitempty"`
+	Millis  float64           `json:"annotate_ms"`
+}
+
+type jsonCell struct {
+	Row    int    `json:"row"`
+	Col    int    `json:"col"`
+	Entity string `json:"entity"`
+}
+
+type jsonRel struct {
+	Col1     int    `json:"col1"`
+	Col2     int    `json:"col2"`
+	Relation string `json:"relation"`
+	Forward  bool   `json:"col1_is_subject"`
+}
+
+func main() {
+	var (
+		catPath = flag.String("catalog", "", "catalog JSON path (required)")
+		corpus  = flag.String("corpus", "", "table corpus JSON path")
+		html    = flag.String("html", "", "HTML file to extract tables from (alternative to -corpus)")
+		method  = flag.String("method", "collective", "inference: collective|simple|lca|majority")
+		filter  = flag.Bool("filter", true, "screen out formatting tables first")
+	)
+	flag.Parse()
+	if *catPath == "" || (*corpus == "" && *html == "") {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cf, err := os.Open(*catPath)
+	if err != nil {
+		fatal("%v", err)
+	}
+	cat, err := catalog.ReadJSON(cf)
+	if err != nil {
+		fatal("read catalog: %v", err)
+	}
+	_ = cf.Close()
+	if err := cat.Freeze(); err != nil {
+		fatal("freeze catalog: %v", err)
+	}
+
+	var tables []*table.Table
+	if *corpus != "" {
+		tf, err := os.Open(*corpus)
+		if err != nil {
+			fatal("%v", err)
+		}
+		tables, err = table.ReadCorpus(tf)
+		if err != nil {
+			fatal("read corpus: %v", err)
+		}
+		_ = tf.Close()
+	} else {
+		doc, err := os.ReadFile(*html)
+		if err != nil {
+			fatal("%v", err)
+		}
+		tables = table.ExtractHTML(string(doc), *html)
+	}
+	if *filter {
+		kept, rejected := table.FilterRelational(tables, table.DefaultFilterConfig())
+		if len(rejected) > 0 {
+			fmt.Fprintf(os.Stderr, "tabann: screened out %v\n", rejected)
+		}
+		tables = kept
+	}
+
+	ann := core.New(cat, feature.DefaultWeights(), core.DefaultConfig())
+	enc := json.NewEncoder(os.Stdout)
+	start := time.Now()
+	for _, t := range tables {
+		var result *core.Annotation
+		switch *method {
+		case "collective":
+			result = ann.AnnotateCollective(t)
+		case "simple":
+			result = ann.AnnotateSimple(t)
+		case "lca":
+			result = &ann.AnnotateLCA(t).Annotation
+		case "majority":
+			result = &ann.AnnotateMajority(t).Annotation
+		default:
+			fatal("unknown method %q", *method)
+		}
+		if err := enc.Encode(toJSON(cat, result)); err != nil {
+			fatal("encode: %v", err)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "tabann: %d tables in %v (%s)\n",
+		len(tables), time.Since(start).Round(time.Millisecond), *method)
+}
+
+func toJSON(cat *catalog.Catalog, a *core.Annotation) jsonAnnotation {
+	out := jsonAnnotation{
+		TableID: a.TableID,
+		Columns: make(map[string]string),
+		Millis:  float64(a.Diag.Total().Microseconds()) / 1000,
+	}
+	for c, T := range a.ColumnTypes {
+		if T != catalog.None {
+			out.Columns[fmt.Sprint(c)] = cat.TypeName(T)
+		}
+	}
+	for r, row := range a.CellEntities {
+		for c, e := range row {
+			if e != catalog.None {
+				out.Cells = append(out.Cells, jsonCell{Row: r, Col: c, Entity: cat.EntityName(e)})
+			}
+		}
+	}
+	for _, ra := range a.Relations {
+		out.Rels = append(out.Rels, jsonRel{
+			Col1: ra.Col1, Col2: ra.Col2,
+			Relation: cat.RelationName(ra.Relation), Forward: ra.Forward,
+		})
+	}
+	return out
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tabann: "+format+"\n", args...)
+	os.Exit(1)
+}

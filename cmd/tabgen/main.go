@@ -1,0 +1,89 @@
+// Command tabgen generates a synthetic world to disk: the public
+// (degraded) catalog as JSON and a labeled table corpus as JSON, for use
+// with tabann and tabsearch.
+//
+// Usage:
+//
+//	tabgen -out ./data -seed 1 -profile web -tables 200
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/table"
+	"repro/internal/worldgen"
+)
+
+func main() {
+	var (
+		out     = flag.String("out", "data", "output directory")
+		seed    = flag.Int64("seed", 1, "world seed")
+		profile = flag.String("profile", "wiki", "noise profile: wiki|web|link")
+		tables  = flag.Int("tables", 100, "number of tables")
+		minRows = flag.Int("minrows", 10, "minimum rows per table")
+		maxRows = flag.Int("maxrows", 40, "maximum rows per table")
+	)
+	flag.Parse()
+
+	spec := worldgen.DefaultSpec()
+	spec.Seed = *seed
+	w, err := worldgen.Build(spec)
+	if err != nil {
+		fatal("build world: %v", err)
+	}
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal("mkdir: %v", err)
+	}
+
+	catPath := filepath.Join(*out, "catalog.json")
+	cf, err := os.Create(catPath)
+	if err != nil {
+		fatal("create: %v", err)
+	}
+	if err := w.Public.WriteJSON(cf); err != nil {
+		fatal("write catalog: %v", err)
+	}
+	if err := cf.Close(); err != nil {
+		fatal("close: %v", err)
+	}
+
+	var ds worldgen.Dataset
+	switch *profile {
+	case "wiki":
+		ds = w.GenerateDataset("corpus", *seed+100, *tables, *minRows, *maxRows, worldgen.CleanProfile(), worldgen.AllGTLayers())
+	case "web":
+		ds = w.GenerateDataset("corpus", *seed+100, *tables, *minRows, *maxRows, worldgen.NoisyProfile(), worldgen.AllGTLayers())
+	case "link":
+		ds = w.GenerateDataset("corpus", *seed+100, *tables, *minRows, *maxRows, worldgen.LinkProfile(), worldgen.AllGTLayers())
+	default:
+		fatal("unknown profile %q", *profile)
+	}
+
+	tabs := make([]*table.Table, len(ds.Tables))
+	for i, lt := range ds.Tables {
+		tabs[i] = lt.Table
+	}
+	corpusPath := filepath.Join(*out, "corpus.json")
+	tf, err := os.Create(corpusPath)
+	if err != nil {
+		fatal("create: %v", err)
+	}
+	if err := table.WriteCorpus(tf, tabs); err != nil {
+		fatal("write corpus: %v", err)
+	}
+	if err := tf.Close(); err != nil {
+		fatal("close: %v", err)
+	}
+
+	fmt.Printf("wrote %s (%v)\n", catPath, w.Public.Stats())
+	fmt.Printf("wrote %s (%d tables, profile %s)\n", corpusPath, len(tabs), *profile)
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tabgen: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,120 @@
+// Command tabsearch runs one relational query R(E1 ∈ T1, E2) over a table
+// corpus in each of the three modes of §6.2 (baseline / type / type+rel)
+// and prints the ranked answers side by side.
+//
+// Usage:
+//
+//	tabsearch -catalog data/catalog.json -corpus data/corpus.json \
+//	          -relation wrote -t1 Novel -t2 Novelist -e2 "Some Author"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/feature"
+	"repro/internal/search"
+	"repro/internal/searchidx"
+	"repro/internal/table"
+)
+
+func main() {
+	var (
+		catPath  = flag.String("catalog", "", "catalog JSON path (required)")
+		corpus   = flag.String("corpus", "", "table corpus JSON path (required)")
+		relName  = flag.String("relation", "", "relation name (required)")
+		t1Name   = flag.String("t1", "", "answer type name (required)")
+		t2Name   = flag.String("t2", "", "probe type name (required)")
+		e2Text   = flag.String("e2", "", "probe entity text (required)")
+		topK     = flag.Int("k", 10, "answers to print per mode")
+		ctxWords = flag.String("context", "", "baseline context keywords (defaults to relation name)")
+	)
+	flag.Parse()
+	if *catPath == "" || *corpus == "" || *relName == "" || *t1Name == "" || *t2Name == "" || *e2Text == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cf, err := os.Open(*catPath)
+	if err != nil {
+		fatal("%v", err)
+	}
+	cat, err := catalog.ReadJSON(cf)
+	if err != nil {
+		fatal("read catalog: %v", err)
+	}
+	_ = cf.Close()
+	if err := cat.Freeze(); err != nil {
+		fatal("freeze: %v", err)
+	}
+
+	tf, err := os.Open(*corpus)
+	if err != nil {
+		fatal("%v", err)
+	}
+	tables, err := table.ReadCorpus(tf)
+	if err != nil {
+		fatal("read corpus: %v", err)
+	}
+	_ = tf.Close()
+
+	rel, ok := cat.RelationByName(*relName)
+	if !ok {
+		fatal("relation %q not in catalog", *relName)
+	}
+	t1, ok := cat.TypeByName(*t1Name)
+	if !ok {
+		fatal("type %q not in catalog", *t1Name)
+	}
+	t2, ok := cat.TypeByName(*t2Name)
+	if !ok {
+		fatal("type %q not in catalog", *t2Name)
+	}
+	e2, _ := cat.EntityByName(*e2Text) // None when absent: text fallback
+
+	fmt.Fprintf(os.Stderr, "annotating %d tables...\n", len(tables))
+	ann := core.New(cat, feature.DefaultWeights(), core.DefaultConfig())
+	anns := make([]*core.Annotation, len(tables))
+	for i, t := range tables {
+		anns[i] = ann.AnnotateCollective(t)
+	}
+	ix := searchidx.New(cat, tables, anns)
+	engine := search.NewEngine(ix)
+
+	ctx := *ctxWords
+	if ctx == "" {
+		ctx = *relName
+	}
+	q := search.Query{
+		Relation:     rel,
+		T1:           t1,
+		T2:           t2,
+		E2:           e2,
+		RelationText: ctx,
+		T1Text:       *t1Name,
+		T2Text:       *t2Name,
+		E2Text:       *e2Text,
+	}
+	for _, mode := range []search.Mode{search.Baseline, search.Type, search.TypeRel} {
+		answers := engine.Run(q, mode)
+		fmt.Printf("\n== %s (%d answers) ==\n", mode, len(answers))
+		for i, a := range answers {
+			if i >= *topK {
+				break
+			}
+			tag := ""
+			if a.Entity != catalog.None {
+				tag = " [entity]"
+			}
+			fmt.Printf("%2d. %-40s score=%.2f support=%d%s\n", i+1, a.Text, a.Score, a.Support, tag)
+		}
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tabsearch: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,130 @@
+// Footballers: the paper's introductory motivation — "compile a table of
+// footballers (soccer players) and clubs they play for" by annotating
+// many noisy web tables against a catalog and merging the annotated rows
+// into one synthesized table, deduplicated by entity ID rather than by
+// fuzzy string matching.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	webtable "repro"
+)
+
+func main() {
+	cat := webtable.NewCatalog()
+	player := must(cat.AddType("Footballer", "footballer", "player", "soccer player"))
+	club := must(cat.AddType("FootballClub", "club", "football club", "team"))
+
+	type pc struct {
+		player, club string
+		aliases      []string
+	}
+	roster := []pc{
+		{"Deni Varga", "Real Altona", []string{"D. Varga", "Varga"}},
+		{"Luca Moretti", "Real Altona", []string{"L. Moretti", "Moretti"}},
+		{"Sefa Yilmaz", "Union Brevik", []string{"S. Yilmaz", "Yilmaz"}},
+		{"Ivo Kral", "Union Brevik", []string{"I. Kral", "Kral"}},
+		{"Tomas Berg", "Sporting Calda", []string{"T. Berg", "Berg"}},
+		{"Nik Varga", "Sporting Calda", []string{"N. Varga", "Varga"}}, // shares surname with Deni
+	}
+	playsFor := must(cat.AddRelation("playsFor", player, club, webtable.ManyToOne))
+	players := map[string]webtable.EntityID{}
+	clubs := map[string]webtable.EntityID{}
+	for _, r := range roster {
+		if _, ok := clubs[r.club]; !ok {
+			clubs[r.club] = must(cat.AddEntity(r.club, []string{r.club + " FC"}, club))
+		}
+		p := must(cat.AddEntity(r.player, r.aliases, player))
+		players[r.player] = p
+		check(cat.AddTuple(playsFor, p, clubs[r.club]))
+	}
+	check(cat.Freeze())
+
+	// Three noisy "web tables", each a partial, differently-formatted view.
+	tables := []*webtable.Table{
+		{
+			ID: "espn-like", Context: "squad list players and clubs",
+			Headers: []string{"Player", "Club"},
+			Cells: [][]string{
+				{"D. Varga", "Real Altona"},
+				{"Moretti", "Real Altona FC"},
+				{"S. Yilmaz", "Union Brevik"},
+			},
+		},
+		{
+			ID: "fan-wiki", Context: "who plays for which team",
+			Headers: []string{"", ""}, // headers missing entirely
+			Cells: [][]string{
+				{"Ivo Kral", "Union Brevik"},
+				{"Tomas Berg", "Sporting Calda"},
+				{"Varga", "Sporting Calda"}, // ambiguous surname!
+			},
+		},
+		{
+			ID: "stats-page", Context: "football players season stats",
+			Headers: []string{"Name", "Team", "Goals"},
+			Cells: [][]string{
+				{"Deni Varga", "Real Altona", "11"},
+				{"Sefa Yilmaz", "Union Brevik", "7"},
+				{"N. Varga", "Sporting Calda", "3"},
+			},
+		},
+	}
+
+	ann := webtable.NewAnnotator(cat, webtable.DefaultWeights(), webtable.DefaultConfig())
+
+	// Merge annotated (player, club) pairs across tables by entity ID.
+	type fact struct{ player, club webtable.EntityID }
+	support := map[fact]int{}
+	for _, tab := range tables {
+		res := ann.AnnotateCollective(tab)
+		ra, ok := res.RelationBetween(0, 1)
+		if !ok || cat.RelationName(ra.Relation) != "playsFor" {
+			fmt.Printf("%s: no playsFor relation found, skipping\n", tab.ID)
+			continue
+		}
+		pCol, cCol := ra.Col1, ra.Col2
+		if !ra.Forward {
+			pCol, cCol = cCol, pCol
+		}
+		for r := 0; r < tab.Rows(); r++ {
+			p, c := res.CellEntities[r][pCol], res.CellEntities[r][cCol]
+			if p != webtable.None && c != webtable.None {
+				support[fact{p, c}]++
+			}
+		}
+	}
+
+	fmt.Println("synthesized footballer -> club table (by catalog entity, with row support):")
+	var facts []fact
+	for f := range support {
+		facts = append(facts, f)
+	}
+	sort.Slice(facts, func(i, j int) bool {
+		if support[facts[i]] != support[facts[j]] {
+			return support[facts[i]] > support[facts[j]]
+		}
+		return cat.EntityName(facts[i].player) < cat.EntityName(facts[j].player)
+	})
+	for _, f := range facts {
+		fmt.Printf("  %-14s -> %-16s (support %d)\n",
+			cat.EntityName(f.player), cat.EntityName(f.club), support[f])
+	}
+	// Note how "Varga" in the fan-wiki table resolved to Nik Varga (the
+	// Sporting Calda player), not Deni Varga, because the club column
+	// and the playsFor relation disambiguate collectively.
+}
+
+func must[T any](v T, err error) T {
+	check(err)
+	return v
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,85 @@
+// Quickstart: build a tiny catalog, annotate one table collectively, and
+// print the entity/type/relation labels.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	webtable "repro"
+)
+
+func main() {
+	// 1. Build a catalog (§3.1): types, entities with lemmas, relations.
+	cat := webtable.NewCatalog()
+	book := must(cat.AddType("Book", "novel", "title"))
+	person := must(cat.AddType("Person", "author"))
+	writer := must(cat.AddType("Writer"))
+	check(cat.AddSubtype(writer, person))
+
+	einstein := must(cat.AddEntity("Albert Einstein", []string{"A. Einstein", "Einstein"}, writer))
+	stannard := must(cat.AddEntity("Russell Stannard", []string{"Stannard"}, writer))
+	relativity := must(cat.AddEntity("Relativity: The Special and the General Theory", []string{"Relativity"}, book))
+	quantumQuest := must(cat.AddEntity("Uncle Albert and the Quantum Quest", nil, book))
+
+	wrote := must(cat.AddRelation("wrote", person, book, webtable.ManyToMany))
+	check(cat.AddTuple(wrote, einstein, relativity))
+	check(cat.AddTuple(wrote, stannard, quantumQuest))
+	check(cat.Freeze())
+
+	// 2. A web table with ambiguous cells (Figure 1 of the paper).
+	tab := &webtable.Table{
+		ID:      "quickstart",
+		Context: "books and the people who wrote them",
+		Headers: []string{"Title", "written by"},
+		Cells: [][]string{
+			{"Uncle Albert and the Quantum Quest", "Stannard"},
+			{"Relativity: The Special and the General Theory", "A. Einstein"},
+		},
+	}
+
+	// 3. Annotate collectively (entity + type + relation, jointly).
+	ann := webtable.NewAnnotator(cat, webtable.DefaultWeights(), webtable.DefaultConfig())
+	result := ann.AnnotateCollective(tab)
+
+	fmt.Println("column types:")
+	for c, T := range result.ColumnTypes {
+		fmt.Printf("  col %d (%q) -> %s\n", c, tab.Header(c), name(cat.TypeName(T), T))
+	}
+	fmt.Println("cell entities:")
+	for r := 0; r < tab.Rows(); r++ {
+		for c := 0; c < tab.Cols(); c++ {
+			e := result.CellEntities[r][c]
+			fmt.Printf("  (%d,%d) %-48q -> %s\n", r, c, tab.Cell(r, c), name(cat.EntityName(e), e))
+		}
+	}
+	fmt.Println("relations:")
+	for _, ra := range result.Relations {
+		dir := "col%d is subject"
+		subj := ra.Col1
+		if !ra.Forward {
+			subj = ra.Col2
+		}
+		fmt.Printf("  cols (%d,%d) -> %s ("+dir+")\n", ra.Col1, ra.Col2, cat.RelationName(ra.Relation), subj)
+	}
+	fmt.Printf("inference: %d BP iterations, converged=%v\n",
+		result.Diag.Iterations, result.Diag.Converged)
+}
+
+func name[T ~int32](s string, id T) string {
+	if id == webtable.None {
+		return "(na)"
+	}
+	return s
+}
+
+func must[T any](v T, err error) T {
+	check(err)
+	return v
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,445 @@
+// Package catalog implements the entity/type/relation catalog of §3.1: a
+// type hierarchy forming a DAG under the subtype relation ⊆, entities that
+// are instances (∈) of one or more types, lemmas describing both, and named
+// binary relations B(T1,T2) with a tuple store. It plays the role YAGO
+// plays in the paper; any catalog with this shape can be modeled.
+//
+// A Catalog is built incrementally (AddType, AddEntity, ...), then Freeze
+// computes the transitive closures the annotator queries: E(T), T(E),
+// dist(E,T), type ancestor sets, and per-relation participation indexes.
+// After Freeze the catalog is immutable and safe for concurrent readers.
+package catalog
+
+import (
+	"errors"
+	"fmt"
+)
+
+// TypeID identifies a type in the catalog. IDs are dense, starting at 0.
+type TypeID int32
+
+// EntityID identifies an entity in the catalog.
+type EntityID int32
+
+// RelationID identifies a binary relation name in the catalog.
+type RelationID int32
+
+// None is the sentinel for "no id" / the paper's na label when an ID-typed
+// value is required.
+const None = -1
+
+// Cardinality describes the functional constraints of a relation, used by
+// feature f5's second element (§4.2.5) to penalize violations.
+type Cardinality uint8
+
+// Cardinality values.
+const (
+	ManyToMany Cardinality = iota
+	OneToMany              // a subject may relate to many objects; each object has one subject
+	ManyToOne              // each subject has exactly one object
+	OneToOne
+)
+
+func (c Cardinality) String() string {
+	switch c {
+	case OneToMany:
+		return "1:N"
+	case ManyToOne:
+		return "N:1"
+	case OneToOne:
+		return "1:1"
+	default:
+		return "N:N"
+	}
+}
+
+// FunctionalSubject reports whether each object admits at most one subject.
+func (c Cardinality) FunctionalSubject() bool { return c == OneToMany || c == OneToOne }
+
+// FunctionalObject reports whether each subject admits at most one object.
+func (c Cardinality) FunctionalObject() bool { return c == ManyToOne || c == OneToOne }
+
+// Tuple is one row B(Subject, Object) of a binary relation.
+type Tuple struct {
+	Subject EntityID
+	Object  EntityID
+}
+
+type typeNode struct {
+	name     string
+	lemmas   []string
+	parents  []TypeID
+	children []TypeID
+}
+
+type entityNode struct {
+	name   string
+	lemmas []string
+	types  []TypeID // direct ∈ types
+}
+
+type relationNode struct {
+	name    string
+	subject TypeID
+	object  TypeID
+	card    Cardinality
+	tuples  []Tuple
+
+	// Frozen indexes.
+	bySubject map[EntityID][]EntityID
+	byObject  map[EntityID][]EntityID
+	pairs     map[Tuple]struct{}
+}
+
+// Catalog is the complete catalog. Zero value is unusable; use New.
+type Catalog struct {
+	frozen bool
+
+	types     []typeNode
+	entities  []entityNode
+	relations []relationNode
+
+	typeByName     map[string]TypeID
+	entityByName   map[string]EntityID
+	relationByName map[string]RelationID
+
+	root TypeID // set at Freeze
+
+	// Frozen closures.
+	typeEntities    [][]EntityID       // E(T), sorted ascending
+	entityAncestors []map[TypeID]int32 // T(E) with dist(E,T) values
+	typeAncestors   []map[TypeID]int32 // proper+self ancestors of each type with edge distance (self=0)
+	minEntityDist   []int32            // min over E'∈E(T) of dist(E',T); 0 if E(T) empty
+}
+
+// New returns an empty, unfrozen catalog.
+func New() *Catalog {
+	return &Catalog{
+		typeByName:     make(map[string]TypeID),
+		entityByName:   make(map[string]EntityID),
+		relationByName: make(map[string]RelationID),
+	}
+}
+
+// Errors returned by catalog mutation and lookup.
+var (
+	ErrFrozen    = errors.New("catalog: frozen; mutations not allowed")
+	ErrNotFrozen = errors.New("catalog: not frozen; call Freeze before querying closures")
+	ErrDuplicate = errors.New("catalog: duplicate name")
+	ErrBadID     = errors.New("catalog: id out of range")
+	ErrCycle     = errors.New("catalog: subtype relation contains a cycle")
+)
+
+// NumTypes reports the number of types.
+func (c *Catalog) NumTypes() int { return len(c.types) }
+
+// NumEntities reports the number of entities.
+func (c *Catalog) NumEntities() int { return len(c.entities) }
+
+// NumRelations reports the number of relation names.
+func (c *Catalog) NumRelations() int { return len(c.relations) }
+
+// Frozen reports whether Freeze has completed.
+func (c *Catalog) Frozen() bool { return c.frozen }
+
+// AddType registers a type with the given canonical name and lemmas. The
+// canonical name is always included as a lemma. Returns the new TypeID.
+func (c *Catalog) AddType(name string, lemmas ...string) (TypeID, error) {
+	if c.frozen {
+		return None, ErrFrozen
+	}
+	if _, dup := c.typeByName[name]; dup {
+		return None, fmt.Errorf("%w: type %q", ErrDuplicate, name)
+	}
+	id := TypeID(len(c.types))
+	c.types = append(c.types, typeNode{name: name, lemmas: withName(name, lemmas)})
+	c.typeByName[name] = id
+	return id, nil
+}
+
+// AddSubtype declares child ⊆ parent (an edge parent→child in the DAG).
+// Cycles are detected at Freeze time.
+func (c *Catalog) AddSubtype(child, parent TypeID) error {
+	if c.frozen {
+		return ErrFrozen
+	}
+	if !c.validType(child) || !c.validType(parent) {
+		return fmt.Errorf("%w: subtype(%d,%d)", ErrBadID, child, parent)
+	}
+	if child == parent {
+		return fmt.Errorf("%w: self edge on type %d", ErrCycle, child)
+	}
+	for _, p := range c.types[child].parents {
+		if p == parent {
+			return nil // idempotent
+		}
+	}
+	c.types[child].parents = append(c.types[child].parents, parent)
+	c.types[parent].children = append(c.types[parent].children, child)
+	return nil
+}
+
+// AddEntity registers an entity with its lemmas and direct types. The
+// canonical name is always included as a lemma.
+func (c *Catalog) AddEntity(name string, lemmas []string, types ...TypeID) (EntityID, error) {
+	if c.frozen {
+		return None, ErrFrozen
+	}
+	if _, dup := c.entityByName[name]; dup {
+		return None, fmt.Errorf("%w: entity %q", ErrDuplicate, name)
+	}
+	for _, t := range types {
+		if !c.validType(t) {
+			return None, fmt.Errorf("%w: entity %q type %d", ErrBadID, name, t)
+		}
+	}
+	id := EntityID(len(c.entities))
+	c.entities = append(c.entities, entityNode{name: name, lemmas: withName(name, lemmas), types: append([]TypeID(nil), types...)})
+	c.entityByName[name] = id
+	return id, nil
+}
+
+// AddEntityType attaches an additional direct type to an existing entity.
+func (c *Catalog) AddEntityType(e EntityID, t TypeID) error {
+	if c.frozen {
+		return ErrFrozen
+	}
+	if !c.validEntity(e) || !c.validType(t) {
+		return fmt.Errorf("%w: entityType(%d,%d)", ErrBadID, e, t)
+	}
+	for _, have := range c.entities[e].types {
+		if have == t {
+			return nil
+		}
+	}
+	c.entities[e].types = append(c.entities[e].types, t)
+	return nil
+}
+
+// AddEntityLemma attaches an additional lemma to an entity.
+func (c *Catalog) AddEntityLemma(e EntityID, lemma string) error {
+	if c.frozen {
+		return ErrFrozen
+	}
+	if !c.validEntity(e) {
+		return fmt.Errorf("%w: entity %d", ErrBadID, e)
+	}
+	c.entities[e].lemmas = append(c.entities[e].lemmas, lemma)
+	return nil
+}
+
+// AddTypeLemma attaches an additional lemma to a type.
+func (c *Catalog) AddTypeLemma(t TypeID, lemma string) error {
+	if c.frozen {
+		return ErrFrozen
+	}
+	if !c.validType(t) {
+		return fmt.Errorf("%w: type %d", ErrBadID, t)
+	}
+	c.types[t].lemmas = append(c.types[t].lemmas, lemma)
+	return nil
+}
+
+// AddRelation registers a binary relation with schema B(subject, object)
+// and a cardinality constraint.
+func (c *Catalog) AddRelation(name string, subject, object TypeID, card Cardinality) (RelationID, error) {
+	if c.frozen {
+		return None, ErrFrozen
+	}
+	if _, dup := c.relationByName[name]; dup {
+		return None, fmt.Errorf("%w: relation %q", ErrDuplicate, name)
+	}
+	if !c.validType(subject) || !c.validType(object) {
+		return None, fmt.Errorf("%w: relation %q schema (%d,%d)", ErrBadID, name, subject, object)
+	}
+	id := RelationID(len(c.relations))
+	c.relations = append(c.relations, relationNode{name: name, subject: subject, object: object, card: card})
+	c.relationByName[name] = id
+	return id, nil
+}
+
+// AddTuple appends the fact B(subject, object) to relation b.
+func (c *Catalog) AddTuple(b RelationID, subject, object EntityID) error {
+	if c.frozen {
+		return ErrFrozen
+	}
+	if !c.validRelation(b) {
+		return fmt.Errorf("%w: relation %d", ErrBadID, b)
+	}
+	if !c.validEntity(subject) || !c.validEntity(object) {
+		return fmt.Errorf("%w: tuple(%d,%d)", ErrBadID, subject, object)
+	}
+	c.relations[b].tuples = append(c.relations[b].tuples, Tuple{subject, object})
+	return nil
+}
+
+// RemoveEntityType drops a direct ∈ link, simulating catalog
+// incompleteness (§4.2.3 "Missing links"). No-op if absent.
+func (c *Catalog) RemoveEntityType(e EntityID, t TypeID) error {
+	if c.frozen {
+		return ErrFrozen
+	}
+	if !c.validEntity(e) {
+		return fmt.Errorf("%w: entity %d", ErrBadID, e)
+	}
+	ts := c.entities[e].types
+	for i, have := range ts {
+		if have == t {
+			c.entities[e].types = append(ts[:i], ts[i+1:]...)
+			return nil
+		}
+	}
+	return nil
+}
+
+// RemoveSubtype drops a ⊆ link, simulating catalog incompleteness.
+func (c *Catalog) RemoveSubtype(child, parent TypeID) error {
+	if c.frozen {
+		return ErrFrozen
+	}
+	if !c.validType(child) || !c.validType(parent) {
+		return fmt.Errorf("%w: subtype(%d,%d)", ErrBadID, child, parent)
+	}
+	ps := c.types[child].parents
+	for i, p := range ps {
+		if p == parent {
+			c.types[child].parents = append(ps[:i], ps[i+1:]...)
+			break
+		}
+	}
+	cs := c.types[parent].children
+	for i, ch := range cs {
+		if ch == child {
+			c.types[parent].children = append(cs[:i], cs[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// TypeName returns the canonical name of t.
+func (c *Catalog) TypeName(t TypeID) string {
+	if !c.validType(t) {
+		return fmt.Sprintf("<type %d>", t)
+	}
+	return c.types[t].name
+}
+
+// EntityName returns the canonical name of e.
+func (c *Catalog) EntityName(e EntityID) string {
+	if !c.validEntity(e) {
+		return fmt.Sprintf("<entity %d>", e)
+	}
+	return c.entities[e].name
+}
+
+// RelationName returns the canonical name of b.
+func (c *Catalog) RelationName(b RelationID) string {
+	if !c.validRelation(b) {
+		return fmt.Sprintf("<relation %d>", b)
+	}
+	return c.relations[b].name
+}
+
+// TypeByName looks a type up by canonical name.
+func (c *Catalog) TypeByName(name string) (TypeID, bool) {
+	id, ok := c.typeByName[name]
+	return id, ok
+}
+
+// EntityByName looks an entity up by canonical name.
+func (c *Catalog) EntityByName(name string) (EntityID, bool) {
+	id, ok := c.entityByName[name]
+	return id, ok
+}
+
+// RelationByName looks a relation up by canonical name.
+func (c *Catalog) RelationByName(name string) (RelationID, bool) {
+	id, ok := c.relationByName[name]
+	return id, ok
+}
+
+// TypeLemmas returns L(T), the lemmas describing type t.
+func (c *Catalog) TypeLemmas(t TypeID) []string {
+	if !c.validType(t) {
+		return nil
+	}
+	return c.types[t].lemmas
+}
+
+// EntityLemmas returns L(E), the lemmas describing entity e.
+func (c *Catalog) EntityLemmas(e EntityID) []string {
+	if !c.validEntity(e) {
+		return nil
+	}
+	return c.entities[e].lemmas
+}
+
+// DirectTypes returns the direct ∈ types of e (not the closure).
+func (c *Catalog) DirectTypes(e EntityID) []TypeID {
+	if !c.validEntity(e) {
+		return nil
+	}
+	return c.entities[e].types
+}
+
+// Parents returns the direct supertypes of t.
+func (c *Catalog) Parents(t TypeID) []TypeID {
+	if !c.validType(t) {
+		return nil
+	}
+	return c.types[t].parents
+}
+
+// Children returns the direct subtypes of t.
+func (c *Catalog) Children(t TypeID) []TypeID {
+	if !c.validType(t) {
+		return nil
+	}
+	return c.types[t].children
+}
+
+// RelationSchema returns the declared schema (subject type, object type)
+// and cardinality of b.
+func (c *Catalog) RelationSchema(b RelationID) (subject, object TypeID, card Cardinality) {
+	if !c.validRelation(b) {
+		return None, None, ManyToMany
+	}
+	r := &c.relations[b]
+	return r.subject, r.object, r.card
+}
+
+// Tuples returns the tuple list of relation b. Callers must not mutate it.
+func (c *Catalog) Tuples(b RelationID) []Tuple {
+	if !c.validRelation(b) {
+		return nil
+	}
+	return c.relations[b].tuples
+}
+
+// Root returns the root type (valid after Freeze).
+func (c *Catalog) Root() TypeID { return c.root }
+
+func (c *Catalog) validType(t TypeID) bool {
+	return t >= 0 && int(t) < len(c.types)
+}
+
+func (c *Catalog) validEntity(e EntityID) bool {
+	return e >= 0 && int(e) < len(c.entities)
+}
+
+func (c *Catalog) validRelation(b RelationID) bool {
+	return b >= 0 && int(b) < len(c.relations)
+}
+
+func withName(name string, lemmas []string) []string {
+	for _, l := range lemmas {
+		if l == name {
+			return append([]string(nil), lemmas...)
+		}
+	}
+	out := make([]string, 0, len(lemmas)+1)
+	out = append(out, name)
+	out = append(out, lemmas...)
+	return out
+}

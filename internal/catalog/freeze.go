@@ -1,0 +1,219 @@
+package catalog
+
+import (
+	"fmt"
+	"sort"
+)
+
+// RootTypeName is the canonical name of the synthetic root type created by
+// Freeze when the hierarchy has no unique top element (§3.1: "If not
+// already present, we can create a root type that reaches all other
+// types").
+const RootTypeName = "Entity"
+
+// Freeze validates the catalog (acyclic subtype DAG), installs a root type
+// reaching all others, and computes the closures used by the annotator:
+//
+//   - T(E): all type ancestors of every entity, with dist(E,T) (§4.2.3),
+//   - E(T): all entities transitively reachable from every type,
+//   - type ancestor sets with edge distances,
+//   - per-relation lookup indexes (by subject, by object, pair set).
+//
+// Freeze is idempotent; calling it twice returns nil immediately.
+func (c *Catalog) Freeze() error {
+	if c.frozen {
+		return nil
+	}
+	if err := c.ensureRoot(); err != nil {
+		return err
+	}
+	if err := c.checkAcyclic(); err != nil {
+		return err
+	}
+	c.computeTypeAncestors()
+	c.computeEntityClosures()
+	c.computeRelationIndexes()
+	c.frozen = true
+	return nil
+}
+
+// ensureRoot guarantees a single type that reaches every other type.
+func (c *Catalog) ensureRoot() error {
+	var orphans []TypeID
+	for id := range c.types {
+		if len(c.types[id].parents) == 0 {
+			orphans = append(orphans, TypeID(id))
+		}
+	}
+	if existing, ok := c.typeByName[RootTypeName]; ok {
+		c.root = existing
+	} else if len(orphans) == 1 {
+		// A unique top element already exists; adopt it as root.
+		c.root = orphans[0]
+		return nil
+	} else {
+		id, err := c.AddType(RootTypeName, "entity", "thing")
+		if err != nil {
+			return err
+		}
+		c.root = id
+	}
+	for _, t := range orphans {
+		if t == c.root {
+			continue
+		}
+		if err := c.AddSubtype(t, c.root); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkAcyclic runs Kahn's algorithm over the parent→child edges.
+func (c *Catalog) checkAcyclic() error {
+	n := len(c.types)
+	indeg := make([]int, n) // number of parents
+	for id := range c.types {
+		indeg[id] = len(c.types[id].parents)
+	}
+	queue := make([]TypeID, 0, n)
+	for id := 0; id < n; id++ {
+		if indeg[id] == 0 {
+			queue = append(queue, TypeID(id))
+		}
+	}
+	seen := 0
+	for len(queue) > 0 {
+		t := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		seen++
+		for _, ch := range c.types[t].children {
+			indeg[ch]--
+			if indeg[ch] == 0 {
+				queue = append(queue, ch)
+			}
+		}
+	}
+	if seen != n {
+		return fmt.Errorf("%w: %d of %d types unreachable in topological order", ErrCycle, n-seen, n)
+	}
+	return nil
+}
+
+// computeTypeAncestors fills typeAncestors[t] = {ancestor -> min #edges},
+// including t itself at distance 0. BFS upward per type; the DAG is small
+// relative to the entity set so this is cheap.
+func (c *Catalog) computeTypeAncestors() {
+	n := len(c.types)
+	c.typeAncestors = make([]map[TypeID]int32, n)
+	// Process in an order where parents are done first so we could reuse,
+	// but a direct BFS per type is simpler and fast enough.
+	for id := 0; id < n; id++ {
+		anc := map[TypeID]int32{TypeID(id): 0}
+		frontier := []TypeID{TypeID(id)}
+		for d := int32(1); len(frontier) > 0; d++ {
+			var next []TypeID
+			for _, t := range frontier {
+				for _, p := range c.types[t].parents {
+					if _, ok := anc[p]; !ok {
+						anc[p] = d
+						next = append(next, p)
+					}
+				}
+			}
+			frontier = next
+		}
+		c.typeAncestors[id] = anc
+	}
+}
+
+// computeEntityClosures fills entityAncestors (T(E) with distances),
+// typeEntities (E(T)), and minEntityDist.
+func (c *Catalog) computeEntityClosures() {
+	nT := len(c.types)
+	nE := len(c.entities)
+	c.entityAncestors = make([]map[TypeID]int32, nE)
+	c.typeEntities = make([][]EntityID, nT)
+	c.minEntityDist = make([]int32, nT)
+
+	for e := 0; e < nE; e++ {
+		anc := make(map[TypeID]int32)
+		for _, direct := range c.entities[e].types {
+			// dist(E,T) counts the ∈ edge (1) plus ⊆ edges.
+			for t, d := range c.typeAncestors[direct] {
+				nd := d + 1
+				if old, ok := anc[t]; !ok || nd < old {
+					anc[t] = nd
+				}
+			}
+		}
+		c.entityAncestors[e] = anc
+		for t, d := range anc {
+			c.typeEntities[t] = append(c.typeEntities[t], EntityID(e))
+			if c.minEntityDist[t] == 0 || d < c.minEntityDist[t] {
+				c.minEntityDist[t] = d
+			}
+		}
+	}
+	for t := range c.typeEntities {
+		es := c.typeEntities[t]
+		sort.Slice(es, func(i, j int) bool { return es[i] < es[j] })
+	}
+}
+
+// computeRelationIndexes builds per-relation subject/object adjacency and
+// the tuple membership set.
+func (c *Catalog) computeRelationIndexes() {
+	for i := range c.relations {
+		r := &c.relations[i]
+		r.bySubject = make(map[EntityID][]EntityID)
+		r.byObject = make(map[EntityID][]EntityID)
+		r.pairs = make(map[Tuple]struct{}, len(r.tuples))
+		for _, tp := range r.tuples {
+			if _, dup := r.pairs[tp]; dup {
+				continue
+			}
+			r.pairs[tp] = struct{}{}
+			r.bySubject[tp.Subject] = append(r.bySubject[tp.Subject], tp.Object)
+			r.byObject[tp.Object] = append(r.byObject[tp.Object], tp.Subject)
+		}
+	}
+}
+
+// Clone returns a deep copy of the catalog in the unfrozen state, suitable
+// for injecting incompleteness (RemoveEntityType / RemoveSubtype) before
+// re-freezing. Frozen closures are not copied; call Freeze on the clone.
+func (c *Catalog) Clone() *Catalog {
+	out := New()
+	out.types = make([]typeNode, len(c.types))
+	for i, t := range c.types {
+		out.types[i] = typeNode{
+			name:     t.name,
+			lemmas:   append([]string(nil), t.lemmas...),
+			parents:  append([]TypeID(nil), t.parents...),
+			children: append([]TypeID(nil), t.children...),
+		}
+		out.typeByName[t.name] = TypeID(i)
+	}
+	out.entities = make([]entityNode, len(c.entities))
+	for i, e := range c.entities {
+		out.entities[i] = entityNode{
+			name:   e.name,
+			lemmas: append([]string(nil), e.lemmas...),
+			types:  append([]TypeID(nil), e.types...),
+		}
+		out.entityByName[e.name] = EntityID(i)
+	}
+	out.relations = make([]relationNode, len(c.relations))
+	for i, r := range c.relations {
+		out.relations[i] = relationNode{
+			name:    r.name,
+			subject: r.subject,
+			object:  r.object,
+			card:    r.card,
+			tuples:  append([]Tuple(nil), r.tuples...),
+		}
+		out.relationByName[r.name] = RelationID(i)
+	}
+	return out
+}

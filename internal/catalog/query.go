@@ -1,0 +1,321 @@
+package catalog
+
+// Query methods over the frozen closures. All methods in this file require
+// Freeze to have been called; they return zero values otherwise.
+
+// IsA reports whether E ∈+ T (e is transitively an instance of t).
+func (c *Catalog) IsA(e EntityID, t TypeID) bool {
+	if !c.frozen || !c.validEntity(e) || !c.validType(t) {
+		return false
+	}
+	_, ok := c.entityAncestors[e][t]
+	return ok
+}
+
+// Dist returns dist(E,T), the number of edges (one ∈ edge followed by ⊆*
+// edges) on the shortest path from e up to t (§4.2.3). The second result is
+// false when e is not reachable from t, which the paper rationalizes as
+// dist = ∞.
+func (c *Catalog) Dist(e EntityID, t TypeID) (int, bool) {
+	if !c.frozen || !c.validEntity(e) || !c.validType(t) {
+		return 0, false
+	}
+	d, ok := c.entityAncestors[e][t]
+	return int(d), ok
+}
+
+// TypeAncestorsOf returns T(E): every type t with e ∈+ t. The slice is
+// freshly allocated and sorted by TypeID.
+func (c *Catalog) TypeAncestorsOf(e EntityID) []TypeID {
+	if !c.frozen || !c.validEntity(e) {
+		return nil
+	}
+	anc := c.entityAncestors[e]
+	out := make([]TypeID, 0, len(anc))
+	for t := range anc {
+		out = append(out, t)
+	}
+	sortTypeIDs(out)
+	return out
+}
+
+// EntitiesOf returns E(T): the entities transitively under t, sorted by
+// EntityID. Callers must not mutate the returned slice.
+func (c *Catalog) EntitiesOf(t TypeID) []EntityID {
+	if !c.frozen || !c.validType(t) {
+		return nil
+	}
+	return c.typeEntities[t]
+}
+
+// EntityCount returns |E(T)|.
+func (c *Catalog) EntityCount(t TypeID) int {
+	if !c.frozen || !c.validType(t) {
+		return 0
+	}
+	return len(c.typeEntities[t])
+}
+
+// Specificity models type specificity as |E| / |E(T)| (§4.2.3, the
+// IDF-inspired feature). Large values mean t is specific. Types with no
+// entities get |E| (maximally specific but useless).
+func (c *Catalog) Specificity(t TypeID) float64 {
+	if !c.frozen || !c.validType(t) || len(c.entities) == 0 {
+		return 0
+	}
+	n := len(c.typeEntities[t])
+	if n == 0 {
+		n = 1
+	}
+	return float64(len(c.entities)) / float64(n)
+}
+
+// IsSubtype reports whether a ⊆* b (b is an ancestor of a, or a == b).
+func (c *Catalog) IsSubtype(a, b TypeID) bool {
+	if !c.frozen || !c.validType(a) || !c.validType(b) {
+		return false
+	}
+	_, ok := c.typeAncestors[a][b]
+	return ok
+}
+
+// TypeDist returns the minimum number of ⊆ edges from a up to b, with
+// ok=false when b is not an ancestor of a.
+func (c *Catalog) TypeDist(a, b TypeID) (int, bool) {
+	if !c.frozen || !c.validType(a) || !c.validType(b) {
+		return 0, false
+	}
+	d, ok := c.typeAncestors[a][b]
+	return int(d), ok
+}
+
+// AncestorsOf returns all ancestors of t including t itself, sorted.
+func (c *Catalog) AncestorsOf(t TypeID) []TypeID {
+	if !c.frozen || !c.validType(t) {
+		return nil
+	}
+	anc := c.typeAncestors[t]
+	out := make([]TypeID, 0, len(anc))
+	for a := range anc {
+		out = append(out, a)
+	}
+	sortTypeIDs(out)
+	return out
+}
+
+// MinEntityDist returns min over E' ∈ E(T) of dist(E',T), used by the
+// missing-link feature's denominator (§4.2.3). Returns 1 when E(T) is
+// empty so the feature degrades gracefully instead of dividing by zero.
+func (c *Catalog) MinEntityDist(t TypeID) int {
+	if !c.frozen || !c.validType(t) || c.minEntityDist[t] == 0 {
+		return 1
+	}
+	return int(c.minEntityDist[t])
+}
+
+// OverlapFraction returns |E(T′) ∩ E(T)| / |E(T′)|, the relatedness hint
+// that a missing E ∈+ T link is likely (§4.2.3). Returns 0 when E(T′) is
+// empty.
+func (c *Catalog) OverlapFraction(tPrime, t TypeID) float64 {
+	if !c.frozen || !c.validType(tPrime) || !c.validType(t) {
+		return 0
+	}
+	a, b := c.typeEntities[tPrime], c.typeEntities[t]
+	if len(a) == 0 {
+		return 0
+	}
+	return float64(intersectSortedCount(a, b)) / float64(len(a))
+}
+
+// Relatedness implements the full missing-link quantity of §4.2.3: the
+// minimum over the immediate parent types T′ of e of
+// |E(T′)∩E(T)| / |E(T′)|. When e has no direct types the result is 0.
+func (c *Catalog) Relatedness(e EntityID, t TypeID) float64 {
+	if !c.frozen || !c.validEntity(e) || !c.validType(t) {
+		return 0
+	}
+	direct := c.entities[e].types
+	if len(direct) == 0 {
+		return 0
+	}
+	minFrac := 1.0
+	for _, tp := range direct {
+		f := c.OverlapFraction(tp, t)
+		if f < minFrac {
+			minFrac = f
+		}
+	}
+	return minFrac
+}
+
+// HasTuple reports whether relation b contains the fact (subject, object).
+func (c *Catalog) HasTuple(b RelationID, subject, object EntityID) bool {
+	if !c.frozen || !c.validRelation(b) {
+		return false
+	}
+	_, ok := c.relations[b].pairs[Tuple{subject, object}]
+	return ok
+}
+
+// Objects returns the objects related to subject under b.
+func (c *Catalog) Objects(b RelationID, subject EntityID) []EntityID {
+	if !c.frozen || !c.validRelation(b) {
+		return nil
+	}
+	return c.relations[b].bySubject[subject]
+}
+
+// Subjects returns the subjects related to object under b.
+func (c *Catalog) Subjects(b RelationID, object EntityID) []EntityID {
+	if !c.frozen || !c.validRelation(b) {
+		return nil
+	}
+	return c.relations[b].byObject[object]
+}
+
+// RelationsBetween returns every relation id b such that the catalog
+// contains a tuple b(e1, e2) or b(e2, e1). The bool in the result reports
+// whether e1 was the subject (true) or object (false).
+func (c *Catalog) RelationsBetween(e1, e2 EntityID) []RelationDirection {
+	if !c.frozen {
+		return nil
+	}
+	var out []RelationDirection
+	for id := range c.relations {
+		b := RelationID(id)
+		if c.HasTuple(b, e1, e2) {
+			out = append(out, RelationDirection{Relation: b, Forward: true})
+		}
+		if c.HasTuple(b, e2, e1) {
+			out = append(out, RelationDirection{Relation: b, Forward: false})
+		}
+	}
+	return out
+}
+
+// RelationDirection pairs a relation with an orientation between two
+// column candidates: Forward means (first column = subject).
+type RelationDirection struct {
+	Relation RelationID
+	Forward  bool
+}
+
+// ParticipationFraction computes the second f4 feature (§4.2.4): the
+// fraction of entities under tSubj that appear as subjects of b with an
+// object in tObj. Symmetric queries swap the roles before calling.
+func (c *Catalog) ParticipationFraction(b RelationID, tSubj, tObj TypeID) float64 {
+	if !c.frozen || !c.validRelation(b) || !c.validType(tSubj) || !c.validType(tObj) {
+		return 0
+	}
+	under := c.typeEntities[tSubj]
+	if len(under) == 0 {
+		return 0
+	}
+	r := &c.relations[b]
+	// Iterate the smaller side: either entities under tSubj or tuples.
+	count := 0
+	if len(r.tuples) < len(under) {
+		seen := make(map[EntityID]struct{})
+		for _, tp := range r.tuples {
+			if _, dup := seen[tp.Subject]; dup {
+				continue
+			}
+			if c.IsA(tp.Subject, tSubj) {
+				// Does this subject relate to any object under tObj?
+				for _, o := range r.bySubject[tp.Subject] {
+					if c.IsA(o, tObj) {
+						seen[tp.Subject] = struct{}{}
+						count++
+						break
+					}
+				}
+			}
+		}
+	} else {
+		for _, e := range under {
+			for _, o := range r.bySubject[e] {
+				if c.IsA(o, tObj) {
+					count++
+					break
+				}
+			}
+		}
+	}
+	return float64(count) / float64(len(under))
+}
+
+// SchemaMatches reports whether relation b's declared schema (T1,T2) is
+// compatible with labeling the subject column tSubj and object column
+// tObj, i.e. tSubj ⊆* T1 and tObj ⊆* T2 (first f4 feature, §4.2.4).
+func (c *Catalog) SchemaMatches(b RelationID, tSubj, tObj TypeID) bool {
+	if !c.frozen || !c.validRelation(b) {
+		return false
+	}
+	r := &c.relations[b]
+	return c.IsSubtype(tSubj, r.subject) && c.IsSubtype(tObj, r.object)
+}
+
+// LCA returns the least common ancestors of the given set of types: every
+// type that is an ancestor of all inputs and has no descendant that is
+// also such a common ancestor. Used by the LCA baseline (§4.5.1).
+func (c *Catalog) LCA(types []TypeID) []TypeID {
+	if !c.frozen || len(types) == 0 {
+		return nil
+	}
+	// Intersect ancestor sets.
+	common := make(map[TypeID]struct{})
+	for t := range c.typeAncestors[types[0]] {
+		common[t] = struct{}{}
+	}
+	for _, t := range types[1:] {
+		anc := c.typeAncestors[t]
+		for a := range common {
+			if _, ok := anc[a]; !ok {
+				delete(common, a)
+			}
+		}
+	}
+	// Keep minimal elements: drop any common ancestor that has a strict
+	// descendant also in the set.
+	var out []TypeID
+	for a := range common {
+		minimal := true
+		for b := range common {
+			if b != a && c.IsSubtype(b, a) {
+				minimal = false
+				break
+			}
+		}
+		if minimal {
+			out = append(out, a)
+		}
+	}
+	sortTypeIDs(out)
+	return out
+}
+
+func sortTypeIDs(ts []TypeID) {
+	for i := 1; i < len(ts); i++ {
+		for j := i; j > 0 && ts[j] < ts[j-1]; j-- {
+			ts[j], ts[j-1] = ts[j-1], ts[j]
+		}
+	}
+}
+
+// intersectSortedCount counts common elements of two ascending slices.
+func intersectSortedCount(a, b []EntityID) int {
+	i, j, n := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			n++
+			i++
+			j++
+		}
+	}
+	return n
+}

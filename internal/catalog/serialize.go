@@ -1,0 +1,155 @@
+package catalog
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Snapshot is the portable JSON form of a catalog: exactly the builder
+// inputs, no derived closures. Round-tripping through Snapshot and Freeze
+// reconstructs an equivalent catalog.
+type Snapshot struct {
+	Types     []TypeSnapshot     `json:"types"`
+	Entities  []EntitySnapshot   `json:"entities"`
+	Relations []RelationSnapshot `json:"relations"`
+}
+
+// TypeSnapshot serializes one type.
+type TypeSnapshot struct {
+	Name    string   `json:"name"`
+	Lemmas  []string `json:"lemmas,omitempty"`
+	Parents []TypeID `json:"parents,omitempty"`
+}
+
+// EntitySnapshot serializes one entity.
+type EntitySnapshot struct {
+	Name   string   `json:"name"`
+	Lemmas []string `json:"lemmas,omitempty"`
+	Types  []TypeID `json:"types,omitempty"`
+}
+
+// RelationSnapshot serializes one relation with its tuples.
+type RelationSnapshot struct {
+	Name        string      `json:"name"`
+	Subject     TypeID      `json:"subject"`
+	Object      TypeID      `json:"object"`
+	Cardinality Cardinality `json:"cardinality"`
+	Tuples      []Tuple     `json:"tuples,omitempty"`
+}
+
+// Snapshot extracts the portable form. Works frozen or not.
+func (c *Catalog) Snapshot() Snapshot {
+	s := Snapshot{
+		Types:     make([]TypeSnapshot, len(c.types)),
+		Entities:  make([]EntitySnapshot, len(c.entities)),
+		Relations: make([]RelationSnapshot, len(c.relations)),
+	}
+	for i, t := range c.types {
+		s.Types[i] = TypeSnapshot{Name: t.name, Lemmas: t.lemmas, Parents: t.parents}
+	}
+	for i, e := range c.entities {
+		s.Entities[i] = EntitySnapshot{Name: e.name, Lemmas: e.lemmas, Types: e.types}
+	}
+	for i, r := range c.relations {
+		s.Relations[i] = RelationSnapshot{
+			Name: r.name, Subject: r.subject, Object: r.object,
+			Cardinality: r.card, Tuples: r.tuples,
+		}
+	}
+	return s
+}
+
+// FromSnapshot rebuilds an unfrozen catalog from a snapshot.
+func FromSnapshot(s Snapshot) (*Catalog, error) {
+	c := New()
+	for _, t := range s.Types {
+		if _, err := c.AddType(t.Name, t.Lemmas...); err != nil {
+			return nil, err
+		}
+	}
+	for i, t := range s.Types {
+		for _, p := range t.Parents {
+			if err := c.AddSubtype(TypeID(i), p); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, e := range s.Entities {
+		if _, err := c.AddEntity(e.Name, e.Lemmas, e.Types...); err != nil {
+			return nil, err
+		}
+	}
+	for _, r := range s.Relations {
+		id, err := c.AddRelation(r.Name, r.Subject, r.Object, r.Cardinality)
+		if err != nil {
+			return nil, err
+		}
+		for _, tp := range r.Tuples {
+			if err := c.AddTuple(id, tp.Subject, tp.Object); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return c, nil
+}
+
+// WriteJSON streams the snapshot as JSON.
+func (c *Catalog) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(c.Snapshot()); err != nil {
+		return fmt.Errorf("catalog: encode: %w", err)
+	}
+	return nil
+}
+
+// ReadJSON parses a snapshot and rebuilds an unfrozen catalog.
+func ReadJSON(r io.Reader) (*Catalog, error) {
+	var s Snapshot
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("catalog: decode: %w", err)
+	}
+	return FromSnapshot(s)
+}
+
+// Stats summarizes catalog shape for logging and the Fig. 5 style dataset
+// summaries.
+type Stats struct {
+	Types        int
+	Entities     int
+	Relations    int
+	Tuples       int
+	SubtypeEdges int
+	InstanceOf   int // total direct ∈ edges
+	Lemmas       int // entity + type lemma count
+	MaxDepth     int // longest root→type path (frozen only)
+}
+
+// Stats computes summary statistics.
+func (c *Catalog) Stats() Stats {
+	s := Stats{Types: len(c.types), Entities: len(c.entities), Relations: len(c.relations)}
+	for _, t := range c.types {
+		s.SubtypeEdges += len(t.parents)
+		s.Lemmas += len(t.lemmas)
+	}
+	for _, e := range c.entities {
+		s.InstanceOf += len(e.types)
+		s.Lemmas += len(e.lemmas)
+	}
+	for _, r := range c.relations {
+		s.Tuples += len(r.tuples)
+	}
+	if c.frozen {
+		for t := range c.types {
+			if d, ok := c.typeAncestors[t][c.root]; ok && int(d) > s.MaxDepth {
+				s.MaxDepth = int(d)
+			}
+		}
+	}
+	return s
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("types=%d entities=%d relations=%d tuples=%d subtypeEdges=%d instanceOf=%d lemmas=%d maxDepth=%d",
+		s.Types, s.Entities, s.Relations, s.Tuples, s.SubtypeEdges, s.InstanceOf, s.Lemmas, s.MaxDepth)
+}

@@ -1,0 +1,175 @@
+// Package core implements the paper's primary contribution (§4): the
+// collective table annotator. Given a frozen catalog and a source table,
+// it assigns an entity label to every cell, a type label to every column,
+// and a binary relation label to every column pair — jointly, by
+// max-product belief propagation over the factor graph of Figure 10 —
+// plus the polynomial special case of Figure 2 and the LCA/Majority
+// baselines of §4.5.
+package core
+
+import (
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/feature"
+	"repro/internal/lemmaindex"
+	"repro/internal/table"
+)
+
+// Config tunes the annotator.
+type Config struct {
+	// Candidates configures lemma-index candidate generation (§4.3).
+	Candidates lemmaindex.Config
+	// Mode selects the type-entity compatibility feature (§4.2.3 / Fig 8).
+	Mode feature.TypeEntityMode
+	// MaxIters caps BP schedule iterations (paper: converges within 3).
+	MaxIters int
+	// Tol is the message-convergence threshold.
+	Tol float64
+	// MaxTypesPerColumn caps the column-type candidate space, keeping the
+	// highest-scoring types by header+aggregate-compatibility pre-score.
+	// Zero means no cap.
+	MaxTypesPerColumn int
+	// NumericSkipFraction: columns whose numeric-cell fraction exceeds
+	// this are not annotated (catalog entities are non-numeric).
+	NumericSkipFraction float64
+	// DisableRelationVars drops the b_cc′ variables and φ4/φ5 potentials,
+	// reducing Eq. 1 to Eq. 2 (the simplified objective). Used by the
+	// ablation benchmarks.
+	DisableRelationVars bool
+	// UniqueColumns lists column indices whose cells must receive
+	// pairwise-distinct entity labels, enforced via min-cost flow
+	// (§4.4.1). Only honored by AnnotateSimple.
+	UniqueColumns []int
+}
+
+// DefaultConfig mirrors the paper's operating point.
+func DefaultConfig() Config {
+	return Config{
+		Candidates:          lemmaindex.DefaultConfig(),
+		Mode:                feature.ModeSqrtDist,
+		MaxIters:            10,
+		Tol:                 1e-6,
+		MaxTypesPerColumn:   64,
+		NumericSkipFraction: 0.7,
+	}
+}
+
+// RelationAnnotation labels an ordered column pair. Forward means Col1
+// holds the relation's subjects.
+type RelationAnnotation struct {
+	Col1, Col2 int
+	Relation   catalog.RelationID
+	Forward    bool
+}
+
+// Diagnostics records per-table timing and convergence data (Figure 7).
+type Diagnostics struct {
+	CandidateGen time.Duration // lemma probing + similarity time
+	GraphBuild   time.Duration // potential-table construction
+	Inference    time.Duration // message passing / decoding
+	Iterations   int
+	Converged    bool
+	NumVars      int
+	NumFactors   int
+}
+
+// Total returns the end-to-end annotation time.
+func (d Diagnostics) Total() time.Duration {
+	return d.CandidateGen + d.GraphBuild + d.Inference
+}
+
+// Annotation is the annotator's output for one table. Skipped (numeric or
+// empty) columns and unlabeled cells carry catalog.None.
+type Annotation struct {
+	TableID string
+	// ColumnTypes[c] is t_c, or None for na.
+	ColumnTypes []catalog.TypeID
+	// CellEntities[r][c] is e_rc, or None for na.
+	CellEntities [][]catalog.EntityID
+	// Relations holds b_cc′ labels for column pairs that received one.
+	Relations []RelationAnnotation
+	Diag      Diagnostics
+}
+
+// RelationBetween returns the annotated relation between two columns, if
+// any, normalizing the order of the pair.
+func (a *Annotation) RelationBetween(c1, c2 int) (RelationAnnotation, bool) {
+	for _, r := range a.Relations {
+		if (r.Col1 == c1 && r.Col2 == c2) || (r.Col1 == c2 && r.Col2 == c1) {
+			return r, true
+		}
+	}
+	return RelationAnnotation{}, false
+}
+
+// Annotator annotates tables against one catalog. Construct with New;
+// safe for sequential reuse across many tables (the feature extractor's
+// participation cache warms up across calls).
+type Annotator struct {
+	cat *catalog.Catalog
+	ix  *lemmaindex.Index
+	ext *feature.Extractor
+	w   feature.Weights
+	cfg Config
+}
+
+// New builds an annotator over a frozen catalog. The lemma index is built
+// once here (the dominant setup cost).
+func New(cat *catalog.Catalog, w feature.Weights, cfg Config) *Annotator {
+	ix := lemmaindex.Build(cat, cfg.Candidates)
+	return &Annotator{
+		cat: cat,
+		ix:  ix,
+		ext: feature.NewExtractor(cat, ix, cfg.Mode),
+		w:   w,
+		cfg: cfg,
+	}
+}
+
+// NewWithIndex builds an annotator sharing a pre-built lemma index (used
+// by experiment harnesses that vary weights or modes over one catalog).
+func NewWithIndex(cat *catalog.Catalog, ix *lemmaindex.Index, w feature.Weights, cfg Config) *Annotator {
+	return &Annotator{
+		cat: cat,
+		ix:  ix,
+		ext: feature.NewExtractor(cat, ix, cfg.Mode),
+		w:   w,
+		cfg: cfg,
+	}
+}
+
+// Catalog returns the annotator's catalog.
+func (a *Annotator) Catalog() *catalog.Catalog { return a.cat }
+
+// Index returns the annotator's lemma index.
+func (a *Annotator) Index() *lemmaindex.Index { return a.ix }
+
+// Weights returns the current model weights.
+func (a *Annotator) Weights() feature.Weights { return a.w }
+
+// SetWeights replaces the model weights (after training).
+func (a *Annotator) SetWeights(w feature.Weights) { a.w = w }
+
+// Config returns the annotator configuration.
+func (a *Annotator) Config() Config { return a.cfg }
+
+// newAnnotation allocates an all-na annotation shaped like t.
+func newAnnotation(t *table.Table) *Annotation {
+	ann := &Annotation{
+		TableID:     t.ID,
+		ColumnTypes: make([]catalog.TypeID, t.Cols()),
+	}
+	for c := range ann.ColumnTypes {
+		ann.ColumnTypes[c] = catalog.None
+	}
+	ann.CellEntities = make([][]catalog.EntityID, t.Rows())
+	for r := range ann.CellEntities {
+		row := make([]catalog.EntityID, t.Cols())
+		for c := range row {
+			row[c] = catalog.None
+		}
+		ann.CellEntities[r] = row
+	}
+	return ann
+}

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/mincostflow"
+	"repro/internal/table"
+)
+
+// AnnotateSimple runs the polynomial special case of §4.4.1 (Figure 2):
+// relation variables and φ4/φ5 are excluded, so each column's type is
+// settled independently, and given the type each cell's entity follows
+// independently:
+//
+//	A_T = φ2(c,T) + Σ_r max_E [ φ1(r,c,E) + φ3(T,E) ]   (log space)
+//	t*_c = argmax_T A_T
+//
+// When cfg.UniqueColumns marks a column as a primary key, the per-cell
+// argmax is replaced by a min-cost-flow assignment forcing distinct
+// entities across the column's cells (§4.4.1, [1]).
+func (a *Annotator) AnnotateSimple(t *table.Table) *Annotation {
+	ann := newAnnotation(t)
+
+	start := time.Now()
+	cs := a.buildCandidates(t)
+	candTime := time.Since(start)
+
+	start = time.Now()
+	unique := make(map[int]bool, len(a.cfg.UniqueColumns))
+	for _, c := range a.cfg.UniqueColumns {
+		unique[c] = true
+	}
+	for i, c := range cs.cols {
+		bestType, bestScore, bestCells := catalog.TypeID(catalog.None), 0.0, a.bestCellsGivenType(cs, i, catalog.None)
+		// The na option scores Σ_r max(0, max_E φ1): type absent, cells
+		// may still be labeled on text evidence alone.
+		for _, r := range bestCells {
+			bestScore += r.score
+		}
+		for _, T := range cs.colTypes[i] {
+			header := t.Header(c)
+			aT := a.ext.LogPhi2(&a.w, header, T)
+			cells := a.bestCellsGivenType(cs, i, T)
+			for _, rc := range cells {
+				aT += rc.score
+			}
+			if aT > bestScore {
+				bestType, bestScore, bestCells = T, aT, cells
+			}
+		}
+		ann.ColumnTypes[c] = bestType
+		if unique[c] {
+			a.assignUnique(cs, i, bestType, ann)
+		} else {
+			for r, rc := range bestCells {
+				ann.CellEntities[r][c] = rc.entity
+			}
+		}
+	}
+	inferTime := time.Since(start)
+	ann.Diag = Diagnostics{
+		CandidateGen: candTime,
+		Inference:    inferTime,
+		Iterations:   1,
+		Converged:    true,
+	}
+	return ann
+}
+
+type cellChoice struct {
+	entity catalog.EntityID // None for na
+	score  float64
+}
+
+// bestCellsGivenType computes, per row, max over E (and na) of
+// φ1 + φ3(T,E) — line 6 of Figure 2. T = None evaluates the na column
+// hypothesis (φ3 never fires).
+func (a *Annotator) bestCellsGivenType(cs *candidates, i int, T catalog.TypeID) []cellChoice {
+	out := make([]cellChoice, cs.tab.Rows())
+	for r := range out {
+		best := cellChoice{entity: catalog.None, score: 0} // na baseline
+		for _, cand := range cs.cells[i][r] {
+			s := a.logPhi1(cand)
+			if T != catalog.None {
+				s += a.ext.LogPhi3(&a.w, T, cand.Entity)
+			}
+			if s > best.score {
+				best = cellChoice{entity: cand.Entity, score: s}
+			}
+		}
+		out[r] = best
+	}
+	return out
+}
+
+// assignUnique assigns pairwise-distinct entities to the cells of column
+// cols[i] under the chosen type, maximizing the same per-cell score via
+// min-cost flow. Cells may still fall back to na (the skip benefit 0).
+func (a *Annotator) assignUnique(cs *candidates, i int, T catalog.TypeID, ann *Annotation) {
+	// Collect the distinct candidate entities of the column.
+	index := make(map[catalog.EntityID]int)
+	var entities []catalog.EntityID
+	for r := range cs.cells[i] {
+		for _, cand := range cs.cells[i][r] {
+			if _, ok := index[cand.Entity]; !ok {
+				index[cand.Entity] = len(entities)
+				entities = append(entities, cand.Entity)
+			}
+		}
+	}
+	if len(entities) == 0 {
+		return
+	}
+	rows := cs.tab.Rows()
+	weight := make([][]float64, rows)
+	skip := make([]float64, rows)
+	// Benefits must be >= 0 relative to na for flow to prefer real labels;
+	// offset handled by using the raw score and skip=0, matching the
+	// unconstrained decision rule.
+	const impossible = -1e9
+	for r := 0; r < rows; r++ {
+		weight[r] = make([]float64, len(entities))
+		for j := range weight[r] {
+			weight[r][j] = impossible
+		}
+		for _, cand := range cs.cells[i][r] {
+			s := a.logPhi1(cand)
+			if T != catalog.None {
+				s += a.ext.LogPhi3(&a.w, T, cand.Entity)
+			}
+			weight[r][index[cand.Entity]] = s
+		}
+	}
+	assigned, err := mincostflow.Assignment(weight, skip)
+	if err != nil {
+		return // fall back to the unconstrained labels already in ann
+	}
+	c := cs.cols[i]
+	for r, j := range assigned {
+		if j >= 0 && weight[r][j] > impossible/2 && weight[r][j] > 0 {
+			ann.CellEntities[r][c] = entities[j]
+		} else {
+			ann.CellEntities[r][c] = catalog.None
+		}
+	}
+}

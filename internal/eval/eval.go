@@ -1,0 +1,245 @@
+// Package eval implements the paper's evaluation protocol (§6.1.1): 0/1
+// loss for cell entity annotations (a point is lost for choosing na when
+// ground truth is not na, and vice versa), F1 for column type and
+// relation annotations, and mean average precision (MAP) for the search
+// application (§6.2). Cells, columns and pairs with no ground truth are
+// dropped from the task.
+package eval
+
+import (
+	"fmt"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/text"
+	"repro/internal/worldgen"
+)
+
+// Counts accumulates 0/1-loss outcomes.
+type Counts struct {
+	Correct int
+	Total   int
+}
+
+// Accuracy returns Correct/Total (0 when empty).
+func (c Counts) Accuracy() float64 {
+	if c.Total == 0 {
+		return 0
+	}
+	return float64(c.Correct) / float64(c.Total)
+}
+
+// Add merges another tally.
+func (c *Counts) Add(o Counts) { c.Correct += o.Correct; c.Total += o.Total }
+
+func (c Counts) String() string {
+	return fmt.Sprintf("%d/%d (%.2f%%)", c.Correct, c.Total, 100*c.Accuracy())
+}
+
+// PRF accumulates precision/recall counts for set-valued predictions.
+type PRF struct {
+	TP, FP, FN int
+}
+
+// Add merges another tally.
+func (p *PRF) Add(o PRF) { p.TP += o.TP; p.FP += o.FP; p.FN += o.FN }
+
+// Precision returns TP/(TP+FP), 0 when undefined.
+func (p PRF) Precision() float64 {
+	if p.TP+p.FP == 0 {
+		return 0
+	}
+	return float64(p.TP) / float64(p.TP+p.FP)
+}
+
+// Recall returns TP/(TP+FN), 0 when undefined.
+func (p PRF) Recall() float64 {
+	if p.TP+p.FN == 0 {
+		return 0
+	}
+	return float64(p.TP) / float64(p.TP+p.FN)
+}
+
+// F1 returns the harmonic mean of precision and recall.
+func (p PRF) F1() float64 {
+	pr, rc := p.Precision(), p.Recall()
+	if pr+rc == 0 {
+		return 0
+	}
+	return 2 * pr * rc / (pr + rc)
+}
+
+func (p PRF) String() string {
+	return fmt.Sprintf("P=%.3f R=%.3f F1=%.3f", p.Precision(), p.Recall(), p.F1())
+}
+
+// EntityCells scores cell entity annotations with 0/1 loss against the
+// table's ground truth.
+func EntityCells(ann *core.Annotation, gt worldgen.GroundTruth) Counts {
+	var c Counts
+	for ref, want := range gt.Cells {
+		c.Total++
+		if ann.CellEntities[ref.Row][ref.Col] == want {
+			c.Correct++
+		}
+	}
+	return c
+}
+
+// ColumnTypesSingle scores single-label column type predictions (the
+// collective annotator emits one type or na per column) as micro-F1
+// against the ground truth: a correct prediction is one TP; a wrong
+// non-na prediction is one FP and one FN; na on a labeled column is one
+// FN.
+func ColumnTypesSingle(ann *core.Annotation, gt worldgen.GroundTruth) PRF {
+	var p PRF
+	for col, want := range gt.ColumnTypes {
+		got := ann.ColumnTypes[col]
+		switch {
+		case got == want:
+			p.TP++
+		case got == catalog.None:
+			p.FN++
+		default:
+			p.FP++
+			p.FN++
+		}
+	}
+	return p
+}
+
+// ColumnTypesSet scores set-valued column type predictions (the LCA and
+// Majority baselines may report several types per column).
+func ColumnTypesSet(sets [][]catalog.TypeID, gt worldgen.GroundTruth) PRF {
+	var p PRF
+	for col, want := range gt.ColumnTypes {
+		var preds []catalog.TypeID
+		if col < len(sets) {
+			preds = sets[col]
+		}
+		hit := false
+		for _, t := range preds {
+			if t == want {
+				hit = true
+			} else {
+				p.FP++
+			}
+		}
+		if hit {
+			p.TP++
+		} else {
+			p.FN++
+		}
+	}
+	return p
+}
+
+// relKey normalizes a relation label for comparison: column pair ordered,
+// direction adjusted to the ordered pair.
+type relKey struct {
+	c1, c2  int
+	rel     catalog.RelationID
+	forward bool
+}
+
+func normRelKey(c1, c2 int, rel catalog.RelationID, forward bool) relKey {
+	if c1 > c2 {
+		c1, c2 = c2, c1
+		forward = !forward
+	}
+	return relKey{c1, c2, rel, forward}
+}
+
+// Relations scores relation predictions as F1 against ground truth. Only
+// column pairs present in the ground truth participate; extra predictions
+// on unlabeled pairs are ignored (the paper drops missing ground truth
+// from the labeling task). A ground-truth pair with Relation == None
+// asserts "no relation holds here": any prediction on it is a false
+// positive, and abstaining earns nothing (F1 is computed over true
+// relation instances).
+func Relations(preds []core.RelationAnnotation, gt worldgen.GroundTruth) PRF {
+	var p PRF
+	gtPairs := make(map[[2]int]relKey, len(gt.Relations))
+	positives := 0
+	for _, g := range gt.Relations {
+		k := normRelKey(g.Col1, g.Col2, g.Relation, g.Forward)
+		gtPairs[[2]int{k.c1, k.c2}] = k
+		if g.Relation != catalog.None {
+			positives++
+		}
+	}
+	matched := make(map[[2]int]bool)
+	for _, pr := range preds {
+		k := normRelKey(pr.Col1, pr.Col2, pr.Relation, pr.Forward)
+		want, labeled := gtPairs[[2]int{k.c1, k.c2}]
+		if !labeled {
+			continue // no ground truth for this pair
+		}
+		if want.rel == catalog.None {
+			p.FP++ // hallucinated relation on an unrelated pair
+			continue
+		}
+		if k == want {
+			if !matched[[2]int{k.c1, k.c2}] {
+				p.TP++
+				matched[[2]int{k.c1, k.c2}] = true
+			}
+		} else {
+			p.FP++
+		}
+	}
+	p.FN = positives - p.TP
+	return p
+}
+
+// AveragePrecision computes AP of a ranked answer list against a ground
+// truth entity set. A ranked string is relevant when its normalized form
+// equals a lemma of a not-yet-matched ground-truth entity (each entity
+// credits at most one rank). AP = mean over relevant ranks of
+// precision@rank, divided by |ground truth|.
+func AveragePrecision(ranked []string, want []catalog.EntityID, cat *catalog.Catalog) float64 {
+	if len(want) == 0 {
+		return 0
+	}
+	// Lemma lookup: normalized lemma -> ground truth entity ids.
+	byLemma := make(map[string][]catalog.EntityID)
+	for _, e := range want {
+		for _, l := range cat.EntityLemmas(e) {
+			n := text.Normalize(l)
+			byLemma[n] = append(byLemma[n], e)
+		}
+	}
+	used := make(map[catalog.EntityID]bool, len(want))
+	hits := 0
+	sum := 0.0
+	for i, s := range ranked {
+		n := text.Normalize(s)
+		var matchedEntity catalog.EntityID = catalog.None
+		for _, e := range byLemma[n] {
+			if !used[e] {
+				matchedEntity = e
+				break
+			}
+		}
+		if matchedEntity == catalog.None {
+			continue
+		}
+		used[matchedEntity] = true
+		hits++
+		sum += float64(hits) / float64(i+1)
+	}
+	return sum / float64(len(want))
+}
+
+// MeanAveragePrecision averages AP over queries (queries are weighted
+// equally, the IR-standard MAP).
+func MeanAveragePrecision(aps []float64) float64 {
+	if len(aps) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, ap := range aps {
+		s += ap
+	}
+	return s / float64(len(aps))
+}

@@ -1,0 +1,218 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/worldgen"
+)
+
+func TestCountsAndPRF(t *testing.T) {
+	c := Counts{Correct: 3, Total: 4}
+	if c.Accuracy() != 0.75 {
+		t.Errorf("accuracy = %v", c.Accuracy())
+	}
+	c.Add(Counts{Correct: 1, Total: 4})
+	if c.Accuracy() != 0.5 {
+		t.Errorf("merged accuracy = %v", c.Accuracy())
+	}
+	if (Counts{}).Accuracy() != 0 {
+		t.Error("empty accuracy != 0")
+	}
+
+	p := PRF{TP: 2, FP: 1, FN: 2}
+	if p.Precision() != 2.0/3 || p.Recall() != 0.5 {
+		t.Errorf("P=%v R=%v", p.Precision(), p.Recall())
+	}
+	wantF1 := 2 * (2.0 / 3) * 0.5 / ((2.0 / 3) + 0.5)
+	if math.Abs(p.F1()-wantF1) > 1e-12 {
+		t.Errorf("F1 = %v, want %v", p.F1(), wantF1)
+	}
+	if (PRF{}).F1() != 0 {
+		t.Error("empty F1 != 0")
+	}
+	if c.String() == "" || p.String() == "" {
+		t.Error("String() empty")
+	}
+}
+
+func annWith(cells map[[2]int]catalog.EntityID, types map[int]catalog.TypeID, rels []core.RelationAnnotation) *core.Annotation {
+	ann := &core.Annotation{
+		ColumnTypes:  make([]catalog.TypeID, 3),
+		CellEntities: make([][]catalog.EntityID, 3),
+		Relations:    rels,
+	}
+	for c := range ann.ColumnTypes {
+		ann.ColumnTypes[c] = catalog.None
+	}
+	for r := range ann.CellEntities {
+		ann.CellEntities[r] = []catalog.EntityID{catalog.None, catalog.None, catalog.None}
+	}
+	for rc, e := range cells {
+		ann.CellEntities[rc[0]][rc[1]] = e
+	}
+	for c, T := range types {
+		ann.ColumnTypes[c] = T
+	}
+	return ann
+}
+
+func TestEntityCells(t *testing.T) {
+	gt := worldgen.GroundTruth{Cells: map[worldgen.CellRef]catalog.EntityID{
+		{Row: 0, Col: 0}: 5,
+		{Row: 1, Col: 0}: 7,
+		{Row: 2, Col: 0}: catalog.None, // absent entity: na is gold
+	}}
+	ann := annWith(map[[2]int]catalog.EntityID{
+		{0, 0}: 5,            // correct
+		{1, 0}: 9,            // wrong
+		{2, 0}: catalog.None, // correct na
+	}, nil, nil)
+	c := EntityCells(ann, gt)
+	if c.Total != 3 || c.Correct != 2 {
+		t.Fatalf("counts = %+v", c)
+	}
+	// Choosing na when GT is not na loses the point.
+	ann2 := annWith(nil, nil, nil)
+	c2 := EntityCells(ann2, gt)
+	if c2.Correct != 1 { // only the na-GT cell
+		t.Fatalf("all-na counts = %+v", c2)
+	}
+}
+
+func TestColumnTypesSingle(t *testing.T) {
+	gt := worldgen.GroundTruth{ColumnTypes: map[int]catalog.TypeID{0: 3, 1: 4}}
+	p := ColumnTypesSingle(annWith(nil, map[int]catalog.TypeID{0: 3, 1: 9}, nil), gt)
+	if p.TP != 1 || p.FP != 1 || p.FN != 1 {
+		t.Fatalf("PRF = %+v", p)
+	}
+	// na prediction on a labeled column: FN only.
+	p2 := ColumnTypesSingle(annWith(nil, map[int]catalog.TypeID{0: 3}, nil), gt)
+	if p2.TP != 1 || p2.FP != 0 || p2.FN != 1 {
+		t.Fatalf("na PRF = %+v", p2)
+	}
+}
+
+func TestColumnTypesSet(t *testing.T) {
+	gt := worldgen.GroundTruth{ColumnTypes: map[int]catalog.TypeID{0: 3}}
+	sets := [][]catalog.TypeID{{1, 3, 5}}
+	p := ColumnTypesSet(sets, gt)
+	if p.TP != 1 || p.FP != 2 || p.FN != 0 {
+		t.Fatalf("PRF = %+v", p)
+	}
+	// Empty set: pure miss.
+	p2 := ColumnTypesSet([][]catalog.TypeID{nil}, gt)
+	if p2.TP != 0 || p2.FN != 1 {
+		t.Fatalf("empty PRF = %+v", p2)
+	}
+}
+
+func TestRelations(t *testing.T) {
+	gt := worldgen.GroundTruth{Relations: []worldgen.RelationGT{
+		{Col1: 0, Col2: 1, Relation: 2, Forward: true},
+	}}
+	// Correct prediction, same orientation.
+	p := Relations([]core.RelationAnnotation{{Col1: 0, Col2: 1, Relation: 2, Forward: true}}, gt)
+	if p.TP != 1 || p.FP != 0 || p.FN != 0 {
+		t.Fatalf("PRF = %+v", p)
+	}
+	// Correct prediction expressed with swapped columns and flipped
+	// direction must still count.
+	p2 := Relations([]core.RelationAnnotation{{Col1: 1, Col2: 0, Relation: 2, Forward: false}}, gt)
+	if p2.TP != 1 {
+		t.Fatalf("swapped PRF = %+v", p2)
+	}
+	// Wrong direction = FP + FN.
+	p3 := Relations([]core.RelationAnnotation{{Col1: 0, Col2: 1, Relation: 2, Forward: false}}, gt)
+	if p3.TP != 0 || p3.FP != 1 || p3.FN != 1 {
+		t.Fatalf("wrong-direction PRF = %+v", p3)
+	}
+	// Prediction on an unlabeled pair is ignored.
+	p4 := Relations([]core.RelationAnnotation{{Col1: 0, Col2: 2, Relation: 2, Forward: true}}, gt)
+	if p4.TP != 0 || p4.FP != 0 || p4.FN != 1 {
+		t.Fatalf("unlabeled-pair PRF = %+v", p4)
+	}
+}
+
+func TestRelationsNoRelationGT(t *testing.T) {
+	gt := worldgen.GroundTruth{Relations: []worldgen.RelationGT{
+		{Col1: 0, Col2: 1, Relation: catalog.None},
+	}}
+	// Hallucinating on a no-relation pair: FP, no FN.
+	p := Relations([]core.RelationAnnotation{{Col1: 0, Col2: 1, Relation: 4, Forward: true}}, gt)
+	if p.TP != 0 || p.FP != 1 || p.FN != 0 {
+		t.Fatalf("PRF = %+v", p)
+	}
+	// Abstaining is neutral.
+	p2 := Relations(nil, gt)
+	if p2.TP != 0 || p2.FP != 0 || p2.FN != 0 {
+		t.Fatalf("abstain PRF = %+v", p2)
+	}
+}
+
+func buildAPCat(t *testing.T) (*catalog.Catalog, []catalog.EntityID) {
+	t.Helper()
+	c := catalog.New()
+	ty, _ := c.AddType("T")
+	var ids []catalog.EntityID
+	for _, spec := range []struct {
+		name   string
+		lemmas []string
+	}{
+		{"Alpha One", []string{"A. One"}},
+		{"Beta Two", nil},
+		{"Gamma Three", nil},
+	} {
+		id, err := c.AddEntity(spec.name, spec.lemmas, ty)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	if err := c.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	return c, ids
+}
+
+func TestAveragePrecision(t *testing.T) {
+	c, ids := buildAPCat(t)
+	want := ids[:2] // Alpha One, Beta Two
+
+	// Perfect ranking.
+	ap := AveragePrecision([]string{"Alpha One", "Beta Two"}, want, c)
+	if math.Abs(ap-1.0) > 1e-12 {
+		t.Errorf("perfect AP = %v", ap)
+	}
+	// Alternate lemma matches too.
+	ap2 := AveragePrecision([]string{"a one", "beta two"}, want, c)
+	if math.Abs(ap2-1.0) > 1e-12 {
+		t.Errorf("lemma AP = %v", ap2)
+	}
+	// One junk result first: AP = (1/2 + 2/3)/2.
+	ap3 := AveragePrecision([]string{"junk", "Alpha One", "Beta Two"}, want, c)
+	wantAP := (0.5 + 2.0/3) / 2
+	if math.Abs(ap3-wantAP) > 1e-12 {
+		t.Errorf("AP = %v, want %v", ap3, wantAP)
+	}
+	// Duplicate answers credit only once.
+	ap4 := AveragePrecision([]string{"Alpha One", "Alpha One"}, want, c)
+	if math.Abs(ap4-0.5) > 1e-12 {
+		t.Errorf("dup AP = %v, want 0.5", ap4)
+	}
+	// Empty ground truth.
+	if got := AveragePrecision([]string{"x"}, nil, c); got != 0 {
+		t.Errorf("empty-GT AP = %v", got)
+	}
+}
+
+func TestMeanAveragePrecision(t *testing.T) {
+	if MeanAveragePrecision(nil) != 0 {
+		t.Error("empty MAP != 0")
+	}
+	if got := MeanAveragePrecision([]float64{1, 0, 0.5}); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("MAP = %v", got)
+	}
+}

@@ -1,0 +1,198 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/feature"
+)
+
+// ---------------------------------------------------------------------
+// Ablation 1: collective (Eq. 1) vs simplified per-column (Eq. 2).
+// ---------------------------------------------------------------------
+
+// AblationRow compares two inference settings on one dataset/task.
+type AblationRow struct {
+	Dataset    string
+	Task       string
+	Simplified float64
+	Collective float64
+}
+
+// AblationSimplified measures what the relation variables buy: the same
+// annotator run with and without b_cc′/φ4/φ5 on WikiManual.
+func (e *Env) AblationSimplified() []AblationRow {
+	ds := e.World.WikiManual(e.Scale)
+	var colE eval.Counts
+	var colT, colR eval.PRF
+	var simE eval.Counts
+	var simT eval.PRF
+	for _, lt := range ds.Tables {
+		c := e.Ann.AnnotateCollective(lt.Table)
+		s := e.Ann.AnnotateSimple(lt.Table)
+		colE.Add(eval.EntityCells(c, lt.GT))
+		simE.Add(eval.EntityCells(s, lt.GT))
+		colT.Add(eval.ColumnTypesSingle(c, lt.GT))
+		simT.Add(eval.ColumnTypesSingle(s, lt.GT))
+		colR.Add(eval.Relations(c.Relations, lt.GT))
+	}
+	return []AblationRow{
+		{"WikiManual", "entity", 100 * simE.Accuracy(), 100 * colE.Accuracy()},
+		{"WikiManual", "type", 100 * simT.F1(), 100 * colT.F1()},
+		{"WikiManual", "relation", 0, 100 * colR.F1()},
+	}
+}
+
+// PrintAblationSimplified renders the comparison.
+func PrintAblationSimplified(w io.Writer, rows []AblationRow) {
+	fmt.Fprintln(w, "Ablation: simplified (Eq. 2) vs collective (Eq. 1) inference")
+	fmt.Fprintf(w, "%-12s %-10s %11s %11s\n", "Dataset", "Task", "Simplified", "Collective")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-12s %-10s %11.2f %11.2f\n", r.Dataset, r.Task, r.Simplified, r.Collective)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Ablation 2: Majority threshold sweep (§6.1.1: "We hunted for
+// thresholds in-between LCA's 100% and Majority's 50%").
+// ---------------------------------------------------------------------
+
+// SweepRow is the type F1 at one voting threshold.
+type SweepRow struct {
+	Threshold float64
+	TypeF1    float64
+}
+
+// ThresholdSweep evaluates type F1 of the voting baseline at thresholds
+// between Majority (0.5) and LCA (1.0) on WikiManual.
+func (e *Env) ThresholdSweep(thresholds []float64) []SweepRow {
+	ds := e.World.WikiManual(e.Scale)
+	var out []SweepRow
+	for _, f := range thresholds {
+		var tp eval.PRF
+		for _, lt := range ds.Tables {
+			b := e.Ann.AnnotateThreshold(lt.Table, f, true)
+			tp.Add(eval.ColumnTypesSet(b.ColumnTypeSets, lt.GT))
+		}
+		out = append(out, SweepRow{Threshold: f, TypeF1: 100 * tp.F1()})
+	}
+	return out
+}
+
+// PrintThresholdSweep renders the sweep.
+func PrintThresholdSweep(w io.Writer, rows []SweepRow) {
+	fmt.Fprintln(w, "Majority threshold sweep (type F1, WikiManual)")
+	fmt.Fprintf(w, "%10s %8s\n", "Threshold", "TypeF1")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%10.0f%% %8.2f\n", 100*r.Threshold, r.TypeF1)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Ablation 3: missing-link repair feature on/off (§4.2.3).
+// ---------------------------------------------------------------------
+
+// MissingLinkRow compares type F1 with and without the repair feature.
+type MissingLinkRow struct {
+	Dataset       string
+	WithRepair    float64
+	WithoutRepair float64
+}
+
+// AblationMissingLink zeroes w3[1] (the repair feature weight) and
+// re-evaluates type F1 on WikiManual; the degraded public catalog has
+// ~15% of duplicate ∈ links removed, so the repair feature should help.
+func (e *Env) AblationMissingLink() MissingLinkRow {
+	ds := e.World.WikiManual(e.Scale)
+	with := e.Ann
+	wOff := e.Ann.Weights()
+	wOff.W3[1] = 0
+	without := core.NewWithIndex(e.World.Public, e.Ann.Index(), wOff, e.Ann.Config())
+
+	var fOn, fOff eval.PRF
+	for _, lt := range ds.Tables {
+		fOn.Add(eval.ColumnTypesSingle(with.AnnotateCollective(lt.Table), lt.GT))
+		fOff.Add(eval.ColumnTypesSingle(without.AnnotateCollective(lt.Table), lt.GT))
+	}
+	return MissingLinkRow{Dataset: "WikiManual", WithRepair: 100 * fOn.F1(), WithoutRepair: 100 * fOff.F1()}
+}
+
+// PrintMissingLink renders the ablation.
+func PrintMissingLink(w io.Writer, r MissingLinkRow) {
+	fmt.Fprintln(w, "Ablation: missing-link repair feature (type F1)")
+	fmt.Fprintf(w, "%-12s with=%.2f without=%.2f\n", r.Dataset, r.WithRepair, r.WithoutRepair)
+}
+
+// ---------------------------------------------------------------------
+// Ablation 4: candidate pool width.
+// ---------------------------------------------------------------------
+
+// PoolRow is entity accuracy at one candidate cap.
+type PoolRow struct {
+	MaxCandidates int
+	EntityAcc     float64
+}
+
+// AblationCandidatePool sweeps the per-cell candidate cap (§4.3; paper
+// operates around 7-8 candidates/cell).
+func (e *Env) AblationCandidatePool(caps []int) []PoolRow {
+	ds := e.World.WikiManual(e.Scale)
+	var out []PoolRow
+	for _, k := range caps {
+		cfg := e.Ann.Config()
+		cfg.Candidates.MaxCandidates = k
+		ann := core.New(e.World.Public, e.Ann.Weights(), cfg)
+		var ec eval.Counts
+		for _, lt := range ds.Tables {
+			ec.Add(eval.EntityCells(ann.AnnotateCollective(lt.Table), lt.GT))
+		}
+		out = append(out, PoolRow{MaxCandidates: k, EntityAcc: 100 * ec.Accuracy()})
+	}
+	return out
+}
+
+// PrintCandidatePool renders the sweep.
+func PrintCandidatePool(w io.Writer, rows []PoolRow) {
+	fmt.Fprintln(w, "Ablation: candidate pool width (entity accuracy, WikiManual)")
+	fmt.Fprintf(w, "%6s %10s\n", "MaxK", "EntityAcc")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%6d %10.2f\n", r.MaxCandidates, r.EntityAcc)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Training experiment (§6.1.3).
+// ---------------------------------------------------------------------
+
+// TrainingRow compares default vs trained weights.
+type TrainingRow struct {
+	Setting   string
+	EntityAcc float64
+	TypeF1    float64
+}
+
+// TrainingComparison evaluates WikiManual accuracy before and after
+// structured training (train and test overlap, as in the paper: "our
+// training and test data are not disjoint").
+func (e *Env) TrainingComparison(trained feature.Weights) []TrainingRow {
+	ds := e.World.WikiManual(e.Scale)
+	defAnn := core.NewWithIndex(e.World.Public, e.Ann.Index(), feature.DefaultWeights(), e.Ann.Config())
+	trAnn := core.NewWithIndex(e.World.Public, e.Ann.Index(), trained, e.Ann.Config())
+	score := func(a *core.Annotator) TrainingRow {
+		var ec eval.Counts
+		var tp eval.PRF
+		for _, lt := range ds.Tables {
+			ann := a.AnnotateCollective(lt.Table)
+			ec.Add(eval.EntityCells(ann, lt.GT))
+			tp.Add(eval.ColumnTypesSingle(ann, lt.GT))
+		}
+		return TrainingRow{EntityAcc: 100 * ec.Accuracy(), TypeF1: 100 * tp.F1()}
+	}
+	d := score(defAnn)
+	d.Setting = "default weights"
+	t := score(trAnn)
+	t.Setting = "trained weights"
+	return []TrainingRow{d, t}
+}

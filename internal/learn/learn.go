@@ -1,0 +1,178 @@
+// Package learn trains the annotator's weights w1..w5 with large-margin
+// structured learning, standing in for the SVM-struct implementation the
+// paper uses (§4.3, [Tsochantaridis et al. 2005]): a margin-rescaled
+// subgradient optimizer with Hamming-loss-augmented inference, plus the
+// averaged structured perceptron as the LossWeight=0, L2=0 special case.
+package learn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/feature"
+	"repro/internal/table"
+)
+
+// Example is one training table with gold labels.
+type Example struct {
+	Table *table.Table
+	Gold  core.GoldLabels
+}
+
+// Config tunes training.
+type Config struct {
+	// Epochs over the training set.
+	Epochs int
+	// LearningRate is the (fixed) subgradient step size.
+	LearningRate float64
+	// LossWeight scales the Hamming loss in the separation oracle; 0
+	// degenerates to the structured perceptron update.
+	LossWeight float64
+	// L2 is the regularizer coefficient (λ); each update shrinks w by
+	// LearningRate·L2·w.
+	L2 float64
+	// Averaged returns the average of all intermediate weight vectors
+	// (reduces oscillation, standard for structured perceptrons).
+	Averaged bool
+	// Seed shuffles example order per epoch.
+	Seed int64
+	// Quiet suppresses the per-epoch progress callback.
+	Progress func(epoch int, violations int, avgLoss float64)
+}
+
+// DefaultConfig is a stable operating point for the synthetic corpora.
+func DefaultConfig() Config {
+	return Config{
+		Epochs:       5,
+		LearningRate: 0.05,
+		LossWeight:   0.5,
+		L2:           1e-4,
+		Averaged:     true,
+		Seed:         7,
+	}
+}
+
+// Train fits weights starting from the annotator's current weights. The
+// annotator's weights are updated in place as training proceeds and left
+// at the final (averaged) solution, which is also returned.
+func Train(a *core.Annotator, data []Example, cfg Config) (feature.Weights, error) {
+	if len(data) == 0 {
+		return a.Weights(), fmt.Errorf("learn: empty training set")
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 1
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	w := a.Weights().Flatten()
+	sum := make([]float64, len(w))
+	steps := 0
+
+	order := make([]int, len(data))
+	for i := range order {
+		order[i] = i
+	}
+
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		violations := 0
+		totalLoss := 0.0
+		for _, idx := range order {
+			ex := data[idx]
+			cur, err := feature.WeightsFromFlat(w)
+			if err != nil {
+				return a.Weights(), err
+			}
+			a.SetWeights(cur)
+
+			gold := a.GoldAnnotation(ex.Table, ex.Gold)
+			var pred *core.Annotation
+			if cfg.LossWeight > 0 {
+				pred = a.AnnotateLossAugmented(ex.Table, ex.Gold, cfg.LossWeight)
+			} else {
+				pred = a.AnnotateCollective(ex.Table)
+			}
+
+			phiGold := a.FeatureVector(ex.Table, gold)
+			phiPred := a.FeatureVector(ex.Table, pred)
+
+			loss := hamming(gold, pred)
+			totalLoss += loss
+			diff := false
+			for i := range w {
+				if phiGold[i] != phiPred[i] {
+					diff = true
+					break
+				}
+			}
+			if diff || loss > 0 {
+				violations++
+				for i := range w {
+					w[i] += cfg.LearningRate * (phiGold[i] - phiPred[i])
+					w[i] -= cfg.LearningRate * cfg.L2 * w[i]
+				}
+			}
+			for i := range w {
+				sum[i] += w[i]
+			}
+			steps++
+		}
+		if cfg.Progress != nil {
+			cfg.Progress(epoch, violations, totalLoss/float64(len(data)))
+		}
+	}
+
+	final := w
+	if cfg.Averaged && steps > 0 {
+		final = make([]float64, len(w))
+		for i := range final {
+			final[i] = sum[i] / float64(steps)
+		}
+	}
+	out, err := feature.WeightsFromFlat(final)
+	if err != nil {
+		return a.Weights(), err
+	}
+	a.SetWeights(out)
+	return out, nil
+}
+
+// hamming counts label disagreements between two annotations over cells,
+// columns and relation pairs (normalized per table to balance table
+// sizes).
+func hamming(gold, pred *core.Annotation) float64 {
+	n, wrong := 0, 0
+	for c := range gold.ColumnTypes {
+		n++
+		if gold.ColumnTypes[c] != pred.ColumnTypes[c] {
+			wrong++
+		}
+	}
+	for r := range gold.CellEntities {
+		for c := range gold.CellEntities[r] {
+			n++
+			if gold.CellEntities[r][c] != pred.CellEntities[r][c] {
+				wrong++
+			}
+		}
+	}
+	seen := make(map[[2]int]bool)
+	for _, g := range gold.Relations {
+		n++
+		seen[[2]int{g.Col1, g.Col2}] = true
+		if p, ok := pred.RelationBetween(g.Col1, g.Col2); !ok ||
+			p.Relation != g.Relation || p.Forward != g.Forward {
+			wrong++
+		}
+	}
+	for _, p := range pred.Relations {
+		if !seen[[2]int{p.Col1, p.Col2}] {
+			n++
+			wrong++ // predicted a relation where gold has none
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(wrong) / float64(n)
+}

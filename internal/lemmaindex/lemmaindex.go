@@ -1,0 +1,255 @@
+// Package lemmaindex implements the text index of §4.3: an inverted index
+// over catalog lemmas used to collect candidate entities E_rc for each
+// cell based on token overlap between the cell text and entity lemmas, and
+// to compute the similarity profiles consumed by features f1 and f2.
+//
+// The paper reports that ~80% of annotation time is spent probing this
+// index and computing textual similarities, which the Figure-7 experiment
+// reproduces.
+package lemmaindex
+
+import (
+	"sort"
+
+	"repro/internal/catalog"
+	"repro/internal/text"
+)
+
+// SimilarityProfile aggregates, per similarity measure, the maximum over
+// an item's lemmas of sim(cellText, lemma) — the "elements in a vector
+// f1(r,c,E)" of §4.2.1.
+type SimilarityProfile struct {
+	Cosine    float64 // TF-IDF cosine (Salton & McGill)
+	Jaccard   float64 // token-set Jaccard
+	SoftTFIDF float64 // Bilenko et al. soft cosine, JaroWinkler >= 0.9
+	Exact     float64 // 1 when a lemma normalizes identically to the text
+}
+
+// Candidate is one entity hypothesis for a cell.
+type Candidate struct {
+	Entity catalog.EntityID
+	Sim    SimilarityProfile
+	// Score is the retrieval score used for top-k pruning (max of Cosine
+	// and SoftTFIDF so typo-only matches survive).
+	Score float64
+}
+
+// Config tunes candidate generation.
+type Config struct {
+	// MaxCandidates caps |E_rc| per cell (paper: typically 7-8 candidates
+	// per cell were in play).
+	MaxCandidates int
+	// MaxProbeTokens caps how many (highest-IDF) cell tokens probe the
+	// index; guards against long cells fanning out.
+	MaxProbeTokens int
+	// MaxPostingLen skips tokens whose posting list is longer than this —
+	// stop-word-like tokens ("the") match everything and add only noise.
+	MaxPostingLen int
+	// MinScore prunes candidates with retrieval score below this.
+	MinScore float64
+	// SoftThreshold is the JaroWinkler secondary threshold for SoftTFIDF.
+	SoftThreshold float64
+}
+
+// DefaultConfig mirrors the paper's operating point.
+func DefaultConfig() Config {
+	return Config{
+		MaxCandidates:  8,
+		MaxProbeTokens: 6,
+		MaxPostingLen:  2000,
+		MinScore:       0.05,
+		SoftThreshold:  0.90,
+	}
+}
+
+// Index is the frozen lemma index over one catalog.
+type Index struct {
+	cat *catalog.Catalog
+	cfg Config
+	vs  *text.VectorSpace
+
+	// entityPostings maps token -> entity ids (deduped, ascending).
+	entityPostings map[string][]catalog.EntityID
+	// entityLemmaVecs[i] holds the TF-IDF vectors of entity i's lemmas.
+	entityLemmaVecs [][]text.Vector
+	// typeLemmaVecs[i] holds the TF-IDF vectors of type i's lemmas.
+	typeLemmaVecs [][]text.Vector
+}
+
+// Build indexes every entity and type lemma of a frozen catalog.
+func Build(cat *catalog.Catalog, cfg Config) *Index {
+	ix := &Index{
+		cat:            cat,
+		cfg:            cfg,
+		vs:             text.NewVectorSpace(),
+		entityPostings: make(map[string][]catalog.EntityID),
+	}
+	// Pass 1: corpus statistics over all lemmas.
+	for e := 0; e < cat.NumEntities(); e++ {
+		for _, l := range cat.EntityLemmas(catalog.EntityID(e)) {
+			ix.vs.Add(l)
+		}
+	}
+	for t := 0; t < cat.NumTypes(); t++ {
+		for _, l := range cat.TypeLemmas(catalog.TypeID(t)) {
+			ix.vs.Add(l)
+		}
+	}
+	// Pass 2: vectors and postings.
+	ix.entityLemmaVecs = make([][]text.Vector, cat.NumEntities())
+	for e := 0; e < cat.NumEntities(); e++ {
+		id := catalog.EntityID(e)
+		lemmas := cat.EntityLemmas(id)
+		vecs := make([]text.Vector, len(lemmas))
+		seen := make(map[string]struct{})
+		for i, l := range lemmas {
+			vecs[i] = ix.vs.Vectorize(l)
+			for tok := range text.TokenSet(l) {
+				if _, dup := seen[tok]; dup {
+					continue
+				}
+				seen[tok] = struct{}{}
+				ix.entityPostings[tok] = append(ix.entityPostings[tok], id)
+			}
+		}
+		ix.entityLemmaVecs[e] = vecs
+	}
+	ix.typeLemmaVecs = make([][]text.Vector, cat.NumTypes())
+	for t := 0; t < cat.NumTypes(); t++ {
+		id := catalog.TypeID(t)
+		lemmas := cat.TypeLemmas(id)
+		vecs := make([]text.Vector, len(lemmas))
+		for i, l := range lemmas {
+			vecs[i] = ix.vs.Vectorize(l)
+		}
+		ix.typeLemmaVecs[t] = vecs
+	}
+	return ix
+}
+
+// VectorSpace exposes the lemma corpus statistics (shared with the search
+// index so IDF values agree).
+func (ix *Index) VectorSpace() *text.VectorSpace { return ix.vs }
+
+// Catalog returns the indexed catalog.
+func (ix *Index) Catalog() *catalog.Catalog { return ix.cat }
+
+// CandidateEntities returns the top candidates for a cell text, scored by
+// lemma similarity, descending. Empty or purely-numeric-looking cells
+// return nil.
+func (ix *Index) CandidateEntities(cell string) []Candidate {
+	probe := ix.vs.TopTokens(cell, ix.cfg.MaxProbeTokens)
+	if len(probe) == 0 {
+		return nil
+	}
+	pool := make(map[catalog.EntityID]struct{})
+	for _, tok := range probe {
+		post := ix.entityPostings[tok]
+		if len(post) == 0 || len(post) > ix.cfg.MaxPostingLen {
+			continue
+		}
+		for _, e := range post {
+			pool[e] = struct{}{}
+		}
+	}
+	if len(pool) == 0 {
+		return nil
+	}
+	cellVec := ix.vs.Vectorize(cell)
+	cellNorm := text.Normalize(cell)
+	cellSet := text.TokenSet(cell)
+	cands := make([]Candidate, 0, len(pool))
+	for e := range pool {
+		sim := ix.profile(e, cell, cellVec, cellNorm, cellSet)
+		score := sim.Cosine
+		if sim.SoftTFIDF > score {
+			score = sim.SoftTFIDF
+		}
+		if score < ix.cfg.MinScore {
+			continue
+		}
+		cands = append(cands, Candidate{Entity: e, Sim: sim, Score: score})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].Score != cands[j].Score {
+			return cands[i].Score > cands[j].Score
+		}
+		return cands[i].Entity < cands[j].Entity
+	})
+	if len(cands) > ix.cfg.MaxCandidates {
+		cands = cands[:ix.cfg.MaxCandidates]
+	}
+	return cands
+}
+
+// ProfileFor computes the similarity profile of an arbitrary entity
+// against a cell text, bypassing retrieval. Used when scoring ground-truth
+// labels during training even if retrieval missed them.
+func (ix *Index) ProfileFor(e catalog.EntityID, cell string) SimilarityProfile {
+	return ix.profile(e, cell, ix.vs.Vectorize(cell), text.Normalize(cell), text.TokenSet(cell))
+}
+
+func (ix *Index) profile(e catalog.EntityID, cell string, cellVec text.Vector, cellNorm string, cellSet map[string]struct{}) SimilarityProfile {
+	var p SimilarityProfile
+	lemmas := ix.cat.EntityLemmas(e)
+	for i, l := range lemmas {
+		if cos := text.Cosine(cellVec, ix.entityLemmaVecs[e][i]); cos > p.Cosine {
+			p.Cosine = cos
+		}
+		if j := text.JaccardSets(cellSet, text.TokenSet(l)); j > p.Jaccard {
+			p.Jaccard = j
+		}
+		if text.Normalize(l) == cellNorm && cellNorm != "" {
+			p.Exact = 1
+		}
+	}
+	// SoftTFIDF is expensive; only compute it when exact-token measures
+	// are weak enough for the typo-tolerant channel to matter.
+	if p.Exact == 0 && p.Cosine < 0.999 {
+		for _, l := range lemmas {
+			if s := ix.vs.SoftTFIDF(cell, l, ix.cfg.SoftThreshold); s > p.SoftTFIDF {
+				p.SoftTFIDF = s
+			}
+		}
+	} else {
+		p.SoftTFIDF = p.Cosine
+	}
+	return p
+}
+
+// TypeHeaderSim returns the max over L(T) of sim(header, lemma) as a
+// profile (feature f2, §4.2.2). A missing header yields the zero profile.
+func (ix *Index) TypeHeaderSim(t catalog.TypeID, header string) SimilarityProfile {
+	var p SimilarityProfile
+	if header == "" {
+		return p
+	}
+	headerVec := ix.vs.Vectorize(header)
+	headerNorm := text.Normalize(header)
+	headerSet := text.TokenSet(header)
+	lemmas := ix.cat.TypeLemmas(t)
+	for i, l := range lemmas {
+		if cos := text.Cosine(headerVec, ix.typeLemmaVecs[t][i]); cos > p.Cosine {
+			p.Cosine = cos
+		}
+		if j := text.JaccardSets(headerSet, text.TokenSet(l)); j > p.Jaccard {
+			p.Jaccard = j
+		}
+		if text.Normalize(l) == headerNorm {
+			p.Exact = 1
+		}
+	}
+	if p.Exact == 0 && p.Cosine < 0.999 {
+		for _, l := range lemmas {
+			if s := ix.vs.SoftTFIDF(header, l, ix.cfg.SoftThreshold); s > p.SoftTFIDF {
+				p.SoftTFIDF = s
+			}
+		}
+	} else {
+		p.SoftTFIDF = p.Cosine
+	}
+	return p
+}
+
+// PostingLen reports the posting-list length for a token (diagnostics).
+func (ix *Index) PostingLen(token string) int { return len(ix.entityPostings[token]) }

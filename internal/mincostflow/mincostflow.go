@@ -1,0 +1,191 @@
+// Package mincostflow implements min-cost max-flow via successive
+// shortest paths with Bellman-Ford (SPFA) potentials. The annotator uses
+// it to enforce primary-key / unique constraints on a column (§4.4.1 [1]):
+// cells become sources, candidate entities sinks, and the cheapest
+// assignment with pairwise-distinct entities is the min-cost flow.
+package mincostflow
+
+import (
+	"errors"
+	"math"
+)
+
+// Graph is a flow network under construction. Node 0..n-1 as added.
+type Graph struct {
+	n    int
+	head []int // per node, first arc index or -1
+	arcs []arc
+}
+
+type arc struct {
+	to   int
+	next int // next arc index out of the same tail
+	cap  int
+	cost float64
+}
+
+// New returns a flow network with n nodes.
+func New(n int) *Graph {
+	head := make([]int, n)
+	for i := range head {
+		head[i] = -1
+	}
+	return &Graph{n: n, head: head}
+}
+
+// ErrBadNode is returned for out-of-range node ids.
+var ErrBadNode = errors.New("mincostflow: node out of range")
+
+// AddArc inserts a directed arc with capacity and cost, plus its residual
+// reverse arc. Returns the arc index (even ids are forward arcs).
+func (g *Graph) AddArc(from, to, capacity int, cost float64) (int, error) {
+	if from < 0 || from >= g.n || to < 0 || to >= g.n {
+		return 0, ErrBadNode
+	}
+	id := len(g.arcs)
+	g.arcs = append(g.arcs, arc{to: to, next: g.head[from], cap: capacity, cost: cost})
+	g.head[from] = id
+	g.arcs = append(g.arcs, arc{to: from, next: g.head[to], cap: 0, cost: -cost})
+	g.head[to] = id + 1
+	return id, nil
+}
+
+// Flow reports the flow pushed through forward arc id (its reverse arc's
+// capacity).
+func (g *Graph) Flow(id int) int { return g.arcs[id^1].cap }
+
+// Result summarizes a completed run.
+type Result struct {
+	Flow int
+	Cost float64
+}
+
+// MinCostFlow pushes up to maxFlow units from s to t, always along the
+// currently cheapest augmenting path, and returns the total flow and
+// cost. Negative arc costs are allowed (SPFA handles them); negative
+// cycles must not exist.
+func (g *Graph) MinCostFlow(s, t, maxFlow int) (Result, error) {
+	if s < 0 || s >= g.n || t < 0 || t >= g.n {
+		return Result{}, ErrBadNode
+	}
+	var res Result
+	for res.Flow < maxFlow {
+		dist := make([]float64, g.n)
+		inQueue := make([]bool, g.n)
+		prevArc := make([]int, g.n)
+		for i := range dist {
+			dist[i] = math.Inf(1)
+			prevArc[i] = -1
+		}
+		dist[s] = 0
+		queue := []int{s}
+		inQueue[s] = true
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			inQueue[u] = false
+			for id := g.head[u]; id != -1; id = g.arcs[id].next {
+				a := &g.arcs[id]
+				if a.cap <= 0 {
+					continue
+				}
+				if nd := dist[u] + a.cost; nd < dist[a.to]-1e-12 {
+					dist[a.to] = nd
+					prevArc[a.to] = id
+					if !inQueue[a.to] {
+						queue = append(queue, a.to)
+						inQueue[a.to] = true
+					}
+				}
+			}
+		}
+		if math.IsInf(dist[t], 1) {
+			break // no more augmenting paths
+		}
+		// Find bottleneck.
+		push := maxFlow - res.Flow
+		for v := t; v != s; {
+			id := prevArc[v]
+			if g.arcs[id].cap < push {
+				push = g.arcs[id].cap
+			}
+			v = g.arcs[id^1].to
+		}
+		// Apply.
+		for v := t; v != s; {
+			id := prevArc[v]
+			g.arcs[id].cap -= push
+			g.arcs[id^1].cap += push
+			v = g.arcs[id^1].to
+		}
+		res.Flow += push
+		res.Cost += dist[t] * float64(push)
+	}
+	return res, nil
+}
+
+// Assignment solves a rectangular assignment problem: rows 0..nRows-1 to
+// columns 0..nCols-1, maximizing total weight, where weight[r][c] is the
+// benefit of assigning row r to column c and skip[r] is the benefit of
+// leaving row r unassigned (the na option). Every row is matched to at
+// most one column and vice versa. Returns, per row, the assigned column
+// or -1.
+func Assignment(weight [][]float64, skip []float64) ([]int, error) {
+	nRows := len(weight)
+	if nRows == 0 {
+		return nil, nil
+	}
+	nCols := len(weight[0])
+	// Nodes: 0 = source, 1..nRows = rows, nRows+1..nRows+nCols = cols,
+	// last = sink.
+	src := 0
+	sink := nRows + nCols + 1
+	g := New(nRows + nCols + 2)
+	rowArcStart := make([][]int, nRows)
+	skipArcs := make([]int, nRows)
+	for r := 0; r < nRows; r++ {
+		if len(weight[r]) != nCols {
+			return nil, errors.New("mincostflow: ragged weight matrix")
+		}
+		if _, err := g.AddArc(src, 1+r, 1, 0); err != nil {
+			return nil, err
+		}
+		rowArcStart[r] = make([]int, nCols)
+		for c := 0; c < nCols; c++ {
+			id, err := g.AddArc(1+r, 1+nRows+c, 1, -weight[r][c])
+			if err != nil {
+				return nil, err
+			}
+			rowArcStart[r][c] = id
+		}
+		// The skip (na) path bypasses the column capacity.
+		sv := 0.0
+		if r < len(skip) {
+			sv = skip[r]
+		}
+		id, err := g.AddArc(1+r, sink, 1, -sv)
+		if err != nil {
+			return nil, err
+		}
+		skipArcs[r] = id
+	}
+	for c := 0; c < nCols; c++ {
+		if _, err := g.AddArc(1+nRows+c, sink, 1, 0); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := g.MinCostFlow(src, sink, nRows); err != nil {
+		return nil, err
+	}
+	out := make([]int, nRows)
+	for r := 0; r < nRows; r++ {
+		out[r] = -1
+		for c := 0; c < nCols; c++ {
+			if g.Flow(rowArcStart[r][c]) > 0 {
+				out[r] = c
+				break
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,194 @@
+package mincostflow
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSimplePath(t *testing.T) {
+	g := New(3)
+	a, err := g.AddArc(0, 1, 5, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := g.AddArc(1, 2, 3, 2.0)
+	res, err := g.MinCostFlow(0, 2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Flow != 3 {
+		t.Errorf("flow = %d, want 3 (bottleneck)", res.Flow)
+	}
+	if res.Cost != 9.0 {
+		t.Errorf("cost = %v, want 9", res.Cost)
+	}
+	if g.Flow(a) != 3 || g.Flow(b) != 3 {
+		t.Errorf("arc flows = %d,%d", g.Flow(a), g.Flow(b))
+	}
+}
+
+func TestChoosesCheaperPath(t *testing.T) {
+	// Two parallel paths: cost 1 and cost 10; one unit must use cheap.
+	g := New(4)
+	cheap1, _ := g.AddArc(0, 1, 1, 0.5)
+	_, _ = g.AddArc(1, 3, 1, 0.5)
+	exp1, _ := g.AddArc(0, 2, 1, 5.0)
+	_, _ = g.AddArc(2, 3, 1, 5.0)
+	res, err := g.MinCostFlow(0, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Flow != 1 || res.Cost != 1.0 {
+		t.Fatalf("flow=%d cost=%v, want 1 unit at cost 1", res.Flow, res.Cost)
+	}
+	if g.Flow(cheap1) != 1 || g.Flow(exp1) != 0 {
+		t.Error("flow took the expensive path")
+	}
+}
+
+func TestNegativeCostsViaResiduals(t *testing.T) {
+	// Pushing 2 units must reroute through residual arcs correctly.
+	g := New(4)
+	_, _ = g.AddArc(0, 1, 2, 1)
+	_, _ = g.AddArc(1, 3, 1, 1)
+	_, _ = g.AddArc(1, 2, 1, 1)
+	_, _ = g.AddArc(2, 3, 1, 1)
+	res, err := g.MinCostFlow(0, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Flow != 2 {
+		t.Fatalf("flow = %d, want 2", res.Flow)
+	}
+}
+
+func TestBadNodes(t *testing.T) {
+	g := New(2)
+	if _, err := g.AddArc(0, 5, 1, 0); err == nil {
+		t.Error("AddArc out of range accepted")
+	}
+	if _, err := g.MinCostFlow(0, 9, 1); err == nil {
+		t.Error("MinCostFlow out of range accepted")
+	}
+}
+
+func TestAssignmentPrefersBestWeights(t *testing.T) {
+	// 2 rows, 2 cols; row 0 strongly prefers col 1, row 1 prefers col 1
+	// too but less; optimal assignment gives col 1 to row 0, col 0 to
+	// row 1.
+	w := [][]float64{
+		{0.1, 2.0},
+		{0.5, 1.0},
+	}
+	got, err := Assignment(w, []float64{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 1 || got[1] != 0 {
+		t.Fatalf("assignment = %v, want [1 0]", got)
+	}
+}
+
+func TestAssignmentUsesSkipWhenBetter(t *testing.T) {
+	// One column, two rows: only one row can take it; the other must
+	// skip. The skip benefit for row 0 beats its column benefit.
+	w := [][]float64{
+		{0.2},
+		{1.0},
+	}
+	got, err := Assignment(w, []float64{0.5, 0.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != -1 || got[1] != 0 {
+		t.Fatalf("assignment = %v, want [-1 0]", got)
+	}
+}
+
+func TestAssignmentDistinctness(t *testing.T) {
+	// All rows love the same column; only one may have it.
+	w := [][]float64{
+		{5, 0.1},
+		{5, 0.2},
+		{5, 0.3},
+	}
+	got, err := Assignment(w, make([]float64, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, c := range got {
+		if c >= 0 {
+			if seen[c] {
+				t.Fatalf("column %d assigned twice: %v", c, got)
+			}
+			seen[c] = true
+		}
+	}
+	if !seen[0] {
+		t.Errorf("nobody got the popular column: %v", got)
+	}
+}
+
+func TestAssignmentEmptyAndRagged(t *testing.T) {
+	if got, err := Assignment(nil, nil); err != nil || got != nil {
+		t.Errorf("empty assignment = %v, %v", got, err)
+	}
+	if _, err := Assignment([][]float64{{1, 2}, {1}}, nil); err == nil {
+		t.Error("ragged matrix accepted")
+	}
+}
+
+// Property: Assignment never assigns a column twice and never loses value
+// versus a greedy baseline on random instances.
+func TestAssignmentPropertyOptimality(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		nR, nC := 1+rng.Intn(5), 1+rng.Intn(5)
+		w := make([][]float64, nR)
+		for r := range w {
+			w[r] = make([]float64, nC)
+			for c := range w[r] {
+				w[r][c] = rng.Float64() * 3
+			}
+		}
+		skip := make([]float64, nR)
+		got, err := Assignment(w, skip)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := map[int]bool{}
+		total := 0.0
+		for r, c := range got {
+			if c >= 0 {
+				if seen[c] {
+					t.Fatalf("trial %d: duplicate column: %v", trial, got)
+				}
+				seen[c] = true
+				total += w[r][c]
+			}
+		}
+		// Exhaustive optimum for small instances.
+		best := bruteAssign(w, 0, map[int]bool{})
+		if total < best-1e-9 {
+			t.Fatalf("trial %d: flow value %v < optimal %v (assignment %v)", trial, total, best, got)
+		}
+	}
+}
+
+func bruteAssign(w [][]float64, r int, used map[int]bool) float64 {
+	if r == len(w) {
+		return 0
+	}
+	best := bruteAssign(w, r+1, used) // skip row r
+	for c := range w[r] {
+		if !used[c] {
+			used[c] = true
+			if v := w[r][c] + bruteAssign(w, r+1, used); v > best {
+				best = v
+			}
+			delete(used, c)
+		}
+	}
+	return best
+}

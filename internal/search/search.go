@@ -1,0 +1,267 @@
+// Package search implements the relational search application of §5:
+// answering select-project queries R(E1 ∈ T1, E2 ∈ T2) over a web-table
+// corpus, in three configurations evaluated by Figure 9 — the string-only
+// Baseline of Figure 3, Type (column type annotations only), and TypeRel
+// (type + relation annotations) of Figure 4.
+package search
+
+import (
+	"sort"
+
+	"repro/internal/catalog"
+	"repro/internal/searchidx"
+	"repro/internal/text"
+)
+
+// Mode selects the query processor.
+type Mode uint8
+
+// Modes of Figure 9.
+const (
+	Baseline Mode = iota // Figure 3: strings only
+	Type                 // Figure 4 with type annotations only
+	TypeRel              // Figure 4 with type + relation annotations
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Baseline:
+		return "Baseline"
+	case Type:
+		return "Type"
+	default:
+		return "Type+Rel"
+	}
+}
+
+// Query is the §5 query form. String fields carry the un-annotated
+// surface forms used by the baseline; ID fields carry the catalog
+// interpretation used by the annotated modes.
+type Query struct {
+	// Catalog interpretation.
+	Relation catalog.RelationID
+	T1, T2   catalog.TypeID
+	E2       catalog.EntityID // None when E2 is not in the catalog
+	// Surface forms (baseline inputs; also the E2 fallback matcher).
+	RelationText string
+	T1Text       string
+	T2Text       string
+	E2Text       string
+}
+
+// Answer is one ranked response row.
+type Answer struct {
+	// Text is the presented surface form (canonical entity name when the
+	// answer aggregated annotated cells, else the dominant cell text).
+	Text string
+	// Entity is the aggregated entity ID, or None for unannotated
+	// clusters.
+	Entity catalog.EntityID
+	// Score is the aggregated evidence.
+	Score float64
+	// Support counts contributing table rows.
+	Support int
+}
+
+// Engine answers queries over one index.
+type Engine struct {
+	ix  *searchidx.Index
+	cat *catalog.Catalog
+}
+
+// NewEngine wraps an index.
+func NewEngine(ix *searchidx.Index) *Engine {
+	return &Engine{ix: ix, cat: ix.Catalog()}
+}
+
+// Run answers q in the given mode, returning ranked answers (best first).
+func (e *Engine) Run(q Query, mode Mode) []Answer {
+	if mode == Baseline {
+		return e.runBaseline(q)
+	}
+	return e.runAnnotated(q, mode == TypeRel)
+}
+
+// Strings answers q and projects the ranked answer texts, the form the
+// MAP evaluation consumes.
+func (e *Engine) Strings(q Query, mode Mode) []string {
+	answers := e.Run(q, mode)
+	out := make([]string, len(answers))
+	for i, a := range answers {
+		out[i] = a.Text
+	}
+	return out
+}
+
+// runBaseline implements Figure 3: interpret all inputs as strings; find
+// tables whose headers match T1 and T2 and context matches R; look for
+// E2 in the T2 column; collect the T1-column cells of qualifying rows;
+// cluster, dedup, rank.
+func (e *Engine) runBaseline(q Query) []Answer {
+	t1Cols := e.ix.HeaderMatches(q.T1Text)
+	t2Cols := e.ix.HeaderMatches(q.T2Text)
+	ctxTables := e.ix.ContextMatches(q.RelationText)
+
+	// Qualifying tables: a T1-matching column and a T2-matching column
+	// (distinct), and context matching R.
+	type pair struct{ c1, c2 searchidx.ColRef }
+	var pairs []pair
+	t2ByTable := make(map[int][]searchidx.ColRef)
+	for _, ref := range t2Cols {
+		t2ByTable[ref.Table] = append(t2ByTable[ref.Table], ref)
+	}
+	for _, c1 := range t1Cols {
+		if _, ok := ctxTables[c1.Table]; !ok {
+			continue
+		}
+		for _, c2 := range t2ByTable[c1.Table] {
+			if c2.Col != c1.Col {
+				pairs = append(pairs, pair{c1, c2})
+			}
+		}
+	}
+
+	clusters := make(map[string]*Answer)
+	for _, p := range pairs {
+		tab := e.ix.Tables[p.c1.Table]
+		for r := 0; r < tab.Rows(); r++ {
+			sim := cellMatch(q.E2Text, tab.Cell(r, p.c2.Col))
+			if sim <= 0 {
+				continue
+			}
+			cellText := tab.Cell(r, p.c1.Col)
+			key := text.Normalize(cellText)
+			if key == "" {
+				continue
+			}
+			a, ok := clusters[key]
+			if !ok {
+				a = &Answer{Text: cellText, Entity: catalog.None}
+				clusters[key] = a
+			}
+			a.Score += sim
+			a.Support++
+		}
+	}
+	return rankAnswers(clusters)
+}
+
+// runAnnotated implements Figure 4: locate tables with a column labeled
+// T1 and a column labeled T2 (related by R when requireRel); find E2 in
+// the T2 column by entity annotation (or text fallback); aggregate the
+// evidence of the T1 column cells, keyed by entity annotation when
+// available.
+func (e *Engine) runAnnotated(q Query, requireRel bool) []Answer {
+	type pair struct {
+		c1, c2 searchidx.ColRef
+	}
+	var pairs []pair
+	if requireRel {
+		for _, rr := range e.ix.RelationInstances(q.Relation) {
+			// Orient: subject column must be type-compatible with T1.
+			sc, oc := rr.Col1, rr.Col2
+			if !rr.Forward {
+				sc, oc = oc, sc
+			}
+			c1 := searchidx.ColRef{Table: rr.Table, Col: sc}
+			c2 := searchidx.ColRef{Table: rr.Table, Col: oc}
+			if e.typeCompatible(c1, q.T1) && e.typeCompatible(c2, q.T2) {
+				pairs = append(pairs, pair{c1, c2})
+			}
+		}
+	} else {
+		t1Cols := e.ix.ColumnsOfType(q.T1)
+		t2ByTable := make(map[int][]searchidx.ColRef)
+		for _, ref := range e.ix.ColumnsOfType(q.T2) {
+			t2ByTable[ref.Table] = append(t2ByTable[ref.Table], ref)
+		}
+		for _, c1 := range t1Cols {
+			for _, c2 := range t2ByTable[c1.Table] {
+				if c2.Col != c1.Col {
+					pairs = append(pairs, pair{c1, c2})
+				}
+			}
+		}
+	}
+
+	clusters := make(map[string]*Answer)
+	for _, p := range pairs {
+		tab := e.ix.Tables[p.c1.Table]
+		for r := 0; r < tab.Rows(); r++ {
+			loc2 := searchidx.CellLoc{Table: p.c2.Table, Row: r, Col: p.c2.Col}
+			var evidence float64
+			if q.E2 != catalog.None {
+				if e.ix.EntityAt(loc2) == q.E2 {
+					evidence = 1.5 // exact entity match beats text match
+				} else if e.ix.EntityAt(loc2) == catalog.None {
+					evidence = cellMatch(q.E2Text, tab.Cell(r, p.c2.Col))
+				}
+			} else {
+				evidence = cellMatch(q.E2Text, tab.Cell(r, p.c2.Col))
+			}
+			if evidence <= 0 {
+				continue
+			}
+			loc1 := searchidx.CellLoc{Table: p.c1.Table, Row: r, Col: p.c1.Col}
+			ent := e.ix.EntityAt(loc1)
+			var key, label string
+			if ent != catalog.None {
+				key = "e:" + e.cat.EntityName(ent)
+				label = e.cat.EntityName(ent)
+			} else {
+				label = tab.Cell(r, p.c1.Col)
+				key = "t:" + text.Normalize(label)
+				if key == "t:" {
+					continue
+				}
+			}
+			a, ok := clusters[key]
+			if !ok {
+				a = &Answer{Text: label, Entity: ent}
+				clusters[key] = a
+			}
+			a.Score += evidence
+			a.Support++
+		}
+	}
+	return rankAnswers(clusters)
+}
+
+// typeCompatible reports whether the column's annotated type is a
+// subtype-or-equal of want.
+func (e *Engine) typeCompatible(ref searchidx.ColRef, want catalog.TypeID) bool {
+	T := e.ix.TypeAt(ref)
+	return T != catalog.None && e.cat.IsSubtype(T, want)
+}
+
+// cellMatch scores how well cell text matches the E2 surface form:
+// 1.0 for normalized equality, Jaccard when above 0.5, else 0.
+func cellMatch(query, cell string) float64 {
+	if query == "" || cell == "" {
+		return 0
+	}
+	if text.Normalize(query) == text.Normalize(cell) {
+		return 1
+	}
+	if j := text.Jaccard(query, cell); j >= 0.5 {
+		return j
+	}
+	return 0
+}
+
+func rankAnswers(clusters map[string]*Answer) []Answer {
+	out := make([]Answer, 0, len(clusters))
+	for _, a := range clusters {
+		out = append(out, *a)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		if out[i].Support != out[j].Support {
+			return out[i].Support > out[j].Support
+		}
+		return out[i].Text < out[j].Text
+	})
+	return out
+}

@@ -1,0 +1,265 @@
+package search
+
+import (
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/searchidx"
+	"repro/internal/table"
+)
+
+// fixture: two tables — one "directed" table, one "actedIn" table — both
+// pairing films with people, so type-only search confuses them and
+// relation annotations disambiguate.
+type fx struct {
+	cat             *catalog.Catalog
+	film, person    catalog.TypeID
+	director, actor catalog.TypeID
+	f1, f2, d1, a1  catalog.EntityID
+	directed, acted catalog.RelationID
+	ix              *searchidx.Index
+}
+
+func build(t testing.TB) *fx {
+	t.Helper()
+	c := catalog.New()
+	f := &fx{cat: c}
+	mt := func(n string, ls ...string) catalog.TypeID {
+		id, err := c.AddType(n, ls...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return id
+	}
+	f.film = mt("Film", "movie")
+	f.person = mt("Person")
+	f.director = mt("Director", "director")
+	f.actor = mt("Actor", "actor")
+	if err := c.AddSubtype(f.director, f.person); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddSubtype(f.actor, f.person); err != nil {
+		t.Fatal(err)
+	}
+	me := func(n string, ty ...catalog.TypeID) catalog.EntityID {
+		id, err := c.AddEntity(n, nil, ty...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return id
+	}
+	f.f1 = me("Star Voyage", f.film)
+	f.f2 = me("Night Harbor", f.film)
+	f.d1 = me("Dana Helm", f.director)
+	f.a1 = me("Arlo Vance", f.actor)
+	var err error
+	f.directed, err = c.AddRelation("directed", f.film, f.director, catalog.ManyToOne)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.acted, err = c.AddRelation("actedIn", f.film, f.actor, catalog.ManyToMany)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddTuple(f.directed, f.f1, f.d1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddTuple(f.acted, f.f2, f.a1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+
+	dirTable := &table.Table{
+		ID:      "dir",
+		Context: "films and their directors",
+		Headers: []string{"Movie", "Director"},
+		Cells: [][]string{
+			{"Star Voyage", "Dana Helm"},
+			{"Night Harbor", "Dana Helm"}, // she also directed this one (not in catalog)
+		},
+	}
+	actTable := &table.Table{
+		ID:      "act",
+		Context: "films and their cast",
+		Headers: []string{"Movie", "Actor"},
+		Cells: [][]string{
+			{"Night Harbor", "Arlo Vance"},
+			{"Star Voyage", "Dana Helm"}, // the director also acted
+		},
+	}
+	tables := []*table.Table{dirTable, actTable}
+
+	// Hand-build annotations (the search layer is independent of the
+	// annotator; core tests cover annotation quality).
+	mkAnn := func(tab *table.Table, colT []catalog.TypeID, ents [][]catalog.EntityID, rel catalog.RelationID) *core.Annotation {
+		return &core.Annotation{
+			TableID:      tab.ID,
+			ColumnTypes:  colT,
+			CellEntities: ents,
+			Relations: []core.RelationAnnotation{{
+				Col1: 0, Col2: 1, Relation: rel, Forward: true,
+			}},
+		}
+	}
+	anns := []*core.Annotation{
+		mkAnn(dirTable,
+			[]catalog.TypeID{f.film, f.director},
+			[][]catalog.EntityID{{f.f1, f.d1}, {f.f2, f.d1}},
+			f.directed),
+		mkAnn(actTable,
+			[]catalog.TypeID{f.film, f.actor},
+			[][]catalog.EntityID{{f.f2, f.a1}, {f.f1, f.d1}},
+			f.acted),
+	}
+	f.ix = searchidx.New(c, tables, anns)
+	return f
+}
+
+func (f *fx) query() Query {
+	return Query{
+		Relation:     f.directed,
+		T1:           f.film,
+		T2:           f.director,
+		E2:           f.d1,
+		RelationText: "films directed by",
+		T1Text:       "Movie",
+		T2Text:       "Director",
+		E2Text:       "Dana Helm",
+	}
+}
+
+func TestTypeRelFindsOnlyDirectedTable(t *testing.T) {
+	f := build(t)
+	e := NewEngine(f.ix)
+	answers := e.Run(f.query(), TypeRel)
+	if len(answers) != 2 {
+		t.Fatalf("answers = %v", answers)
+	}
+	// Both films from the directed table; NOT "Star Voyage" from the
+	// acted table row (that row is actedIn evidence).
+	for _, a := range answers {
+		if a.Entity == catalog.None {
+			t.Errorf("unannotated cluster leaked: %+v", a)
+		}
+	}
+}
+
+func TestTypeModeIncludesConfusion(t *testing.T) {
+	f := build(t)
+	e := NewEngine(f.ix)
+	// Type-only: the actedIn table also has (film, person-subtype)
+	// columns... its T2 is Actor which is NOT ⊆ Director, so it only
+	// qualifies through the directed table; but query for T2=Person pulls
+	// both tables in.
+	q := f.query()
+	q.T2 = f.person
+	typeAnswers := e.Run(q, Type)
+	relAnswers := e.Run(q, TypeRel)
+	if len(typeAnswers) < len(relAnswers) {
+		t.Errorf("type-only (%d) returned fewer than type+rel (%d)", len(typeAnswers), len(relAnswers))
+	}
+}
+
+func TestBaselineStringMatching(t *testing.T) {
+	f := build(t)
+	e := NewEngine(f.ix)
+	answers := e.Run(f.query(), Baseline)
+	if len(answers) == 0 {
+		t.Fatal("baseline found nothing despite matching headers and context")
+	}
+	// Baseline answers are raw strings, never entity-aggregated.
+	for _, a := range answers {
+		if a.Entity != catalog.None {
+			t.Errorf("baseline produced entity answers: %+v", a)
+		}
+	}
+}
+
+func TestBaselineMissesAliasedHeaders(t *testing.T) {
+	f := build(t)
+	e := NewEngine(f.ix)
+	q := f.query()
+	q.T1Text = "Feature Presentation" // no header token overlap
+	if answers := e.Run(q, Baseline); len(answers) != 0 {
+		t.Errorf("baseline matched without header overlap: %v", answers)
+	}
+	// The annotated modes don't care about surface forms.
+	if answers := e.Run(q, TypeRel); len(answers) == 0 {
+		t.Error("type+rel should be immune to header wording")
+	}
+}
+
+func TestE2TextFallback(t *testing.T) {
+	f := build(t)
+	e := NewEngine(f.ix)
+	q := f.query()
+	q.E2 = catalog.None // E2 not in catalog: fall back to text matching
+	answers := e.Run(q, TypeRel)
+	if len(answers) == 0 {
+		t.Fatal("text fallback found nothing")
+	}
+}
+
+func TestStringsProjection(t *testing.T) {
+	f := build(t)
+	e := NewEngine(f.ix)
+	ranked := e.Strings(f.query(), TypeRel)
+	if len(ranked) == 0 {
+		t.Fatal("no ranked strings")
+	}
+	seen := map[string]bool{}
+	for _, s := range ranked {
+		if s == "" {
+			t.Error("empty answer string")
+		}
+		if seen[s] {
+			t.Errorf("duplicate answer %q", s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestRankingDeterministic(t *testing.T) {
+	f := build(t)
+	e := NewEngine(f.ix)
+	a := e.Strings(f.query(), TypeRel)
+	b := e.Strings(f.query(), TypeRel)
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic count")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("nondeterministic order")
+		}
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Baseline.String() != "Baseline" || Type.String() != "Type" || TypeRel.String() != "Type+Rel" {
+		t.Error("mode strings wrong")
+	}
+}
+
+func TestIndexLookups(t *testing.T) {
+	f := build(t)
+	// ColumnsOfType on the supertype must include subtype-annotated cols.
+	cols := f.ix.ColumnsOfType(f.person)
+	if len(cols) != 2 {
+		t.Errorf("person columns = %v", cols)
+	}
+	if got := f.ix.CellsOfEntity(f.d1); len(got) != 3 {
+		t.Errorf("cells of d1 = %v", got)
+	}
+	if rr := f.ix.RelationInstances(f.directed); len(rr) != 1 {
+		t.Errorf("directed instances = %v", rr)
+	}
+	if e := f.ix.EntityAt(searchidx.CellLoc{Table: 0, Row: 0, Col: 0}); e != f.f1 {
+		t.Errorf("EntityAt = %v", e)
+	}
+	if T := f.ix.TypeAt(searchidx.ColRef{Table: 1, Col: 1}); T != f.actor {
+		t.Errorf("TypeAt = %v", T)
+	}
+}

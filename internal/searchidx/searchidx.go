@@ -1,0 +1,189 @@
+// Package searchidx is the corpus index of the search application (§5):
+// the stand-in for the paper's Lucene index over 25M web tables. It
+// offers field-scoped text postings (cell / header / context) for the
+// un-annotated baseline of Figure 3, and annotation-aware indexes (columns
+// by type, column pairs by relation, cells by entity) for the Figure-4
+// query processor.
+package searchidx
+
+import (
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/table"
+	"repro/internal/text"
+)
+
+// ColRef addresses a column of an indexed table.
+type ColRef struct {
+	Table int // index into Tables
+	Col   int
+}
+
+// CellLoc addresses a data cell of an indexed table.
+type CellLoc struct {
+	Table, Row, Col int
+}
+
+// RelRef records one annotated relation instance.
+type RelRef struct {
+	Table      int
+	Col1, Col2 int
+	Forward    bool
+}
+
+// Index holds the corpus plus optional annotations.
+type Index struct {
+	cat    *catalog.Catalog
+	Tables []*table.Table
+	// Anns[i] annotates Tables[i]; nil when the corpus is unannotated.
+	Anns []*core.Annotation
+
+	headerPost  map[string][]ColRef
+	contextPost map[string][]int
+	cellPost    map[string][]CellLoc
+
+	colsByType    map[catalog.TypeID][]ColRef
+	relsByName    map[catalog.RelationID][]RelRef
+	cellsByEntity map[catalog.EntityID][]CellLoc
+}
+
+// New builds an index over a corpus. anns may be nil (baseline mode) or
+// parallel to tables; a nil entry disables annotation lookups for that
+// table.
+func New(cat *catalog.Catalog, tables []*table.Table, anns []*core.Annotation) *Index {
+	ix := &Index{
+		cat:           cat,
+		Tables:        tables,
+		Anns:          anns,
+		headerPost:    make(map[string][]ColRef),
+		contextPost:   make(map[string][]int),
+		cellPost:      make(map[string][]CellLoc),
+		colsByType:    make(map[catalog.TypeID][]ColRef),
+		relsByName:    make(map[catalog.RelationID][]RelRef),
+		cellsByEntity: make(map[catalog.EntityID][]CellLoc),
+	}
+	for ti, t := range tables {
+		for tok := range text.TokenSet(t.Context) {
+			ix.contextPost[tok] = append(ix.contextPost[tok], ti)
+		}
+		for c := 0; c < t.Cols(); c++ {
+			for tok := range text.TokenSet(t.Header(c)) {
+				ix.headerPost[tok] = append(ix.headerPost[tok], ColRef{ti, c})
+			}
+		}
+		for r := 0; r < t.Rows(); r++ {
+			for c := 0; c < t.Cols(); c++ {
+				for tok := range text.TokenSet(t.Cell(r, c)) {
+					ix.cellPost[tok] = append(ix.cellPost[tok], CellLoc{ti, r, c})
+				}
+			}
+		}
+	}
+	if anns != nil {
+		for ti, ann := range anns {
+			if ann == nil {
+				continue
+			}
+			for c, T := range ann.ColumnTypes {
+				if T != catalog.None {
+					ix.colsByType[T] = append(ix.colsByType[T], ColRef{ti, c})
+				}
+			}
+			for _, ra := range ann.Relations {
+				ix.relsByName[ra.Relation] = append(ix.relsByName[ra.Relation],
+					RelRef{Table: ti, Col1: ra.Col1, Col2: ra.Col2, Forward: ra.Forward})
+			}
+			for r, row := range ann.CellEntities {
+				for c, e := range row {
+					if e != catalog.None {
+						ix.cellsByEntity[e] = append(ix.cellsByEntity[e], CellLoc{ti, r, c})
+					}
+				}
+			}
+		}
+	}
+	return ix
+}
+
+// Catalog returns the catalog the annotations refer to.
+func (ix *Index) Catalog() *catalog.Catalog { return ix.cat }
+
+// HeaderMatches returns columns whose header shares a token with q.
+func (ix *Index) HeaderMatches(q string) []ColRef {
+	seen := make(map[ColRef]struct{})
+	var out []ColRef
+	for tok := range text.TokenSet(q) {
+		for _, ref := range ix.headerPost[tok] {
+			if _, dup := seen[ref]; !dup {
+				seen[ref] = struct{}{}
+				out = append(out, ref)
+			}
+		}
+	}
+	return out
+}
+
+// ContextMatches returns tables whose context shares a token with q.
+func (ix *Index) ContextMatches(q string) map[int]struct{} {
+	out := make(map[int]struct{})
+	for tok := range text.TokenSet(q) {
+		for _, ti := range ix.contextPost[tok] {
+			out[ti] = struct{}{}
+		}
+	}
+	return out
+}
+
+// CellMatches returns cells sharing a token with q.
+func (ix *Index) CellMatches(q string) []CellLoc {
+	seen := make(map[CellLoc]struct{})
+	var out []CellLoc
+	for tok := range text.TokenSet(q) {
+		for _, loc := range ix.cellPost[tok] {
+			if _, dup := seen[loc]; !dup {
+				seen[loc] = struct{}{}
+				out = append(out, loc)
+			}
+		}
+	}
+	return out
+}
+
+// ColumnsOfType returns columns annotated with a type T such that
+// T ⊆* want (subtype-or-equal), i.e. every column guaranteed to hold
+// entities of the query type.
+func (ix *Index) ColumnsOfType(want catalog.TypeID) []ColRef {
+	var out []ColRef
+	for T, refs := range ix.colsByType {
+		if ix.cat.IsSubtype(T, want) {
+			out = append(out, refs...)
+		}
+	}
+	return out
+}
+
+// RelationInstances returns annotated column pairs carrying relation b.
+func (ix *Index) RelationInstances(b catalog.RelationID) []RelRef {
+	return ix.relsByName[b]
+}
+
+// CellsOfEntity returns cells annotated with entity e.
+func (ix *Index) CellsOfEntity(e catalog.EntityID) []CellLoc {
+	return ix.cellsByEntity[e]
+}
+
+// EntityAt returns the entity annotation of a cell (None if absent).
+func (ix *Index) EntityAt(loc CellLoc) catalog.EntityID {
+	if ix.Anns == nil || ix.Anns[loc.Table] == nil {
+		return catalog.None
+	}
+	return ix.Anns[loc.Table].CellEntities[loc.Row][loc.Col]
+}
+
+// TypeAt returns the type annotation of a column (None if absent).
+func (ix *Index) TypeAt(ref ColRef) catalog.TypeID {
+	if ix.Anns == nil || ix.Anns[ref.Table] == nil {
+		return catalog.None
+	}
+	return ix.Anns[ref.Table].ColumnTypes[ref.Col]
+}

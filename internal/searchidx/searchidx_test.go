@@ -1,0 +1,132 @@
+package searchidx
+
+import (
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/table"
+)
+
+func buildIndex(t testing.TB) (*Index, *catalog.Catalog) {
+	t.Helper()
+	c := catalog.New()
+	film, err := c.AddType("Film", "movie")
+	if err != nil {
+		t.Fatal(err)
+	}
+	action, err := c.AddType("ActionFilm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddSubtype(action, film); err != nil {
+		t.Fatal(err)
+	}
+	e1, err := c.AddEntity("Star Voyage", nil, action)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+
+	tab := &table.Table{
+		ID:      "t0",
+		Context: "a list of great films",
+		Headers: []string{"Movie", "Year"},
+		Cells: [][]string{
+			{"Star Voyage", "1987"},
+			{"Night Harbor", "1991"},
+		},
+	}
+	ann := &core.Annotation{
+		TableID:     "t0",
+		ColumnTypes: []catalog.TypeID{action, catalog.None},
+		CellEntities: [][]catalog.EntityID{
+			{e1, catalog.None},
+			{catalog.None, catalog.None},
+		},
+	}
+	return New(c, []*table.Table{tab}, []*core.Annotation{ann}), c
+}
+
+func TestHeaderContextCellPostings(t *testing.T) {
+	ix, _ := buildIndex(t)
+	if refs := ix.HeaderMatches("movie titles"); len(refs) != 1 || refs[0].Col != 0 {
+		t.Errorf("HeaderMatches = %v", refs)
+	}
+	if refs := ix.HeaderMatches("nothing relevant"); len(refs) != 0 {
+		t.Errorf("spurious header match: %v", refs)
+	}
+	if tables := ix.ContextMatches("great films"); len(tables) != 1 {
+		t.Errorf("ContextMatches = %v", tables)
+	}
+	cells := ix.CellMatches("voyage")
+	if len(cells) != 1 || cells[0].Row != 0 || cells[0].Col != 0 {
+		t.Errorf("CellMatches = %v", cells)
+	}
+	// Duplicate tokens must not duplicate postings.
+	if cells := ix.CellMatches("voyage voyage star"); len(cells) != 1 {
+		t.Errorf("deduped CellMatches = %v", cells)
+	}
+}
+
+func TestColumnsOfTypeUsesSubtypeClosure(t *testing.T) {
+	ix, c := buildIndex(t)
+	film, _ := c.TypeByName("Film")
+	action, _ := c.TypeByName("ActionFilm")
+	// The column is annotated ActionFilm; querying the supertype Film
+	// must find it, querying ActionFilm must too.
+	if cols := ix.ColumnsOfType(film); len(cols) != 1 {
+		t.Errorf("ColumnsOfType(Film) = %v", cols)
+	}
+	if cols := ix.ColumnsOfType(action); len(cols) != 1 {
+		t.Errorf("ColumnsOfType(ActionFilm) = %v", cols)
+	}
+}
+
+func TestEntityAndTypeAt(t *testing.T) {
+	ix, c := buildIndex(t)
+	e1, _ := c.EntityByName("Star Voyage")
+	if got := ix.EntityAt(CellLoc{Table: 0, Row: 0, Col: 0}); got != e1 {
+		t.Errorf("EntityAt = %v", got)
+	}
+	if got := ix.EntityAt(CellLoc{Table: 0, Row: 1, Col: 0}); got != catalog.None {
+		t.Errorf("unannotated EntityAt = %v", got)
+	}
+	action, _ := c.TypeByName("ActionFilm")
+	if got := ix.TypeAt(ColRef{Table: 0, Col: 0}); got != action {
+		t.Errorf("TypeAt = %v", got)
+	}
+	if got := ix.TypeAt(ColRef{Table: 0, Col: 1}); got != catalog.None {
+		t.Errorf("numeric column TypeAt = %v", got)
+	}
+	if locs := ix.CellsOfEntity(e1); len(locs) != 1 {
+		t.Errorf("CellsOfEntity = %v", locs)
+	}
+}
+
+func TestUnannotatedIndex(t *testing.T) {
+	c := catalog.New()
+	if _, err := c.AddType("T"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	tab := &table.Table{ID: "x", Cells: [][]string{{"a", "b"}}}
+	ix := New(c, []*table.Table{tab}, nil)
+	if got := ix.EntityAt(CellLoc{0, 0, 0}); got != catalog.None {
+		t.Errorf("EntityAt without annotations = %v", got)
+	}
+	if got := ix.TypeAt(ColRef{0, 0}); got != catalog.None {
+		t.Errorf("TypeAt without annotations = %v", got)
+	}
+	if cols := ix.ColumnsOfType(0); cols != nil {
+		t.Errorf("ColumnsOfType without annotations = %v", cols)
+	}
+	// Text postings still work.
+	if cells := ix.CellMatches("a"); len(cells) != 1 {
+		t.Errorf("CellMatches = %v", cells)
+	}
+}

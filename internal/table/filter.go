@@ -1,0 +1,105 @@
+package table
+
+import "strings"
+
+// FilterConfig tunes the relational-vs-formatting screen of §3.2. The
+// defaults follow the heuristics of Cafarella et al. [6]: formatting
+// tables tend to be tiny, ragged, dominated by long prose cells, or
+// single-column page scaffolding.
+type FilterConfig struct {
+	// MinRows / MinCols: tables smaller than this are presentation markup.
+	MinRows int
+	MinCols int
+	// MaxCellLen: a relational cell is a short text segment; cells longer
+	// than this (in runes) suggest prose layout.
+	MaxCellLen int
+	// MaxLongCellFraction: maximum fraction of cells allowed to exceed
+	// MaxCellLen.
+	MaxLongCellFraction float64
+	// MaxEmptyFraction: maximum fraction of empty cells.
+	MaxEmptyFraction float64
+	// MaxNumericTableFraction: a table where nearly every column is
+	// numeric (calendars, spacer grids) is not annotatable.
+	MaxNumericTableFraction float64
+}
+
+// DefaultFilterConfig returns the standard screen.
+func DefaultFilterConfig() FilterConfig {
+	return FilterConfig{
+		MinRows:                 2,
+		MinCols:                 2,
+		MaxCellLen:              80,
+		MaxLongCellFraction:     0.2,
+		MaxEmptyFraction:        0.4,
+		MaxNumericTableFraction: 0.95,
+	}
+}
+
+// RejectReason explains why a table was screened out.
+type RejectReason string
+
+// Reject reasons produced by Classify.
+const (
+	Accepted       RejectReason = ""
+	RejectTooSmall RejectReason = "too-small"
+	RejectRagged   RejectReason = "ragged"
+	RejectProse    RejectReason = "prose-cells"
+	RejectSparse   RejectReason = "too-many-empty-cells"
+	RejectNumeric  RejectReason = "all-numeric"
+)
+
+// Classify decides whether t is a relational data table (Accepted) or a
+// formatting/presentation table, returning the reason for rejection.
+func Classify(t *Table, cfg FilterConfig) RejectReason {
+	if err := t.Validate(); err != nil {
+		return RejectRagged
+	}
+	if t.Rows() < cfg.MinRows || t.Cols() < cfg.MinCols {
+		return RejectTooSmall
+	}
+	total, long, empty := 0, 0, 0
+	for r := 0; r < t.Rows(); r++ {
+		for c := 0; c < t.Cols(); c++ {
+			total++
+			s := strings.TrimSpace(t.Cell(r, c))
+			if s == "" {
+				empty++
+			} else if len([]rune(s)) > cfg.MaxCellLen {
+				long++
+			}
+		}
+	}
+	if total == 0 {
+		return RejectTooSmall
+	}
+	if float64(long)/float64(total) > cfg.MaxLongCellFraction {
+		return RejectProse
+	}
+	if float64(empty)/float64(total) > cfg.MaxEmptyFraction {
+		return RejectSparse
+	}
+	numericCols := 0
+	for c := 0; c < t.Cols(); c++ {
+		if t.ColumnNumericFraction(c) > 0.8 {
+			numericCols++
+		}
+	}
+	if float64(numericCols)/float64(t.Cols()) >= cfg.MaxNumericTableFraction {
+		return RejectNumeric
+	}
+	return Accepted
+}
+
+// FilterRelational screens a corpus, returning the accepted tables and a
+// count of rejections per reason.
+func FilterRelational(tables []*Table, cfg FilterConfig) (kept []*Table, rejected map[RejectReason]int) {
+	rejected = make(map[RejectReason]int)
+	for _, t := range tables {
+		if why := Classify(t, cfg); why == Accepted {
+			kept = append(kept, t)
+		} else {
+			rejected[why]++
+		}
+	}
+	return kept, rejected
+}

@@ -1,0 +1,75 @@
+package table
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// ReadCSV parses CSV input into a Table. When hasHeader is true the first
+// record becomes Headers.
+func ReadCSV(r io.Reader, id string, hasHeader bool) (*Table, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1 // validate ourselves for a better error
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("table: csv %q: %w", id, err)
+	}
+	t := &Table{ID: id}
+	if hasHeader && len(records) > 0 {
+		t.Headers = records[0]
+		records = records[1:]
+	}
+	t.Cells = records
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// jsonTable is the stable on-disk JSON shape of a table.
+type jsonTable struct {
+	ID      string     `json:"id"`
+	Context string     `json:"context,omitempty"`
+	Headers []string   `json:"headers,omitempty"`
+	Cells   [][]string `json:"cells"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (t *Table) MarshalJSON() ([]byte, error) {
+	return json.Marshal(jsonTable{ID: t.ID, Context: t.Context, Headers: t.Headers, Cells: t.Cells})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (t *Table) UnmarshalJSON(data []byte) error {
+	var j jsonTable
+	if err := json.Unmarshal(data, &j); err != nil {
+		return fmt.Errorf("table: json: %w", err)
+	}
+	t.ID, t.Context, t.Headers, t.Cells = j.ID, j.Context, j.Headers, j.Cells
+	return nil
+}
+
+// WriteCorpus streams a table corpus as a JSON array.
+func WriteCorpus(w io.Writer, tables []*Table) error {
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(tables); err != nil {
+		return fmt.Errorf("table: encode corpus: %w", err)
+	}
+	return nil
+}
+
+// ReadCorpus parses a JSON array of tables and validates each.
+func ReadCorpus(r io.Reader) ([]*Table, error) {
+	var tables []*Table
+	if err := json.NewDecoder(r).Decode(&tables); err != nil {
+		return nil, fmt.Errorf("table: decode corpus: %w", err)
+	}
+	for _, t := range tables {
+		if err := t.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return tables, nil
+}

@@ -1,0 +1,214 @@
+package text
+
+import "math"
+
+// Jaccard returns |A∩B| / |A∪B| over the token sets of a and b.
+// Returns 0 when both are empty.
+func Jaccard(a, b string) float64 {
+	return JaccardSets(TokenSet(a), TokenSet(b))
+}
+
+// JaccardSets is Jaccard over pre-tokenized sets.
+func JaccardSets(sa, sb map[string]struct{}) float64 {
+	if len(sa) == 0 && len(sb) == 0 {
+		return 0
+	}
+	inter := 0
+	for t := range sa {
+		if _, ok := sb[t]; ok {
+			inter++
+		}
+	}
+	union := len(sa) + len(sb) - inter
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}
+
+// Dice returns 2|A∩B| / (|A|+|B|) over token sets.
+func Dice(a, b string) float64 {
+	sa, sb := TokenSet(a), TokenSet(b)
+	if len(sa)+len(sb) == 0 {
+		return 0
+	}
+	inter := 0
+	for t := range sa {
+		if _, ok := sb[t]; ok {
+			inter++
+		}
+	}
+	return 2 * float64(inter) / float64(len(sa)+len(sb))
+}
+
+// Overlap returns |A∩B| / min(|A|,|B|) over token sets; 0 if either empty.
+func Overlap(a, b string) float64 {
+	sa, sb := TokenSet(a), TokenSet(b)
+	if len(sa) == 0 || len(sb) == 0 {
+		return 0
+	}
+	inter := 0
+	for t := range sa {
+		if _, ok := sb[t]; ok {
+			inter++
+		}
+	}
+	m := len(sa)
+	if len(sb) < m {
+		m = len(sb)
+	}
+	return float64(inter) / float64(m)
+}
+
+// Levenshtein returns the edit distance between a and b, operating on
+// runes, with unit costs for insert, delete and substitute.
+func Levenshtein(a, b string) int {
+	ra, rb := []rune(a), []rune(b)
+	if len(ra) == 0 {
+		return len(rb)
+	}
+	if len(rb) == 0 {
+		return len(ra)
+	}
+	prev := make([]int, len(rb)+1)
+	cur := make([]int, len(rb)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(ra); i++ {
+		cur[0] = i
+		for j := 1; j <= len(rb); j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			m := prev[j] + 1 // deletion
+			if v := cur[j-1] + 1; v < m {
+				m = v // insertion
+			}
+			if v := prev[j-1] + cost; v < m {
+				m = v // substitution
+			}
+			cur[j] = m
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(rb)]
+}
+
+// EditSimilarity maps Levenshtein distance into [0,1]:
+// 1 - dist/max(len(a),len(b)). Identical strings score 1.
+func EditSimilarity(a, b string) float64 {
+	la, lb := len([]rune(a)), len([]rune(b))
+	if la == 0 && lb == 0 {
+		return 1
+	}
+	m := la
+	if lb > m {
+		m = lb
+	}
+	return 1 - float64(Levenshtein(a, b))/float64(m)
+}
+
+// Jaro returns the Jaro similarity of a and b in [0,1].
+func Jaro(a, b string) float64 {
+	ra, rb := []rune(a), []rune(b)
+	if len(ra) == 0 && len(rb) == 0 {
+		return 1
+	}
+	if len(ra) == 0 || len(rb) == 0 {
+		return 0
+	}
+	window := len(ra)
+	if len(rb) > window {
+		window = len(rb)
+	}
+	window = window/2 - 1
+	if window < 0 {
+		window = 0
+	}
+	matchA := make([]bool, len(ra))
+	matchB := make([]bool, len(rb))
+	matches := 0
+	for i := range ra {
+		lo := i - window
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + window + 1
+		if hi > len(rb) {
+			hi = len(rb)
+		}
+		for j := lo; j < hi; j++ {
+			if matchB[j] || ra[i] != rb[j] {
+				continue
+			}
+			matchA[i] = true
+			matchB[j] = true
+			matches++
+			break
+		}
+	}
+	if matches == 0 {
+		return 0
+	}
+	transpositions := 0
+	j := 0
+	for i := range ra {
+		if !matchA[i] {
+			continue
+		}
+		for !matchB[j] {
+			j++
+		}
+		if ra[i] != rb[j] {
+			transpositions++
+		}
+		j++
+	}
+	m := float64(matches)
+	return (m/float64(len(ra)) + m/float64(len(rb)) + (m-float64(transpositions)/2)/m) / 3
+}
+
+// JaroWinkler boosts Jaro similarity for strings sharing a common prefix
+// (up to 4 runes) with the standard scaling factor 0.1.
+func JaroWinkler(a, b string) float64 {
+	j := Jaro(a, b)
+	ra, rb := []rune(a), []rune(b)
+	prefix := 0
+	for prefix < len(ra) && prefix < len(rb) && prefix < 4 && ra[prefix] == rb[prefix] {
+		prefix++
+	}
+	return j + float64(prefix)*0.1*(1-j)
+}
+
+// CosineCounts computes the cosine of two raw term-count maps (no IDF
+// weighting). Useful when no corpus statistics are available.
+func CosineCounts(a, b map[string]float64) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	var dot, na, nb float64
+	for t, wa := range a {
+		na += wa * wa
+		if wb, ok := b[t]; ok {
+			dot += wa * wb
+		}
+	}
+	for _, wb := range b {
+		nb += wb * wb
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / math.Sqrt(na*nb)
+}
+
+// Counts returns the term-frequency map of s.
+func Counts(s string) map[string]float64 {
+	m := make(map[string]float64)
+	for _, t := range Tokenize(s) {
+		m[t]++
+	}
+	return m
+}

@@ -1,0 +1,332 @@
+package text
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTokenize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"", nil},
+		{"Albert Einstein", []string{"albert", "einstein"}},
+		{"A. Einstein", []string{"a", "einstein"}},
+		{"Relativity: The Special and the General Theory", []string{"relativity", "the", "special", "and", "the", "general", "theory"}},
+		{"  multiple   spaces ", []string{"multiple", "spaces"}},
+		{"Apollo 11", []string{"apollo", "11"}},
+		{"R2D2", []string{"r2d2"}},
+		{"...", nil},
+		{"café-au-lait", []string{"café", "au", "lait"}},
+	}
+	for _, tc := range cases {
+		got := Tokenize(tc.in)
+		if len(got) != len(tc.want) {
+			t.Errorf("Tokenize(%q) = %v, want %v", tc.in, got, tc.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("Tokenize(%q)[%d] = %q, want %q", tc.in, i, got[i], tc.want[i])
+			}
+		}
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	if got := Normalize("The   TIME, and Space!"); got != "the time and space" {
+		t.Errorf("Normalize = %q", got)
+	}
+	if Normalize("A. Einstein") != Normalize("a einstein") {
+		t.Error("normalized forms should match")
+	}
+}
+
+func TestBigrams(t *testing.T) {
+	bg := Bigrams("new york city")
+	if len(bg) != 2 {
+		t.Fatalf("bigrams = %v", bg)
+	}
+	if _, ok := bg["new york"]; !ok {
+		t.Error("missing bigram 'new york'")
+	}
+	if _, ok := bg["york city"]; !ok {
+		t.Error("missing bigram 'york city'")
+	}
+	if got := Bigrams("single"); len(got) != 0 {
+		t.Errorf("single token bigrams = %v", got)
+	}
+}
+
+func TestJaccard(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want float64
+	}{
+		{"", "", 0},
+		{"a b", "a b", 1},
+		{"a b", "b a", 1}, // order independent
+		{"a b c", "a", 1.0 / 3},
+		{"x", "y", 0},
+	}
+	for _, tc := range cases {
+		if got := Jaccard(tc.a, tc.b); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("Jaccard(%q,%q) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestDiceAndOverlap(t *testing.T) {
+	if got := Dice("a b", "b c"); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("Dice = %v, want 0.5", got)
+	}
+	if got := Overlap("a", "a b c d"); got != 1.0 {
+		t.Errorf("Overlap = %v, want 1 (subset)", got)
+	}
+	if got := Overlap("", "a"); got != 0 {
+		t.Errorf("Overlap with empty = %v", got)
+	}
+}
+
+func TestLevenshtein(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"abc", "", 3},
+		{"", "abc", 3},
+		{"kitten", "sitting", 3},
+		{"flaw", "lawn", 2},
+		{"einstein", "einstein", 0},
+	}
+	for _, tc := range cases {
+		if got := Levenshtein(tc.a, tc.b); got != tc.want {
+			t.Errorf("Levenshtein(%q,%q) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestEditSimilarity(t *testing.T) {
+	if got := EditSimilarity("", ""); got != 1 {
+		t.Errorf("empty EditSimilarity = %v", got)
+	}
+	if got := EditSimilarity("abc", "abc"); got != 1 {
+		t.Errorf("identical EditSimilarity = %v", got)
+	}
+	if got := EditSimilarity("abc", "xyz"); got != 0 {
+		t.Errorf("disjoint EditSimilarity = %v", got)
+	}
+}
+
+func TestJaroWinkler(t *testing.T) {
+	if got := JaroWinkler("einstein", "einstein"); got != 1 {
+		t.Errorf("identical = %v", got)
+	}
+	if got := JaroWinkler("abc", ""); got != 0 {
+		t.Errorf("vs empty = %v", got)
+	}
+	// Prefix boost: "einstein" vs "einstien" should beat a transposed
+	// pair with no shared prefix.
+	jw := JaroWinkler("einstein", "einstien")
+	if jw < 0.9 {
+		t.Errorf("typo similarity = %v, want > 0.9", jw)
+	}
+	// Known value: MARTHA/MARHTA Jaro = 0.944..., JW = 0.961...
+	j := Jaro("martha", "marhta")
+	if math.Abs(j-0.944444444) > 1e-6 {
+		t.Errorf("Jaro(martha,marhta) = %v, want 0.9444", j)
+	}
+}
+
+func TestVectorSpaceIDF(t *testing.T) {
+	vs := NewVectorSpace()
+	for i := 0; i < 10; i++ {
+		vs.Add("the common token")
+	}
+	vs.Add("rare gem")
+	if vs.Docs() != 11 {
+		t.Fatalf("docs = %d", vs.Docs())
+	}
+	if vs.IDF("the") >= vs.IDF("gem") {
+		t.Errorf("IDF(the)=%v should be < IDF(gem)=%v", vs.IDF("the"), vs.IDF("gem"))
+	}
+	if vs.IDF("neverseen") < vs.IDF("gem") {
+		t.Errorf("unseen token should have max IDF")
+	}
+}
+
+func TestCosineSelfSimilarity(t *testing.T) {
+	vs := NewVectorSpace()
+	vs.Add("albert einstein")
+	vs.Add("albert camus")
+	vs.Add("quantum quest")
+	v := vs.Vectorize("albert einstein")
+	if got := Cosine(v, v); math.Abs(got-1) > 1e-12 {
+		t.Errorf("self cosine = %v, want 1", got)
+	}
+	if got := Cosine(v, vs.Vectorize("")); got != 0 {
+		t.Errorf("cosine with empty = %v, want 0", got)
+	}
+}
+
+func TestCosineDiscriminates(t *testing.T) {
+	vs := NewVectorSpace()
+	for _, l := range []string{
+		"albert einstein", "albert camus", "uncle albert and the quantum quest",
+		"the time and space of uncle albert", "russell stannard",
+	} {
+		vs.Add(l)
+	}
+	q := "uncle albert quantum quest"
+	simRight := vs.CosineStrings(q, "uncle albert and the quantum quest")
+	simWrong := vs.CosineStrings(q, "albert einstein")
+	if simRight <= simWrong {
+		t.Errorf("cosine ranking wrong: right=%v wrong=%v", simRight, simWrong)
+	}
+	// "albert" is common in this corpus so its IDF is low — the Einstein
+	// match should be weak.
+	if simWrong > 0.5 {
+		t.Errorf("spurious 'albert' match too strong: %v", simWrong)
+	}
+}
+
+func TestSoftTFIDFToleratesTypos(t *testing.T) {
+	vs := NewVectorSpace()
+	for _, l := range []string{"albert einstein", "russell stannard", "isaac newton"} {
+		vs.Add(l)
+	}
+	hard := vs.CosineStrings("albert einstien", "albert einstein") // typo
+	soft := vs.SoftTFIDF("albert einstien", "albert einstein", 0.9)
+	if soft <= hard {
+		t.Errorf("soft (%v) should beat hard (%v) on typos", soft, hard)
+	}
+	if soft < 0.9 {
+		t.Errorf("soft similarity on near-identical = %v, want >= 0.9", soft)
+	}
+}
+
+func TestTopTokens(t *testing.T) {
+	vs := NewVectorSpace()
+	for i := 0; i < 50; i++ {
+		vs.Add("the of and")
+	}
+	vs.Add("zanzibar the")
+	top := vs.TopTokens("the zanzibar of", 2)
+	if len(top) != 2 || top[0] != "zanzibar" {
+		t.Fatalf("TopTokens = %v, want zanzibar first", top)
+	}
+	if got := vs.TopTokens("the", 5); len(got) != 1 {
+		t.Fatalf("TopTokens cap = %v", got)
+	}
+}
+
+func TestCosineCounts(t *testing.T) {
+	a := Counts("a a b")
+	b := Counts("a b b")
+	got := CosineCounts(a, b)
+	want := 4.0 / 5.0 // (2*1 + 1*2) / (sqrt(5)*sqrt(5))
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("CosineCounts = %v, want %v", got, want)
+	}
+	if CosineCounts(nil, b) != 0 {
+		t.Error("nil counts should give 0")
+	}
+}
+
+// Property: similarity measures stay in [0,1] and are symmetric where
+// specified, for random ASCII strings.
+func TestQuickSimilarityBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	randStr := func() string {
+		n := rng.Intn(12)
+		var sb strings.Builder
+		for i := 0; i < n; i++ {
+			sb.WriteByte(byte('a' + rng.Intn(6)))
+			if rng.Intn(4) == 0 {
+				sb.WriteByte(' ')
+			}
+		}
+		return sb.String()
+	}
+	for trial := 0; trial < 500; trial++ {
+		a, b := randStr(), randStr()
+		for name, f := range map[string]func(string, string) float64{
+			"jaccard": Jaccard, "dice": Dice, "overlap": Overlap,
+			"edit": EditSimilarity, "jaro": Jaro, "jw": JaroWinkler,
+		} {
+			v := f(a, b)
+			if v < -1e-12 || v > 1+1e-12 || math.IsNaN(v) {
+				t.Fatalf("%s(%q,%q) = %v out of [0,1]", name, a, b, v)
+			}
+			if w := f(b, a); math.Abs(v-w) > 1e-9 {
+				t.Fatalf("%s not symmetric: %v vs %v", name, v, w)
+			}
+		}
+	}
+}
+
+// Property (testing/quick): Levenshtein satisfies the triangle inequality
+// and identity-of-indiscernibles on short random strings.
+func TestQuickLevenshteinMetric(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 300,
+		Values: func(vals []reflect.Value, rng *rand.Rand) {
+			for i := range vals {
+				n := rng.Intn(8)
+				b := make([]byte, n)
+				for j := range b {
+					b[j] = byte('a' + rng.Intn(4))
+				}
+				vals[i] = reflect.ValueOf(string(b))
+			}
+		},
+	}
+	f := func(a, b, c string) bool {
+		dab := Levenshtein(a, b)
+		dbc := Levenshtein(b, c)
+		dac := Levenshtein(a, c)
+		if dac > dab+dbc {
+			return false
+		}
+		if (dab == 0) != (a == b) {
+			return false
+		}
+		return dab == Levenshtein(b, a)
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: cosine of TF-IDF vectors is bounded and maximal on identity.
+func TestQuickCosineBounds(t *testing.T) {
+	vs := NewVectorSpace()
+	words := []string{"alpha", "beta", "gamma", "delta", "epsilon"}
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 30; i++ {
+		var sb strings.Builder
+		for j := 0; j < 1+rng.Intn(4); j++ {
+			sb.WriteString(words[rng.Intn(len(words))] + " ")
+		}
+		vs.Add(sb.String())
+	}
+	for trial := 0; trial < 300; trial++ {
+		var a, b strings.Builder
+		for j := 0; j < rng.Intn(5); j++ {
+			a.WriteString(words[rng.Intn(len(words))] + " ")
+		}
+		for j := 0; j < rng.Intn(5); j++ {
+			b.WriteString(words[rng.Intn(len(words))] + " ")
+		}
+		c := vs.CosineStrings(a.String(), b.String())
+		if c < -1e-12 || c > 1+1e-9 || math.IsNaN(c) {
+			t.Fatalf("cosine out of bounds: %v", c)
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package text
+
+import (
+	"math"
+	"sort"
+)
+
+// VectorSpace accumulates document-frequency statistics over a corpus of
+// short strings (catalog lemmas, in the annotator's case) and converts
+// strings into sparse TF-IDF vectors. It implements the "standard TFIDF
+// cosine similarity" the paper uses in §4.2.1/§4.2.2 [Salton & McGill].
+//
+// The zero value is not ready for use; call NewVectorSpace.
+type VectorSpace struct {
+	df   map[string]int // token -> number of documents containing it
+	docs int            // total documents
+}
+
+// NewVectorSpace returns an empty vector space.
+func NewVectorSpace() *VectorSpace {
+	return &VectorSpace{df: make(map[string]int)}
+}
+
+// Add registers one document (e.g. one lemma) with the corpus statistics.
+func (v *VectorSpace) Add(doc string) {
+	v.docs++
+	for t := range TokenSet(doc) {
+		v.df[t]++
+	}
+}
+
+// Docs reports the number of documents added.
+func (v *VectorSpace) Docs() int { return v.docs }
+
+// DF reports the document frequency of a token.
+func (v *VectorSpace) DF(token string) int { return v.df[token] }
+
+// IDF returns the smoothed inverse document frequency
+// log(1 + N/(1+df)). Tokens never seen get the maximum IDF.
+func (v *VectorSpace) IDF(token string) float64 {
+	if v.docs == 0 {
+		return 0
+	}
+	return math.Log(1 + float64(v.docs)/float64(1+v.df[token]))
+}
+
+// Vector is a sparse TF-IDF vector with a precomputed L2 norm.
+type Vector struct {
+	Weights map[string]float64
+	Norm    float64
+}
+
+// Vectorize converts s into a TF-IDF vector under the corpus statistics.
+func (v *VectorSpace) Vectorize(s string) Vector {
+	w := make(map[string]float64)
+	for _, t := range Tokenize(s) {
+		w[t]++
+	}
+	var norm float64
+	for t, tf := range w {
+		// Sub-linear TF damping, standard in IR.
+		wt := (1 + math.Log(tf)) * v.IDF(t)
+		w[t] = wt
+		norm += wt * wt
+	}
+	return Vector{Weights: w, Norm: math.Sqrt(norm)}
+}
+
+// Cosine returns the cosine similarity of two vectors in [0,1].
+func Cosine(a, b Vector) float64 {
+	if a.Norm == 0 || b.Norm == 0 {
+		return 0
+	}
+	// iterate over the smaller map
+	small, big := a.Weights, b.Weights
+	if len(big) < len(small) {
+		small, big = big, small
+	}
+	var dot float64
+	for t, wa := range small {
+		if wb, ok := big[t]; ok {
+			dot += wa * wb
+		}
+	}
+	return dot / (a.Norm * b.Norm)
+}
+
+// CosineStrings vectorizes both strings and returns their cosine.
+func (v *VectorSpace) CosineStrings(a, b string) float64 {
+	return Cosine(v.Vectorize(a), v.Vectorize(b))
+}
+
+// SoftTFIDF computes the soft-TFIDF similarity of Bilenko et al. between
+// two strings: like TF-IDF cosine, but tokens need not match exactly —
+// a pair of tokens whose JaroWinkler similarity exceeds threshold
+// contributes proportionally. This tolerates the spelling noise in web
+// table cells ("A. Einstein" vs "Albert Einstein").
+func (v *VectorSpace) SoftTFIDF(a, b string, threshold float64) float64 {
+	va, vb := v.Vectorize(a), v.Vectorize(b)
+	if va.Norm == 0 || vb.Norm == 0 {
+		return 0
+	}
+	var sum float64
+	for ta, wa := range va.Weights {
+		best, bestSim := 0.0, 0.0
+		for tb, wb := range vb.Weights {
+			sim := JaroWinkler(ta, tb)
+			if sim >= threshold && sim > bestSim {
+				bestSim = sim
+				best = wb
+			}
+		}
+		if bestSim > 0 {
+			sum += wa * best * bestSim
+		}
+	}
+	return sum / (va.Norm * vb.Norm)
+}
+
+// TopTokens returns the n highest-IDF (rarest) tokens of s under the
+// corpus statistics, most discriminative first. Candidate generation uses
+// this to probe the lemma index with informative tokens only.
+func (v *VectorSpace) TopTokens(s string, n int) []string {
+	type tw struct {
+		tok string
+		idf float64
+	}
+	var all []tw
+	for t := range TokenSet(s) {
+		all = append(all, tw{t, v.IDF(t)})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].idf != all[j].idf {
+			return all[i].idf > all[j].idf
+		}
+		return all[i].tok < all[j].tok
+	})
+	if n > len(all) {
+		n = len(all)
+	}
+	out := make([]string, n)
+	for i := 0; i < n; i++ {
+		out[i] = all[i].tok
+	}
+	return out
+}

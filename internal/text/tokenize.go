@@ -1,0 +1,68 @@
+// Package text provides tokenization and string-similarity primitives used
+// throughout the table annotator: TF-IDF cosine similarity over a lemma
+// corpus, Jaccard and Dice set overlap, Levenshtein and Jaro-Winkler edit
+// similarity, and the soft-TFIDF hybrid of Bilenko et al. that the paper
+// cites for cell-text/lemma matching (§4.2.1).
+package text
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Tokenize lowercases s and splits it into maximal runs of letters or
+// digits. Punctuation, whitespace and symbols act as separators. A run that
+// mixes letters and digits (e.g. "b12") is kept as a single token, matching
+// how cell strings such as "Apollo 11" or "R2D2" should be indexed.
+func Tokenize(s string) []string {
+	if s == "" {
+		return nil
+	}
+	toks := make([]string, 0, 8)
+	var b strings.Builder
+	flush := func() {
+		if b.Len() > 0 {
+			toks = append(toks, b.String())
+			b.Reset()
+		}
+	}
+	for _, r := range s {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			b.WriteRune(unicode.ToLower(r))
+		} else {
+			flush()
+		}
+	}
+	flush()
+	if len(toks) == 0 {
+		return nil
+	}
+	return toks
+}
+
+// Normalize returns the canonical single-string form of s: its tokens
+// joined by single spaces. Two strings with the same Normalize value are
+// considered lexically identical by the exact-match feature.
+func Normalize(s string) string {
+	return strings.Join(Tokenize(s), " ")
+}
+
+// TokenSet returns the set of distinct tokens in s.
+func TokenSet(s string) map[string]struct{} {
+	set := make(map[string]struct{})
+	for _, t := range Tokenize(s) {
+		set[t] = struct{}{}
+	}
+	return set
+}
+
+// Bigrams returns the set of adjacent token pairs of s, joined by a space.
+// Used as a secondary signal when single-token overlap is too ambiguous.
+func Bigrams(s string) map[string]struct{} {
+	toks := Tokenize(s)
+	set := make(map[string]struct{})
+	for i := 0; i+1 < len(toks); i++ {
+		set[toks[i]+" "+toks[i+1]] = struct{}{}
+	}
+	return set
+}

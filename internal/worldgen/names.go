@@ -1,0 +1,161 @@
+package worldgen
+
+import (
+	"math/rand"
+	"strings"
+)
+
+// Deterministic synthetic naming. Names are built from syllables so they
+// tokenize like real proper nouns, with controlled sharing (surnames,
+// title words) to create the lemma ambiguity the disambiguator must
+// resolve ("New York" city vs state, "Apple" fruit vs company — §3.1).
+
+var (
+	onsets = []string{"b", "br", "ch", "d", "dr", "f", "g", "gr", "h", "j", "k", "kl", "l", "m", "n", "p", "pr", "r", "s", "st", "t", "tr", "v", "w", "z"}
+	nuclei = []string{"a", "e", "i", "o", "u", "ai", "ea", "ia", "io", "ou"}
+	codas  = []string{"", "l", "m", "n", "r", "s", "t", "x", "nd", "rt", "sk"}
+)
+
+// syllable produces one pronounceable syllable.
+func syllable(rng *rand.Rand) string {
+	return onsets[rng.Intn(len(onsets))] + nuclei[rng.Intn(len(nuclei))] + codas[rng.Intn(len(codas))]
+}
+
+// word produces a capitalized word of 1-3 syllables.
+func word(rng *rand.Rand, syls int) string {
+	var sb strings.Builder
+	for i := 0; i < syls; i++ {
+		sb.WriteString(syllable(rng))
+	}
+	w := sb.String()
+	return strings.ToUpper(w[:1]) + w[1:]
+}
+
+// namer hands out names with collision control and deliberate sharing.
+type namer struct {
+	rng      *rand.Rand
+	used     map[string]struct{}
+	surnames []string // grown lazily; shared across people per spec
+	words    []string // shared title-word pool
+}
+
+func newNamer(rng *rand.Rand, titlePool int) *namer {
+	n := &namer{rng: rng, used: make(map[string]struct{})}
+	for len(n.words) < titlePool {
+		w := word(rng, 1+rng.Intn(2))
+		n.words = append(n.words, w)
+	}
+	return n
+}
+
+// unique reserves a name, regenerating via fresh until unused.
+func (n *namer) unique(fresh func() string) string {
+	for i := 0; ; i++ {
+		name := fresh()
+		if i > 50 {
+			name = name + " " + word(n.rng, 2) // force uniqueness eventually
+		}
+		if _, dup := n.used[name]; !dup {
+			n.used[name] = struct{}{}
+			return name
+		}
+	}
+}
+
+// personName returns (full name, surname, given): surname may be shared
+// with earlier people with probability shareProb, creating the classic
+// "Einstein" ambiguity. Both name parts draw from the shared word pool
+// with some probability, so person mentions collide with work titles and
+// places across domains — the cross-domain lemma ambiguity that makes
+// web-scale disambiguation hard.
+func (n *namer) personName(shareProb float64) (full, given, surname string) {
+	given = word(n.rng, 1+n.rng.Intn(2))
+	if pick(n.rng, 0.4) {
+		given = n.words[n.rng.Intn(len(n.words))]
+	}
+	switch {
+	case len(n.surnames) > 0 && pick(n.rng, shareProb):
+		surname = n.surnames[n.rng.Intn(len(n.surnames))]
+	case pick(n.rng, 0.5):
+		surname = n.words[n.rng.Intn(len(n.words))]
+		n.surnames = append(n.surnames, surname)
+	default:
+		surname = word(n.rng, 2)
+		n.surnames = append(n.surnames, surname)
+	}
+	full = n.unique(func() string {
+		return given + " " + surname
+	})
+	parts := strings.SplitN(full, " ", 2)
+	return full, parts[0], parts[1]
+}
+
+// title returns a 2-4 word work title drawn from the shared pool (so
+// titles overlap across works and with other domains).
+func (n *namer) title() string {
+	return n.unique(func() string {
+		k := 2 + n.rng.Intn(3)
+		parts := make([]string, k)
+		for i := range parts {
+			parts[i] = n.words[n.rng.Intn(len(n.words))]
+		}
+		return strings.Join(parts, " ")
+	})
+}
+
+// place returns a 1-2 word place name, drawing from the shared pool with
+// some probability (cross-domain collisions with titles and surnames).
+func (n *namer) place() string {
+	return n.unique(func() string {
+		if pick(n.rng, 0.4) {
+			return n.words[n.rng.Intn(len(n.words))] + " " + word(n.rng, 1)
+		}
+		if pick(n.rng, 0.3) {
+			return word(n.rng, 2) + " " + word(n.rng, 1)
+		}
+		return word(n.rng, 2+n.rng.Intn(2))
+	})
+}
+
+// typoize applies one random character-level edit (substitution, swap or
+// deletion) to a token of s.
+func typoize(rng *rand.Rand, s string) string {
+	runes := []rune(s)
+	if len(runes) < 3 {
+		return s
+	}
+	i := 1 + rng.Intn(len(runes)-2)
+	switch rng.Intn(3) {
+	case 0: // substitution
+		runes[i] = rune('a' + rng.Intn(26))
+	case 1: // adjacent swap
+		runes[i], runes[i-1] = runes[i-1], runes[i]
+	default: // deletion
+		runes = append(runes[:i], runes[i+1:]...)
+	}
+	return string(runes)
+}
+
+// dropToken removes one random token from a multi-token string.
+func dropToken(rng *rand.Rand, s string) string {
+	parts := strings.Fields(s)
+	if len(parts) < 2 {
+		return s
+	}
+	i := rng.Intn(len(parts))
+	parts = append(parts[:i], parts[i+1:]...)
+	return strings.Join(parts, " ")
+}
+
+// abbreviate turns "Given Surname" into "G. Surname", or truncates a
+// title to its first two words.
+func abbreviate(s string) string {
+	parts := strings.Fields(s)
+	if len(parts) < 2 {
+		return s
+	}
+	if len(parts) == 2 {
+		return parts[0][:1] + ". " + parts[1]
+	}
+	return strings.Join(parts[:2], " ")
+}

@@ -1,0 +1,78 @@
+package worldgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/catalog"
+)
+
+// SearchQuery is one instance of the §5 query form: given R, T1, T2 and
+// E2 ∈+ T2, return all E1 ∈+ T1 with R(E1, E2). WantE1 is the DBPedia
+// stand-in ground truth: every subject related to E2 in the *true* world,
+// independent of which tables happen to express it.
+type SearchQuery struct {
+	RelationName string
+	Relation     catalog.RelationID
+	T1, T2       catalog.TypeID
+	E2           catalog.EntityID
+	E2Name       string
+	WantE1       []catalog.EntityID
+}
+
+// SearchRelations is the Figure-13 workload: the five relations whose
+// attribute-value queries Figure 9 evaluates (our analogues of acted-in,
+// directed, official language, produced, wrote).
+var SearchRelations = []string{"actedIn", "directed", "language", "produced", "wrote"}
+
+// SearchWorkload samples queriesPerRel random E2 values per relation that
+// participate in it (§6.2: "randomly selected forty E2 values in YAGO
+// that participate in the relation").
+func (w *World) SearchWorkload(relNames []string, queriesPerRel int, seed int64) []SearchQuery {
+	rng := rand.New(rand.NewSource(seed))
+	var out []SearchQuery
+	for _, rn := range relNames {
+		ri, ok := w.Rel(rn)
+		if !ok {
+			panic(fmt.Sprintf("worldgen: unknown relation %q", rn))
+		}
+		rel := w.RelID(rn)
+		// Collect distinct objects with at least one subject.
+		seen := make(map[catalog.EntityID]struct{})
+		var objects []catalog.EntityID
+		for _, tp := range w.True.Tuples(rel) {
+			if _, dup := seen[tp.Object]; !dup {
+				seen[tp.Object] = struct{}{}
+				objects = append(objects, tp.Object)
+			}
+		}
+		perm := rng.Perm(len(objects))
+		n := queriesPerRel
+		if n > len(objects) {
+			n = len(objects)
+		}
+		for i := 0; i < n; i++ {
+			e2 := objects[perm[i]]
+			want := append([]catalog.EntityID(nil), w.True.Subjects(rel, e2)...)
+			out = append(out, SearchQuery{
+				RelationName: rn,
+				Relation:     rel,
+				T1:           ri.Subject,
+				T2:           ri.Object,
+				E2:           e2,
+				E2Name:       w.True.EntityName(e2),
+				WantE1:       want,
+			})
+		}
+	}
+	return out
+}
+
+// SearchCorpus generates the web-table corpus the search application
+// indexes: noisy tables over every world relation, so that queries about
+// one relation must discriminate against tables expressing the others
+// (actedIn vs directed vs produced all pair films with people).
+func (w *World) SearchCorpus(nTables int, seed int64) Dataset {
+	return w.GenerateDataset("SearchCorpus", seed, nTables, 10, 40, NoisyProfile(),
+		GTLayers{Entities: true, Types: true, Relations: true})
+}

@@ -1,0 +1,356 @@
+package worldgen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/table"
+)
+
+// CellRef addresses one data cell.
+type CellRef struct{ Row, Col int }
+
+// RelationGT is a ground-truth relation label between two columns.
+// Forward means Col1 holds the relation's subjects.
+type RelationGT struct {
+	Col1, Col2 int
+	Relation   catalog.RelationID
+	Forward    bool
+}
+
+// GroundTruth carries the gold annotations of one generated table. Any
+// layer may be empty (the WebRelations dataset labels only relations, the
+// WikiLink dataset only cells), mirroring Figure 5.
+type GroundTruth struct {
+	ColumnTypes map[int]catalog.TypeID
+	Cells       map[CellRef]catalog.EntityID
+	Relations   []RelationGT
+}
+
+// LabeledTable pairs a rendered table with its ground truth.
+type LabeledTable struct {
+	Table *table.Table
+	GT    GroundTruth
+}
+
+// Dataset is a named labeled corpus, one of the Figure-5 rows.
+type Dataset struct {
+	Name   string
+	Tables []LabeledTable
+}
+
+// Stats summarizes a dataset in the shape of Figure 5.
+type DatasetStats struct {
+	Name       string
+	Tables     int
+	AvgRows    float64
+	EntityGT   int
+	TypeGT     int
+	RelationGT int
+}
+
+// Stats computes the Figure-5 row for the dataset.
+func (d Dataset) Stats() DatasetStats {
+	s := DatasetStats{Name: d.Name, Tables: len(d.Tables)}
+	rows := 0
+	for _, lt := range d.Tables {
+		rows += lt.Table.Rows()
+		s.EntityGT += len(lt.GT.Cells)
+		s.TypeGT += len(lt.GT.ColumnTypes)
+		s.RelationGT += len(lt.GT.Relations)
+	}
+	if len(d.Tables) > 0 {
+		s.AvgRows = float64(rows) / float64(len(d.Tables))
+	}
+	return s
+}
+
+// GTLayers selects which ground-truth layers a dataset retains.
+type GTLayers struct{ Entities, Types, Relations bool }
+
+// AllGTLayers retains every ground-truth layer.
+func AllGTLayers() GTLayers { return GTLayers{Entities: true, Types: true, Relations: true} }
+
+// generateTable renders one table expressing relation ri with rows
+// sampled from the true tuple store, under a noise profile. Layout may
+// include a numeric attribute column, a distractor text column and
+// shuffled column order.
+func (w *World) generateTable(rng *rand.Rand, id string, ri RelationInfo, rows int, np NoiseProfile, layers GTLayers) LabeledTable {
+	rel := w.RelID(ri.Name)
+	tuples := w.True.Tuples(rel)
+	subjGT := ri.Subject
+	objGT := ri.Object
+
+	// Unrelated-pair tables: the object column is sampled from a
+	// different relation's objects, independently of the subjects, so no
+	// relation holds between the columns (ground truth na).
+	unrelated := pick(rng, np.UnrelatedTableProb)
+	var objPool []catalog.EntityID
+	if unrelated {
+		rj := w.Relations[rng.Intn(len(w.Relations))]
+		for rj.Name == ri.Name {
+			rj = w.Relations[rng.Intn(len(w.Relations))]
+		}
+		seen := make(map[catalog.EntityID]struct{})
+		for _, tp := range w.True.Tuples(w.RelID(rj.Name)) {
+			if _, dup := seen[tp.Object]; !dup {
+				seen[tp.Object] = struct{}{}
+				objPool = append(objPool, tp.Object)
+			}
+		}
+		ri.ObjectAliases = rj.ObjectAliases
+		objGT = rj.Object
+	}
+
+	// "List of <leaf> ..." tables: restrict subjects to one leaf subtype
+	// and make that leaf the ground-truth column type.
+	if pick(rng, np.SpecificTypeTableProb) {
+		if leaves := w.True.Children(ri.Subject); len(leaves) > 0 {
+			leaf := leaves[rng.Intn(len(leaves))]
+			var restricted []catalog.Tuple
+			for _, tp := range tuples {
+				if w.True.IsA(tp.Subject, leaf) {
+					restricted = append(restricted, tp)
+				}
+			}
+			if len(restricted) >= rows/2 && len(restricted) > 2 {
+				tuples = restricted
+				subjGT = leaf
+			}
+		}
+	}
+	if rows > len(tuples) {
+		rows = len(tuples)
+	}
+	perm := rng.Perm(len(tuples))[:rows]
+
+	// Logical columns before shuffling: 0 = subject, 1 = object, then
+	// optional numeric and distractor columns.
+	type colSpec struct {
+		kind   string // "subject", "object", "numeric", "distractor"
+		header string
+	}
+	cols := []colSpec{
+		{kind: "subject", header: ri.SubjectAliases[0]},
+		{kind: "object", header: ri.ObjectAliases[0]},
+	}
+	if pick(rng, np.HeaderAliasProb) {
+		cols[0].header = ri.SubjectAliases[rng.Intn(len(ri.SubjectAliases))]
+	}
+	if pick(rng, np.HeaderAliasProb) {
+		cols[1].header = ri.ObjectAliases[rng.Intn(len(ri.ObjectAliases))]
+	}
+	if pick(rng, np.NumericColProb) {
+		cols = append(cols, colSpec{kind: "numeric", header: "Year"})
+	}
+	if pick(rng, np.DistractorColProb) {
+		cols = append(cols, colSpec{kind: "distractor", header: "Notes"})
+	}
+	order := make([]int, len(cols))
+	for i := range order {
+		order[i] = i
+	}
+	if pick(rng, np.ShuffleColsProb) {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+	}
+
+	headers := make([]string, len(cols))
+	omitAll := pick(rng, np.HeaderOmitProb)
+	for pos, li := range order {
+		if omitAll || pick(rng, np.HeaderOmitProb) {
+			headers[pos] = ""
+		} else {
+			headers[pos] = cols[li].header
+		}
+	}
+
+	tab := &table.Table{ID: id, Headers: headers}
+	if !pick(rng, np.ContextOmitProb) {
+		tab.Context = ri.ContextWords[rng.Intn(len(ri.ContextWords))]
+	}
+	gt := GroundTruth{ColumnTypes: map[int]catalog.TypeID{}, Cells: map[CellRef]catalog.EntityID{}}
+
+	subjPos, objPos := -1, -1
+	for pos, li := range order {
+		switch cols[li].kind {
+		case "subject":
+			subjPos = pos
+			if layers.Types {
+				gt.ColumnTypes[pos] = subjGT
+			}
+		case "object":
+			objPos = pos
+			if layers.Types {
+				gt.ColumnTypes[pos] = objGT
+			}
+		}
+	}
+
+	for r := 0; r < rows; r++ {
+		tp := tuples[perm[r]]
+		obj := tp.Object
+		if unrelated {
+			obj = objPool[rng.Intn(len(objPool))]
+		}
+		row := make([]string, len(cols))
+		for pos, li := range order {
+			switch cols[li].kind {
+			case "subject":
+				row[pos] = w.mention(rng, tp.Subject, np)
+				if layers.Entities {
+					gt.Cells[CellRef{r, pos}] = w.gtEntity(tp.Subject)
+				}
+			case "object":
+				row[pos] = w.mention(rng, obj, np)
+				if layers.Entities {
+					gt.Cells[CellRef{r, pos}] = w.gtEntity(obj)
+				}
+			case "numeric":
+				row[pos] = fmt.Sprintf("%d", 1950+rng.Intn(60))
+			case "distractor":
+				row[pos] = w.distractorText(rng)
+			}
+		}
+		tab.Cells = append(tab.Cells, row)
+	}
+	if layers.Relations && subjPos >= 0 && objPos >= 0 {
+		c1, c2 := subjPos, objPos
+		forward := true
+		if c1 > c2 {
+			c1, c2 = c2, c1
+			forward = false
+		}
+		gtRel := rel
+		if unrelated {
+			gtRel = catalog.None // explicit "no relation" ground truth
+			forward = true
+		}
+		gt.Relations = append(gt.Relations, RelationGT{Col1: c1, Col2: c2, Relation: gtRel, Forward: forward})
+	}
+	return LabeledTable{Table: tab, GT: gt}
+}
+
+// gtEntity maps a true entity to its ground-truth label: itself when the
+// public catalog knows it, na when it is absent (no labeler can or should
+// resolve it).
+func (w *World) gtEntity(e catalog.EntityID) catalog.EntityID {
+	if w.Absent[e] {
+		return catalog.None
+	}
+	return e
+}
+
+// mention renders an entity reference under the noise profile, using the
+// true catalog's lemmas (canonical name first).
+func (w *World) mention(rng *rand.Rand, e catalog.EntityID, np NoiseProfile) string {
+	lemmas := w.True.EntityLemmas(e)
+	name := lemmas[0]
+	r := rng.Float64()
+	switch {
+	case r < np.AltLemmaProb && len(lemmas) > 1:
+		name = lemmas[1+rng.Intn(len(lemmas)-1)]
+	case r < np.AltLemmaProb+np.AbbrevProb:
+		name = abbreviate(name)
+	}
+	if pick(rng, np.TypoProb) {
+		name = typoize(rng, name)
+	}
+	if pick(rng, np.DropTokenProb) {
+		name = dropToken(rng, name)
+	}
+	return name
+}
+
+// distractorText produces free text that should not resolve to a catalog
+// entity with confidence.
+func (w *World) distractorText(rng *rand.Rand) string {
+	fillers := []string{
+		"see notes", "citation needed", "tbd", "n/a", "rerelease",
+		"special edition", "unverified", "out of print", "archived",
+	}
+	if pick(rng, 0.5) {
+		return fillers[rng.Intn(len(fillers))]
+	}
+	return strings.ToLower(word(rng, 2) + " " + word(rng, 1))
+}
+
+// GenerateDataset renders a labeled corpus of n tables over the given
+// relations (all world relations when relNames is empty), with row counts
+// uniform in [minRows, maxRows].
+func (w *World) GenerateDataset(name string, seed int64, n, minRows, maxRows int, np NoiseProfile, layers GTLayers, relNames ...string) Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	rels := w.Relations
+	if len(relNames) > 0 {
+		rels = nil
+		for _, rn := range relNames {
+			ri, ok := w.Rel(rn)
+			if !ok {
+				panic(fmt.Sprintf("worldgen: unknown relation %q", rn))
+			}
+			rels = append(rels, ri)
+		}
+	}
+	ds := Dataset{Name: name}
+	for i := 0; i < n; i++ {
+		ri := rels[rng.Intn(len(rels))]
+		rows := minRows
+		if maxRows > minRows {
+			rows += rng.Intn(maxRows - minRows)
+		}
+		id := fmt.Sprintf("%s-%04d-%s", name, i, ri.Name)
+		ds.Tables = append(ds.Tables, w.generateTable(rng, id, ri, rows, np, layers))
+	}
+	return ds
+}
+
+// The four Figure-5 dataset profiles. The scale parameter multiplies the
+// paper's table counts (1.0 = full paper scale; tests use smaller).
+
+// WikiManual mirrors the 36 clean Wikipedia tables with full ground truth.
+func (w *World) WikiManual(scale float64) Dataset {
+	n := scaled(36, scale)
+	return w.GenerateDataset("WikiManual", w.Spec.Seed+100, n, 20, 55, CleanProfile(),
+		GTLayers{Entities: true, Types: true, Relations: true})
+}
+
+// WebManual mirrors the 371 noisy web tables with full ground truth.
+func (w *World) WebManual(scale float64) Dataset {
+	n := scaled(371, scale)
+	return w.GenerateDataset("WebManual", w.Spec.Seed+200, n, 15, 55, NoisyProfile(),
+		GTLayers{Entities: true, Types: true, Relations: true})
+}
+
+// WebRelations mirrors the 30 web tables labeled only with relations.
+func (w *World) WebRelations(scale float64) Dataset {
+	n := scaled(30, scale)
+	return w.GenerateDataset("WebRelations", w.Spec.Seed+300, n, 35, 65, NoisyProfile(),
+		GTLayers{Relations: true})
+}
+
+// WikiLink mirrors the 6085 internally-linked Wikipedia tables labeled
+// only with cell entities.
+func (w *World) WikiLink(scale float64) Dataset {
+	n := scaled(6085, scale)
+	return w.GenerateDataset("WikiLink", w.Spec.Seed+400, n, 10, 30, LinkProfile(),
+		GTLayers{Entities: true})
+}
+
+// GenerateDatasetForTiming renders an unlabeled mixed corpus snapshot with
+// a wide row-count spread, used by the Figure-7 timing experiment (the
+// paper's 250K-table snapshot, scaled down).
+func (w *World) GenerateDatasetForTiming(n int) Dataset {
+	return w.GenerateDataset("TimingSnapshot", w.Spec.Seed+500, n, 5, 60, NoisyProfile(), GTLayers{})
+}
+
+func scaled(n int, scale float64) int {
+	if scale <= 0 {
+		scale = 1
+	}
+	out := int(float64(n)*scale + 0.5)
+	if out < 1 {
+		out = 1
+	}
+	return out
+}

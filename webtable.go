@@ -1,0 +1,195 @@
+// Package webtable is the public facade of this repository: a Go
+// reproduction of "Annotating and Searching Web Tables Using Entities,
+// Types and Relationships" (Limaye, Sarawagi, Chakrabarti — VLDB 2010).
+//
+// It re-exports the stable surface of the internal packages:
+//
+//   - catalog construction (the YAGO-like entity/type/relation store, §3.1),
+//   - table loading and HTML extraction (§3.2),
+//   - the collective annotator and its baselines (§4),
+//   - structured training (§4.3),
+//   - the relational search application (§5),
+//   - the synthetic world generator standing in for the paper's data assets.
+//
+// Quickstart:
+//
+//	cat := webtable.NewCatalog()
+//	book, _ := cat.AddType("Book", "novel")
+//	// ... add entities, relations, tuples ...
+//	_ = cat.Freeze()
+//	ann := webtable.NewAnnotator(cat, webtable.DefaultWeights(), webtable.DefaultConfig())
+//	result := ann.AnnotateCollective(tab)
+package webtable
+
+import (
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/feature"
+	"repro/internal/learn"
+	"repro/internal/search"
+	"repro/internal/searchidx"
+	"repro/internal/table"
+	"repro/internal/worldgen"
+)
+
+// Catalog types (§3.1).
+type (
+	// Catalog is the entity/type/relation store the annotator labels
+	// against.
+	Catalog = catalog.Catalog
+	// TypeID identifies a catalog type.
+	TypeID = catalog.TypeID
+	// EntityID identifies a catalog entity.
+	EntityID = catalog.EntityID
+	// RelationID identifies a catalog binary relation.
+	RelationID = catalog.RelationID
+	// Cardinality expresses relation functional constraints.
+	Cardinality = catalog.Cardinality
+	// Tuple is one fact B(Subject, Object).
+	Tuple = catalog.Tuple
+)
+
+// Cardinality values.
+const (
+	ManyToMany = catalog.ManyToMany
+	OneToMany  = catalog.OneToMany
+	ManyToOne  = catalog.ManyToOne
+	OneToOne   = catalog.OneToOne
+)
+
+// None is the na ("no annotation") sentinel for ID-valued results.
+const None = catalog.None
+
+// NewCatalog returns an empty catalog; populate it and call Freeze.
+func NewCatalog() *Catalog { return catalog.New() }
+
+// ReadCatalogJSON loads a catalog snapshot (unfrozen).
+var ReadCatalogJSON = catalog.ReadJSON
+
+// Table types (§3.2).
+type (
+	// Table is one source table.
+	Table = table.Table
+	// FilterConfig tunes the relational-vs-formatting screen.
+	FilterConfig = table.FilterConfig
+)
+
+// Table helpers.
+var (
+	// ExtractHTML scans HTML for data tables.
+	ExtractHTML = table.ExtractHTML
+	// ReadCSV parses a CSV table.
+	ReadCSV = table.ReadCSV
+	// ReadCorpus parses a JSON table corpus.
+	ReadCorpus = table.ReadCorpus
+	// WriteCorpus writes a JSON table corpus.
+	WriteCorpus = table.WriteCorpus
+	// FilterRelational screens formatting tables out of a corpus.
+	FilterRelational = table.FilterRelational
+	// DefaultFilterConfig is the standard screen.
+	DefaultFilterConfig = table.DefaultFilterConfig
+)
+
+// Annotator types (§4).
+type (
+	// Annotator labels tables against one catalog.
+	Annotator = core.Annotator
+	// Config tunes the annotator.
+	Config = core.Config
+	// Annotation is the per-table labeling result.
+	Annotation = core.Annotation
+	// BaselineAnnotation carries the set-valued baseline outputs.
+	BaselineAnnotation = core.BaselineAnnotation
+	// RelationAnnotation labels one column pair.
+	RelationAnnotation = core.RelationAnnotation
+	// GoldLabels carries training ground truth.
+	GoldLabels = core.GoldLabels
+	// Weights bundles the model vectors w1..w5.
+	Weights = feature.Weights
+	// TypeEntityMode selects the f3 compatibility feature (Figure 8).
+	TypeEntityMode = feature.TypeEntityMode
+)
+
+// TypeEntityMode values.
+const (
+	ModeSqrtDist = feature.ModeSqrtDist
+	ModeDist     = feature.ModeDist
+	ModeIDF      = feature.ModeIDF
+)
+
+// Annotator constructors.
+var (
+	// NewAnnotator builds an annotator (and its lemma index) over a
+	// frozen catalog.
+	NewAnnotator = core.New
+	// DefaultConfig is the paper's operating point.
+	DefaultConfig = core.DefaultConfig
+	// DefaultWeights is the hand-tuned starting point; train to refine.
+	DefaultWeights = feature.DefaultWeights
+)
+
+// Training (§4.3).
+type (
+	// TrainExample is one labeled table.
+	TrainExample = learn.Example
+	// TrainConfig tunes the structured learner.
+	TrainConfig = learn.Config
+)
+
+// Training functions.
+var (
+	// Train fits weights by margin-rescaled structured learning.
+	Train = learn.Train
+	// DefaultTrainConfig is a stable operating point.
+	DefaultTrainConfig = learn.DefaultConfig
+)
+
+// Search application (§5).
+type (
+	// SearchIndex indexes an (optionally annotated) corpus.
+	SearchIndex = searchidx.Index
+	// SearchEngine answers relational queries over an index.
+	SearchEngine = search.Engine
+	// SearchQuery is the §5 select-project query form.
+	SearchQuery = search.Query
+	// SearchAnswer is one ranked response.
+	SearchAnswer = search.Answer
+	// SearchMode selects Baseline / Type / TypeRel processing.
+	SearchMode = search.Mode
+)
+
+// Search modes (Figure 9).
+const (
+	SearchBaseline = search.Baseline
+	SearchType     = search.Type
+	SearchTypeRel  = search.TypeRel
+)
+
+// Search constructors.
+var (
+	// NewSearchIndex indexes a corpus with optional annotations.
+	NewSearchIndex = searchidx.New
+	// NewSearchEngine wraps an index.
+	NewSearchEngine = search.NewEngine
+)
+
+// Synthetic world generation (the data substitution documented in
+// DESIGN.md §2).
+type (
+	// World is a synthetic universe with true and degraded catalogs.
+	World = worldgen.World
+	// WorldSpec controls world scale and noise.
+	WorldSpec = worldgen.Spec
+	// Dataset is a labeled table corpus.
+	Dataset = worldgen.Dataset
+	// LabeledTable pairs a table with ground truth.
+	LabeledTable = worldgen.LabeledTable
+)
+
+// World helpers.
+var (
+	// BuildWorld constructs a deterministic synthetic world.
+	BuildWorld = worldgen.Build
+	// DefaultWorldSpec is the laptop-scale operating point.
+	DefaultWorldSpec = worldgen.DefaultSpec
+)
