@@ -6,9 +6,11 @@
 package webtable_test
 
 import (
+	"context"
 	"sync"
 	"testing"
 
+	webtable "repro"
 	"repro/internal/catalog"
 	"repro/internal/core"
 	"repro/internal/experiments"
@@ -281,6 +283,100 @@ func BenchmarkMessagePassing(b *testing.B) {
 		g.InitMessages()
 		g.RunFlooding(5, 1e-6)
 		g.MAPAssignment()
+	}
+}
+
+// ---------------------------------------------------------------------
+// Service benchmarks: the public concurrent surface.
+// ---------------------------------------------------------------------
+
+var (
+	svcOnce   sync.Once
+	svcVal    *webtable.Service
+	svcTables []*table.Table
+	svcErr    error
+)
+
+func benchService(b *testing.B) (*webtable.Service, []*table.Table) {
+	b.Helper()
+	env := benchEnv(b)
+	svcOnce.Do(func() {
+		svcVal, svcErr = webtable.NewService(env.World.Public)
+		if svcErr != nil {
+			return
+		}
+		ds := env.World.SearchCorpus(24, 7)
+		for _, lt := range ds.Tables {
+			svcTables = append(svcTables, lt.Table)
+		}
+	})
+	if svcErr != nil {
+		b.Fatalf("service: %v", svcErr)
+	}
+	return svcVal, svcTables
+}
+
+// BenchmarkServiceAnnotateCorpus measures the parallel fan-out of the
+// Service API over its worker pool (GOMAXPROCS workers).
+func BenchmarkServiceAnnotateCorpus(b *testing.B) {
+	svc, tables := benchService(b)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := svc.AnnotateCorpus(ctx, tables); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(len(tables)), "tables/op")
+}
+
+// BenchmarkServiceAnnotateCorpusSerial is the same workload annotated
+// one table at a time, the parallelism baseline.
+func BenchmarkServiceAnnotateCorpusSerial(b *testing.B) {
+	svc, tables := benchService(b)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, t := range tables {
+			if _, err := svc.AnnotateTable(ctx, t); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(len(tables)), "tables/op")
+}
+
+// BenchmarkServiceSearch measures query latency over a built index.
+func BenchmarkServiceSearch(b *testing.B) {
+	svc, tables := benchService(b)
+	env := benchEnv(b)
+	ctx := context.Background()
+	if _, err := svc.BuildIndex(ctx, tables); err != nil {
+		b.Fatal(err)
+	}
+	workload := env.World.SearchWorkload([]string{"directed"}, 1, 7)
+	if len(workload) == 0 {
+		b.Fatal("empty workload")
+	}
+	wq := workload[0]
+	ri, _ := env.World.Rel("directed")
+	q := webtable.SearchQuery{
+		Relation:     wq.Relation,
+		T1:           wq.T1,
+		T2:           wq.T2,
+		E2:           wq.E2,
+		RelationText: ri.ContextWords[0],
+		T1Text:       env.World.True.TypeName(wq.T1),
+		T2Text:       env.World.True.TypeName(wq.T2),
+		E2Text:       wq.E2Name,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := svc.Search(ctx, q, webtable.WithLimit(10)); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -1,6 +1,8 @@
 // Command tabann annotates a table corpus against a catalog and emits the
 // annotations as JSON: per table, the column types, cell entities and
-// column-pair relations (na entries omitted).
+// column-pair relations (na entries omitted). Tables are annotated in
+// parallel over the service worker pool; Ctrl-C cancels cleanly
+// mid-corpus.
 //
 // Usage:
 //
@@ -9,16 +11,19 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
-	"repro/internal/catalog"
-	"repro/internal/core"
-	"repro/internal/feature"
-	"repro/internal/table"
+	webtable "repro"
+	"repro/internal/cmdio"
 )
 
 // jsonAnnotation is the stable output shape.
@@ -44,97 +49,108 @@ type jsonRel struct {
 }
 
 func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "tabann: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+var errUsage = errors.New("missing required flags (-catalog plus -corpus or -html)")
+
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("tabann", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		catPath = flag.String("catalog", "", "catalog JSON path (required)")
-		corpus  = flag.String("corpus", "", "table corpus JSON path")
-		html    = flag.String("html", "", "HTML file to extract tables from (alternative to -corpus)")
-		method  = flag.String("method", "collective", "inference: collective|simple|lca|majority")
-		filter  = flag.Bool("filter", true, "screen out formatting tables first")
+		catPath = fs.String("catalog", "", "catalog JSON path (required)")
+		corpus  = fs.String("corpus", "", "table corpus JSON path")
+		html    = fs.String("html", "", "HTML file to extract tables from (alternative to -corpus)")
+		method  = fs.String("method", "collective", "inference: collective|simple|lca|majority")
+		filter  = fs.Bool("filter", true, "screen out formatting tables first")
+		workers = fs.Int("workers", 0, "annotation workers (0 = GOMAXPROCS)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	if *catPath == "" || (*corpus == "" && *html == "") {
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return errUsage
 	}
 
-	cf, err := os.Open(*catPath)
+	m, err := webtable.ParseMethod(*method)
 	if err != nil {
-		fatal("%v", err)
-	}
-	cat, err := catalog.ReadJSON(cf)
-	if err != nil {
-		fatal("read catalog: %v", err)
-	}
-	_ = cf.Close()
-	if err := cat.Freeze(); err != nil {
-		fatal("freeze catalog: %v", err)
+		return err
 	}
 
-	var tables []*table.Table
+	cat, err := cmdio.LoadCatalog(*catPath)
+	if err != nil {
+		return err
+	}
+
+	var tables []*webtable.Table
 	if *corpus != "" {
-		tf, err := os.Open(*corpus)
+		tables, err = cmdio.LoadCorpus(*corpus)
 		if err != nil {
-			fatal("%v", err)
+			return err
 		}
-		tables, err = table.ReadCorpus(tf)
-		if err != nil {
-			fatal("read corpus: %v", err)
-		}
-		_ = tf.Close()
 	} else {
 		doc, err := os.ReadFile(*html)
 		if err != nil {
-			fatal("%v", err)
+			return err
 		}
-		tables = table.ExtractHTML(string(doc), *html)
+		tables = webtable.ExtractHTML(string(doc), *html)
 	}
 	if *filter {
-		kept, rejected := table.FilterRelational(tables, table.DefaultFilterConfig())
+		kept, rejected := webtable.FilterRelational(tables, webtable.DefaultFilterConfig())
 		if len(rejected) > 0 {
-			fmt.Fprintf(os.Stderr, "tabann: screened out %v\n", rejected)
+			fmt.Fprintf(stderr, "tabann: screened out %v\n", rejected)
 		}
 		tables = kept
 	}
 
-	ann := core.New(cat, feature.DefaultWeights(), core.DefaultConfig())
-	enc := json.NewEncoder(os.Stdout)
+	var svcOpts []webtable.ServiceOption
+	if *workers < 0 {
+		return fmt.Errorf("-workers must be >= 0, got %d", *workers)
+	}
+	if *workers > 0 {
+		svcOpts = append(svcOpts, webtable.WithWorkers(*workers))
+	}
+	svc, err := webtable.NewService(cat, svcOpts...)
+	if err != nil {
+		return err
+	}
+
 	start := time.Now()
-	for _, t := range tables {
-		var result *core.Annotation
-		switch *method {
-		case "collective":
-			result = ann.AnnotateCollective(t)
-		case "simple":
-			result = ann.AnnotateSimple(t)
-		case "lca":
-			result = &ann.AnnotateLCA(t).Annotation
-		case "majority":
-			result = &ann.AnnotateMajority(t).Annotation
-		default:
-			fatal("unknown method %q", *method)
-		}
-		if err := enc.Encode(toJSON(cat, result)); err != nil {
-			fatal("encode: %v", err)
+	anns, err := svc.AnnotateCorpus(ctx, tables, webtable.WithMethod(m))
+	if err != nil {
+		return fmt.Errorf("annotate: %w", err)
+	}
+	enc := json.NewEncoder(stdout)
+	for _, a := range anns {
+		if err := enc.Encode(toJSON(cat, a)); err != nil {
+			return fmt.Errorf("encode: %w", err)
 		}
 	}
-	fmt.Fprintf(os.Stderr, "tabann: %d tables in %v (%s)\n",
-		len(tables), time.Since(start).Round(time.Millisecond), *method)
+	fmt.Fprintf(stderr, "tabann: %d tables in %v (%s, %d workers)\n",
+		len(tables), time.Since(start).Round(time.Millisecond), m, svc.Workers())
+	return nil
 }
 
-func toJSON(cat *catalog.Catalog, a *core.Annotation) jsonAnnotation {
+func toJSON(cat *webtable.Catalog, a *webtable.Annotation) jsonAnnotation {
 	out := jsonAnnotation{
 		TableID: a.TableID,
 		Columns: make(map[string]string),
 		Millis:  float64(a.Diag.Total().Microseconds()) / 1000,
 	}
 	for c, T := range a.ColumnTypes {
-		if T != catalog.None {
+		if T != webtable.None {
 			out.Columns[fmt.Sprint(c)] = cat.TypeName(T)
 		}
 	}
 	for r, row := range a.CellEntities {
 		for c, e := range row {
-			if e != catalog.None {
+			if e != webtable.None {
 				out.Cells = append(out.Cells, jsonCell{Row: r, Col: c, Entity: cat.EntityName(e)})
 			}
 		}
@@ -146,9 +162,4 @@ func toJSON(cat *catalog.Catalog, a *core.Annotation) jsonAnnotation {
 		})
 	}
 	return out
-}
-
-func fatal(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "tabann: "+format+"\n", args...)
-	os.Exit(1)
 }

@@ -14,6 +14,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -23,107 +24,115 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "tabeval: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("tabeval", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		exp    = flag.String("exp", "all", "experiment: all|fig5|fig6|fig7|fig8|fig9|simplified|fsweep|missinglink|pool|train")
-		scale  = flag.Float64("scale", 0.25, "dataset scale relative to the paper (1.0 = full)")
-		seed   = flag.Int64("seed", 1, "world seed")
-		tables = flag.Int("fig7tables", 250, "corpus snapshot size for fig7")
-		corpus = flag.Int("fig9corpus", 200, "search corpus size for fig9")
-		qPerR  = flag.Int("fig9queries", 40, "queries per relation for fig9")
-		train  = flag.Bool("trained", false, "train weights on WikiManual first (slower)")
+		exp    = fs.String("exp", "all", "experiment: all|fig5|fig6|fig7|fig8|fig9|simplified|fsweep|missinglink|pool|train")
+		scale  = fs.Float64("scale", 0.25, "dataset scale relative to the paper (1.0 = full)")
+		seed   = fs.Int64("seed", 1, "world seed")
+		tables = fs.Int("fig7tables", 250, "corpus snapshot size for fig7")
+		corpus = fs.Int("fig9corpus", 200, "search corpus size for fig9")
+		qPerR  = fs.Int("fig9queries", 40, "queries per relation for fig9")
+		train  = fs.Bool("trained", false, "train weights on WikiManual first (slower)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	spec := worldgen.DefaultSpec()
 	spec.Seed = *seed
 	env, err := experiments.NewEnv(spec, *scale)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "tabeval: %v\n", err)
-		os.Exit(1)
+		return err
 	}
-	fmt.Printf("world: true catalog %v\n", env.World.True.Stats())
-	fmt.Printf("       public catalog %v\n", env.World.Public.Stats())
-	fmt.Printf("scale: %.2f seed: %d\n\n", *scale, *seed)
+	fmt.Fprintf(stdout, "world: true catalog %v\n", env.World.True.Stats())
+	fmt.Fprintf(stdout, "       public catalog %v\n", env.World.Public.Stats())
+	fmt.Fprintf(stdout, "scale: %.2f seed: %d\n\n", *scale, *seed)
 
 	if *train {
-		fmt.Println("training weights on WikiManual...")
+		fmt.Fprintln(stdout, "training weights on WikiManual...")
 		cfg := learn.DefaultConfig()
 		cfg.Progress = func(epoch, violations int, avgLoss float64) {
-			fmt.Printf("  epoch %d: %d violations, avg loss %.4f\n", epoch, violations, avgLoss)
+			fmt.Fprintf(stdout, "  epoch %d: %d violations, avg loss %.4f\n", epoch, violations, avgLoss)
 		}
 		if err := env.TrainOnWikiManual(cfg); err != nil {
-			fmt.Fprintf(os.Stderr, "tabeval: train: %v\n", err)
-			os.Exit(1)
+			return fmt.Errorf("train: %w", err)
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 	}
 
 	want := func(name string) bool { return *exp == "all" || strings.EqualFold(*exp, name) }
 	ran := false
 
 	if want("fig5") {
-		experiments.PrintFigure5(os.Stdout, env.Figure5())
-		fmt.Println()
+		experiments.PrintFigure5(stdout, env.Figure5())
+		fmt.Fprintln(stdout)
 		ran = true
 	}
 	if want("fig6") {
-		experiments.PrintFigure6(os.Stdout, env.Figure6())
-		fmt.Println()
+		experiments.PrintFigure6(stdout, env.Figure6())
+		fmt.Fprintln(stdout)
 		ran = true
 	}
 	if want("fig7") {
-		experiments.PrintFigure7(os.Stdout, env.Figure7(*tables))
-		fmt.Println()
+		experiments.PrintFigure7(stdout, env.Figure7(*tables))
+		fmt.Fprintln(stdout)
 		ran = true
 	}
 	if want("fig8") {
-		experiments.PrintFigure8(os.Stdout, env.Figure8())
-		fmt.Println()
+		experiments.PrintFigure8(stdout, env.Figure8())
+		fmt.Fprintln(stdout)
 		ran = true
 	}
 	if want("fig9") {
-		experiments.PrintFigure9(os.Stdout, env.Figure9(*corpus, *qPerR))
-		fmt.Println()
+		experiments.PrintFigure9(stdout, env.Figure9(*corpus, *qPerR))
+		fmt.Fprintln(stdout)
 		ran = true
 	}
 	if want("simplified") {
-		experiments.PrintAblationSimplified(os.Stdout, env.AblationSimplified())
-		fmt.Println()
+		experiments.PrintAblationSimplified(stdout, env.AblationSimplified())
+		fmt.Fprintln(stdout)
 		ran = true
 	}
 	if want("fsweep") {
-		experiments.PrintThresholdSweep(os.Stdout, env.ThresholdSweep([]float64{0.5, 0.6, 0.7, 0.8, 0.9, 1.0}))
-		fmt.Println()
+		experiments.PrintThresholdSweep(stdout, env.ThresholdSweep([]float64{0.5, 0.6, 0.7, 0.8, 0.9, 1.0}))
+		fmt.Fprintln(stdout)
 		ran = true
 	}
 	if want("missinglink") {
-		experiments.PrintMissingLink(os.Stdout, env.AblationMissingLink())
-		fmt.Println()
+		experiments.PrintMissingLink(stdout, env.AblationMissingLink())
+		fmt.Fprintln(stdout)
 		ran = true
 	}
 	if want("pool") {
-		experiments.PrintCandidatePool(os.Stdout, env.AblationCandidatePool([]int{2, 4, 8, 16}))
-		fmt.Println()
+		experiments.PrintCandidatePool(stdout, env.AblationCandidatePool([]int{2, 4, 8, 16}))
+		fmt.Fprintln(stdout)
 		ran = true
 	}
 	if want("train") && !*train {
-		fmt.Println("training comparison (structured learner, §6.1.3)...")
+		fmt.Fprintln(stdout, "training comparison (structured learner, §6.1.3)...")
 		cfg := learn.DefaultConfig()
 		cfg.Epochs = 3
 		if err := env.TrainOnWikiManual(cfg); err != nil {
-			fmt.Fprintf(os.Stderr, "tabeval: train: %v\n", err)
-			os.Exit(1)
+			return fmt.Errorf("train: %w", err)
 		}
 		rows := env.TrainingComparison(env.Ann.Weights())
-		fmt.Printf("%-18s %10s %8s\n", "Setting", "EntityAcc", "TypeF1")
+		fmt.Fprintf(stdout, "%-18s %10s %8s\n", "Setting", "EntityAcc", "TypeF1")
 		for _, r := range rows {
-			fmt.Printf("%-18s %10.2f %8.2f\n", r.Setting, r.EntityAcc, r.TypeF1)
+			fmt.Fprintf(stdout, "%-18s %10.2f %8.2f\n", r.Setting, r.EntityAcc, r.TypeF1)
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 		ran = true
 	}
 	if !ran {
-		fmt.Fprintf(os.Stderr, "tabeval: unknown experiment %q\n", *exp)
-		os.Exit(2)
+		return fmt.Errorf("unknown experiment %q", *exp)
 	}
+	return nil
 }

@@ -10,6 +10,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
@@ -18,51 +19,64 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "tabgen: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("tabgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		out     = flag.String("out", "data", "output directory")
-		seed    = flag.Int64("seed", 1, "world seed")
-		profile = flag.String("profile", "wiki", "noise profile: wiki|web|link")
-		tables  = flag.Int("tables", 100, "number of tables")
-		minRows = flag.Int("minrows", 10, "minimum rows per table")
-		maxRows = flag.Int("maxrows", 40, "maximum rows per table")
+		out     = fs.String("out", "data", "output directory")
+		seed    = fs.Int64("seed", 1, "world seed")
+		profile = fs.String("profile", "wiki", "noise profile: wiki|web|link")
+		tables  = fs.Int("tables", 100, "number of tables")
+		minRows = fs.Int("minrows", 10, "minimum rows per table")
+		maxRows = fs.Int("maxrows", 40, "maximum rows per table")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var np worldgen.NoiseProfile
+	switch *profile {
+	case "wiki":
+		np = worldgen.CleanProfile()
+	case "web":
+		np = worldgen.NoisyProfile()
+	case "link":
+		np = worldgen.LinkProfile()
+	default:
+		return fmt.Errorf("unknown profile %q", *profile)
+	}
 
 	spec := worldgen.DefaultSpec()
 	spec.Seed = *seed
 	w, err := worldgen.Build(spec)
 	if err != nil {
-		fatal("build world: %v", err)
+		return fmt.Errorf("build world: %w", err)
 	}
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
-		fatal("mkdir: %v", err)
+		return err
 	}
 
 	catPath := filepath.Join(*out, "catalog.json")
 	cf, err := os.Create(catPath)
 	if err != nil {
-		fatal("create: %v", err)
+		return err
 	}
 	if err := w.Public.WriteJSON(cf); err != nil {
-		fatal("write catalog: %v", err)
+		_ = cf.Close()
+		return fmt.Errorf("write catalog: %w", err)
 	}
 	if err := cf.Close(); err != nil {
-		fatal("close: %v", err)
+		return err
 	}
 
-	var ds worldgen.Dataset
-	switch *profile {
-	case "wiki":
-		ds = w.GenerateDataset("corpus", *seed+100, *tables, *minRows, *maxRows, worldgen.CleanProfile(), worldgen.AllGTLayers())
-	case "web":
-		ds = w.GenerateDataset("corpus", *seed+100, *tables, *minRows, *maxRows, worldgen.NoisyProfile(), worldgen.AllGTLayers())
-	case "link":
-		ds = w.GenerateDataset("corpus", *seed+100, *tables, *minRows, *maxRows, worldgen.LinkProfile(), worldgen.AllGTLayers())
-	default:
-		fatal("unknown profile %q", *profile)
-	}
-
+	ds := w.GenerateDataset("corpus", *seed+100, *tables, *minRows, *maxRows, np, worldgen.AllGTLayers())
 	tabs := make([]*table.Table, len(ds.Tables))
 	for i, lt := range ds.Tables {
 		tabs[i] = lt.Table
@@ -70,20 +84,17 @@ func main() {
 	corpusPath := filepath.Join(*out, "corpus.json")
 	tf, err := os.Create(corpusPath)
 	if err != nil {
-		fatal("create: %v", err)
+		return err
 	}
 	if err := table.WriteCorpus(tf, tabs); err != nil {
-		fatal("write corpus: %v", err)
+		_ = tf.Close()
+		return fmt.Errorf("write corpus: %w", err)
 	}
 	if err := tf.Close(); err != nil {
-		fatal("close: %v", err)
+		return err
 	}
 
-	fmt.Printf("wrote %s (%v)\n", catPath, w.Public.Stats())
-	fmt.Printf("wrote %s (%d tables, profile %s)\n", corpusPath, len(tabs), *profile)
-}
-
-func fatal(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "tabgen: "+format+"\n", args...)
-	os.Exit(1)
+	fmt.Fprintf(stdout, "wrote %s (%v)\n", catPath, w.Public.Stats())
+	fmt.Fprintf(stdout, "wrote %s (%d tables, profile %s)\n", corpusPath, len(tabs), *profile)
+	return nil
 }

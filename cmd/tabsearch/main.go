@@ -1,6 +1,7 @@
 // Command tabsearch runs one relational query R(E1 ∈ T1, E2) over a table
 // corpus in each of the three modes of §6.2 (baseline / type / type+rel)
-// and prints the ranked answers side by side.
+// and prints the ranked answers side by side. The corpus is annotated in
+// parallel over the service worker pool; Ctrl-C cancels cleanly.
 //
 // Usage:
 //
@@ -9,112 +10,105 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
-	"repro/internal/catalog"
-	"repro/internal/core"
-	"repro/internal/feature"
-	"repro/internal/search"
-	"repro/internal/searchidx"
-	"repro/internal/table"
+	webtable "repro"
+	"repro/internal/cmdio"
 )
 
 func main() {
-	var (
-		catPath  = flag.String("catalog", "", "catalog JSON path (required)")
-		corpus   = flag.String("corpus", "", "table corpus JSON path (required)")
-		relName  = flag.String("relation", "", "relation name (required)")
-		t1Name   = flag.String("t1", "", "answer type name (required)")
-		t2Name   = flag.String("t2", "", "probe type name (required)")
-		e2Text   = flag.String("e2", "", "probe entity text (required)")
-		topK     = flag.Int("k", 10, "answers to print per mode")
-		ctxWords = flag.String("context", "", "baseline context keywords (defaults to relation name)")
-	)
-	flag.Parse()
-	if *catPath == "" || *corpus == "" || *relName == "" || *t1Name == "" || *t2Name == "" || *e2Text == "" {
-		flag.Usage()
-		os.Exit(2)
-	}
-
-	cf, err := os.Open(*catPath)
-	if err != nil {
-		fatal("%v", err)
-	}
-	cat, err := catalog.ReadJSON(cf)
-	if err != nil {
-		fatal("read catalog: %v", err)
-	}
-	_ = cf.Close()
-	if err := cat.Freeze(); err != nil {
-		fatal("freeze: %v", err)
-	}
-
-	tf, err := os.Open(*corpus)
-	if err != nil {
-		fatal("%v", err)
-	}
-	tables, err := table.ReadCorpus(tf)
-	if err != nil {
-		fatal("read corpus: %v", err)
-	}
-	_ = tf.Close()
-
-	rel, ok := cat.RelationByName(*relName)
-	if !ok {
-		fatal("relation %q not in catalog", *relName)
-	}
-	t1, ok := cat.TypeByName(*t1Name)
-	if !ok {
-		fatal("type %q not in catalog", *t1Name)
-	}
-	t2, ok := cat.TypeByName(*t2Name)
-	if !ok {
-		fatal("type %q not in catalog", *t2Name)
-	}
-	e2, _ := cat.EntityByName(*e2Text) // None when absent: text fallback
-
-	fmt.Fprintf(os.Stderr, "annotating %d tables...\n", len(tables))
-	ann := core.New(cat, feature.DefaultWeights(), core.DefaultConfig())
-	anns := make([]*core.Annotation, len(tables))
-	for i, t := range tables {
-		anns[i] = ann.AnnotateCollective(t)
-	}
-	ix := searchidx.New(cat, tables, anns)
-	engine := search.NewEngine(ix)
-
-	ctx := *ctxWords
-	if ctx == "" {
-		ctx = *relName
-	}
-	q := search.Query{
-		Relation:     rel,
-		T1:           t1,
-		T2:           t2,
-		E2:           e2,
-		RelationText: ctx,
-		T1Text:       *t1Name,
-		T2Text:       *t2Name,
-		E2Text:       *e2Text,
-	}
-	for _, mode := range []search.Mode{search.Baseline, search.Type, search.TypeRel} {
-		answers := engine.Run(q, mode)
-		fmt.Printf("\n== %s (%d answers) ==\n", mode, len(answers))
-		for i, a := range answers {
-			if i >= *topK {
-				break
-			}
-			tag := ""
-			if a.Entity != catalog.None {
-				tag = " [entity]"
-			}
-			fmt.Printf("%2d. %-40s score=%.2f support=%d%s\n", i+1, a.Text, a.Score, a.Support, tag)
-		}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "tabsearch: %v\n", err)
+		os.Exit(1)
 	}
 }
 
-func fatal(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "tabsearch: "+format+"\n", args...)
-	os.Exit(1)
+var errUsage = errors.New("missing required flags (-catalog -corpus -relation -t1 -t2 -e2)")
+
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("tabsearch", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		catPath  = fs.String("catalog", "", "catalog JSON path (required)")
+		corpus   = fs.String("corpus", "", "table corpus JSON path (required)")
+		relName  = fs.String("relation", "", "relation name (required)")
+		t1Name   = fs.String("t1", "", "answer type name (required)")
+		t2Name   = fs.String("t2", "", "probe type name (required)")
+		e2Text   = fs.String("e2", "", "probe entity text (required)")
+		topK     = fs.Int("k", 10, "answers to print per mode")
+		ctxWords = fs.String("context", "", "baseline context keywords (defaults to relation name)")
+		workers  = fs.Int("workers", 0, "annotation workers (0 = GOMAXPROCS)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *catPath == "" || *corpus == "" || *relName == "" || *t1Name == "" || *t2Name == "" || *e2Text == "" {
+		fs.Usage()
+		return errUsage
+	}
+
+	cat, err := cmdio.LoadCatalog(*catPath)
+	if err != nil {
+		return err
+	}
+	tables, err := cmdio.LoadCorpus(*corpus)
+	if err != nil {
+		return err
+	}
+
+	var svcOpts []webtable.ServiceOption
+	if *workers < 0 {
+		return fmt.Errorf("-workers must be >= 0, got %d", *workers)
+	}
+	if *workers > 0 {
+		svcOpts = append(svcOpts, webtable.WithWorkers(*workers))
+	}
+	svc, err := webtable.NewService(cat, svcOpts...)
+	if err != nil {
+		return err
+	}
+
+	// Resolve the query up front: unknown relation/type names are hard
+	// errors now, not silent no-match queries. An unknown -e2 is fine
+	// (text fallback per §5).
+	q, err := svc.ResolveQuery(*relName, *t1Name, *t2Name, *e2Text)
+	if err != nil {
+		return err
+	}
+	if *ctxWords != "" {
+		q.RelationText = *ctxWords
+	}
+
+	fmt.Fprintf(stderr, "annotating %d tables (%d workers)...\n", len(tables), svc.Workers())
+	if _, err := svc.BuildIndex(ctx, tables); err != nil {
+		return fmt.Errorf("build index: %w", err)
+	}
+
+	for _, mode := range []webtable.SearchMode{webtable.SearchBaseline, webtable.SearchType, webtable.SearchTypeRel} {
+		answers, err := svc.Search(ctx, q, webtable.WithSearchMode(mode))
+		if err != nil {
+			return fmt.Errorf("search (%v): %w", mode, err)
+		}
+		fmt.Fprintf(stdout, "\n== %s (%d answers) ==\n", mode, len(answers))
+		if *topK > 0 && len(answers) > *topK {
+			answers = answers[:*topK]
+		}
+		for i, a := range answers {
+			tag := ""
+			if a.Entity != webtable.None {
+				tag = " [entity]"
+			}
+			fmt.Fprintf(stdout, "%2d. %-40s score=%.2f support=%d%s\n", i+1, a.Text, a.Score, a.Support, tag)
+		}
+	}
+	return nil
 }

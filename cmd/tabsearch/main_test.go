@@ -1,0 +1,126 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	webtable "repro"
+	"repro/internal/table"
+	"repro/internal/worldgen"
+)
+
+// buildWorldFiles materializes a tiny synthetic world (tables over the
+// "directed" relation only) as catalog.json + corpus.json under dir and
+// returns the world for naming queries.
+func buildWorldFiles(t *testing.T, dir string) *worldgen.World {
+	t.Helper()
+	spec := worldgen.DefaultSpec()
+	spec.FilmsPerGenre = 10
+	spec.NovelsPerGenre = 8
+	spec.PeoplePerRole = 12
+	spec.AlbumCount = 15
+	spec.CountryCount = 8
+	spec.CitiesPerCountry = 2
+	spec.LanguageCount = 6
+	w, err := worldgen.Build(spec)
+	if err != nil {
+		t.Fatalf("build world: %v", err)
+	}
+
+	cf, err := os.Create(filepath.Join(dir, "catalog.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Public.WriteJSON(cf); err != nil {
+		t.Fatalf("write catalog: %v", err)
+	}
+	if err := cf.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ds := w.GenerateDataset("smoke", 7, 6, 4, 8, worldgen.CleanProfile(), worldgen.AllGTLayers(), "directed")
+	tabs := make([]*table.Table, len(ds.Tables))
+	for i, lt := range ds.Tables {
+		tabs[i] = lt.Table
+	}
+	tf, err := os.Create(filepath.Join(dir, "corpus.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := table.WriteCorpus(tf, tabs); err != nil {
+		t.Fatalf("write corpus: %v", err)
+	}
+	if err := tf.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestRunSmoke(t *testing.T) {
+	dir := t.TempDir()
+	w := buildWorldFiles(t, dir)
+
+	workload := w.SearchWorkload([]string{"directed"}, 1, 7)
+	if len(workload) == 0 {
+		t.Fatal("empty search workload")
+	}
+	q := workload[0]
+
+	var out, errBuf bytes.Buffer
+	args := []string{
+		"-catalog", filepath.Join(dir, "catalog.json"),
+		"-corpus", filepath.Join(dir, "corpus.json"),
+		"-relation", q.RelationName,
+		"-t1", w.True.TypeName(q.T1),
+		"-t2", w.True.TypeName(q.T2),
+		"-e2", q.E2Name,
+		"-k", "5",
+		"-workers", "2",
+	}
+	if err := run(context.Background(), args, &out, &errBuf); err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errBuf.String())
+	}
+	got := out.String()
+	for _, want := range []string{"== Baseline", "== Type ", "== Type+Rel"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunUnknownRelation(t *testing.T) {
+	dir := t.TempDir()
+	buildWorldFiles(t, dir)
+	var out, errBuf bytes.Buffer
+	args := []string{
+		"-catalog", filepath.Join(dir, "catalog.json"),
+		"-corpus", filepath.Join(dir, "corpus.json"),
+		"-relation", "nonesuch",
+		"-t1", "Film",
+		"-t2", "Director",
+		"-e2", "whoever",
+	}
+	err := run(context.Background(), args, &out, &errBuf)
+	if err == nil {
+		t.Fatal("want error for unknown relation")
+	}
+	if !errors.Is(err, webtable.ErrUnknownName) {
+		t.Fatalf("err = %v, want ErrUnknownName", err)
+	}
+	var qe *webtable.QueryError
+	if !errors.As(err, &qe) || qe.Field != "relation" {
+		t.Fatalf("err = %#v, want QueryError on field \"relation\"", err)
+	}
+}
+
+func TestRunMissingFlags(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run(context.Background(), nil, &out, &errBuf); err == nil {
+		t.Fatal("want error for missing flags")
+	}
+}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -74,13 +75,15 @@ func main() {
 		},
 	}
 
-	ann := webtable.NewAnnotator(cat, webtable.DefaultWeights(), webtable.DefaultConfig())
+	// Annotate the whole corpus in one parallel Service call.
+	svc := must(webtable.NewService(cat))
+	results := must(svc.AnnotateCorpus(context.Background(), tables))
 
 	// Merge annotated (player, club) pairs across tables by entity ID.
 	type fact struct{ player, club webtable.EntityID }
 	support := map[fact]int{}
-	for _, tab := range tables {
-		res := ann.AnnotateCollective(tab)
+	for ti, tab := range tables {
+		res := results[ti]
 		ra, ok := res.RelationBetween(0, 1)
 		if !ok || cat.RelationName(ra.Relation) != "playsFor" {
 			fmt.Printf("%s: no playsFor relation found, skipping\n", tab.ID)

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -57,10 +58,11 @@ func main() {
 	check(cat.AddTuple(wrote, stannard, quest))
 	check(cat.Freeze())
 
-	ann := webtable.NewAnnotator(cat, webtable.DefaultWeights(), webtable.DefaultConfig())
-	for _, tab := range kept {
+	svc := must(webtable.NewService(cat))
+	anns := must(svc.AnnotateCorpus(context.Background(), kept))
+	for ti, tab := range kept {
 		fmt.Printf("table %s (context: %q)\n", tab.ID, tab.Context)
-		res := ann.AnnotateCollective(tab)
+		res := anns[ti]
 		for c, T := range res.ColumnTypes {
 			if T != webtable.None {
 				fmt.Printf("  column %d -> %s\n", c, cat.TypeName(T))

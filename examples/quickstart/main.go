@@ -1,8 +1,9 @@
-// Quickstart: build a tiny catalog, annotate one table collectively, and
-// print the entity/type/relation labels.
+// Quickstart: build a tiny catalog, annotate one table collectively via
+// the Service API, and print the entity/type/relation labels.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -25,7 +26,6 @@ func main() {
 	wrote := must(cat.AddRelation("wrote", person, book, webtable.ManyToMany))
 	check(cat.AddTuple(wrote, einstein, relativity))
 	check(cat.AddTuple(wrote, stannard, quantumQuest))
-	check(cat.Freeze())
 
 	// 2. A web table with ambiguous cells (Figure 1 of the paper).
 	tab := &webtable.Table{
@@ -38,9 +38,10 @@ func main() {
 		},
 	}
 
-	// 3. Annotate collectively (entity + type + relation, jointly).
-	ann := webtable.NewAnnotator(cat, webtable.DefaultWeights(), webtable.DefaultConfig())
-	result := ann.AnnotateCollective(tab)
+	// 3. Annotate collectively (entity + type + relation, jointly) via
+	// the Service, which freezes the catalog and owns the lemma index.
+	svc := must(webtable.NewService(cat))
+	result := must(svc.AnnotateTable(context.Background(), tab))
 
 	fmt.Println("column types:")
 	for c, T := range result.ColumnTypes {

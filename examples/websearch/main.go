@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -12,6 +13,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	spec := webtable.DefaultWorldSpec()
 	spec.FilmsPerGenre = 25
 	spec.NovelsPerGenre = 20
@@ -23,17 +25,20 @@ func main() {
 	fmt.Printf("world: %v\n", world.True.Stats())
 
 	// A corpus of noisy web tables over every relation, annotated
-	// collectively against the degraded public catalog.
+	// collectively (in parallel) against the degraded public catalog and
+	// indexed, all in one Service call.
 	corpus := world.SearchCorpus(80, 99)
-	ann := webtable.NewAnnotator(world.Public, webtable.DefaultWeights(), webtable.DefaultConfig())
 	var tables []*webtable.Table
-	var anns []*webtable.Annotation
 	for _, lt := range corpus.Tables {
 		tables = append(tables, lt.Table)
-		anns = append(anns, ann.AnnotateCollective(lt.Table))
 	}
-	ix := webtable.NewSearchIndex(world.Public, tables, anns)
-	engine := webtable.NewSearchEngine(ix)
+	svc, err := webtable.NewService(world.Public)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := svc.BuildIndex(ctx, tables); err != nil {
+		log.Fatal(err)
+	}
 
 	// Query: films directed by a particular director from the world.
 	workload := world.SearchWorkload([]string{"directed"}, 1, 7)
@@ -60,7 +65,10 @@ func main() {
 	for _, mode := range []webtable.SearchMode{
 		webtable.SearchBaseline, webtable.SearchType, webtable.SearchTypeRel,
 	} {
-		answers := engine.Run(sq, mode)
+		answers, err := svc.Search(ctx, sq, webtable.WithSearchMode(mode))
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("\n-- %s: %d answers\n", mode, len(answers))
 		for i, a := range answers {
 			if i >= 5 {

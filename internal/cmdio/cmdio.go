@@ -1,0 +1,39 @@
+// Package cmdio holds the catalog/corpus file loaders shared by the
+// command-line tools, so the binaries cannot drift apart in how they
+// open and decode their inputs.
+package cmdio
+
+import (
+	"fmt"
+	"os"
+
+	webtable "repro"
+)
+
+// LoadCatalog opens and decodes a catalog JSON file.
+func LoadCatalog(path string) (*webtable.Catalog, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	cat, err := webtable.ReadCatalogJSON(f)
+	if err != nil {
+		return nil, fmt.Errorf("read catalog: %w", err)
+	}
+	return cat, nil
+}
+
+// LoadCorpus opens and decodes a table-corpus JSON file.
+func LoadCorpus(path string) ([]*webtable.Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	tables, err := webtable.ReadCorpus(f)
+	if err != nil {
+		return nil, fmt.Errorf("read corpus: %w", err)
+	}
+	return tables, nil
+}

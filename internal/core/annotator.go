@@ -93,19 +93,30 @@ type Annotation struct {
 }
 
 // RelationBetween returns the annotated relation between two columns, if
-// any, normalizing the order of the pair.
+// any. The result is normalized to the caller's column order: Col1 and
+// Col2 echo c1 and c2, and Forward is flipped when the stored pair was
+// recorded in the opposite orientation, so `Forward == true` always means
+// "c1 holds the subjects" regardless of how the pair was stored.
 func (a *Annotation) RelationBetween(c1, c2 int) (RelationAnnotation, bool) {
 	for _, r := range a.Relations {
-		if (r.Col1 == c1 && r.Col2 == c2) || (r.Col1 == c2 && r.Col2 == c1) {
+		if r.Col1 == c1 && r.Col2 == c2 {
+			return r, true
+		}
+		if r.Col1 == c2 && r.Col2 == c1 {
+			r.Col1, r.Col2 = c1, c2
+			r.Forward = !r.Forward
 			return r, true
 		}
 	}
 	return RelationAnnotation{}, false
 }
 
-// Annotator annotates tables against one catalog. Construct with New;
-// safe for sequential reuse across many tables (the feature extractor's
-// participation cache warms up across calls).
+// Annotator annotates tables against one catalog. Construct with New.
+// All annotation methods are safe for concurrent use from multiple
+// goroutines (the feature extractor's participation cache is sharded and
+// warms up across calls); the one exception is SetWeights, which must not
+// race with in-flight annotations — use With to derive a reweighted
+// annotator instead when serving concurrently.
 type Annotator struct {
 	cat *catalog.Catalog
 	ix  *lemmaindex.Index
@@ -139,6 +150,27 @@ func NewWithIndex(cat *catalog.Catalog, ix *lemmaindex.Index, w feature.Weights,
 	}
 }
 
+// With derives an annotator with different weights and configuration that
+// shares this annotator's catalog and, when cfg.Candidates is unchanged,
+// its lemma index; the feature extractor (and its participation cache) is
+// likewise shared when neither the candidate config nor the type-entity
+// mode changed. The shared-everything path is cheap and safe to call
+// concurrently, which makes it the per-request override mechanism of the
+// service layer. Changing cfg.Candidates rebuilds the lemma index so the
+// new candidate-generation settings actually take effect — that path is
+// as expensive as constructing an annotator from scratch.
+func (a *Annotator) With(w feature.Weights, cfg Config) *Annotator {
+	ix := a.ix
+	if cfg.Candidates != a.cfg.Candidates {
+		ix = lemmaindex.Build(a.cat, cfg.Candidates)
+	}
+	ext := a.ext
+	if ix != a.ix || cfg.Mode != a.cfg.Mode {
+		ext = feature.NewExtractor(a.cat, ix, cfg.Mode)
+	}
+	return &Annotator{cat: a.cat, ix: ix, ext: ext, w: w, cfg: cfg}
+}
+
 // Catalog returns the annotator's catalog.
 func (a *Annotator) Catalog() *catalog.Catalog { return a.cat }
 
@@ -148,7 +180,9 @@ func (a *Annotator) Index() *lemmaindex.Index { return a.ix }
 // Weights returns the current model weights.
 func (a *Annotator) Weights() feature.Weights { return a.w }
 
-// SetWeights replaces the model weights (after training).
+// SetWeights replaces the model weights (after training). Not safe to
+// call while annotations are in flight on other goroutines; derive a new
+// annotator with With for concurrent serving.
 func (a *Annotator) SetWeights(w feature.Weights) { a.w = w }
 
 // Config returns the annotator configuration.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -128,8 +129,10 @@ func (a *Annotator) buildGraph(cs *candidates) *annotGraph {
 
 // runSchedule executes the Appendix-D message schedule: unaries once, then
 // per iteration (1) entities→φ3→types and back, (2) entities→φ5→relations
-// and back, (3) types→φ4→relations and back, until convergence.
-func (ag *annotGraph) runSchedule(maxIters int, tol float64) (iters int, converged bool) {
+// and back, (3) types→φ4→relations and back, until convergence. The
+// context is checked between factor-family sweeps so cancellation aborts
+// mid-iteration rather than only between tables.
+func (ag *annotGraph) runSchedule(ctx context.Context, maxIters int, tol float64) (iters int, converged bool, err error) {
 	g := ag.g
 	g.InitMessages()
 	for _, f := range ag.unaries {
@@ -137,22 +140,31 @@ func (ag *annotGraph) runSchedule(maxIters int, tol float64) (iters int, converg
 	}
 	prev := g.Messages()
 	for iters = 1; iters <= maxIters; iters++ {
+		if err := ctx.Err(); err != nil {
+			return iters, false, err
+		}
 		for _, f := range ag.phi3 {
 			g.SweepFactor(f)
 		}
+		if err := ctx.Err(); err != nil {
+			return iters, false, err
+		}
 		for _, f := range ag.phi5 {
 			g.SweepFactor(f)
+		}
+		if err := ctx.Err(); err != nil {
+			return iters, false, err
 		}
 		for _, f := range ag.phi4 {
 			g.SweepFactor(f)
 		}
 		cur := g.Messages()
 		if factorgraph.MessageDelta(prev, cur) < tol {
-			return iters, true
+			return iters, true, nil
 		}
 		prev = cur
 	}
-	return maxIters, false
+	return maxIters, false, nil
 }
 
 // decode maps the MAP assignment back to catalog labels.
@@ -193,18 +205,37 @@ func (ag *annotGraph) decode(ann *Annotation) {
 // by max-product BP under the Appendix-D schedule. This is the method
 // evaluated as "Collective" in Figure 6.
 func (a *Annotator) AnnotateCollective(t *table.Table) *Annotation {
+	ann, _ := a.AnnotateCollectiveContext(context.Background(), t)
+	return ann
+}
+
+// AnnotateCollectiveContext is AnnotateCollective with cancellation: the
+// context is checked before candidate generation, before graph build, and
+// between BP sweeps. On cancellation it returns the all-na annotation
+// shaped like t together with the context's error; partial inference
+// results are never decoded.
+func (a *Annotator) AnnotateCollectiveContext(ctx context.Context, t *table.Table) (*Annotation, error) {
 	ann := newAnnotation(t)
+	if err := ctx.Err(); err != nil {
+		return ann, err
+	}
 
 	start := time.Now()
 	cs := a.buildCandidates(t)
 	candTime := time.Since(start)
+	if err := ctx.Err(); err != nil {
+		return ann, err
+	}
 
 	start = time.Now()
 	ag := a.buildGraph(cs)
 	buildTime := time.Since(start)
 
 	start = time.Now()
-	iters, conv := ag.runSchedule(a.cfg.MaxIters, a.cfg.Tol)
+	iters, conv, err := ag.runSchedule(ctx, a.cfg.MaxIters, a.cfg.Tol)
+	if err != nil {
+		return ann, err
+	}
 	ag.decode(ann)
 	inferTime := time.Since(start)
 
@@ -217,7 +248,7 @@ func (a *Annotator) AnnotateCollective(t *table.Table) *Annotation {
 		NumVars:      ag.g.NumVars(),
 		NumFactors:   ag.g.NumFactors(),
 	}
-	return ann
+	return ann, nil
 }
 
 // scoreAssignment evaluates the Eq. 1 objective (in log space) of an

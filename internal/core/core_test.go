@@ -409,6 +409,33 @@ func TestScoreAnnotationConsistent(t *testing.T) {
 	}
 }
 
+func TestRelationBetweenNormalizesOrder(t *testing.T) {
+	ann := &Annotation{Relations: []RelationAnnotation{
+		{Col1: 0, Col2: 2, Relation: 3, Forward: true},
+	}}
+	// Stored order: identity.
+	ra, ok := ann.RelationBetween(0, 2)
+	if !ok || ra.Col1 != 0 || ra.Col2 != 2 || !ra.Forward {
+		t.Errorf("stored order: got %+v ok=%v", ra, ok)
+	}
+	// Reversed query order: columns echo the caller, direction flips, so
+	// Forward still means "first argument holds the subjects".
+	ra, ok = ann.RelationBetween(2, 0)
+	if !ok || ra.Col1 != 2 || ra.Col2 != 0 || ra.Forward {
+		t.Errorf("reversed order: got %+v ok=%v, want Col1=2 Col2=0 Forward=false", ra, ok)
+	}
+	if ra.Relation != 3 {
+		t.Errorf("relation = %v, want 3", ra.Relation)
+	}
+	// The stored annotation itself is untouched.
+	if r := ann.Relations[0]; r.Col1 != 0 || r.Col2 != 2 || !r.Forward {
+		t.Errorf("stored annotation mutated: %+v", r)
+	}
+	if _, ok := ann.RelationBetween(0, 1); ok {
+		t.Error("found a relation between unrelated columns")
+	}
+}
+
 func TestEmptyTableHandled(t *testing.T) {
 	w := buildFigure1World(t)
 	a := newTestAnnotator(t, w)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/catalog"
@@ -20,7 +21,19 @@ import (
 // argmax is replaced by a min-cost-flow assignment forcing distinct
 // entities across the column's cells (§4.4.1, [1]).
 func (a *Annotator) AnnotateSimple(t *table.Table) *Annotation {
+	ann, _ := a.AnnotateSimpleContext(context.Background(), t)
+	return ann
+}
+
+// AnnotateSimpleContext is AnnotateSimple with cancellation: the context
+// is checked before candidate generation and between columns. On
+// cancellation it returns the annotation as labeled so far together with
+// the context's error.
+func (a *Annotator) AnnotateSimpleContext(ctx context.Context, t *table.Table) (*Annotation, error) {
 	ann := newAnnotation(t)
+	if err := ctx.Err(); err != nil {
+		return ann, err
+	}
 
 	start := time.Now()
 	cs := a.buildCandidates(t)
@@ -32,6 +45,9 @@ func (a *Annotator) AnnotateSimple(t *table.Table) *Annotation {
 		unique[c] = true
 	}
 	for i, c := range cs.cols {
+		if err := ctx.Err(); err != nil {
+			return ann, err
+		}
 		bestType, bestScore, bestCells := catalog.TypeID(catalog.None), 0.0, a.bestCellsGivenType(cs, i, catalog.None)
 		// The na option scores Σ_r max(0, max_E φ1): type absent, cells
 		// may still be labeled on text evidence alone.
@@ -65,7 +81,7 @@ func (a *Annotator) AnnotateSimple(t *table.Table) *Annotation {
 		Iterations:   1,
 		Converged:    true,
 	}
-	return ann
+	return ann, nil
 }
 
 type cellChoice struct {

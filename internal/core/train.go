@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"repro/internal/catalog"
 	"repro/internal/factorgraph"
 	"repro/internal/feature"
@@ -123,11 +125,7 @@ func (a *Annotator) featureVector(cs *candidates, ann *Annotation) []float64 {
 		if !ok {
 			continue
 		}
-		fwd := ra.Forward
-		if ra.Col1 != c1 {
-			fwd = !fwd
-		}
-		rd := feature.RelDir{Relation: ra.Relation, Forward: fwd}
+		rd := feature.RelDir{Relation: ra.Relation, Forward: ra.Forward}
 		t1, t2 := ann.ColumnTypes[c1], ann.ColumnTypes[c2]
 		if t1 != catalog.None && t2 != catalog.None {
 			f4 := a.ext.F4(rd, t1, t2)
@@ -190,7 +188,7 @@ func (a *Annotator) AnnotateLossAugmented(t *table.Table, gold GoldLabels, lossW
 		}
 	}
 
-	iters, conv := ag.runSchedule(a.cfg.MaxIters, a.cfg.Tol)
+	iters, conv, _ := ag.runSchedule(context.Background(), a.cfg.MaxIters, a.cfg.Tol)
 	ag.decode(ann)
 	ann.Diag.Iterations, ann.Diag.Converged = iters, conv
 	return ann

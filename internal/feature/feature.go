@@ -12,6 +12,7 @@ package feature
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/catalog"
 	"repro/internal/lemmaindex"
@@ -108,15 +109,25 @@ func WeightsFromFlat(v []float64) (Weights, error) {
 }
 
 // Extractor computes feature vectors against one catalog + lemma index.
-// It caches the expensive relation-participation fractions. Not safe for
-// concurrent use.
+// It caches the expensive relation-participation fractions in a sharded
+// map, so one Extractor is safe for concurrent use by many goroutines
+// (the cache warms up across tables and workers alike).
 type Extractor struct {
 	cat  *catalog.Catalog
 	ix   *lemmaindex.Index
 	mode TypeEntityMode
 
-	partCache map[partKey]float64
-	logE      float64 // log |E|, for specificity normalization
+	part [partShards]partShard
+	logE float64 // log |E|, for specificity normalization
+}
+
+// partShards bounds lock contention on the participation cache. Must be a
+// power of two (the shard index is a bitmask).
+const partShards = 16
+
+type partShard struct {
+	mu sync.RWMutex
+	m  map[partKey]float64
 }
 
 type partKey struct {
@@ -124,15 +135,22 @@ type partKey struct {
 	t1, t2 catalog.TypeID
 }
 
+func (k partKey) shard() uint32 {
+	return (uint32(k.b)*31 + uint32(k.t1)*17 + uint32(k.t2)) & (partShards - 1)
+}
+
 // NewExtractor builds an extractor. The catalog must be frozen.
 func NewExtractor(cat *catalog.Catalog, ix *lemmaindex.Index, mode TypeEntityMode) *Extractor {
-	return &Extractor{
-		cat:       cat,
-		ix:        ix,
-		mode:      mode,
-		partCache: make(map[partKey]float64),
-		logE:      math.Log(math.Max(2, float64(cat.NumEntities()))),
+	x := &Extractor{
+		cat:  cat,
+		ix:   ix,
+		mode: mode,
+		logE: math.Log(math.Max(2, float64(cat.NumEntities()))),
 	}
+	for i := range x.part {
+		x.part[i].m = make(map[partKey]float64)
+	}
+	return x
 }
 
 // Mode reports the configured type-entity compatibility mode.
@@ -208,15 +226,23 @@ func (x *Extractor) F4(rd RelDir, tc, tcPrime catalog.TypeID) [F4Dim]float64 {
 
 func (x *Extractor) participation(b catalog.RelationID, subj, obj catalog.TypeID) float64 {
 	key := partKey{b, subj, obj}
-	if v, ok := x.partCache[key]; ok {
+	sh := &x.part[key.shard()]
+	sh.mu.RLock()
+	v, ok := sh.m[key]
+	sh.mu.RUnlock()
+	if ok {
 		return v
 	}
 	// Average of: fraction of subj entities related into obj, and
-	// fraction of obj entities related from subj.
+	// fraction of obj entities related from subj. Concurrent misses may
+	// compute this twice; the value is deterministic, so last-write-wins
+	// is harmless.
 	fwd := x.cat.ParticipationFraction(b, subj, obj)
 	rev := x.reverseParticipation(b, subj, obj)
-	v := (fwd + rev) / 2
-	x.partCache[key] = v
+	v = (fwd + rev) / 2
+	sh.mu.Lock()
+	sh.m[key] = v
+	sh.mu.Unlock()
 	return v
 }
 

@@ -6,6 +6,7 @@
 package search
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/catalog"
@@ -76,10 +77,18 @@ func NewEngine(ix *searchidx.Index) *Engine {
 
 // Run answers q in the given mode, returning ranked answers (best first).
 func (e *Engine) Run(q Query, mode Mode) []Answer {
+	answers, _ := e.RunContext(context.Background(), q, mode)
+	return answers
+}
+
+// RunContext is Run with cancellation: the context is checked between
+// candidate column pairs, so long scans over large corpora abort promptly.
+// On cancellation it returns nil answers and the context's error.
+func (e *Engine) RunContext(ctx context.Context, q Query, mode Mode) ([]Answer, error) {
 	if mode == Baseline {
-		return e.runBaseline(q)
+		return e.runBaseline(ctx, q)
 	}
-	return e.runAnnotated(q, mode == TypeRel)
+	return e.runAnnotated(ctx, q, mode == TypeRel)
 }
 
 // Strings answers q and projects the ranked answer texts, the form the
@@ -97,7 +106,7 @@ func (e *Engine) Strings(q Query, mode Mode) []string {
 // tables whose headers match T1 and T2 and context matches R; look for
 // E2 in the T2 column; collect the T1-column cells of qualifying rows;
 // cluster, dedup, rank.
-func (e *Engine) runBaseline(q Query) []Answer {
+func (e *Engine) runBaseline(ctx context.Context, q Query) ([]Answer, error) {
 	t1Cols := e.ix.HeaderMatches(q.T1Text)
 	t2Cols := e.ix.HeaderMatches(q.T2Text)
 	ctxTables := e.ix.ContextMatches(q.RelationText)
@@ -123,6 +132,9 @@ func (e *Engine) runBaseline(q Query) []Answer {
 
 	clusters := make(map[string]*Answer)
 	for _, p := range pairs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		tab := e.ix.Tables[p.c1.Table]
 		for r := 0; r < tab.Rows(); r++ {
 			sim := cellMatch(q.E2Text, tab.Cell(r, p.c2.Col))
@@ -143,7 +155,7 @@ func (e *Engine) runBaseline(q Query) []Answer {
 			a.Support++
 		}
 	}
-	return rankAnswers(clusters)
+	return rankAnswers(clusters), nil
 }
 
 // runAnnotated implements Figure 4: locate tables with a column labeled
@@ -151,7 +163,7 @@ func (e *Engine) runBaseline(q Query) []Answer {
 // the T2 column by entity annotation (or text fallback); aggregate the
 // evidence of the T1 column cells, keyed by entity annotation when
 // available.
-func (e *Engine) runAnnotated(q Query, requireRel bool) []Answer {
+func (e *Engine) runAnnotated(ctx context.Context, q Query, requireRel bool) ([]Answer, error) {
 	type pair struct {
 		c1, c2 searchidx.ColRef
 	}
@@ -186,6 +198,9 @@ func (e *Engine) runAnnotated(q Query, requireRel bool) []Answer {
 
 	clusters := make(map[string]*Answer)
 	for _, p := range pairs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		tab := e.ix.Tables[p.c1.Table]
 		for r := 0; r < tab.Rows(); r++ {
 			loc2 := searchidx.CellLoc{Table: p.c2.Table, Row: r, Col: p.c2.Col}
@@ -224,7 +239,7 @@ func (e *Engine) runAnnotated(q Query, requireRel bool) []Answer {
 			a.Support++
 		}
 	}
-	return rankAnswers(clusters)
+	return rankAnswers(clusters), nil
 }
 
 // typeCompatible reports whether the column's annotated type is a

@@ -7,6 +7,9 @@
 package searchidx
 
 import (
+	"context"
+	"fmt"
+
 	"repro/internal/catalog"
 	"repro/internal/core"
 	"repro/internal/table"
@@ -51,6 +54,18 @@ type Index struct {
 // parallel to tables; a nil entry disables annotation lookups for that
 // table.
 func New(cat *catalog.Catalog, tables []*table.Table, anns []*core.Annotation) *Index {
+	ix, _ := BuildContext(context.Background(), cat, tables, anns)
+	return ix
+}
+
+// BuildContext is New with input validation and cancellation: a non-nil
+// anns slice must be parallel to tables (a length mismatch is reported as
+// an error instead of panicking later in EntityAt/TypeAt), and the context
+// is checked between tables so indexing a large corpus aborts promptly.
+func BuildContext(ctx context.Context, cat *catalog.Catalog, tables []*table.Table, anns []*core.Annotation) (*Index, error) {
+	if anns != nil && len(anns) != len(tables) {
+		return nil, fmt.Errorf("searchidx: %d annotations for %d tables", len(anns), len(tables))
+	}
 	ix := &Index{
 		cat:           cat,
 		Tables:        tables,
@@ -63,6 +78,9 @@ func New(cat *catalog.Catalog, tables []*table.Table, anns []*core.Annotation) *
 		cellsByEntity: make(map[catalog.EntityID][]CellLoc),
 	}
 	for ti, t := range tables {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		for tok := range text.TokenSet(t.Context) {
 			ix.contextPost[tok] = append(ix.contextPost[tok], ti)
 		}
@@ -84,6 +102,9 @@ func New(cat *catalog.Catalog, tables []*table.Table, anns []*core.Annotation) *
 			if ann == nil {
 				continue
 			}
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			for c, T := range ann.ColumnTypes {
 				if T != catalog.None {
 					ix.colsByType[T] = append(ix.colsByType[T], ColRef{ti, c})
@@ -102,7 +123,7 @@ func New(cat *catalog.Catalog, tables []*table.Table, anns []*core.Annotation) *
 			}
 		}
 	}
-	return ix
+	return ix, nil
 }
 
 // Catalog returns the catalog the annotations refer to.

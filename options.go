@@ -1,0 +1,160 @@
+package webtable
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/feature"
+	"repro/internal/search"
+)
+
+// Method selects the inference algorithm an annotation call runs (§4).
+type Method uint8
+
+// Annotation methods.
+const (
+	// MethodCollective is full joint inference (Eq. 1, Figure 10).
+	MethodCollective Method = iota
+	// MethodSimple is the polynomial special case (§4.4.1, Figure 2).
+	MethodSimple
+	// MethodLCA is the least-common-ancestor baseline (§4.5).
+	MethodLCA
+	// MethodMajority is the majority-vote baseline (§4.5).
+	MethodMajority
+)
+
+func (m Method) String() string {
+	switch m {
+	case MethodCollective:
+		return "collective"
+	case MethodSimple:
+		return "simple"
+	case MethodLCA:
+		return "lca"
+	case MethodMajority:
+		return "majority"
+	default:
+		return fmt.Sprintf("method(%d)", uint8(m))
+	}
+}
+
+// ParseMethod resolves a method by its command-line name.
+func ParseMethod(s string) (Method, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "collective":
+		return MethodCollective, nil
+	case "simple":
+		return MethodSimple, nil
+	case "lca":
+		return MethodLCA, nil
+	case "majority":
+		return MethodMajority, nil
+	default:
+		return 0, fmt.Errorf("%w: %q", ErrUnknownMethod, s)
+	}
+}
+
+// ServiceOption configures a Service at construction time.
+type ServiceOption func(*serviceOptions)
+
+type serviceOptions struct {
+	weights feature.Weights
+	cfg     core.Config
+	workers int
+	method  Method
+}
+
+// WithWorkers sets the size of the service's worker pool: the maximum
+// number of tables annotated concurrently across all in-flight calls.
+// The default is runtime.GOMAXPROCS(0).
+func WithWorkers(n int) ServiceOption {
+	return func(o *serviceOptions) { o.workers = n }
+}
+
+// WithServiceWeights sets the service's default model weights.
+func WithServiceWeights(w Weights) ServiceOption {
+	return func(o *serviceOptions) { o.weights = w }
+}
+
+// WithServiceConfig sets the service's default annotator configuration
+// (candidate generation, BP iteration cap, type-entity mode, ...).
+func WithServiceConfig(cfg Config) ServiceOption {
+	return func(o *serviceOptions) { o.cfg = cfg }
+}
+
+// WithDefaultMethod sets the method annotation calls use when they pass
+// no WithMethod override. The default is MethodCollective.
+func WithDefaultMethod(m Method) ServiceOption {
+	return func(o *serviceOptions) { o.method = m }
+}
+
+// AnnotateOption overrides service defaults for one annotation call
+// (AnnotateTable, AnnotateCorpus or BuildIndex). Overrides never mutate
+// the service; they derive a per-call annotator sharing the service's
+// catalog, lemma index and feature caches.
+type AnnotateOption func(*annotateOptions)
+
+type annotateOptions struct {
+	method    Method
+	methodSet bool
+	weights   *feature.Weights
+	cfg       *core.Config
+	maxIters  *int
+	mode      *feature.TypeEntityMode
+	noAnns    bool
+}
+
+// WithMethod selects the inference method for this call.
+func WithMethod(m Method) AnnotateOption {
+	return func(o *annotateOptions) { o.method, o.methodSet = m, true }
+}
+
+// WithWeights runs this call under different model weights (for example,
+// freshly trained ones) without touching the service defaults.
+func WithWeights(w Weights) AnnotateOption {
+	return func(o *annotateOptions) { o.weights = &w }
+}
+
+// WithAnnotatorConfig replaces the whole annotator configuration for this
+// call. WithMaxIters / WithTypeEntityMode then apply on top of it.
+func WithAnnotatorConfig(cfg Config) AnnotateOption {
+	return func(o *annotateOptions) { o.cfg = &cfg }
+}
+
+// WithMaxIters caps BP schedule iterations for this call.
+func WithMaxIters(n int) AnnotateOption {
+	return func(o *annotateOptions) { o.maxIters = &n }
+}
+
+// WithTypeEntityMode selects the f3 compatibility feature (Figure 8) for
+// this call.
+func WithTypeEntityMode(m TypeEntityMode) AnnotateOption {
+	return func(o *annotateOptions) { o.mode = &m }
+}
+
+// WithoutAnnotations makes BuildIndex skip annotation entirely and build
+// a text-only index (the Figure-3 baseline corpus). Annotation calls
+// ignore this option.
+func WithoutAnnotations() AnnotateOption {
+	return func(o *annotateOptions) { o.noAnns = true }
+}
+
+// SearchOption configures one Search call.
+type SearchOption func(*searchOptions)
+
+type searchOptions struct {
+	mode  search.Mode
+	limit int
+}
+
+// WithSearchMode selects the query processor (Baseline / Type / TypeRel,
+// Figure 9). The default is SearchTypeRel.
+func WithSearchMode(m SearchMode) SearchOption {
+	return func(o *searchOptions) { o.mode = m }
+}
+
+// WithLimit truncates the ranked answers to the top k (0 = no limit).
+func WithLimit(k int) SearchOption {
+	return func(o *searchOptions) { o.limit = k }
+}

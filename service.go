@@ -1,0 +1,386 @@
+package webtable
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/lemmaindex"
+	"repro/internal/search"
+	"repro/internal/searchidx"
+	"repro/internal/table"
+)
+
+// Service is the concurrent, context-aware entry point of the annotation
+// and search pipeline. It owns a frozen catalog, the shared lemma index
+// (the dominant setup cost, built once), and a worker pool that bounds
+// how many tables are annotated simultaneously across all in-flight
+// calls. A Service is safe for concurrent use; per-call overrides
+// (WithMethod, WithWeights, WithMaxIters, ...) derive lightweight
+// annotators instead of mutating shared state.
+//
+//	svc, err := webtable.NewService(cat, webtable.WithWorkers(8))
+//	anns, err := svc.AnnotateCorpus(ctx, tables)
+//	_, err = svc.BuildIndex(ctx, tables)
+//	answers, err := svc.Search(ctx, query, webtable.WithLimit(10))
+type Service struct {
+	cat     *catalog.Catalog
+	ix      *lemmaindex.Index
+	workers int
+	method  Method
+	sem     chan struct{}
+
+	// base is the default-configured annotator; SetWeights swaps it
+	// atomically so training can retune a live service.
+	base atomic.Pointer[core.Annotator]
+
+	// srch pairs the built index with its engine in one pointer so
+	// concurrent BuildIndex calls can never leave Index() and Search()
+	// observing different corpora.
+	srch atomic.Pointer[searchState]
+}
+
+type searchState struct {
+	ix  *searchidx.Index
+	eng *search.Engine
+}
+
+// NewService builds a service over a catalog. The catalog is frozen if it
+// is not already (freezing is idempotent); it must not be mutated
+// afterwards. The lemma index is built here, once, and shared by every
+// annotation the service ever runs.
+func NewService(cat *Catalog, opts ...ServiceOption) (*Service, error) {
+	if cat == nil {
+		return nil, ErrNilCatalog
+	}
+	so := serviceOptions{
+		weights: DefaultWeights(),
+		cfg:     core.DefaultConfig(),
+		workers: runtime.GOMAXPROCS(0),
+		method:  MethodCollective,
+	}
+	for _, opt := range opts {
+		opt(&so)
+	}
+	if so.workers < 1 {
+		return nil, fmt.Errorf("%w: workers must be >= 1, got %d", ErrInvalidOption, so.workers)
+	}
+	if so.method > MethodMajority {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownMethod, uint8(so.method))
+	}
+	if err := cat.Freeze(); err != nil {
+		return nil, fmt.Errorf("webtable: freeze catalog: %w", err)
+	}
+	ix := lemmaindex.Build(cat, so.cfg.Candidates)
+	s := &Service{
+		cat:     cat,
+		ix:      ix,
+		workers: so.workers,
+		method:  so.method,
+		sem:     make(chan struct{}, so.workers),
+	}
+	s.base.Store(core.NewWithIndex(cat, ix, so.weights, so.cfg))
+	return s, nil
+}
+
+// Catalog returns the service's frozen catalog.
+func (s *Service) Catalog() *Catalog { return s.cat }
+
+// Workers returns the worker-pool size.
+func (s *Service) Workers() int { return s.workers }
+
+// Annotator returns the service's current default annotator, for interop
+// with the training API (webtable.Train). Do not call SetWeights on it
+// while service calls are in flight; use Service.SetWeights instead.
+func (s *Service) Annotator() *Annotator { return s.base.Load() }
+
+// Weights returns the service's current default weights.
+func (s *Service) Weights() Weights { return s.base.Load().Weights() }
+
+// SetWeights atomically replaces the service's default weights (for
+// example after training). In-flight annotations keep the weights they
+// started with; subsequent calls observe the new ones.
+func (s *Service) SetWeights(w Weights) {
+	base := s.base.Load()
+	s.base.Store(base.With(w, base.Config()))
+}
+
+// annotatorFor resolves per-call options into an annotator + method. The
+// common no-override path reuses the service's default annotator.
+func (s *Service) annotatorFor(o *annotateOptions) (*core.Annotator, Method, error) {
+	method := s.method
+	if o.methodSet {
+		method = o.method
+		if method > MethodMajority {
+			return nil, 0, fmt.Errorf("%w: %d", ErrUnknownMethod, uint8(method))
+		}
+	}
+	base := s.base.Load()
+	cfg := base.Config()
+	w := base.Weights()
+	changed := false
+	if o.cfg != nil {
+		cfg, changed = *o.cfg, true
+	}
+	if o.maxIters != nil {
+		if *o.maxIters < 1 {
+			return nil, 0, fmt.Errorf("%w: max iters must be >= 1, got %d", ErrInvalidOption, *o.maxIters)
+		}
+		cfg.MaxIters, changed = *o.maxIters, true
+	}
+	if o.mode != nil {
+		cfg.Mode, changed = *o.mode, true
+	}
+	if o.weights != nil {
+		w, changed = *o.weights, true
+	}
+	if !changed {
+		return base, method, nil
+	}
+	return base.With(w, cfg), method, nil
+}
+
+func resolveAnnotateOptions(opts []AnnotateOption) *annotateOptions {
+	var o annotateOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return &o
+}
+
+// acquire takes a worker-pool slot, or fails fast when ctx is done.
+func (s *Service) acquire(ctx context.Context) error {
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (s *Service) release() { <-s.sem }
+
+// annotateOne dispatches one table to the selected method.
+func annotateOne(ctx context.Context, a *core.Annotator, m Method, t *table.Table) (*core.Annotation, error) {
+	if t == nil {
+		return nil, ErrNilTable
+	}
+	switch m {
+	case MethodCollective:
+		return a.AnnotateCollectiveContext(ctx, t)
+	case MethodSimple:
+		return a.AnnotateSimpleContext(ctx, t)
+	case MethodLCA:
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return &a.AnnotateLCA(t).Annotation, nil
+	case MethodMajority:
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return &a.AnnotateMajority(t).Annotation, nil
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrUnknownMethod, uint8(m))
+	}
+}
+
+// AnnotateTable annotates one table, honoring ctx cancellation down into
+// the BP message schedule. Options override the service defaults for this
+// call only.
+func (s *Service) AnnotateTable(ctx context.Context, t *Table, opts ...AnnotateOption) (*Annotation, error) {
+	if t == nil {
+		return nil, ErrNilTable
+	}
+	a, method, err := s.annotatorFor(resolveAnnotateOptions(opts))
+	if err != nil {
+		return nil, err
+	}
+	if err := s.acquire(ctx); err != nil {
+		return nil, err
+	}
+	defer s.release()
+	return annotateOne(ctx, a, method, t)
+}
+
+// AnnotateCorpus annotates a corpus in parallel over the service's worker
+// pool. The returned slice is parallel to tables; entries whose
+// annotation failed are nil.
+//
+// Error contract: a context cancellation/deadline aborts the fan-out and
+// is returned as the context's error (test with errors.Is); tables
+// already annotated keep their results. Per-table failures that are not
+// cancellations are aggregated into a *CorpusError while the remaining
+// tables still run to completion.
+func (s *Service) AnnotateCorpus(ctx context.Context, tables []*Table, opts ...AnnotateOption) ([]*Annotation, error) {
+	a, method, err := s.annotatorFor(resolveAnnotateOptions(opts))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Annotation, len(tables))
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		failures []*TableError
+	)
+	for i, t := range tables {
+		if err := s.acquire(ctx); err != nil {
+			break // cancelled: stop scheduling, keep finished results
+		}
+		wg.Add(1)
+		go func(i int, t *Table) {
+			defer wg.Done()
+			defer s.release()
+			res, err := annotateOne(ctx, a, method, t)
+			if err != nil {
+				if ctx.Err() == nil {
+					mu.Lock()
+					failures = append(failures, &TableError{Index: i, TableID: tableID(t), Err: err})
+					mu.Unlock()
+				}
+				return
+			}
+			out[i] = res
+		}(i, t)
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return out, err
+	}
+	if len(failures) > 0 {
+		sort.Slice(failures, func(i, j int) bool { return failures[i].Index < failures[j].Index })
+		return out, &CorpusError{Failures: failures}
+	}
+	return out, nil
+}
+
+func tableID(t *table.Table) string {
+	if t == nil {
+		return ""
+	}
+	return t.ID
+}
+
+// BuildIndex annotates a corpus (unless WithoutAnnotations) and indexes
+// it for Search. The built index replaces the service's current one
+// atomically — searches in flight keep the index they started with — and
+// is also returned for direct use with NewSearchEngine.
+func (s *Service) BuildIndex(ctx context.Context, tables []*Table, opts ...AnnotateOption) (*SearchIndex, error) {
+	o := resolveAnnotateOptions(opts)
+	var anns []*Annotation
+	if !o.noAnns {
+		var err error
+		anns, err = s.AnnotateCorpus(ctx, tables, opts...)
+		if err != nil {
+			return nil, err
+		}
+	}
+	ix, err := searchidx.BuildContext(ctx, s.cat, tables, anns)
+	if err != nil {
+		return nil, err
+	}
+	s.srch.Store(&searchState{ix: ix, eng: search.NewEngine(ix)})
+	return ix, nil
+}
+
+// Index returns the most recently built search index, or nil before the
+// first BuildIndex.
+func (s *Service) Index() *SearchIndex {
+	if st := s.srch.Load(); st != nil {
+		return st.ix
+	}
+	return nil
+}
+
+// Search answers a relational query R(E1 ∈ T1, E2 ∈ T2) over the most
+// recently built index (§5). The default mode is SearchTypeRel; override
+// with WithSearchMode, truncate with WithLimit. Invalid queries — fields
+// the mode requires left unset — return a *QueryError instead of the old
+// behavior of silently matching nothing.
+func (s *Service) Search(ctx context.Context, q SearchQuery, opts ...SearchOption) ([]SearchAnswer, error) {
+	st := s.srch.Load()
+	if st == nil {
+		return nil, ErrNoIndex
+	}
+	so := searchOptions{mode: SearchTypeRel}
+	for _, opt := range opts {
+		opt(&so)
+	}
+	if err := validateQuery(q, so.mode); err != nil {
+		return nil, err
+	}
+	answers, err := st.eng.RunContext(ctx, q, so.mode)
+	if err != nil {
+		return nil, err
+	}
+	if so.limit > 0 && len(answers) > so.limit {
+		answers = answers[:so.limit]
+	}
+	return answers, nil
+}
+
+// validateQuery checks that q carries the inputs mode needs.
+func validateQuery(q SearchQuery, mode SearchMode) error {
+	switch mode {
+	case SearchBaseline:
+		if q.T1Text == "" {
+			return &QueryError{Field: "t1_text", Err: ErrInvalidQuery}
+		}
+		if q.T2Text == "" {
+			return &QueryError{Field: "t2_text", Err: ErrInvalidQuery}
+		}
+	case SearchTypeRel:
+		if q.Relation == None {
+			return &QueryError{Field: "relation", Err: ErrInvalidQuery}
+		}
+		fallthrough
+	case SearchType:
+		if q.T1 == None {
+			return &QueryError{Field: "t1", Err: ErrInvalidQuery}
+		}
+		if q.T2 == None {
+			return &QueryError{Field: "t2", Err: ErrInvalidQuery}
+		}
+	}
+	return nil
+}
+
+// ResolveQuery builds a SearchQuery from surface forms, resolving each
+// against the catalog. Unknown relation or type names are structured
+// errors (*QueryError wrapping ErrUnknownName) — not silent None
+// fallbacks. An unknown e2 is NOT an error: per §5 the probe entity may
+// be outside the catalog, in which case matching falls back to text.
+func (s *Service) ResolveQuery(relation, t1, t2, e2 string) (SearchQuery, error) {
+	var q SearchQuery
+	rel, ok := s.cat.RelationByName(relation)
+	if !ok {
+		return q, &QueryError{Field: "relation", Value: relation, Err: ErrUnknownName}
+	}
+	T1, ok := s.cat.TypeByName(t1)
+	if !ok {
+		return q, &QueryError{Field: "t1", Value: t1, Err: ErrUnknownName}
+	}
+	T2, ok := s.cat.TypeByName(t2)
+	if !ok {
+		return q, &QueryError{Field: "t2", Value: t2, Err: ErrUnknownName}
+	}
+	e2ID, ok := s.cat.EntityByName(e2)
+	if !ok {
+		e2ID = None
+	}
+	return SearchQuery{
+		Relation:     rel,
+		T1:           T1,
+		T2:           T2,
+		E2:           e2ID,
+		RelationText: relation,
+		T1Text:       t1,
+		T2Text:       t2,
+		E2Text:       e2,
+	}, nil
+}

@@ -1,0 +1,342 @@
+package webtable_test
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	webtable "repro"
+	"repro/internal/table"
+	"repro/internal/worldgen"
+)
+
+func testWorld(t *testing.T) *worldgen.World {
+	t.Helper()
+	spec := worldgen.DefaultSpec()
+	spec.FilmsPerGenre = 12
+	spec.NovelsPerGenre = 10
+	spec.PeoplePerRole = 15
+	spec.AlbumCount = 20
+	spec.CountryCount = 8
+	spec.CitiesPerCountry = 2
+	spec.LanguageCount = 8
+	w, err := worldgen.Build(spec)
+	if err != nil {
+		t.Fatalf("build world: %v", err)
+	}
+	return w
+}
+
+func corpusTables(w *worldgen.World, n int) []*table.Table {
+	ds := w.SearchCorpus(n, 7)
+	out := make([]*table.Table, len(ds.Tables))
+	for i, lt := range ds.Tables {
+		out[i] = lt.Table
+	}
+	return out
+}
+
+// TestServiceAnnotateCorpusParallel drives the corpus fan-out with >= 4
+// workers (run under `go test -race` in CI) and checks that the parallel
+// results are identical to one-at-a-time annotation — concurrency must
+// not change the labeling.
+func TestServiceAnnotateCorpusParallel(t *testing.T) {
+	w := testWorld(t)
+	tables := corpusTables(w, 12)
+	svc, err := webtable.NewService(w.Public, webtable.WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if svc.Workers() != 4 {
+		t.Fatalf("workers = %d, want 4", svc.Workers())
+	}
+
+	ctx := context.Background()
+	parallel, err := svc.AnnotateCorpus(ctx, tables)
+	if err != nil {
+		t.Fatalf("annotate corpus: %v", err)
+	}
+	if len(parallel) != len(tables) {
+		t.Fatalf("got %d annotations, want %d", len(parallel), len(tables))
+	}
+
+	for i, tab := range tables {
+		serial, err := svc.AnnotateTable(ctx, tab)
+		if err != nil {
+			t.Fatalf("table %d: %v", i, err)
+		}
+		p := parallel[i]
+		if p == nil {
+			t.Fatalf("table %d: nil parallel annotation", i)
+		}
+		if p.TableID != tab.ID {
+			t.Errorf("table %d: ID %q, want %q", i, p.TableID, tab.ID)
+		}
+		for c := range serial.ColumnTypes {
+			if p.ColumnTypes[c] != serial.ColumnTypes[c] {
+				t.Errorf("table %d col %d: parallel type %v != serial %v",
+					i, c, p.ColumnTypes[c], serial.ColumnTypes[c])
+			}
+		}
+		for r := range serial.CellEntities {
+			for c := range serial.CellEntities[r] {
+				if p.CellEntities[r][c] != serial.CellEntities[r][c] {
+					t.Errorf("table %d cell (%d,%d): parallel %v != serial %v",
+						i, r, c, p.CellEntities[r][c], serial.CellEntities[r][c])
+				}
+			}
+		}
+	}
+}
+
+// TestServiceConcurrentCalls hammers one service from many goroutines
+// mixing single-table and corpus calls (meaningful under -race: shared
+// lemma index + sharded feature cache).
+func TestServiceConcurrentCalls(t *testing.T) {
+	w := testWorld(t)
+	tables := corpusTables(w, 8)
+	svc, err := webtable.NewService(w.Public, webtable.WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			if g%2 == 0 {
+				if _, err := svc.AnnotateCorpus(ctx, tables); err != nil {
+					errs <- err
+				}
+				return
+			}
+			for _, tab := range tables {
+				if _, err := svc.AnnotateTable(ctx, tab, webtable.WithMethod(webtable.MethodSimple)); err != nil {
+					errs <- err
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Errorf("concurrent call: %v", err)
+	}
+}
+
+// TestServiceAnnotateCorpusCancelled asserts that an already-cancelled
+// context aborts before any annotation is produced.
+func TestServiceAnnotateCorpusCancelled(t *testing.T) {
+	w := testWorld(t)
+	tables := corpusTables(w, 6)
+	svc, err := webtable.NewService(w.Public, webtable.WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	anns, err := svc.AnnotateCorpus(ctx, tables)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	for i, a := range anns {
+		if a != nil {
+			t.Errorf("table %d annotated despite pre-cancelled context", i)
+		}
+	}
+}
+
+// TestServiceAnnotateCorpusDeadline asserts that a deadline expiring
+// mid-corpus aborts the fan-out: the call returns DeadlineExceeded and at
+// least one table is left unannotated.
+func TestServiceAnnotateCorpusDeadline(t *testing.T) {
+	w := testWorld(t)
+	// Large enough that 1ms cannot possibly cover it.
+	tables := corpusTables(w, 150)
+	svc, err := webtable.NewService(w.Public, webtable.WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	anns, err := svc.AnnotateCorpus(ctx, tables)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if len(anns) != len(tables) {
+		t.Fatalf("got %d slots, want %d", len(anns), len(tables))
+	}
+	missing := 0
+	for _, a := range anns {
+		if a == nil {
+			missing++
+		}
+	}
+	if missing == 0 {
+		t.Error("deadline expired but every table was annotated")
+	}
+}
+
+// TestServiceStructuredErrors covers the invalid-input paths that used to
+// be silent catalog.None fallbacks.
+func TestServiceStructuredErrors(t *testing.T) {
+	if _, err := webtable.NewService(nil); !errors.Is(err, webtable.ErrNilCatalog) {
+		t.Errorf("nil catalog: err = %v", err)
+	}
+
+	w := testWorld(t)
+	svc, err := webtable.NewService(w.Public, webtable.WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	if _, err := svc.AnnotateTable(ctx, nil); !errors.Is(err, webtable.ErrNilTable) {
+		t.Errorf("nil table: err = %v", err)
+	}
+	if _, err := webtable.NewService(w.Public, webtable.WithWorkers(0)); !errors.Is(err, webtable.ErrInvalidOption) {
+		t.Errorf("zero workers: err = %v", err)
+	}
+	if _, err := svc.AnnotateTable(ctx, &webtable.Table{ID: "x"}, webtable.WithMaxIters(0)); !errors.Is(err, webtable.ErrInvalidOption) {
+		t.Errorf("zero max iters: err = %v", err)
+	}
+
+	// A corpus containing a nil table fails that slot only, reported as a
+	// CorpusError with the index attached.
+	tables := corpusTables(w, 3)
+	tables[1] = nil
+	anns, err := svc.AnnotateCorpus(ctx, tables)
+	var ce *webtable.CorpusError
+	if !errors.As(err, &ce) {
+		t.Fatalf("nil corpus entry: err = %v, want CorpusError", err)
+	}
+	if len(ce.Failures) != 1 || ce.Failures[0].Index != 1 {
+		t.Fatalf("failures = %+v, want one at index 1", ce.Failures)
+	}
+	if !errors.Is(err, webtable.ErrNilTable) {
+		t.Errorf("CorpusError does not unwrap to ErrNilTable: %v", err)
+	}
+	if anns[0] == nil || anns[2] == nil {
+		t.Error("healthy tables not annotated alongside the failure")
+	}
+
+	// Search before BuildIndex.
+	if _, err := svc.Search(ctx, webtable.SearchQuery{}); !errors.Is(err, webtable.ErrNoIndex) {
+		t.Errorf("search without index: err = %v", err)
+	}
+
+	// Unknown names resolve to structured errors, not silent None.
+	if _, err := svc.ResolveQuery("nonesuch", "Film", "Director", "x"); !errors.Is(err, webtable.ErrUnknownName) {
+		t.Errorf("unknown relation: err = %v", err)
+	}
+
+	// An invalid query (missing relation in TypeRel mode) is rejected.
+	if _, err := svc.BuildIndex(ctx, corpusTables(w, 2)); err != nil {
+		t.Fatalf("build index: %v", err)
+	}
+	_, err = svc.Search(ctx, webtable.SearchQuery{Relation: webtable.None, T1Text: "a", T2Text: "b"})
+	var qe *webtable.QueryError
+	if !errors.As(err, &qe) || !errors.Is(err, webtable.ErrInvalidQuery) {
+		t.Errorf("invalid TypeRel query: err = %v, want QueryError/ErrInvalidQuery", err)
+	}
+	// Baseline mode instead requires the surface forms.
+	_, err = svc.Search(ctx, webtable.SearchQuery{}, webtable.WithSearchMode(webtable.SearchBaseline))
+	if !errors.Is(err, webtable.ErrInvalidQuery) {
+		t.Errorf("baseline query without text: err = %v, want ErrInvalidQuery", err)
+	}
+}
+
+// TestServiceSearchEndToEnd runs annotate → index → search through the
+// Service and checks the ground-truth subject surfaces in TypeRel mode.
+func TestServiceSearchEndToEnd(t *testing.T) {
+	w := testWorld(t)
+	tables := corpusTables(w, 30)
+	svc, err := webtable.NewService(w.Public, webtable.WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := svc.BuildIndex(ctx, tables); err != nil {
+		t.Fatalf("build index: %v", err)
+	}
+	if svc.Index() == nil {
+		t.Fatal("index not retained")
+	}
+
+	workload := w.SearchWorkload([]string{"directed"}, 3, 7)
+	if len(workload) == 0 {
+		t.Fatal("empty workload")
+	}
+	ri, _ := w.Rel("directed")
+	found := 0
+	for _, wq := range workload {
+		q := webtable.SearchQuery{
+			Relation:     wq.Relation,
+			T1:           wq.T1,
+			T2:           wq.T2,
+			E2:           wq.E2,
+			RelationText: ri.ContextWords[0],
+			T1Text:       w.True.TypeName(wq.T1),
+			T2Text:       w.True.TypeName(wq.T2),
+			E2Text:       wq.E2Name,
+		}
+		answers, err := svc.Search(ctx, q, webtable.WithSearchMode(webtable.SearchTypeRel), webtable.WithLimit(5))
+		if err != nil {
+			t.Fatalf("search: %v", err)
+		}
+		want := make(map[string]bool)
+		for _, e1 := range wq.WantE1 {
+			want[w.True.EntityName(e1)] = true
+		}
+		for _, a := range answers {
+			if want[a.Text] {
+				found++
+				break
+			}
+		}
+	}
+	if found == 0 {
+		t.Error("no query surfaced a ground-truth subject in TypeRel mode")
+	}
+}
+
+// TestServicePerCallOverrides checks that WithMethod/WithMaxIters change
+// the call without mutating the service defaults.
+func TestServicePerCallOverrides(t *testing.T) {
+	w := testWorld(t)
+	tables := corpusTables(w, 2)
+	svc, err := webtable.NewService(w.Public, webtable.WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// MaxIters=1 must cap the BP iteration count for this call only.
+	capped, err := svc.AnnotateTable(ctx, tables[0], webtable.WithMaxIters(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if capped.Diag.Iterations > 1 {
+		t.Errorf("WithMaxIters(1): ran %d iterations", capped.Diag.Iterations)
+	}
+	normal, err := svc.AnnotateTable(ctx, tables[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if normal.Diag.Iterations < 1 {
+		t.Errorf("default call: %d iterations", normal.Diag.Iterations)
+	}
+
+	// Method override: LCA sets no relation annotations.
+	lca, err := svc.AnnotateTable(ctx, tables[0], webtable.WithMethod(webtable.MethodLCA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lca.Relations) != 0 {
+		t.Errorf("LCA produced %d relation annotations", len(lca.Relations))
+	}
+}

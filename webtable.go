@@ -11,14 +11,22 @@
 //   - the relational search application (§5),
 //   - the synthetic world generator standing in for the paper's data assets.
 //
-// Quickstart:
+// The primary entry point is Service: a context-aware, concurrency-safe
+// facade owning the frozen catalog, the shared lemma index and a worker
+// pool. Quickstart:
 //
 //	cat := webtable.NewCatalog()
 //	book, _ := cat.AddType("Book", "novel")
 //	// ... add entities, relations, tuples ...
-//	_ = cat.Freeze()
-//	ann := webtable.NewAnnotator(cat, webtable.DefaultWeights(), webtable.DefaultConfig())
-//	result := ann.AnnotateCollective(tab)
+//	svc, _ := webtable.NewService(cat) // freezes the catalog
+//	result, err := svc.AnnotateTable(ctx, tab)
+//	anns, err := svc.AnnotateCorpus(ctx, tables)   // parallel fan-out
+//	_, err = svc.BuildIndex(ctx, tables)           // annotate + index
+//	answers, err := svc.Search(ctx, query, webtable.WithLimit(10))
+//
+// The pre-Service construction path (NewAnnotator, NewSearchIndex,
+// NewSearchEngine) remains available for fine-grained control and for
+// backward compatibility.
 package webtable
 
 import (
@@ -121,6 +129,10 @@ const (
 var (
 	// NewAnnotator builds an annotator (and its lemma index) over a
 	// frozen catalog.
+	//
+	// Deprecated: construct a Service with NewService and use
+	// AnnotateTable / AnnotateCorpus; it shares one lemma index across
+	// all calls, bounds concurrency, and honors context cancellation.
 	NewAnnotator = core.New
 	// DefaultConfig is the paper's operating point.
 	DefaultConfig = core.DefaultConfig
@@ -168,8 +180,13 @@ const (
 // Search constructors.
 var (
 	// NewSearchIndex indexes a corpus with optional annotations.
+	//
+	// Deprecated: use Service.BuildIndex, which annotates the corpus in
+	// parallel, validates inputs, and honors context cancellation.
 	NewSearchIndex = searchidx.New
 	// NewSearchEngine wraps an index.
+	//
+	// Deprecated: use Service.Search over the service's built index.
 	NewSearchEngine = search.NewEngine
 )
 
