@@ -7,6 +7,7 @@ package webtable_test
 
 import (
 	"context"
+	"fmt"
 	"sync"
 	"testing"
 
@@ -360,22 +361,145 @@ func BenchmarkServiceSearch(b *testing.B) {
 	if len(workload) == 0 {
 		b.Fatal("empty workload")
 	}
-	wq := workload[0]
-	ri, _ := env.World.Rel("directed")
-	q := webtable.SearchQuery{
-		Relation:     wq.Relation,
-		T1:           wq.T1,
-		T2:           wq.T2,
-		E2:           wq.E2,
-		RelationText: ri.ContextWords[0],
-		T1Text:       env.World.True.TypeName(wq.T1),
-		T2Text:       env.World.True.TypeName(wq.T2),
-		E2Text:       wq.E2Name,
+	req := env.World.Request(workload[0], webtable.SearchTypeRel, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := svc.Search(ctx, req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSearchBatch measures the concurrent fan-out of many requests
+// over the service worker pool against one index snapshot.
+func BenchmarkSearchBatch(b *testing.B) {
+	svc, tables := benchService(b)
+	env := benchEnv(b)
+	ctx := context.Background()
+	if _, err := svc.BuildIndex(ctx, tables); err != nil {
+		b.Fatal(err)
+	}
+	workload := env.World.SearchWorkload(worldgen.SearchRelations, 2, 7)
+	if len(workload) == 0 {
+		b.Fatal("empty workload")
+	}
+	var reqs []webtable.SearchRequest
+	for _, wq := range workload {
+		for _, mode := range []webtable.SearchMode{webtable.SearchType, webtable.SearchTypeRel} {
+			reqs = append(reqs, env.World.Request(wq, mode, 10))
+		}
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := svc.Search(ctx, q, webtable.WithLimit(10)); err != nil {
+		if _, err := svc.SearchBatch(ctx, reqs); err != nil {
 			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(len(reqs)), "requests/op")
+}
+
+// searchScaleFixture hand-builds an annotated one-relation corpus with
+// nAnswers distinct subjects related to a single probe entity, so the
+// ranking stage sees exactly nAnswers answer clusters. The index is built
+// outside the timer; only query execution is measured.
+func searchScaleFixture(b *testing.B, nAnswers int) (*webtable.SearchEngine, webtable.SearchRequest) {
+	b.Helper()
+	cat := webtable.NewCatalog()
+	film, err := cat.AddType("Film", "movie")
+	if err != nil {
+		b.Fatal(err)
+	}
+	director, err := cat.AddType("Director", "director")
+	if err != nil {
+		b.Fatal(err)
+	}
+	directed, err := cat.AddRelation("directed", film, director, webtable.ManyToOne)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d1, err := cat.AddEntity("Prolific Director", nil, director)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	const rowsPerTable = 50
+	var (
+		tables []*table.Table
+		anns   []*core.Annotation
+	)
+	for start := 0; start < nAnswers; start += rowsPerTable {
+		n := rowsPerTable
+		if start+n > nAnswers {
+			n = nAnswers - start
+		}
+		tab := &table.Table{
+			ID:      fmt.Sprintf("t%d", start),
+			Context: "films and their directors",
+			Headers: []string{"Film", "Director"},
+		}
+		ann := &core.Annotation{
+			TableID:     tab.ID,
+			ColumnTypes: []catalog.TypeID{film, director},
+			Relations: []core.RelationAnnotation{{
+				Col1: 0, Col2: 1, Relation: directed, Forward: true,
+			}},
+		}
+		for i := 0; i < n; i++ {
+			name := fmt.Sprintf("Film %06d", start+i)
+			f, err := cat.AddEntity(name, nil, film)
+			if err != nil {
+				b.Fatal(err)
+			}
+			tab.Cells = append(tab.Cells, []string{name, "Prolific Director"})
+			ann.CellEntities = append(ann.CellEntities, []catalog.EntityID{f, d1})
+		}
+		tables = append(tables, tab)
+		anns = append(anns, ann)
+	}
+	if err := cat.Freeze(); err != nil {
+		b.Fatal(err)
+	}
+	eng := webtable.NewSearchEngine(webtable.NewSearchIndex(cat, tables, anns))
+	req := webtable.SearchRequest{
+		Query: webtable.SearchQuery{
+			Relation: directed, T1: film, T2: director, E2: d1,
+			RelationText: "directors", T1Text: "Film", T2Text: "Director",
+			E2Text: "Prolific Director",
+		},
+		Mode: webtable.SearchTypeRel,
+	}
+	return eng, req
+}
+
+// BenchmarkSearchTopK contrasts bounded top-k page selection (the
+// O(n log k) min-heap) against ranking the full answer set (the old
+// sort-everything path, PageSize 0) as the corpus answer count grows.
+// The top-10 latency should scale sublinearly in answers versus full.
+func BenchmarkSearchTopK(b *testing.B) {
+	ctx := context.Background()
+	for _, n := range []int{1000, 10000} {
+		eng, req := searchScaleFixture(b, n)
+		for _, bench := range []struct {
+			name     string
+			pageSize int
+		}{{"top10", 10}, {"full", 0}} {
+			req := req
+			req.PageSize = bench.pageSize
+			b.Run(fmt.Sprintf("answers=%d/%s", n, bench.name), func(b *testing.B) {
+				var total int
+				for i := 0; i < b.N; i++ {
+					res, err := eng.Execute(ctx, req)
+					if err != nil {
+						b.Fatal(err)
+					}
+					total = res.Total
+				}
+				if total != n {
+					b.Fatalf("total = %d, want %d", total, n)
+				}
+				b.ReportMetric(float64(total), "answers")
+			})
 		}
 	}
 }

@@ -109,14 +109,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		tables = kept
 	}
 
-	var svcOpts []webtable.ServiceOption
-	if *workers < 0 {
-		return fmt.Errorf("-workers must be >= 0, got %d", *workers)
-	}
-	if *workers > 0 {
-		svcOpts = append(svcOpts, webtable.WithWorkers(*workers))
-	}
-	svc, err := webtable.NewService(cat, svcOpts...)
+	svc, err := cmdio.NewService(cat, *workers)
 	if err != nil {
 		return err
 	}

@@ -1,12 +1,15 @@
 // Command tabsearch runs one relational query R(E1 ∈ T1, E2) over a table
 // corpus in each of the three modes of §6.2 (baseline / type / type+rel)
 // and prints the ranked answers side by side. The corpus is annotated in
-// parallel over the service worker pool; Ctrl-C cancels cleanly.
+// parallel over the service worker pool; Ctrl-C cancels cleanly. -k sets
+// the page size, -pages walks the ranking across pagination cursors, and
+// -explain prints each answer's contributing table cells.
 //
 // Usage:
 //
 //	tabsearch -catalog data/catalog.json -corpus data/corpus.json \
-//	          -relation wrote -t1 Novel -t2 Novelist -e2 "Some Author"
+//	          -relation wrote -t1 Novel -t2 Novelist -e2 "Some Author" \
+//	          [-k 10] [-pages 2] [-explain]
 package main
 
 import (
@@ -44,7 +47,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		t1Name   = fs.String("t1", "", "answer type name (required)")
 		t2Name   = fs.String("t2", "", "probe type name (required)")
 		e2Text   = fs.String("e2", "", "probe entity text (required)")
-		topK     = fs.Int("k", 10, "answers to print per mode")
+		topK     = fs.Int("k", 10, "answers per page per mode")
+		pages    = fs.Int("pages", 1, "pages of k answers to print per mode")
+		explain  = fs.Bool("explain", false, "print contributing table cells per answer")
 		ctxWords = fs.String("context", "", "baseline context keywords (defaults to relation name)")
 		workers  = fs.Int("workers", 0, "annotation workers (0 = GOMAXPROCS)")
 	)
@@ -65,14 +70,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 
-	var svcOpts []webtable.ServiceOption
-	if *workers < 0 {
-		return fmt.Errorf("-workers must be >= 0, got %d", *workers)
-	}
-	if *workers > 0 {
-		svcOpts = append(svcOpts, webtable.WithWorkers(*workers))
-	}
-	svc, err := webtable.NewService(cat, svcOpts...)
+	svc, err := cmdio.NewService(cat, *workers)
 	if err != nil {
 		return err
 	}
@@ -94,20 +92,41 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	}
 
 	for _, mode := range []webtable.SearchMode{webtable.SearchBaseline, webtable.SearchType, webtable.SearchTypeRel} {
-		answers, err := svc.Search(ctx, q, webtable.WithSearchMode(mode))
-		if err != nil {
-			return fmt.Errorf("search (%v): %w", mode, err)
-		}
-		fmt.Fprintf(stdout, "\n== %s (%d answers) ==\n", mode, len(answers))
-		if *topK > 0 && len(answers) > *topK {
-			answers = answers[:*topK]
-		}
-		for i, a := range answers {
-			tag := ""
-			if a.Entity != webtable.None {
-				tag = " [entity]"
+		rank, cursor := 0, ""
+		for page := 0; page < *pages; page++ {
+			res, err := svc.Search(ctx, webtable.SearchRequest{
+				Query:    q,
+				Mode:     mode,
+				PageSize: *topK,
+				Cursor:   cursor,
+				Explain:  *explain,
+			})
+			if err != nil {
+				return fmt.Errorf("search (%v): %w", mode, err)
 			}
-			fmt.Fprintf(stdout, "%2d. %-40s score=%.2f support=%d%s\n", i+1, a.Text, a.Score, a.Support, tag)
+			if page == 0 {
+				fmt.Fprintf(stdout, "\n== %s (%d answers) ==\n", mode, res.Total)
+			}
+			for _, a := range res.Answers {
+				rank++
+				tag := ""
+				if a.Entity != webtable.None {
+					tag = " [entity]"
+				}
+				fmt.Fprintf(stdout, "%2d. %-40s score=%.2f support=%d%s\n", rank, a.Text, a.Score, a.Support, tag)
+				if a.Explanation != nil {
+					for _, src := range a.Explanation.Sources {
+						fmt.Fprintf(stdout, "      <- table %d row %d col %d (%.2f)\n", src.Table, src.Row, src.Col, src.Score)
+					}
+					if a.Explanation.Truncated > 0 {
+						fmt.Fprintf(stdout, "      <- ... %d more\n", a.Explanation.Truncated)
+					}
+				}
+			}
+			cursor = res.NextCursor
+			if cursor == "" {
+				break
+			}
 		}
 	}
 	return nil

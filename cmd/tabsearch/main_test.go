@@ -93,6 +93,43 @@ func TestRunSmoke(t *testing.T) {
 	}
 }
 
+// TestRunExplainAndPages drives the pagination + provenance flags: two
+// pages of two answers and per-answer source lines.
+func TestRunExplainAndPages(t *testing.T) {
+	dir := t.TempDir()
+	w := buildWorldFiles(t, dir)
+	workload := w.SearchWorkload([]string{"directed"}, 1, 7)
+	if len(workload) == 0 {
+		t.Fatal("empty search workload")
+	}
+	q := workload[0]
+
+	var out, errBuf bytes.Buffer
+	args := []string{
+		"-catalog", filepath.Join(dir, "catalog.json"),
+		"-corpus", filepath.Join(dir, "corpus.json"),
+		"-relation", q.RelationName,
+		"-t1", w.True.TypeName(q.T1),
+		"-t2", w.True.TypeName(q.T2),
+		"-e2", q.E2Name,
+		"-k", "2",
+		"-pages", "2",
+		"-explain",
+		"-workers", "2",
+	}
+	if err := run(context.Background(), args, &out, &errBuf); err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errBuf.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "<- table ") {
+		t.Errorf("no provenance lines despite -explain:\n%s", got)
+	}
+	// With k=2 and 2 pages, a mode with >2 answers numbers past rank 2.
+	if !strings.Contains(got, " 3. ") {
+		t.Logf("rankings stayed within one page:\n%s", got)
+	}
+}
+
 func TestRunUnknownRelation(t *testing.T) {
 	dir := t.TempDir()
 	buildWorldFiles(t, dir)

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+
+	"repro/internal/search"
 )
 
 // Sentinel errors of the Service API. Wrapped errors carry context; test
@@ -23,6 +25,14 @@ var (
 	ErrInvalidOption = errors.New("webtable: invalid option")
 	// ErrInvalidQuery reports a query missing the inputs its mode needs.
 	ErrInvalidQuery = errors.New("webtable: invalid query")
+	// ErrInvalidCursor reports a pagination cursor that did not come from
+	// a previous SearchResult.NextCursor.
+	ErrInvalidCursor = search.ErrInvalidCursor
+	// ErrInvalidPageSize reports a negative SearchRequest.PageSize.
+	ErrInvalidPageSize = search.ErrInvalidPageSize
+	// ErrInvalidMode reports a SearchRequest.Mode outside the defined
+	// search modes.
+	ErrInvalidMode = search.ErrInvalidMode
 )
 
 // TableError locates an annotation failure within a corpus call.
@@ -62,6 +72,48 @@ func (e *CorpusError) Error() string {
 
 // Unwrap exposes the individual failures to errors.Is / errors.As.
 func (e *CorpusError) Unwrap() []error {
+	out := make([]error, len(e.Failures))
+	for i, f := range e.Failures {
+		out[i] = f
+	}
+	return out
+}
+
+// RequestError locates a search failure within a SearchBatch call.
+type RequestError struct {
+	// Index is the request's position in the batch slice.
+	Index int
+	// Err is the underlying failure.
+	Err error
+}
+
+func (e *RequestError) Error() string {
+	return fmt.Sprintf("request %d: %v", e.Index, e.Err)
+}
+
+func (e *RequestError) Unwrap() error { return e.Err }
+
+// BatchError aggregates the per-request failures of one SearchBatch
+// call. The successful requests' results are still returned alongside
+// it; Failures is ordered by batch index.
+type BatchError struct {
+	Failures []*RequestError
+}
+
+func (e *BatchError) Error() string {
+	if len(e.Failures) == 1 {
+		return fmt.Sprintf("webtable: search batch: %v", e.Failures[0])
+	}
+	parts := make([]string, 0, len(e.Failures))
+	for _, f := range e.Failures {
+		parts = append(parts, f.Error())
+	}
+	return fmt.Sprintf("webtable: search batch: %d requests failed: %s",
+		len(e.Failures), strings.Join(parts, "; "))
+}
+
+// Unwrap exposes the individual failures to errors.Is / errors.As.
+func (e *BatchError) Unwrap() []error {
 	out := make([]error, len(e.Failures))
 	for i, f := range e.Failures {
 		out[i] = f

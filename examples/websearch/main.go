@@ -1,7 +1,8 @@
 // Websearch: the §5 search application end to end on a synthetic world —
 // generate a web-table corpus, annotate it, index it, and answer one
-// relational query in all three modes of Figure 9 (Baseline / Type /
-// Type+Rel), showing how annotations sharpen the ranking.
+// relational query through the request/response API: the three modes of
+// Figure 9 fanned out as one batch, then the Type+Rel ranking streamed
+// page by page with per-answer provenance.
 package main
 
 import (
@@ -43,7 +44,6 @@ func main() {
 	// Query: films directed by a particular director from the world.
 	workload := world.SearchWorkload([]string{"directed"}, 1, 7)
 	q := workload[0]
-	ri, _ := world.Rel("directed")
 	fmt.Printf("\nquery: %s(E1 ∈ %s, %q)\n", q.RelationName,
 		world.True.TypeName(q.T1), q.E2Name)
 	fmt.Printf("ground truth (from the complete world): ")
@@ -52,35 +52,49 @@ func main() {
 	}
 	fmt.Println()
 
-	sq := webtable.SearchQuery{
-		Relation:     q.Relation,
-		T1:           q.T1,
-		T2:           q.T2,
-		E2:           q.E2,
-		RelationText: ri.ContextWords[0],
-		T1Text:       world.True.TypeName(q.T1),
-		T2Text:       world.True.TypeName(q.T2),
-		E2Text:       q.E2Name,
-	}
-	for _, mode := range []webtable.SearchMode{
+	// All three Figure-9 modes as one batch, fanned out over the
+	// service's worker pool against a consistent index snapshot.
+	modes := []webtable.SearchMode{
 		webtable.SearchBaseline, webtable.SearchType, webtable.SearchTypeRel,
-	} {
-		answers, err := svc.Search(ctx, sq, webtable.WithSearchMode(mode))
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("\n-- %s: %d answers\n", mode, len(answers))
-		for i, a := range answers {
-			if i >= 5 {
-				fmt.Println("   ...")
-				break
-			}
+	}
+	var reqs []webtable.SearchRequest
+	for _, mode := range modes {
+		reqs = append(reqs, world.Request(q, mode, 5))
+	}
+	results, err := svc.SearchBatch(ctx, reqs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, res := range results {
+		fmt.Printf("\n-- %s: %d answers (top %d shown)\n", modes[i], res.Total, len(res.Answers))
+		for j, a := range res.Answers {
 			tag := ""
 			if a.Entity != webtable.None {
 				tag = " [entity-aggregated]"
 			}
 			fmt.Printf("   %d. %-36s score=%.2f support=%d%s\n",
-				i+1, a.Text, a.Score, a.Support, tag)
+				j+1, a.Text, a.Score, a.Support, tag)
+		}
+	}
+
+	// Stream the full Type+Rel ranking page by page, with provenance on
+	// every answer.
+	req := world.Request(q, webtable.SearchTypeRel, 3)
+	req.Explain = true
+	fmt.Printf("\n-- paging Type+Rel, %d answers per page:\n", req.PageSize)
+	page := 0
+	for res, err := range svc.SearchAll(ctx, req) {
+		if err != nil {
+			log.Fatal(err)
+		}
+		page++
+		fmt.Printf("   page %d (next cursor: %t)\n", page, res.NextCursor != "")
+		for _, a := range res.Answers {
+			fmt.Printf("      %-36s score=%.2f", a.Text, a.Score)
+			if a.Explanation != nil {
+				fmt.Printf("  from %d cell(s)", len(a.Explanation.Sources)+a.Explanation.Truncated)
+			}
+			fmt.Println()
 		}
 	}
 }

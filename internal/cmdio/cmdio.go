@@ -24,6 +24,20 @@ func LoadCatalog(path string) (*webtable.Catalog, error) {
 	return cat, nil
 }
 
+// NewService builds a Service over cat honoring the shared -workers
+// flag convention: negative is an error, zero means the library default
+// (GOMAXPROCS), positive sets the pool size.
+func NewService(cat *webtable.Catalog, workers int) (*webtable.Service, error) {
+	if workers < 0 {
+		return nil, fmt.Errorf("-workers must be >= 0, got %d", workers)
+	}
+	var opts []webtable.ServiceOption
+	if workers > 0 {
+		opts = append(opts, webtable.WithWorkers(workers))
+	}
+	return webtable.NewService(cat, opts...)
+}
+
 // LoadCorpus opens and decodes a table-corpus JSON file.
 func LoadCorpus(path string) ([]*webtable.Table, error) {
 	f, err := os.Open(path)

@@ -1,10 +1,10 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
-	"strings"
 	"time"
 
 	"repro/internal/core"
@@ -288,26 +288,23 @@ func (e *Env) Figure9(corpusTables, queriesPerRel int) []Fig9Row {
 	queries := e.World.SearchWorkload(worldgen.SearchRelations, queriesPerRel, e.World.Spec.Seed+901)
 	aps := make(map[string]map[search.Mode][]float64)
 	for _, q := range queries {
-		ri, _ := e.World.Rel(q.RelationName)
-		// The baseline interprets all inputs as strings (Figure 3); give
-		// it the full surface vocabulary a user would type — every type
-		// lemma and the relation's context phrasing — so its deficit
-		// comes from missing annotations, not from a stunted query.
-		sq := search.Query{
-			Relation:     q.Relation,
-			T1:           q.T1,
-			T2:           q.T2,
-			E2:           q.E2,
-			RelationText: strings.Join(ri.ContextWords, " "),
-			T1Text:       strings.Join(e.World.True.TypeLemmas(q.T1), " "),
-			T2Text:       strings.Join(e.World.True.TypeLemmas(q.T2), " "),
-			E2Text:       q.E2Name,
-		}
 		if aps[q.RelationName] == nil {
 			aps[q.RelationName] = make(map[search.Mode][]float64)
 		}
 		for _, mode := range []search.Mode{search.Baseline, search.Type, search.TypeRel} {
-			ranked := engine.Strings(sq, mode)
+			// MAP evaluates the full ranking: PageSize 0 requests every
+			// answer in one page. With a background context and these
+			// fixed request shapes an error means the harness itself is
+			// broken — fail loudly rather than skew the figure by
+			// silently dropping queries.
+			res, err := engine.Execute(context.Background(), e.World.Request(q, mode, 0))
+			if err != nil {
+				panic(fmt.Sprintf("experiments: figure 9 query failed: %v", err))
+			}
+			ranked := make([]string, len(res.Answers))
+			for i, a := range res.Answers {
+				ranked[i] = a.Text
+			}
 			ap := eval.AveragePrecision(ranked, q.WantE1, e.World.True)
 			aps[q.RelationName][mode] = append(aps[q.RelationName][mode], ap)
 		}

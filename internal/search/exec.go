@@ -1,0 +1,342 @@
+package search
+
+import (
+	"context"
+	"sort"
+	"strconv"
+
+	"repro/internal/catalog"
+	"repro/internal/searchidx"
+	"repro/internal/text"
+)
+
+// cluster accumulates the evidence of one answer while a query executes.
+type cluster struct {
+	key     string // unique aggregation key ("e:<id>" or "t:<norm>")
+	entity  catalog.EntityID
+	score   float64
+	support int
+	// canonical is the presented text for entity clusters; text clusters
+	// derive theirs from variants at selection time.
+	canonical string
+	// variants counts raw surface forms so the presented text is the
+	// dominant (highest-support) form, not the first seen.
+	variants map[string]int
+}
+
+// text resolves the presented surface form: the canonical entity name for
+// entity clusters, else the dominant (highest-count) raw cell text, ties
+// broken lexicographically for determinism.
+func (c *cluster) text() string {
+	if c.canonical != "" {
+		return c.canonical
+	}
+	best, bestN := "", -1
+	for v, n := range c.variants {
+		if n > bestN || (n == bestN && v < best) {
+			best, bestN = v, n
+		}
+	}
+	return best
+}
+
+// evidenceSink receives every matching (answer cell, evidence) pair as a
+// scan walks the candidate column pairs. Two implementations: cluster
+// aggregation for ranking, and provenance recording for the page winners
+// only.
+type evidenceSink interface {
+	add(key string, entity catalog.EntityID, canonical, raw string, evidence float64, src SourceRef)
+}
+
+// clusterSink aggregates score, support and surface-form counts per
+// answer cluster.
+type clusterSink map[string]*cluster
+
+func (cs clusterSink) add(key string, entity catalog.EntityID, canonical, raw string, evidence float64, _ SourceRef) {
+	a, ok := cs[key]
+	if !ok {
+		a = &cluster{key: key, entity: entity, canonical: canonical}
+		if canonical == "" {
+			a.variants = make(map[string]int)
+		}
+		cs[key] = a
+	}
+	a.score += evidence
+	a.support++
+	if a.variants != nil {
+		a.variants[raw]++
+	}
+}
+
+// explainSink records provenance for a fixed set of clusters (the page
+// winners), so explanation state stays O(page size), not O(answers).
+// Evidence for other clusters is discarded.
+type explainSink map[string]*Explanation
+
+func (es explainSink) add(key string, _ catalog.EntityID, _, _ string, _ float64, src SourceRef) {
+	ex, ok := es[key]
+	if !ok {
+		return
+	}
+	if len(ex.Sources) < MaxExplainSources {
+		ex.Sources = append(ex.Sources, src)
+	} else {
+		ex.Truncated++
+	}
+}
+
+// queryMatcher matches the probe entity's surface form against
+// precomputed normalized cells: the query is normalized and tokenized
+// once per execution, and cells are matched with their build-time token
+// sets — no raw-cell normalization on the query path.
+type queryMatcher struct {
+	norm string
+	toks map[string]struct{}
+}
+
+func newQueryMatcher(q string) queryMatcher {
+	if q == "" {
+		return queryMatcher{}
+	}
+	return queryMatcher{norm: text.Normalize(q), toks: text.TokenSet(q)}
+}
+
+// match scores a cell: 1 for normalized equality, Jaccard when above 0.5,
+// else 0.
+func (m queryMatcher) match(cellNorm string, cellToks map[string]struct{}) float64 {
+	if m.norm == "" || cellNorm == "" {
+		return 0
+	}
+	if m.norm == cellNorm {
+		return 1
+	}
+	if j := text.JaccardSets(m.toks, cellToks); j >= 0.5 {
+		return j
+	}
+	return 0
+}
+
+// Execute runs one request: gather candidate column pairs from the
+// index's posting lists, aggregate evidence per answer cluster, then
+// select the requested page with a bounded min-heap (O(n log k), no
+// full-corpus sort). Aggregation state is necessarily O(distinct
+// answers) — scores sum across rows before any answer can be ranked —
+// but selection, the returned page, and (with Explain set, via a second
+// winners-only scan) provenance state are all bounded by the page size.
+// A context cancellation between candidate pairs returns the context's
+// error.
+func (e *Engine) Execute(ctx context.Context, req Request) (*Result, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	var after *rankKey
+	if req.Cursor != "" {
+		k, err := decodeCursor(req.Cursor)
+		if err != nil {
+			return nil, err
+		}
+		after = &k
+	}
+	clusters := clusterSink{}
+	if err := e.scan(ctx, req, clusters); err != nil {
+		return nil, err
+	}
+	res, keys := selectPage(clusters, req.PageSize, after)
+	if req.Explain && len(res.Answers) > 0 {
+		expl := explainSink{}
+		for _, key := range keys {
+			expl[key] = &Explanation{}
+		}
+		if err := e.scan(ctx, req, expl); err != nil {
+			return nil, err
+		}
+		for i, key := range keys {
+			res.Answers[i].Explanation = expl[key]
+		}
+	}
+	return res, nil
+}
+
+// scan dispatches one pass over the mode's candidate pairs into sink.
+func (e *Engine) scan(ctx context.Context, req Request, sink evidenceSink) error {
+	if req.Mode == Baseline {
+		return e.scanBaseline(ctx, req.Query, sink)
+	}
+	return e.scanAnnotated(ctx, req.Query, req.Mode == TypeRel, sink)
+}
+
+// selectPage picks the PageSize best-ranked clusters strictly after the
+// cursor. With k > 0 it never sorts more than the k retained entries.
+// The second return value carries the cluster key of each answer, for
+// provenance attachment.
+func selectPage(clusters map[string]*cluster, pageSize int, after *rankKey) (*Result, []string) {
+	res := &Result{Total: len(clusters)}
+	eligible := 0
+	keyOf := func(c *cluster) rankKey {
+		return rankKey{score: c.score, support: c.support, text: c.text(), key: c.key}
+	}
+	var page []pageEntry
+	if pageSize == 0 {
+		for _, c := range clusters {
+			k := keyOf(c)
+			if after != nil && !after.before(k) {
+				continue
+			}
+			eligible++
+			page = append(page, pageEntry{c: c, key: k})
+		}
+		sort.Slice(page, func(i, j int) bool { return page[i].key.before(page[j].key) })
+	} else {
+		heap := newTopK(pageSize)
+		for _, c := range clusters {
+			k := keyOf(c)
+			if after != nil && !after.before(k) {
+				continue
+			}
+			eligible++
+			heap.offer(pageEntry{c: c, key: k})
+		}
+		page = heap.ranked()
+	}
+	res.Answers = make([]Answer, len(page))
+	keys := make([]string, len(page))
+	for i, pe := range page {
+		keys[i] = pe.c.key
+		res.Answers[i] = Answer{
+			Text:    pe.key.text,
+			Entity:  pe.c.entity,
+			Score:   pe.c.score,
+			Support: pe.c.support,
+		}
+	}
+	if eligible > len(page) && len(page) > 0 {
+		res.NextCursor = encodeCursor(page[len(page)-1].key)
+	}
+	return res, keys
+}
+
+// scanBaseline implements Figure 3: interpret all inputs as strings;
+// find tables whose headers match T1 and T2 and context matches R; look
+// for E2 in the T2 column; report the T1-column cells of qualifying
+// rows keyed by normalized text.
+func (e *Engine) scanBaseline(ctx context.Context, q Query, sink evidenceSink) error {
+	t1Cols := e.ix.HeaderMatches(q.T1Text)
+	t2Cols := e.ix.HeaderMatches(q.T2Text)
+	ctxTables := e.ix.ContextMatches(q.RelationText)
+
+	type pair struct{ c1, c2 searchidx.ColRef }
+	var pairs []pair
+	t2ByTable := make(map[int][]searchidx.ColRef)
+	for _, ref := range t2Cols {
+		t2ByTable[ref.Table] = append(t2ByTable[ref.Table], ref)
+	}
+	for _, c1 := range t1Cols {
+		if _, ok := ctxTables[c1.Table]; !ok {
+			continue
+		}
+		for _, c2 := range t2ByTable[c1.Table] {
+			if c2.Col != c1.Col {
+				pairs = append(pairs, pair{c1, c2})
+			}
+		}
+	}
+	// HeaderMatches order follows token-map iteration, so sort the pairs:
+	// float evidence must sum in the same order on every Execute call or
+	// per-cluster scores drift by an ULP between the separate executions
+	// cursor pagination compares bit-exactly.
+	sort.Slice(pairs, func(i, j int) bool {
+		a, b := pairs[i], pairs[j]
+		if a.c1.Table != b.c1.Table {
+			return a.c1.Table < b.c1.Table
+		}
+		if a.c1.Col != b.c1.Col {
+			return a.c1.Col < b.c1.Col
+		}
+		return a.c2.Col < b.c2.Col
+	})
+
+	m := newQueryMatcher(q.E2Text)
+	for _, p := range pairs {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		tab := e.ix.Tables[p.c1.Table]
+		for r := 0; r < tab.Rows(); r++ {
+			loc2 := searchidx.CellLoc{Table: p.c2.Table, Row: r, Col: p.c2.Col}
+			sim := m.match(e.ix.NormCell(loc2), e.ix.CellTokens(loc2))
+			if sim <= 0 {
+				continue
+			}
+			loc1 := searchidx.CellLoc{Table: p.c1.Table, Row: r, Col: p.c1.Col}
+			norm := e.ix.NormCell(loc1)
+			if norm == "" {
+				continue
+			}
+			sink.add("t:"+norm, catalog.None, "", tab.Cell(r, p.c1.Col), sim,
+				SourceRef{Table: loc1.Table, Row: r, Col: loc1.Col, Score: sim})
+		}
+	}
+	return nil
+}
+
+// scanAnnotated implements Figure 4 over the precomputed posting lists:
+// candidate pairs come from the per-relation list (TypeRel) or the
+// subject-type-keyed typed-pair list (Type), filtered by subtype
+// compatibility with the query types; E2 is matched by entity annotation
+// with text fallback; evidence is keyed per entity (or per normalized
+// text for unannotated answer cells).
+func (e *Engine) scanAnnotated(ctx context.Context, q Query, requireRel bool, sink evidenceSink) error {
+	var pairs []searchidx.ColumnPair
+	if requireRel {
+		for _, p := range e.ix.RelationPairs(q.Relation) {
+			if p.SubjType != catalog.None && e.cat.IsSubtype(p.SubjType, q.T1) &&
+				p.ObjType != catalog.None && e.cat.IsSubtype(p.ObjType, q.T2) {
+				pairs = append(pairs, p)
+			}
+		}
+	} else {
+		// TypedPairs is already scoped to subject types ⊆ T1.
+		for _, p := range e.ix.TypedPairs(q.T1) {
+			if p.ObjType != catalog.None && e.cat.IsSubtype(p.ObjType, q.T2) {
+				pairs = append(pairs, p)
+			}
+		}
+	}
+
+	m := newQueryMatcher(q.E2Text)
+	for _, p := range pairs {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		tab := e.ix.Tables[p.Table]
+		for r := 0; r < tab.Rows(); r++ {
+			loc2 := searchidx.CellLoc{Table: p.Table, Row: r, Col: p.ObjCol}
+			var evidence float64
+			if q.E2 != catalog.None {
+				if e.ix.EntityAt(loc2) == q.E2 {
+					evidence = 1.5 // exact entity match beats text match
+				} else if e.ix.EntityAt(loc2) == catalog.None {
+					evidence = m.match(e.ix.NormCell(loc2), e.ix.CellTokens(loc2))
+				}
+			} else {
+				evidence = m.match(e.ix.NormCell(loc2), e.ix.CellTokens(loc2))
+			}
+			if evidence <= 0 {
+				continue
+			}
+			loc1 := searchidx.CellLoc{Table: p.Table, Row: r, Col: p.SubjCol}
+			src := SourceRef{Table: p.Table, Row: r, Col: p.SubjCol, Score: evidence}
+			if ent := e.ix.EntityAt(loc1); ent != catalog.None {
+				sink.add("e:"+strconv.Itoa(int(ent)), ent, e.cat.EntityName(ent),
+					tab.Cell(r, p.SubjCol), evidence, src)
+			} else {
+				norm := e.ix.NormCell(loc1)
+				if norm == "" {
+					continue
+				}
+				sink.add("t:"+norm, catalog.None, "", tab.Cell(r, p.SubjCol), evidence, src)
+			}
+		}
+	}
+	return nil
+}

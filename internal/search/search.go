@@ -3,15 +3,21 @@
 // corpus, in three configurations evaluated by Figure 9 — the string-only
 // Baseline of Figure 3, Type (column type annotations only), and TypeRel
 // (type + relation annotations) of Figure 4.
+//
+// The primary entry point is Engine.Execute, a request/response query
+// API: a Request carries the query, mode, page size, pagination cursor
+// and explain flag; the Result carries one ranked page, the total answer
+// count and the cursor of the next page. Candidate retrieval runs over
+// posting lists the index materialized at build time, and page selection
+// uses a bounded min-heap so a top-k query never sorts the full answer
+// set. Run / RunContext / Strings are thin deprecated shims over Execute.
 package search
 
 import (
 	"context"
-	"sort"
 
 	"repro/internal/catalog"
 	"repro/internal/searchidx"
-	"repro/internal/text"
 )
 
 // Mode selects the query processor.
@@ -52,8 +58,9 @@ type Query struct {
 
 // Answer is one ranked response row.
 type Answer struct {
-	// Text is the presented surface form (canonical entity name when the
-	// answer aggregated annotated cells, else the dominant cell text).
+	// Text is the presented surface form: the canonical entity name when
+	// the answer aggregated annotated cells, else the dominant
+	// (highest-support) cell text within the cluster.
 	Text string
 	// Entity is the aggregated entity ID, or None for unannotated
 	// clusters.
@@ -62,6 +69,9 @@ type Answer struct {
 	Score float64
 	// Support counts contributing table rows.
 	Support int
+	// Explanation is the answer's provenance; nil unless the request set
+	// Explain.
+	Explanation *Explanation
 }
 
 // Engine answers queries over one index.
@@ -75,20 +85,34 @@ func NewEngine(ix *searchidx.Index) *Engine {
 	return &Engine{ix: ix, cat: ix.Catalog()}
 }
 
-// Run answers q in the given mode, returning ranked answers (best first).
+// Run answers q in the given mode, returning the full ranking (best
+// first).
+//
+// Deprecated: use Execute, which pages, explains and propagates errors.
+// Run discards execution errors: with a background context cancellation
+// is unreachable, leaving only invalid inputs (an out-of-range mode),
+// which return no answers instead of the pre-Execute behavior of
+// silently running them as Type mode.
 func (e *Engine) Run(q Query, mode Mode) []Answer {
-	answers, _ := e.RunContext(context.Background(), q, mode)
-	return answers
+	res, err := e.Execute(context.Background(), Request{Query: q, Mode: mode})
+	if err != nil {
+		return nil
+	}
+	return res.Answers
 }
 
 // RunContext is Run with cancellation: the context is checked between
 // candidate column pairs, so long scans over large corpora abort promptly.
 // On cancellation it returns nil answers and the context's error.
+//
+// Deprecated: use Execute with a Request for paging, explanations and
+// bounded top-k selection.
 func (e *Engine) RunContext(ctx context.Context, q Query, mode Mode) ([]Answer, error) {
-	if mode == Baseline {
-		return e.runBaseline(ctx, q)
+	res, err := e.Execute(ctx, Request{Query: q, Mode: mode})
+	if err != nil {
+		return nil, err
 	}
-	return e.runAnnotated(ctx, q, mode == TypeRel)
+	return res.Answers, nil
 }
 
 // Strings answers q and projects the ranked answer texts, the form the
@@ -99,184 +123,5 @@ func (e *Engine) Strings(q Query, mode Mode) []string {
 	for i, a := range answers {
 		out[i] = a.Text
 	}
-	return out
-}
-
-// runBaseline implements Figure 3: interpret all inputs as strings; find
-// tables whose headers match T1 and T2 and context matches R; look for
-// E2 in the T2 column; collect the T1-column cells of qualifying rows;
-// cluster, dedup, rank.
-func (e *Engine) runBaseline(ctx context.Context, q Query) ([]Answer, error) {
-	t1Cols := e.ix.HeaderMatches(q.T1Text)
-	t2Cols := e.ix.HeaderMatches(q.T2Text)
-	ctxTables := e.ix.ContextMatches(q.RelationText)
-
-	// Qualifying tables: a T1-matching column and a T2-matching column
-	// (distinct), and context matching R.
-	type pair struct{ c1, c2 searchidx.ColRef }
-	var pairs []pair
-	t2ByTable := make(map[int][]searchidx.ColRef)
-	for _, ref := range t2Cols {
-		t2ByTable[ref.Table] = append(t2ByTable[ref.Table], ref)
-	}
-	for _, c1 := range t1Cols {
-		if _, ok := ctxTables[c1.Table]; !ok {
-			continue
-		}
-		for _, c2 := range t2ByTable[c1.Table] {
-			if c2.Col != c1.Col {
-				pairs = append(pairs, pair{c1, c2})
-			}
-		}
-	}
-
-	clusters := make(map[string]*Answer)
-	for _, p := range pairs {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		tab := e.ix.Tables[p.c1.Table]
-		for r := 0; r < tab.Rows(); r++ {
-			sim := cellMatch(q.E2Text, tab.Cell(r, p.c2.Col))
-			if sim <= 0 {
-				continue
-			}
-			cellText := tab.Cell(r, p.c1.Col)
-			key := text.Normalize(cellText)
-			if key == "" {
-				continue
-			}
-			a, ok := clusters[key]
-			if !ok {
-				a = &Answer{Text: cellText, Entity: catalog.None}
-				clusters[key] = a
-			}
-			a.Score += sim
-			a.Support++
-		}
-	}
-	return rankAnswers(clusters), nil
-}
-
-// runAnnotated implements Figure 4: locate tables with a column labeled
-// T1 and a column labeled T2 (related by R when requireRel); find E2 in
-// the T2 column by entity annotation (or text fallback); aggregate the
-// evidence of the T1 column cells, keyed by entity annotation when
-// available.
-func (e *Engine) runAnnotated(ctx context.Context, q Query, requireRel bool) ([]Answer, error) {
-	type pair struct {
-		c1, c2 searchidx.ColRef
-	}
-	var pairs []pair
-	if requireRel {
-		for _, rr := range e.ix.RelationInstances(q.Relation) {
-			// Orient: subject column must be type-compatible with T1.
-			sc, oc := rr.Col1, rr.Col2
-			if !rr.Forward {
-				sc, oc = oc, sc
-			}
-			c1 := searchidx.ColRef{Table: rr.Table, Col: sc}
-			c2 := searchidx.ColRef{Table: rr.Table, Col: oc}
-			if e.typeCompatible(c1, q.T1) && e.typeCompatible(c2, q.T2) {
-				pairs = append(pairs, pair{c1, c2})
-			}
-		}
-	} else {
-		t1Cols := e.ix.ColumnsOfType(q.T1)
-		t2ByTable := make(map[int][]searchidx.ColRef)
-		for _, ref := range e.ix.ColumnsOfType(q.T2) {
-			t2ByTable[ref.Table] = append(t2ByTable[ref.Table], ref)
-		}
-		for _, c1 := range t1Cols {
-			for _, c2 := range t2ByTable[c1.Table] {
-				if c2.Col != c1.Col {
-					pairs = append(pairs, pair{c1, c2})
-				}
-			}
-		}
-	}
-
-	clusters := make(map[string]*Answer)
-	for _, p := range pairs {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		tab := e.ix.Tables[p.c1.Table]
-		for r := 0; r < tab.Rows(); r++ {
-			loc2 := searchidx.CellLoc{Table: p.c2.Table, Row: r, Col: p.c2.Col}
-			var evidence float64
-			if q.E2 != catalog.None {
-				if e.ix.EntityAt(loc2) == q.E2 {
-					evidence = 1.5 // exact entity match beats text match
-				} else if e.ix.EntityAt(loc2) == catalog.None {
-					evidence = cellMatch(q.E2Text, tab.Cell(r, p.c2.Col))
-				}
-			} else {
-				evidence = cellMatch(q.E2Text, tab.Cell(r, p.c2.Col))
-			}
-			if evidence <= 0 {
-				continue
-			}
-			loc1 := searchidx.CellLoc{Table: p.c1.Table, Row: r, Col: p.c1.Col}
-			ent := e.ix.EntityAt(loc1)
-			var key, label string
-			if ent != catalog.None {
-				key = "e:" + e.cat.EntityName(ent)
-				label = e.cat.EntityName(ent)
-			} else {
-				label = tab.Cell(r, p.c1.Col)
-				key = "t:" + text.Normalize(label)
-				if key == "t:" {
-					continue
-				}
-			}
-			a, ok := clusters[key]
-			if !ok {
-				a = &Answer{Text: label, Entity: ent}
-				clusters[key] = a
-			}
-			a.Score += evidence
-			a.Support++
-		}
-	}
-	return rankAnswers(clusters), nil
-}
-
-// typeCompatible reports whether the column's annotated type is a
-// subtype-or-equal of want.
-func (e *Engine) typeCompatible(ref searchidx.ColRef, want catalog.TypeID) bool {
-	T := e.ix.TypeAt(ref)
-	return T != catalog.None && e.cat.IsSubtype(T, want)
-}
-
-// cellMatch scores how well cell text matches the E2 surface form:
-// 1.0 for normalized equality, Jaccard when above 0.5, else 0.
-func cellMatch(query, cell string) float64 {
-	if query == "" || cell == "" {
-		return 0
-	}
-	if text.Normalize(query) == text.Normalize(cell) {
-		return 1
-	}
-	if j := text.Jaccard(query, cell); j >= 0.5 {
-		return j
-	}
-	return 0
-}
-
-func rankAnswers(clusters map[string]*Answer) []Answer {
-	out := make([]Answer, 0, len(clusters))
-	for _, a := range clusters {
-		out = append(out, *a)
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Score != out[j].Score {
-			return out[i].Score > out[j].Score
-		}
-		if out[i].Support != out[j].Support {
-			return out[i].Support > out[j].Support
-		}
-		return out[i].Text < out[j].Text
-	})
 	return out
 }

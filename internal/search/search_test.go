@@ -1,6 +1,8 @@
 package search
 
 import (
+	"context"
+	"errors"
 	"testing"
 
 	"repro/internal/catalog"
@@ -240,6 +242,308 @@ func TestRankingDeterministic(t *testing.T) {
 func TestModeString(t *testing.T) {
 	if Baseline.String() != "Baseline" || Type.String() != "Type" || TypeRel.String() != "Type+Rel" {
 		t.Error("mode strings wrong")
+	}
+}
+
+// bigFixture builds a corpus with many distinct answers to one query:
+// nFilms films all directed by the same director, spread over several
+// tables, with surface-form variants of some film names so dominant-form
+// selection is observable.
+func bigFixture(t testing.TB, nFilms int) (*Engine, Query) {
+	t.Helper()
+	c := catalog.New()
+	film, err := c.AddType("Film", "movie")
+	if err != nil {
+		t.Fatal(err)
+	}
+	director, err := c.AddType("Director", "director")
+	if err != nil {
+		t.Fatal(err)
+	}
+	directed, err := c.AddRelation("directed", film, director, catalog.ManyToOne)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, err := c.AddEntity("Solo Auteur", nil, director)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+
+	const rowsPerTable = 7
+	var tables []*table.Table
+	var anns []*core.Annotation
+	for start := 0; start < nFilms; start += rowsPerTable {
+		tab := &table.Table{
+			ID:      "t",
+			Context: "films directed by people",
+			Headers: []string{"Film", "Director"},
+		}
+		ann := &core.Annotation{
+			ColumnTypes: []catalog.TypeID{film, director},
+			Relations: []core.RelationAnnotation{{
+				Col1: 0, Col2: 1, Relation: directed, Forward: true,
+			}},
+		}
+		for i := start; i < start+rowsPerTable && i < nFilms; i++ {
+			// Films are NOT catalog entities: answers cluster by
+			// normalized text, exercising the dominant-form logic.
+			tab.Cells = append(tab.Cells, []string{clusterName(i), "Solo Auteur"})
+			ann.CellEntities = append(ann.CellEntities, []catalog.EntityID{catalog.None, d1})
+		}
+		tables = append(tables, tab)
+		anns = append(anns, ann)
+	}
+	ix := searchidx.New(c, tables, anns)
+	return NewEngine(ix), Query{
+		Relation: directed, T1: film, T2: director, E2: d1,
+		RelationText: "directed", T1Text: "Film", T2Text: "Director",
+		E2Text: "Solo Auteur",
+	}
+}
+
+func clusterName(i int) string {
+	return "Film Number " + string(rune('A'+i%26)) + " " + string(rune('a'+(i/26)%26))
+}
+
+func TestExecutePaginationMatchesFullRanking(t *testing.T) {
+	e, q := bigFixture(t, 23)
+	ctx := context.Background()
+	// Baseline exercises the string path, whose candidate pairs come from
+	// token-map-ordered header postings and must still paginate exactly;
+	// multi-token surface forms make that ordering observable.
+	q.T1Text = "film movie"
+	q.T2Text = "director person"
+	for _, mode := range []Mode{Baseline, TypeRel} {
+		full, err := e.Execute(ctx, Request{Query: q, Mode: mode})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if full.Total != 23 || len(full.Answers) != 23 {
+			t.Fatalf("%v: full: total=%d answers=%d, want 23", mode, full.Total, len(full.Answers))
+		}
+		if full.NextCursor != "" {
+			t.Errorf("%v: full ranking left a next cursor", mode)
+		}
+
+		for _, pageSize := range []int{1, 3, 10, 23, 100} {
+			var paged []Answer
+			cursor := ""
+			for pages := 0; ; pages++ {
+				if pages > 30 {
+					t.Fatalf("%v pageSize %d: runaway pagination", mode, pageSize)
+				}
+				res, err := e.Execute(ctx, Request{Query: q, Mode: mode, PageSize: pageSize, Cursor: cursor})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Total != full.Total {
+					t.Fatalf("%v: page total %d != %d", mode, res.Total, full.Total)
+				}
+				if len(res.Answers) > pageSize {
+					t.Fatalf("%v: page of %d answers, want <= %d", mode, len(res.Answers), pageSize)
+				}
+				paged = append(paged, res.Answers...)
+				cursor = res.NextCursor
+				if cursor == "" {
+					break
+				}
+			}
+			if len(paged) != len(full.Answers) {
+				t.Fatalf("%v pageSize %d: paged %d answers, full %d", mode, pageSize, len(paged), len(full.Answers))
+			}
+			for i := range paged {
+				if paged[i] != full.Answers[i] {
+					t.Fatalf("%v pageSize %d: rank %d diverges: %+v != %+v",
+						mode, pageSize, i, paged[i], full.Answers[i])
+				}
+			}
+		}
+	}
+}
+
+func TestExecuteTopKBounded(t *testing.T) {
+	e, q := bigFixture(t, 23)
+	res, err := e.Execute(context.Background(), Request{Query: q, Mode: TypeRel, PageSize: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Answers) != 5 {
+		t.Fatalf("answers = %d, want 5", len(res.Answers))
+	}
+	if res.Total != 23 {
+		t.Fatalf("total = %d, want 23", res.Total)
+	}
+	if res.NextCursor == "" {
+		t.Fatal("no next cursor despite 18 remaining answers")
+	}
+	for i := 1; i < len(res.Answers); i++ {
+		prev, cur := res.Answers[i-1], res.Answers[i]
+		if cur.Score > prev.Score {
+			t.Fatalf("ranking not descending at %d", i)
+		}
+	}
+}
+
+func TestExecuteInvalidCursor(t *testing.T) {
+	e, q := bigFixture(t, 5)
+	for _, cursor := range []string{"%%%", "bm90LWpzb24"} { // bad base64; not JSON
+		_, err := e.Execute(context.Background(), Request{Query: q, Mode: TypeRel, Cursor: cursor})
+		if !errors.Is(err, ErrInvalidCursor) {
+			t.Errorf("cursor %q: err = %v, want ErrInvalidCursor", cursor, err)
+		}
+	}
+}
+
+func TestExecuteNegativePageSize(t *testing.T) {
+	e, q := bigFixture(t, 5)
+	if _, err := e.Execute(context.Background(), Request{Query: q, Mode: TypeRel, PageSize: -3}); err == nil {
+		t.Fatal("negative page size accepted")
+	}
+}
+
+func TestExecuteExplain(t *testing.T) {
+	f := build(t)
+	e := NewEngine(f.ix)
+	res, err := e.Execute(context.Background(), Request{Query: f.query(), Mode: TypeRel, Explain: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Answers) == 0 {
+		t.Fatal("no answers")
+	}
+	for _, a := range res.Answers {
+		if a.Explanation == nil {
+			t.Fatalf("answer %q: nil explanation", a.Text)
+		}
+		if got := len(a.Explanation.Sources) + a.Explanation.Truncated; got != a.Support {
+			t.Errorf("answer %q: %d sources+truncated, support %d", a.Text, got, a.Support)
+		}
+		for _, src := range a.Explanation.Sources {
+			if src.Table != 0 { // only the directed table qualifies
+				t.Errorf("answer %q: source from table %d", a.Text, src.Table)
+			}
+			if src.Score <= 0 {
+				t.Errorf("answer %q: non-positive source score", a.Text)
+			}
+		}
+	}
+
+	// Without Explain, answers carry no provenance.
+	res, err = e.Execute(context.Background(), Request{Query: f.query(), Mode: TypeRel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range res.Answers {
+		if a.Explanation != nil {
+			t.Errorf("answer %q: explanation without Explain", a.Text)
+		}
+	}
+}
+
+func TestExplainSourceCap(t *testing.T) {
+	// Build a table where one answer has more contributing rows than the
+	// explanation cap.
+	c := catalog.New()
+	film, _ := c.AddType("Film", "movie")
+	director, _ := c.AddType("Director", "director")
+	directed, _ := c.AddRelation("directed", film, director, catalog.ManyToOne)
+	d1, _ := c.AddEntity("Busy Director", nil, director)
+	if err := c.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	tab := &table.Table{ID: "rep", Headers: []string{"Film", "Director"}}
+	ann := &core.Annotation{
+		ColumnTypes: []catalog.TypeID{film, director},
+		Relations:   []core.RelationAnnotation{{Col1: 0, Col2: 1, Relation: directed, Forward: true}},
+	}
+	n := MaxExplainSources + 9
+	for i := 0; i < n; i++ {
+		tab.Cells = append(tab.Cells, []string{"Same Film", "Busy Director"})
+		ann.CellEntities = append(ann.CellEntities, []catalog.EntityID{catalog.None, d1})
+	}
+	eng := NewEngine(searchidx.New(c, []*table.Table{tab}, []*core.Annotation{ann}))
+	res, err := eng.Execute(context.Background(), Request{
+		Query: Query{Relation: directed, T1: film, T2: director, E2: d1, E2Text: "Busy Director"},
+		Mode:  TypeRel, Explain: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Answers) != 1 {
+		t.Fatalf("answers = %d, want 1", len(res.Answers))
+	}
+	a := res.Answers[0]
+	if a.Support != n {
+		t.Fatalf("support = %d, want %d", a.Support, n)
+	}
+	if len(a.Explanation.Sources) != MaxExplainSources {
+		t.Fatalf("sources = %d, want cap %d", len(a.Explanation.Sources), MaxExplainSources)
+	}
+	if a.Explanation.Truncated != n-MaxExplainSources {
+		t.Fatalf("truncated = %d, want %d", a.Explanation.Truncated, n-MaxExplainSources)
+	}
+}
+
+// TestDominantSurfaceForm checks the satellite fix: Answer.Text is the
+// highest-support surface form within a text cluster, not the first seen.
+func TestDominantSurfaceForm(t *testing.T) {
+	c := catalog.New()
+	film, _ := c.AddType("Film", "movie")
+	director, _ := c.AddType("Director", "director")
+	directed, _ := c.AddRelation("directed", film, director, catalog.ManyToOne)
+	d1, _ := c.AddEntity("Dana Helm", nil, director)
+	if err := c.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	// Three spellings of one normalized cluster; "Night Harbor" (plain)
+	// appears twice, the shouty variant once.
+	tab := &table.Table{
+		ID: "v", Context: "films directed by people",
+		Headers: []string{"Film", "Director"},
+		Cells: [][]string{
+			{"NIGHT HARBOR", "Dana Helm"},
+			{"Night Harbor", "Dana Helm"},
+			{"Night Harbor", "Dana Helm"},
+		},
+	}
+	ann := &core.Annotation{
+		ColumnTypes: []catalog.TypeID{film, director},
+		CellEntities: [][]catalog.EntityID{
+			{catalog.None, d1}, {catalog.None, d1}, {catalog.None, d1},
+		},
+		Relations: []core.RelationAnnotation{{Col1: 0, Col2: 1, Relation: directed, Forward: true}},
+	}
+	eng := NewEngine(searchidx.New(c, []*table.Table{tab}, []*core.Annotation{ann}))
+	q := Query{
+		Relation: directed, T1: film, T2: director, E2: d1,
+		RelationText: "directed", T1Text: "Film", T2Text: "Director", E2Text: "Dana Helm",
+	}
+	for _, mode := range []Mode{Baseline, TypeRel} {
+		answers := eng.Run(q, mode)
+		if len(answers) != 1 {
+			t.Fatalf("%v: answers = %+v, want one cluster", mode, answers)
+		}
+		if answers[0].Text != "Night Harbor" {
+			t.Errorf("%v: text = %q, want dominant form %q", mode, answers[0].Text, "Night Harbor")
+		}
+		if answers[0].Support != 3 {
+			t.Errorf("%v: support = %d, want 3", mode, answers[0].Support)
+		}
+	}
+}
+
+func TestExecuteCancelled(t *testing.T) {
+	e, q := bigFixture(t, 23)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.Execute(ctx, Request{Query: q, Mode: TypeRel}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if answers, err := e.RunContext(ctx, q, TypeRel); err == nil || answers != nil {
+		t.Fatalf("RunContext = (%v, %v), want (nil, cancelled)", answers, err)
 	}
 }
 

@@ -4,11 +4,19 @@
 // un-annotated baseline of Figure 3, and annotation-aware indexes (columns
 // by type, column pairs by relation, cells by entity) for the Figure-4
 // query processor.
+//
+// Everything the query processor needs per candidate is materialized at
+// build time: oriented candidate column pairs per relation (with the
+// annotated column types baked in), ordered typed-column pairs for the
+// type-only mode, and per-cell normalized text, token sets and entity
+// IDs — so query execution never tokenizes or normalizes raw cell text.
 package searchidx
 
 import (
 	"context"
 	"fmt"
+	"sort"
+	"strings"
 
 	"repro/internal/catalog"
 	"repro/internal/core"
@@ -34,6 +42,16 @@ type RelRef struct {
 	Forward    bool
 }
 
+// ColumnPair is one precomputed candidate column pair: an oriented
+// (subject, object) pairing of two distinct annotated columns of one
+// table, with their annotated types baked in so the query processor can
+// test type compatibility without further lookups.
+type ColumnPair struct {
+	Table             int
+	SubjCol, ObjCol   int
+	SubjType, ObjType catalog.TypeID
+}
+
 // Index holds the corpus plus optional annotations.
 type Index struct {
 	cat    *catalog.Catalog
@@ -45,16 +63,36 @@ type Index struct {
 	contextPost map[string][]int
 	cellPost    map[string][]CellLoc
 
-	colsByType    map[catalog.TypeID][]ColRef
-	relsByName    map[catalog.RelationID][]RelRef
 	cellsByEntity map[catalog.EntityID][]CellLoc
+
+	// Query-time posting lists, materialized at build time. relPairs
+	// holds the oriented candidate pairs per relation; typedPairs holds
+	// every ordered pair of distinct type-annotated columns, keyed by
+	// the subject column's annotated type so type-scoped retrieval never
+	// scans pairs of unrelated types.
+	relPairs   map[catalog.RelationID][]ColumnPair
+	typedPairs map[catalog.TypeID][]ColumnPair
+
+	// Per-cell precomputed data, flattened row-major per table
+	// (index row*cols+col).
+	tableCols []int
+	normCells [][]string
+	cellToks  [][]map[string]struct{}
+	cellEnts  [][]catalog.EntityID // nil entry: table unannotated
+	colTypes  [][]catalog.TypeID   // nil entry: table unannotated
 }
 
 // New builds an index over a corpus. anns may be nil (baseline mode) or
 // parallel to tables; a nil entry disables annotation lookups for that
-// table.
+// table. Invalid input (an anns slice whose length mismatches tables)
+// panics with the cause — New has no error return, and a silent nil
+// index would only defer the crash to the first lookup. Use BuildContext
+// to handle the error instead.
 func New(cat *catalog.Catalog, tables []*table.Table, anns []*core.Annotation) *Index {
-	ix, _ := BuildContext(context.Background(), cat, tables, anns)
+	ix, err := BuildContext(context.Background(), cat, tables, anns)
+	if err != nil {
+		panic(err)
+	}
 	return ix
 }
 
@@ -73,25 +111,41 @@ func BuildContext(ctx context.Context, cat *catalog.Catalog, tables []*table.Tab
 		headerPost:    make(map[string][]ColRef),
 		contextPost:   make(map[string][]int),
 		cellPost:      make(map[string][]CellLoc),
-		colsByType:    make(map[catalog.TypeID][]ColRef),
-		relsByName:    make(map[catalog.RelationID][]RelRef),
 		cellsByEntity: make(map[catalog.EntityID][]CellLoc),
+		relPairs:      make(map[catalog.RelationID][]ColumnPair),
+		typedPairs:    make(map[catalog.TypeID][]ColumnPair),
+		tableCols:     make([]int, len(tables)),
+		normCells:     make([][]string, len(tables)),
+		cellToks:      make([][]map[string]struct{}, len(tables)),
+		cellEnts:      make([][]catalog.EntityID, len(tables)),
+		colTypes:      make([][]catalog.TypeID, len(tables)),
 	}
 	for ti, t := range tables {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
+		cols := t.Cols()
+		ix.tableCols[ti] = cols
+		ix.normCells[ti] = make([]string, t.Rows()*cols)
+		ix.cellToks[ti] = make([]map[string]struct{}, t.Rows()*cols)
 		for tok := range text.TokenSet(t.Context) {
 			ix.contextPost[tok] = append(ix.contextPost[tok], ti)
 		}
-		for c := 0; c < t.Cols(); c++ {
+		for c := 0; c < cols; c++ {
 			for tok := range text.TokenSet(t.Header(c)) {
 				ix.headerPost[tok] = append(ix.headerPost[tok], ColRef{ti, c})
 			}
 		}
 		for r := 0; r < t.Rows(); r++ {
-			for c := 0; c < t.Cols(); c++ {
-				for tok := range text.TokenSet(t.Cell(r, c)) {
+			for c := 0; c < cols; c++ {
+				toks := text.Tokenize(t.Cell(r, c))
+				set := make(map[string]struct{}, len(toks))
+				for _, tok := range toks {
+					set[tok] = struct{}{}
+				}
+				ix.normCells[ti][r*cols+c] = strings.Join(toks, " ")
+				ix.cellToks[ti][r*cols+c] = set
+				for tok := range set {
 					ix.cellPost[tok] = append(ix.cellPost[tok], CellLoc{ti, r, c})
 				}
 			}
@@ -105,25 +159,78 @@ func BuildContext(ctx context.Context, cat *catalog.Catalog, tables []*table.Tab
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
+			cols := ix.tableCols[ti]
+			colT := make([]catalog.TypeID, cols)
+			for c := range colT {
+				colT[c] = catalog.None
+			}
 			for c, T := range ann.ColumnTypes {
-				if T != catalog.None {
-					ix.colsByType[T] = append(ix.colsByType[T], ColRef{ti, c})
+				if c < cols {
+					colT[c] = T
 				}
 			}
+			ix.colTypes[ti] = colT
+
+			// Relation posting lists: one oriented pair per annotated
+			// relation instance, subject column first.
 			for _, ra := range ann.Relations {
-				ix.relsByName[ra.Relation] = append(ix.relsByName[ra.Relation],
-					RelRef{Table: ti, Col1: ra.Col1, Col2: ra.Col2, Forward: ra.Forward})
+				sc, oc := ra.Col1, ra.Col2
+				if !ra.Forward {
+					sc, oc = oc, sc
+				}
+				ix.relPairs[ra.Relation] = append(ix.relPairs[ra.Relation], ColumnPair{
+					Table: ti, SubjCol: sc, ObjCol: oc,
+					SubjType: typeOf(colT, sc), ObjType: typeOf(colT, oc),
+				})
+			}
+
+			// Typed-pair posting list: every ordered pair of distinct
+			// type-annotated columns, the type-only mode's candidates.
+			for c1 := 0; c1 < cols; c1++ {
+				if colT[c1] == catalog.None {
+					continue
+				}
+				for c2 := 0; c2 < cols; c2++ {
+					if c2 == c1 || colT[c2] == catalog.None {
+						continue
+					}
+					ix.typedPairs[colT[c1]] = append(ix.typedPairs[colT[c1]], ColumnPair{
+						Table: ti, SubjCol: c1, ObjCol: c2,
+						SubjType: colT[c1], ObjType: colT[c2],
+					})
+				}
+			}
+
+			rows := tables[ti].Rows()
+			ents := make([]catalog.EntityID, rows*cols)
+			for i := range ents {
+				ents[i] = catalog.None
 			}
 			for r, row := range ann.CellEntities {
+				if r >= rows {
+					break
+				}
 				for c, e := range row {
+					if c >= cols {
+						continue
+					}
+					ents[r*cols+c] = e
 					if e != catalog.None {
 						ix.cellsByEntity[e] = append(ix.cellsByEntity[e], CellLoc{ti, r, c})
 					}
 				}
 			}
+			ix.cellEnts[ti] = ents
 		}
 	}
 	return ix, nil
+}
+
+func typeOf(colT []catalog.TypeID, c int) catalog.TypeID {
+	if c < 0 || c >= len(colT) {
+		return catalog.None
+	}
+	return colT[c]
 }
 
 // Catalog returns the catalog the annotations refer to.
@@ -172,20 +279,59 @@ func (ix *Index) CellMatches(q string) []CellLoc {
 
 // ColumnsOfType returns columns annotated with a type T such that
 // T ⊆* want (subtype-or-equal), i.e. every column guaranteed to hold
-// entities of the query type.
+// entities of the query type. Derived from the per-table column types in
+// corpus order (the query path uses TypedPairs/RelationPairs instead).
 func (ix *Index) ColumnsOfType(want catalog.TypeID) []ColRef {
 	var out []ColRef
-	for T, refs := range ix.colsByType {
-		if ix.cat.IsSubtype(T, want) {
-			out = append(out, refs...)
+	for ti, colT := range ix.colTypes {
+		for c, T := range colT {
+			if T != catalog.None && ix.cat.IsSubtype(T, want) {
+				out = append(out, ColRef{ti, c})
+			}
 		}
 	}
 	return out
 }
 
-// RelationInstances returns annotated column pairs carrying relation b.
+// RelationInstances returns annotated column pairs carrying relation b,
+// derived from the relation posting list in subject-first orientation.
 func (ix *Index) RelationInstances(b catalog.RelationID) []RelRef {
-	return ix.relsByName[b]
+	pairs := ix.relPairs[b]
+	if pairs == nil {
+		return nil
+	}
+	out := make([]RelRef, len(pairs))
+	for i, p := range pairs {
+		out[i] = RelRef{Table: p.Table, Col1: p.SubjCol, Col2: p.ObjCol, Forward: true}
+	}
+	return out
+}
+
+// RelationPairs returns the precomputed oriented candidate column pairs
+// carrying relation b, subject column first, with annotated types baked
+// in.
+func (ix *Index) RelationPairs(b catalog.RelationID) []ColumnPair {
+	return ix.relPairs[b]
+}
+
+// TypedPairs returns the ordered pairs of distinct type-annotated
+// columns whose subject column's type is subj or a subtype of it — the
+// candidate pairs of the type-only query mode, to be filtered further by
+// object-type compatibility. Matching subject types are visited in ID
+// order so the result is deterministic across calls.
+func (ix *Index) TypedPairs(subj catalog.TypeID) []ColumnPair {
+	var types []catalog.TypeID
+	for T := range ix.typedPairs {
+		if ix.cat.IsSubtype(T, subj) {
+			types = append(types, T)
+		}
+	}
+	sort.Slice(types, func(i, j int) bool { return types[i] < types[j] })
+	var out []ColumnPair
+	for _, T := range types {
+		out = append(out, ix.typedPairs[T]...)
+	}
+	return out
 }
 
 // CellsOfEntity returns cells annotated with entity e.
@@ -195,16 +341,29 @@ func (ix *Index) CellsOfEntity(e catalog.EntityID) []CellLoc {
 
 // EntityAt returns the entity annotation of a cell (None if absent).
 func (ix *Index) EntityAt(loc CellLoc) catalog.EntityID {
-	if ix.Anns == nil || ix.Anns[loc.Table] == nil {
+	ents := ix.cellEnts[loc.Table]
+	if ents == nil {
 		return catalog.None
 	}
-	return ix.Anns[loc.Table].CellEntities[loc.Row][loc.Col]
+	return ents[loc.Row*ix.tableCols[loc.Table]+loc.Col]
 }
 
 // TypeAt returns the type annotation of a column (None if absent).
 func (ix *Index) TypeAt(ref ColRef) catalog.TypeID {
-	if ix.Anns == nil || ix.Anns[ref.Table] == nil {
+	colT := ix.colTypes[ref.Table]
+	if colT == nil {
 		return catalog.None
 	}
-	return ix.Anns[ref.Table].ColumnTypes[ref.Col]
+	return typeOf(colT, ref.Col)
+}
+
+// NormCell returns the cell's normalized text, precomputed at build time.
+func (ix *Index) NormCell(loc CellLoc) string {
+	return ix.normCells[loc.Table][loc.Row*ix.tableCols[loc.Table]+loc.Col]
+}
+
+// CellTokens returns the cell's token set, precomputed at build time. The
+// returned map is shared; callers must not mutate it.
+func (ix *Index) CellTokens(loc CellLoc) map[string]struct{} {
+	return ix.cellToks[loc.Table][loc.Row*ix.tableCols[loc.Table]+loc.Col]
 }

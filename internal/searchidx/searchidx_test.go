@@ -106,6 +106,122 @@ func TestEntityAndTypeAt(t *testing.T) {
 	}
 }
 
+// buildRelIndex builds a two-column table annotated with a reversed
+// relation instance, so orientation in the posting lists is observable.
+func buildRelIndex(t testing.TB) (*Index, *catalog.Catalog) {
+	t.Helper()
+	c := catalog.New()
+	film, err := c.AddType("Film", "movie")
+	if err != nil {
+		t.Fatal(err)
+	}
+	director, err := c.AddType("Director", "director")
+	if err != nil {
+		t.Fatal(err)
+	}
+	directed, err := c.AddRelation("directed", film, director, catalog.ManyToOne)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, err := c.AddEntity("Dana Helm", nil, director)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1, err := c.AddEntity("Star Voyage", nil, film)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddTuple(directed, f1, d1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	// Director column first: the relation instance runs Col1=1 (film,
+	// subject) → Col2=0... expressed as Col1:0, Col2:1, Forward:false,
+	// i.e. the annotated pair is (director col, film col) reversed.
+	tab := &table.Table{
+		ID:      "rev",
+		Headers: []string{"Director", "Movie"},
+		Cells:   [][]string{{"Dana Helm", "Star  Voyage!"}},
+	}
+	ann := &core.Annotation{
+		TableID:     "rev",
+		ColumnTypes: []catalog.TypeID{director, film},
+		CellEntities: [][]catalog.EntityID{
+			{d1, f1},
+		},
+		Relations: []core.RelationAnnotation{{
+			Col1: 0, Col2: 1, Relation: directed, Forward: false,
+		}},
+	}
+	return New(c, []*table.Table{tab}, []*core.Annotation{ann}), c
+}
+
+func TestRelationPairsOrientedAndTyped(t *testing.T) {
+	ix, c := buildRelIndex(t)
+	directed, _ := c.RelationByName("directed")
+	film, _ := c.TypeByName("Film")
+	director, _ := c.TypeByName("Director")
+
+	pairs := ix.RelationPairs(directed)
+	if len(pairs) != 1 {
+		t.Fatalf("RelationPairs = %v", pairs)
+	}
+	p := pairs[0]
+	// Forward:false means the subject (film) lives in column 1.
+	if p.SubjCol != 1 || p.ObjCol != 0 {
+		t.Errorf("orientation = subj %d obj %d, want subj 1 obj 0", p.SubjCol, p.ObjCol)
+	}
+	if p.SubjType != film || p.ObjType != director {
+		t.Errorf("baked types = %v/%v, want Film/Director", p.SubjType, p.ObjType)
+	}
+	if got := ix.RelationPairs(directed + 99); got != nil {
+		t.Errorf("unknown relation pairs = %v", got)
+	}
+}
+
+func TestTypedPairsEnumeratesOrderedPairs(t *testing.T) {
+	ix, c := buildRelIndex(t)
+	film, _ := c.TypeByName("Film")
+	director, _ := c.TypeByName("Director")
+	// Subject-type-scoped retrieval: each key sees only its orientation.
+	filmPairs := ix.TypedPairs(film)
+	if len(filmPairs) != 1 || filmPairs[0].SubjType != film || filmPairs[0].ObjType != director {
+		t.Fatalf("TypedPairs(Film) = %v", filmPairs)
+	}
+	dirPairs := ix.TypedPairs(director)
+	if len(dirPairs) != 1 || dirPairs[0].SubjType != director || dirPairs[0].ObjType != film {
+		t.Fatalf("TypedPairs(Director) = %v", dirPairs)
+	}
+	for _, p := range append(filmPairs, dirPairs...) {
+		if p.SubjCol == p.ObjCol {
+			t.Errorf("self-pair: %+v", p)
+		}
+	}
+	if got := ix.TypedPairs(film + 99); got != nil {
+		t.Errorf("TypedPairs(unknown) = %v", got)
+	}
+}
+
+func TestPrecomputedCells(t *testing.T) {
+	ix, c := buildRelIndex(t)
+	loc := CellLoc{Table: 0, Row: 0, Col: 1}
+	// "Star  Voyage!" normalizes with collapsed whitespace and stripped
+	// punctuation at build time.
+	if got := ix.NormCell(loc); got != "star voyage" {
+		t.Errorf("NormCell = %q", got)
+	}
+	toks := ix.CellTokens(loc)
+	if _, ok := toks["star"]; !ok || len(toks) != 2 {
+		t.Errorf("CellTokens = %v", toks)
+	}
+	f1, _ := c.EntityByName("Star Voyage")
+	if got := ix.EntityAt(loc); got != f1 {
+		t.Errorf("EntityAt = %v", got)
+	}
+}
+
 func TestUnannotatedIndex(t *testing.T) {
 	c := catalog.New()
 	if _, err := c.AddType("T"); err != nil {
@@ -128,5 +244,12 @@ func TestUnannotatedIndex(t *testing.T) {
 	// Text postings still work.
 	if cells := ix.CellMatches("a"); len(cells) != 1 {
 		t.Errorf("CellMatches = %v", cells)
+	}
+	// Annotation-derived posting lists are empty, precomputed text isn't.
+	if pairs := ix.TypedPairs(0); pairs != nil {
+		t.Errorf("TypedPairs without annotations = %v", pairs)
+	}
+	if got := ix.NormCell(CellLoc{0, 0, 1}); got != "b" {
+		t.Errorf("NormCell = %q", got)
 	}
 }

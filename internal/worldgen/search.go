@@ -3,8 +3,10 @@ package worldgen
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 
 	"repro/internal/catalog"
+	"repro/internal/search"
 )
 
 // SearchQuery is one instance of the §5 query form: given R, T1, T2 and
@@ -66,6 +68,34 @@ func (w *World) SearchWorkload(relNames []string, queriesPerRel int, seed int64)
 		}
 	}
 	return out
+}
+
+// QueryInputs converts a workload query into the engine's §5 query form,
+// attaching the surface vocabulary a user would type: the relation's
+// context phrasing and every type lemma. The string baseline gets the
+// full vocabulary so its Figure-9 deficit comes from missing
+// annotations, not from a stunted query.
+func (w *World) QueryInputs(q SearchQuery) search.Query {
+	ri, ok := w.Rel(q.RelationName)
+	if !ok {
+		panic(fmt.Sprintf("worldgen: unknown relation %q", q.RelationName))
+	}
+	return search.Query{
+		Relation:     q.Relation,
+		T1:           q.T1,
+		T2:           q.T2,
+		E2:           q.E2,
+		RelationText: strings.Join(ri.ContextWords, " "),
+		T1Text:       strings.Join(w.True.TypeLemmas(q.T1), " "),
+		T2Text:       strings.Join(w.True.TypeLemmas(q.T2), " "),
+		E2Text:       q.E2Name,
+	}
+}
+
+// Request wraps QueryInputs into a ready-to-execute search request for
+// the given mode and page size.
+func (w *World) Request(q SearchQuery, mode search.Mode, pageSize int) search.Request {
+	return search.Request{Query: w.QueryInputs(q), Mode: mode, PageSize: pageSize}
 }
 
 // SearchCorpus generates the web-table corpus the search application

@@ -140,7 +140,10 @@ func WithoutAnnotations() AnnotateOption {
 	return func(o *annotateOptions) { o.noAnns = true }
 }
 
-// SearchOption configures one Search call.
+// SearchOption configures one SearchAnswers call.
+//
+// Deprecated: use Search with a SearchRequest; its Mode and PageSize
+// fields replace these options.
 type SearchOption func(*searchOptions)
 
 type searchOptions struct {
@@ -150,11 +153,15 @@ type searchOptions struct {
 
 // WithSearchMode selects the query processor (Baseline / Type / TypeRel,
 // Figure 9). The default is SearchTypeRel.
+//
+// Deprecated: set SearchRequest.Mode instead.
 func WithSearchMode(m SearchMode) SearchOption {
 	return func(o *searchOptions) { o.mode = m }
 }
 
 // WithLimit truncates the ranked answers to the top k (0 = no limit).
+//
+// Deprecated: set SearchRequest.PageSize instead.
 func WithLimit(k int) SearchOption {
 	return func(o *searchOptions) { o.limit = k }
 }

@@ -2,7 +2,9 @@ package webtable
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"iter"
 	"runtime"
 	"sort"
 	"sync"
@@ -27,7 +29,9 @@ import (
 //	svc, err := webtable.NewService(cat, webtable.WithWorkers(8))
 //	anns, err := svc.AnnotateCorpus(ctx, tables)
 //	_, err = svc.BuildIndex(ctx, tables)
-//	answers, err := svc.Search(ctx, query, webtable.WithLimit(10))
+//	res, err := svc.Search(ctx, webtable.SearchRequest{
+//		Query: query, Mode: webtable.SearchTypeRel, PageSize: 10,
+//	})
 type Service struct {
 	cat     *catalog.Catalog
 	ix      *lemmaindex.Index
@@ -297,34 +301,174 @@ func (s *Service) Index() *SearchIndex {
 	return nil
 }
 
+// DefaultPageSize is the page size SearchAll uses when the request
+// leaves PageSize zero (a zero PageSize would make every "page" the full
+// ranking).
+const DefaultPageSize = 100
+
 // Search answers a relational query R(E1 ∈ T1, E2 ∈ T2) over the most
-// recently built index (§5). The default mode is SearchTypeRel; override
-// with WithSearchMode, truncate with WithLimit. Invalid queries — fields
-// the mode requires left unset — return a *QueryError instead of the old
-// behavior of silently matching nothing.
-func (s *Service) Search(ctx context.Context, q SearchQuery, opts ...SearchOption) ([]SearchAnswer, error) {
+// recently built index (§5). The request selects the mode (zero value:
+// SearchBaseline — set Mode explicitly; most callers want
+// SearchTypeRel), bounds the page with PageSize, resumes a ranking with
+// Cursor, and attaches provenance with Explain. Ranking a page of k
+// answers uses a bounded min-heap (O(n log k)); the full answer count is
+// reported as Result.Total either way.
+//
+// Invalid queries — fields the mode requires left unset, a negative page
+// size — return a *QueryError; a cursor that did not come from a
+// previous Result returns an error wrapping ErrInvalidCursor. Pages are
+// ranked against the index current at call time: a BuildIndex between
+// pages may shift results, so paginate over one index generation (or use
+// SearchAll, which snapshots the index for the whole iteration).
+func (s *Service) Search(ctx context.Context, req SearchRequest) (*SearchResult, error) {
 	st := s.srch.Load()
 	if st == nil {
 		return nil, ErrNoIndex
 	}
+	if err := validateRequest(req); err != nil {
+		return nil, err
+	}
+	return st.eng.Execute(ctx, req)
+}
+
+// SearchAnswers is the PR-1 search surface: functional options select
+// the mode (default SearchTypeRel) and truncate the ranking.
+//
+// Deprecated: use Search with a SearchRequest, which adds pagination,
+// total counts, explanations and bounded top-k ranking. This shim maps
+// WithSearchMode to Request.Mode and WithLimit to Request.PageSize.
+func (s *Service) SearchAnswers(ctx context.Context, q SearchQuery, opts ...SearchOption) ([]SearchAnswer, error) {
 	so := searchOptions{mode: SearchTypeRel}
 	for _, opt := range opts {
 		opt(&so)
 	}
-	if err := validateQuery(q, so.mode); err != nil {
-		return nil, err
-	}
-	answers, err := st.eng.RunContext(ctx, q, so.mode)
+	res, err := s.Search(ctx, SearchRequest{Query: q, Mode: so.mode, PageSize: so.limit})
 	if err != nil {
 		return nil, err
 	}
-	if so.limit > 0 && len(answers) > so.limit {
-		answers = answers[:so.limit]
-	}
-	return answers, nil
+	return res.Answers, nil
 }
 
-// validateQuery checks that q carries the inputs mode needs.
+// SearchBatch answers many requests concurrently over the service's
+// worker pool, against one consistent snapshot of the index. The
+// returned slice is parallel to reqs; entries whose request failed are
+// nil.
+//
+// Error contract (mirrors AnnotateCorpus): a context
+// cancellation/deadline aborts the fan-out and is returned as the
+// context's error; requests already answered keep their results.
+// Per-request failures that are not cancellations are aggregated into a
+// *BatchError while the remaining requests still run to completion.
+func (s *Service) SearchBatch(ctx context.Context, reqs []SearchRequest) ([]*SearchResult, error) {
+	st := s.srch.Load()
+	if st == nil {
+		return nil, ErrNoIndex
+	}
+	out := make([]*SearchResult, len(reqs))
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		failures []*RequestError
+	)
+	for i, req := range reqs {
+		if err := validateRequest(req); err != nil {
+			mu.Lock()
+			failures = append(failures, &RequestError{Index: i, Err: err})
+			mu.Unlock()
+			continue
+		}
+		if err := s.acquire(ctx); err != nil {
+			break // cancelled: stop scheduling, keep finished results
+		}
+		wg.Add(1)
+		go func(i int, req SearchRequest) {
+			defer wg.Done()
+			defer s.release()
+			res, err := st.eng.Execute(ctx, req)
+			if err != nil {
+				if ctx.Err() == nil {
+					mu.Lock()
+					failures = append(failures, &RequestError{Index: i, Err: err})
+					mu.Unlock()
+				}
+				return
+			}
+			out[i] = res
+		}(i, req)
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return out, err
+	}
+	if len(failures) > 0 {
+		sort.Slice(failures, func(i, j int) bool { return failures[i].Index < failures[j].Index })
+		return out, &BatchError{Failures: failures}
+	}
+	return out, nil
+}
+
+// SearchAll streams every page of req as an iterator, starting from
+// req.Cursor (empty: the top) and following NextCursor until the ranking
+// is exhausted. A zero PageSize is replaced with DefaultPageSize. The
+// whole iteration runs against the index snapshot taken when iteration
+// begins, so pages stay consistent even if BuildIndex runs concurrently.
+// The iteration yields (nil, err) once and stops on the first error
+// (including context cancellation).
+//
+//	for page, err := range svc.SearchAll(ctx, req) {
+//		if err != nil { ... }
+//		for _, a := range page.Answers { ... }
+//	}
+func (s *Service) SearchAll(ctx context.Context, req SearchRequest) iter.Seq2[*SearchResult, error] {
+	return func(yield func(*SearchResult, error) bool) {
+		st := s.srch.Load()
+		if st == nil {
+			yield(nil, ErrNoIndex)
+			return
+		}
+		if req.PageSize == 0 {
+			req.PageSize = DefaultPageSize
+		}
+		if err := validateRequest(req); err != nil {
+			yield(nil, err)
+			return
+		}
+		for {
+			res, err := st.eng.Execute(ctx, req)
+			if err != nil {
+				yield(nil, err)
+				return
+			}
+			if !yield(res, nil) {
+				return
+			}
+			if res.NextCursor == "" {
+				return
+			}
+			req.Cursor = res.NextCursor
+		}
+	}
+}
+
+// validateRequest checks the execution controls, then the query fields
+// the mode needs. Cursor well-formedness is checked by the engine, which
+// owns the cursor format.
+func validateRequest(req SearchRequest) error {
+	if err := req.Validate(); err != nil {
+		field := "page_size"
+		if errors.Is(err, ErrInvalidMode) {
+			field = "mode"
+		}
+		return &QueryError{Field: field, Err: err}
+	}
+	return validateQuery(req.Query, req.Mode)
+}
+
+// validateQuery checks that q carries the inputs mode needs. Every mode
+// needs a probe: the baseline matches E2Text against cells, and the
+// annotated modes match E2 with E2Text as the fallback — a query with
+// neither is guaranteed zero answers, which must be an error, not a
+// silent empty result.
 func validateQuery(q SearchQuery, mode SearchMode) error {
 	switch mode {
 	case SearchBaseline:
@@ -333,6 +477,9 @@ func validateQuery(q SearchQuery, mode SearchMode) error {
 		}
 		if q.T2Text == "" {
 			return &QueryError{Field: "t2_text", Err: ErrInvalidQuery}
+		}
+		if q.E2Text == "" {
+			return &QueryError{Field: "e2_text", Err: ErrInvalidQuery}
 		}
 	case SearchTypeRel:
 		if q.Relation == None {
@@ -345,6 +492,9 @@ func validateQuery(q SearchQuery, mode SearchMode) error {
 		}
 		if q.T2 == None {
 			return &QueryError{Field: "t2", Err: ErrInvalidQuery}
+		}
+		if q.E2 == None && q.E2Text == "" {
+			return &QueryError{Field: "e2", Err: ErrInvalidQuery}
 		}
 	}
 	return nil

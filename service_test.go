@@ -225,8 +225,11 @@ func TestServiceStructuredErrors(t *testing.T) {
 	}
 
 	// Search before BuildIndex.
-	if _, err := svc.Search(ctx, webtable.SearchQuery{}); !errors.Is(err, webtable.ErrNoIndex) {
+	if _, err := svc.Search(ctx, webtable.SearchRequest{}); !errors.Is(err, webtable.ErrNoIndex) {
 		t.Errorf("search without index: err = %v", err)
+	}
+	if _, err := svc.SearchBatch(ctx, []webtable.SearchRequest{{}}); !errors.Is(err, webtable.ErrNoIndex) {
+		t.Errorf("batch without index: err = %v", err)
 	}
 
 	// Unknown names resolve to structured errors, not silent None.
@@ -238,15 +241,377 @@ func TestServiceStructuredErrors(t *testing.T) {
 	if _, err := svc.BuildIndex(ctx, corpusTables(w, 2)); err != nil {
 		t.Fatalf("build index: %v", err)
 	}
-	_, err = svc.Search(ctx, webtable.SearchQuery{Relation: webtable.None, T1Text: "a", T2Text: "b"})
+	_, err = svc.Search(ctx, webtable.SearchRequest{
+		Mode:  webtable.SearchTypeRel,
+		Query: webtable.SearchQuery{Relation: webtable.None, T1Text: "a", T2Text: "b"},
+	})
 	var qe *webtable.QueryError
 	if !errors.As(err, &qe) || !errors.Is(err, webtable.ErrInvalidQuery) {
 		t.Errorf("invalid TypeRel query: err = %v, want QueryError/ErrInvalidQuery", err)
 	}
 	// Baseline mode instead requires the surface forms.
-	_, err = svc.Search(ctx, webtable.SearchQuery{}, webtable.WithSearchMode(webtable.SearchBaseline))
+	_, err = svc.Search(ctx, webtable.SearchRequest{Mode: webtable.SearchBaseline})
 	if !errors.Is(err, webtable.ErrInvalidQuery) {
 		t.Errorf("baseline query without text: err = %v, want ErrInvalidQuery", err)
+	}
+}
+
+// TestValidateQueryMatrix exercises every QueryError field/mode
+// combination the request validator can emit: missing surface forms in
+// Baseline mode, missing type IDs in Type mode, missing relation + type
+// IDs in TypeRel mode, and a negative page size in any mode.
+func TestValidateQueryMatrix(t *testing.T) {
+	w := testWorld(t)
+	svc, err := webtable.NewService(w.Public, webtable.WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := svc.BuildIndex(ctx, corpusTables(w, 2)); err != nil {
+		t.Fatalf("build index: %v", err)
+	}
+
+	film, ok := w.Public.TypeByName("Film")
+	if !ok {
+		t.Fatal("no Film type")
+	}
+	directed, ok := w.Public.RelationByName("directed")
+	if !ok {
+		t.Fatal("no directed relation")
+	}
+
+	cases := []struct {
+		name    string
+		req     webtable.SearchRequest
+		field   string
+		wantErr error
+	}{
+		{"baseline/missing-t1-text", webtable.SearchRequest{
+			Mode:  webtable.SearchBaseline,
+			Query: webtable.SearchQuery{T2Text: "director"},
+		}, "t1_text", nil},
+		{"baseline/missing-t2-text", webtable.SearchRequest{
+			Mode:  webtable.SearchBaseline,
+			Query: webtable.SearchQuery{T1Text: "film"},
+		}, "t2_text", nil},
+		{"type/missing-t1", webtable.SearchRequest{
+			Mode:  webtable.SearchType,
+			Query: webtable.SearchQuery{T1: webtable.None, T2: film},
+		}, "t1", nil},
+		{"type/missing-t2", webtable.SearchRequest{
+			Mode:  webtable.SearchType,
+			Query: webtable.SearchQuery{T1: film, T2: webtable.None},
+		}, "t2", nil},
+		{"typerel/missing-relation", webtable.SearchRequest{
+			Mode:  webtable.SearchTypeRel,
+			Query: webtable.SearchQuery{Relation: webtable.None, T1: film, T2: film},
+		}, "relation", nil},
+		{"typerel/missing-t1", webtable.SearchRequest{
+			Mode:  webtable.SearchTypeRel,
+			Query: webtable.SearchQuery{Relation: directed, T1: webtable.None, T2: film},
+		}, "t1", nil},
+		{"typerel/missing-t2", webtable.SearchRequest{
+			Mode:  webtable.SearchTypeRel,
+			Query: webtable.SearchQuery{Relation: directed, T1: film, T2: webtable.None},
+		}, "t2", nil},
+		{"baseline/missing-e2-text", webtable.SearchRequest{
+			Mode:  webtable.SearchBaseline,
+			Query: webtable.SearchQuery{T1Text: "film", T2Text: "director"},
+		}, "e2_text", nil},
+		{"type/missing-probe", webtable.SearchRequest{
+			Mode:  webtable.SearchType,
+			Query: webtable.SearchQuery{T1: film, T2: film, E2: webtable.None},
+		}, "e2", nil},
+		{"typerel/missing-probe", webtable.SearchRequest{
+			Mode:  webtable.SearchTypeRel,
+			Query: webtable.SearchQuery{Relation: directed, T1: film, T2: film, E2: webtable.None},
+		}, "e2", nil},
+		{"negative-page-size", webtable.SearchRequest{
+			Mode:     webtable.SearchBaseline,
+			Query:    webtable.SearchQuery{T1Text: "film", T2Text: "director"},
+			PageSize: -1,
+		}, "page_size", webtable.ErrInvalidPageSize},
+		{"out-of-range-mode", webtable.SearchRequest{
+			Mode:  webtable.SearchMode(7),
+			Query: webtable.SearchQuery{T1Text: "film", T2Text: "director"},
+		}, "mode", webtable.ErrInvalidMode},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := svc.Search(ctx, tc.req)
+			var qe *webtable.QueryError
+			if !errors.As(err, &qe) {
+				t.Fatalf("err = %v, want *QueryError", err)
+			}
+			if qe.Field != tc.field {
+				t.Errorf("field = %q, want %q", qe.Field, tc.field)
+			}
+			want := tc.wantErr
+			if want == nil {
+				want = webtable.ErrInvalidQuery
+			}
+			if !errors.Is(err, want) {
+				t.Errorf("err = %v, want %v", err, want)
+			}
+		})
+	}
+
+	// A corrupted cursor is rejected with ErrInvalidCursor.
+	_, err = svc.Search(ctx, webtable.SearchRequest{
+		Mode:   webtable.SearchBaseline,
+		Query:  webtable.SearchQuery{T1Text: "film", T2Text: "director", E2Text: "someone"},
+		Cursor: "!!!not-a-cursor!!!",
+	})
+	if !errors.Is(err, webtable.ErrInvalidCursor) {
+		t.Errorf("bad cursor: err = %v, want ErrInvalidCursor", err)
+	}
+}
+
+// TestResolveQueryErrorPaths covers each unresolvable-name field of
+// ResolveQuery, plus the documented non-error: an out-of-catalog E2
+// falls back to text matching with E2 = None.
+func TestResolveQueryErrorPaths(t *testing.T) {
+	w := testWorld(t)
+	svc, err := webtable.NewService(w.Public, webtable.WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name               string
+		rel, t1, t2, field string
+	}{
+		{"unknown-relation", "nonesuch", "Film", "Director", "relation"},
+		{"unknown-t1", "directed", "Nonesuch", "Director", "t1"},
+		{"unknown-t2", "directed", "Film", "Nonesuch", "t2"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := svc.ResolveQuery(tc.rel, tc.t1, tc.t2, "whoever")
+			var qe *webtable.QueryError
+			if !errors.As(err, &qe) {
+				t.Fatalf("err = %v, want *QueryError", err)
+			}
+			if qe.Field != tc.field {
+				t.Errorf("field = %q, want %q", qe.Field, tc.field)
+			}
+			if !errors.Is(err, webtable.ErrUnknownName) {
+				t.Errorf("err = %v, want ErrUnknownName", err)
+			}
+		})
+	}
+
+	// Unknown E2 is NOT an error (§5: the probe entity may be outside the
+	// catalog); it resolves to None with the surface form preserved.
+	q, err := svc.ResolveQuery("directed", "Film", "Director", "Nobody In Particular")
+	if err != nil {
+		t.Fatalf("unknown e2: err = %v, want nil", err)
+	}
+	if q.E2 != webtable.None {
+		t.Errorf("unknown e2 resolved to %v, want None", q.E2)
+	}
+	if q.E2Text != "Nobody In Particular" {
+		t.Errorf("e2 text = %q", q.E2Text)
+	}
+
+	// A known E2 resolves to its catalog ID. The workload names come from
+	// the complete world; pick one the degraded public catalog retains.
+	known := ""
+	for _, wq := range w.SearchWorkload([]string{"directed"}, 10, 7) {
+		name := w.True.EntityName(wq.E2)
+		if _, ok := w.Public.EntityByName(name); ok {
+			known = name
+			break
+		}
+	}
+	if known == "" {
+		t.Skip("no workload probe entity present in the public catalog")
+	}
+	q, err = svc.ResolveQuery("directed", "Film", "Director", known)
+	if err != nil {
+		t.Fatalf("known e2: %v", err)
+	}
+	if q.E2 == webtable.None {
+		t.Errorf("known e2 %q resolved to None", known)
+	}
+}
+
+// TestServiceSearchPagination pages through a ranking and checks the
+// concatenation of pages is exactly the full ranking, page sizes are
+// honored, and the totals agree.
+func TestServiceSearchPagination(t *testing.T) {
+	w := testWorld(t)
+	tables := corpusTables(w, 30)
+	svc, err := webtable.NewService(w.Public, webtable.WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := svc.BuildIndex(ctx, tables); err != nil {
+		t.Fatalf("build index: %v", err)
+	}
+
+	workload := w.SearchWorkload([]string{"directed", "actedIn"}, 2, 7)
+	for _, wq := range workload {
+		for _, mode := range []webtable.SearchMode{webtable.SearchType, webtable.SearchTypeRel} {
+			full, err := svc.Search(ctx, w.Request(wq, mode, 0))
+			if err != nil {
+				t.Fatalf("full search: %v", err)
+			}
+			if full.NextCursor != "" {
+				t.Errorf("full ranking left a next cursor")
+			}
+			if full.Total != len(full.Answers) {
+				t.Errorf("full: total %d != %d answers", full.Total, len(full.Answers))
+			}
+
+			var paged []webtable.SearchAnswer
+			pages := 0
+			for res, err := range svc.SearchAll(ctx, w.Request(wq, mode, 2)) {
+				if err != nil {
+					t.Fatalf("page: %v", err)
+				}
+				pages++
+				if len(res.Answers) > 2 {
+					t.Fatalf("page of %d answers, want <= 2", len(res.Answers))
+				}
+				if res.Total != full.Total {
+					t.Errorf("page total %d != full total %d", res.Total, full.Total)
+				}
+				paged = append(paged, res.Answers...)
+				if pages > full.Total+1 {
+					t.Fatal("runaway pagination")
+				}
+			}
+			if len(paged) != len(full.Answers) {
+				t.Fatalf("paged %d answers, full %d", len(paged), len(full.Answers))
+			}
+			for i := range paged {
+				if paged[i].Text != full.Answers[i].Text ||
+					paged[i].Entity != full.Answers[i].Entity ||
+					paged[i].Score != full.Answers[i].Score ||
+					paged[i].Support != full.Answers[i].Support {
+					t.Fatalf("page order diverges at %d: %+v != %+v", i, paged[i], full.Answers[i])
+				}
+			}
+		}
+	}
+}
+
+// TestServiceSearchBatch checks the batch fan-out returns the same
+// results as sequential Search calls and aggregates per-request failures
+// without dropping the healthy ones.
+func TestServiceSearchBatch(t *testing.T) {
+	w := testWorld(t)
+	tables := corpusTables(w, 20)
+	svc, err := webtable.NewService(w.Public, webtable.WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := svc.BuildIndex(ctx, tables); err != nil {
+		t.Fatalf("build index: %v", err)
+	}
+
+	workload := w.SearchWorkload([]string{"directed", "wrote"}, 2, 7)
+	var reqs []webtable.SearchRequest
+	for _, wq := range workload {
+		reqs = append(reqs, w.Request(wq, webtable.SearchTypeRel, 5))
+	}
+	batch, err := svc.SearchBatch(ctx, reqs)
+	if err != nil {
+		t.Fatalf("batch: %v", err)
+	}
+	if len(batch) != len(reqs) {
+		t.Fatalf("batch returned %d results for %d requests", len(batch), len(reqs))
+	}
+	for i, req := range reqs {
+		single, err := svc.Search(ctx, req)
+		if err != nil {
+			t.Fatalf("single %d: %v", i, err)
+		}
+		if batch[i] == nil {
+			t.Fatalf("request %d: nil batch result", i)
+		}
+		if batch[i].Total != single.Total || len(batch[i].Answers) != len(single.Answers) {
+			t.Fatalf("request %d: batch (%d/%d) != single (%d/%d)",
+				i, batch[i].Total, len(batch[i].Answers), single.Total, len(single.Answers))
+		}
+		for j := range single.Answers {
+			if batch[i].Answers[j] != single.Answers[j] {
+				t.Fatalf("request %d answer %d differs", i, j)
+			}
+		}
+	}
+
+	// One poisoned request: the rest still complete, the failure is
+	// located by index.
+	bad := append([]webtable.SearchRequest{}, reqs...)
+	bad[1] = webtable.SearchRequest{ // relation left unset
+		Mode:  webtable.SearchTypeRel,
+		Query: webtable.SearchQuery{Relation: webtable.None},
+	}
+	res, err := svc.SearchBatch(ctx, bad)
+	var be *webtable.BatchError
+	if !errors.As(err, &be) {
+		t.Fatalf("poisoned batch: err = %v, want *BatchError", err)
+	}
+	if len(be.Failures) != 1 || be.Failures[0].Index != 1 {
+		t.Fatalf("failures = %+v, want one at index 1", be.Failures)
+	}
+	if !errors.Is(err, webtable.ErrInvalidQuery) {
+		t.Errorf("BatchError does not unwrap to ErrInvalidQuery: %v", err)
+	}
+	if res[0] == nil || res[2] == nil {
+		t.Error("healthy requests not answered alongside the failure")
+	}
+	if res[1] != nil {
+		t.Error("failed request has a result")
+	}
+
+	// Pre-cancelled context aborts the fan-out with the context error.
+	cctx, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := svc.SearchBatch(cctx, reqs); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled batch: err = %v, want context.Canceled", err)
+	}
+}
+
+// TestSearchAnswersShim checks the deprecated option-based surface
+// returns exactly what the request/response API returns.
+func TestSearchAnswersShim(t *testing.T) {
+	w := testWorld(t)
+	tables := corpusTables(w, 20)
+	svc, err := webtable.NewService(w.Public, webtable.WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := svc.BuildIndex(ctx, tables); err != nil {
+		t.Fatalf("build index: %v", err)
+	}
+	workload := w.SearchWorkload([]string{"directed"}, 1, 7)
+	if len(workload) == 0 {
+		t.Fatal("empty workload")
+	}
+	req := w.Request(workload[0], webtable.SearchTypeRel, 5)
+
+	old, err := svc.SearchAnswers(ctx, req.Query,
+		webtable.WithSearchMode(webtable.SearchTypeRel), webtable.WithLimit(5))
+	if err != nil {
+		t.Fatalf("shim: %v", err)
+	}
+	res, err := svc.Search(ctx, req)
+	if err != nil {
+		t.Fatalf("search: %v", err)
+	}
+	if len(old) != len(res.Answers) {
+		t.Fatalf("shim %d answers, request API %d", len(old), len(res.Answers))
+	}
+	for i := range old {
+		if old[i] != res.Answers[i] {
+			t.Fatalf("answer %d differs: %+v != %+v", i, old[i], res.Answers[i])
+		}
 	}
 }
 
@@ -284,7 +649,9 @@ func TestServiceSearchEndToEnd(t *testing.T) {
 			T2Text:       w.True.TypeName(wq.T2),
 			E2Text:       wq.E2Name,
 		}
-		answers, err := svc.Search(ctx, q, webtable.WithSearchMode(webtable.SearchTypeRel), webtable.WithLimit(5))
+		res, err := svc.Search(ctx, webtable.SearchRequest{
+			Query: q, Mode: webtable.SearchTypeRel, PageSize: 5,
+		})
 		if err != nil {
 			t.Fatalf("search: %v", err)
 		}
@@ -292,7 +659,7 @@ func TestServiceSearchEndToEnd(t *testing.T) {
 		for _, e1 := range wq.WantE1 {
 			want[w.True.EntityName(e1)] = true
 		}
-		for _, a := range answers {
+		for _, a := range res.Answers {
 			if want[a.Text] {
 				found++
 				break

@@ -22,7 +22,11 @@
 //	result, err := svc.AnnotateTable(ctx, tab)
 //	anns, err := svc.AnnotateCorpus(ctx, tables)   // parallel fan-out
 //	_, err = svc.BuildIndex(ctx, tables)           // annotate + index
-//	answers, err := svc.Search(ctx, query, webtable.WithLimit(10))
+//	res, err := svc.Search(ctx, webtable.SearchRequest{
+//		Query: query, Mode: webtable.SearchTypeRel, PageSize: 10,
+//	})
+//	results, err := svc.SearchBatch(ctx, reqs)     // fan-out over the pool
+//	for page, err := range svc.SearchAll(ctx, req) { ... } // stream pages
 //
 // The pre-Service construction path (NewAnnotator, NewSearchIndex,
 // NewSearchEngine) remains available for fine-grained control and for
@@ -164,8 +168,18 @@ type (
 	SearchEngine = search.Engine
 	// SearchQuery is the §5 select-project query form.
 	SearchQuery = search.Query
+	// SearchRequest is one search call: query + mode + page size +
+	// pagination cursor + explain flag.
+	SearchRequest = search.Request
+	// SearchResult is one page of a ranking with its total answer count
+	// and next-page cursor.
+	SearchResult = search.Result
 	// SearchAnswer is one ranked response.
 	SearchAnswer = search.Answer
+	// SearchExplanation is one answer's provenance (contributing cells).
+	SearchExplanation = search.Explanation
+	// SearchSource is one contributing answer cell within an explanation.
+	SearchSource = search.SourceRef
 	// SearchMode selects Baseline / Type / TypeRel processing.
 	SearchMode = search.Mode
 )
