@@ -1,12 +1,15 @@
 // Command tabann annotates a table corpus against a catalog and emits the
 // annotations as JSON: per table, the column types, cell entities and
-// column-pair relations (na entries omitted). Tables are annotated in
-// parallel over the service worker pool; Ctrl-C cancels cleanly
-// mid-corpus.
+// column-pair relations (na entries omitted), in the same wire shape as
+// tabserved's POST /v1/annotate. Tables are annotated in parallel over
+// the service worker pool; Ctrl-C cancels cleanly mid-corpus. -save also
+// persists the annotated corpus as a snapshot that tabserved -load and
+// tabsearch -load serve without re-annotating.
 //
 // Usage:
 //
 //	tabann -catalog data/catalog.json -corpus data/corpus.json > annotations.json
+//	tabann -catalog data/catalog.json -corpus data/corpus.json -save corpus.snap
 //	tabann -catalog data/catalog.json -html page.html -method simple
 package main
 
@@ -24,29 +27,9 @@ import (
 
 	webtable "repro"
 	"repro/internal/cmdio"
+	"repro/internal/server"
+	"repro/internal/snapshot"
 )
-
-// jsonAnnotation is the stable output shape.
-type jsonAnnotation struct {
-	TableID string            `json:"table_id"`
-	Columns map[string]string `json:"column_types,omitempty"` // col index -> type name
-	Cells   []jsonCell        `json:"cells,omitempty"`
-	Rels    []jsonRel         `json:"relations,omitempty"`
-	Millis  float64           `json:"annotate_ms"`
-}
-
-type jsonCell struct {
-	Row    int    `json:"row"`
-	Col    int    `json:"col"`
-	Entity string `json:"entity"`
-}
-
-type jsonRel struct {
-	Col1     int    `json:"col1"`
-	Col2     int    `json:"col2"`
-	Relation string `json:"relation"`
-	Forward  bool   `json:"col1_is_subject"`
-}
 
 func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -69,6 +52,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		method  = fs.String("method", "collective", "inference: collective|simple|lca|majority")
 		filter  = fs.Bool("filter", true, "screen out formatting tables first")
 		workers = fs.Int("workers", 0, "annotation workers (0 = GOMAXPROCS)")
+		save    = fs.String("save", "", "also write the annotated corpus as a snapshot file for tabserved/tabsearch -load")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -121,38 +105,31 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	}
 	enc := json.NewEncoder(stdout)
 	for _, a := range anns {
-		if err := enc.Encode(toJSON(cat, a)); err != nil {
+		if err := enc.Encode(server.ToAnnotation(cat, a)); err != nil {
 			return fmt.Errorf("encode: %w", err)
 		}
 	}
 	fmt.Fprintf(stderr, "tabann: %d tables in %v (%s, %d workers)\n",
 		len(tables), time.Since(start).Round(time.Millisecond), m, svc.Workers())
-	return nil
-}
 
-func toJSON(cat *webtable.Catalog, a *webtable.Annotation) jsonAnnotation {
-	out := jsonAnnotation{
-		TableID: a.TableID,
-		Columns: make(map[string]string),
-		Millis:  float64(a.Diag.Total().Microseconds()) / 1000,
-	}
-	for c, T := range a.ColumnTypes {
-		if T != webtable.None {
-			out.Columns[fmt.Sprint(c)] = cat.TypeName(T)
+	if *save != "" {
+		f, err := os.Create(*save)
+		if err != nil {
+			return err
 		}
-	}
-	for r, row := range a.CellEntities {
-		for c, e := range row {
-			if e != webtable.None {
-				out.Cells = append(out.Cells, jsonCell{Row: r, Col: c, Entity: cat.EntityName(e)})
-			}
-		}
-	}
-	for _, ra := range a.Relations {
-		out.Rels = append(out.Rels, jsonRel{
-			Col1: ra.Col1, Col2: ra.Col2,
-			Relation: cat.RelationName(ra.Relation), Forward: ra.Forward,
+		err = snapshot.Save(f, &snapshot.Snapshot{
+			Catalog: cat.Snapshot(),
+			Tables:  tables,
+			Anns:    anns,
 		})
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			_ = os.Remove(*save)
+			return fmt.Errorf("save snapshot: %w", err)
+		}
+		fmt.Fprintf(stderr, "tabann: wrote snapshot %s\n", *save)
 	}
-	return out
+	return nil
 }

@@ -9,6 +9,9 @@ import (
 	"path/filepath"
 	"testing"
 
+	webtable "repro"
+	"repro/internal/cmdio"
+	"repro/internal/server"
 	"repro/internal/table"
 	"repro/internal/worldgen"
 )
@@ -79,7 +82,7 @@ func TestRunSmoke(t *testing.T) {
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	lines := 0
 	for sc.Scan() {
-		var a jsonAnnotation
+		var a server.Annotation
 		if err := json.Unmarshal(sc.Bytes(), &a); err != nil {
 			t.Fatalf("line %d: bad JSON: %v", lines+1, err)
 		}
@@ -91,6 +94,52 @@ func TestRunSmoke(t *testing.T) {
 	if lines == 0 {
 		t.Fatal("no annotations emitted")
 	}
+}
+
+// TestRunSaveSnapshot drives -save and proves the written snapshot
+// reconstructs a search-ready service without re-annotating.
+func TestRunSaveSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	w := writeWorld(t, dir, 8, "directed")
+	snap := filepath.Join(dir, "corpus.snap")
+
+	var out, errBuf bytes.Buffer
+	args := []string{
+		"-catalog", filepath.Join(dir, "catalog.json"),
+		"-corpus", filepath.Join(dir, "corpus.json"),
+		"-workers", "2",
+		"-save", snap,
+	}
+	if err := run(context.Background(), args, &out, &errBuf); err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errBuf.String())
+	}
+
+	ctx := context.Background()
+	svc, err := cmdio.LoadSnapshotService(ctx, snap, 2)
+	if err != nil {
+		t.Fatalf("load snapshot: %v", err)
+	}
+	// The small corpus covers only some probe entities; any workload
+	// query with answers proves the snapshot's annotations survived.
+	workload := w.SearchWorkload([]string{"directed"}, 10, 7)
+	if len(workload) == 0 {
+		t.Fatal("empty workload")
+	}
+	for _, wq := range workload {
+		q, err := svc.ResolveQuery("directed",
+			w.True.TypeName(wq.T1), w.True.TypeName(wq.T2), wq.E2Name)
+		if err != nil {
+			t.Fatalf("resolve: %v", err)
+		}
+		res, err := svc.Search(ctx, webtable.SearchRequest{Query: q, Mode: webtable.SearchTypeRel, PageSize: 5})
+		if err != nil {
+			t.Fatalf("search over loaded snapshot: %v", err)
+		}
+		if res.Total > 0 {
+			return
+		}
+	}
+	t.Fatal("loaded snapshot answers nothing across the whole workload")
 }
 
 func TestRunMissingFlags(t *testing.T) {

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunFig5Smoke drives the cheapest single experiment end to end and
+// checks the output carries the dataset summary table.
+func TestRunFig5Smoke(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	args := []string{"-exp", "fig5", "-scale", "0.1", "-seed", "1"}
+	if err := run(args, &out, &errBuf); err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errBuf.String())
+	}
+	got := out.String()
+	for _, want := range []string{"world: true catalog", "WikiManual", "WebManual"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestRunFig9Smoke drives the search experiment (the §5 application this
+// repo now serves over HTTP) at toy scale.
+func TestRunFig9Smoke(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	args := []string{
+		"-exp", "fig9", "-scale", "0.1", "-seed", "1",
+		"-fig9corpus", "8", "-fig9queries", "2",
+	}
+	if err := run(args, &out, &errBuf); err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errBuf.String())
+	}
+	got := out.String()
+	for _, rel := range []string{"directed", "wrote", "produced"} {
+		if !strings.Contains(got, rel) {
+			t.Errorf("fig9 output missing relation %q:\n%s", rel, got)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-exp", "fig99"}, &out, &errBuf); err == nil {
+		t.Fatal("want error for unknown experiment")
+	}
+}

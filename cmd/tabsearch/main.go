@@ -5,15 +5,22 @@
 // the page size, -pages walks the ranking across pagination cursors, and
 // -explain prints each answer's contributing table cells.
 //
+// -load serves a snapshot saved earlier (by -save here, or tabann -save)
+// instead of re-annotating a corpus; -json switches the output to the
+// exact wire shape of tabserved's POST /v1/search (one JSON object per
+// page per mode), so CLI and HTTP results are diffable.
+//
 // Usage:
 //
 //	tabsearch -catalog data/catalog.json -corpus data/corpus.json \
 //	          -relation wrote -t1 Novel -t2 Novelist -e2 "Some Author" \
-//	          [-k 10] [-pages 2] [-explain]
+//	          [-k 10] [-pages 2] [-explain] [-json] [-save corpus.snap]
+//	tabsearch -load corpus.snap -relation wrote -t1 Novel -t2 Novelist -e2 "Some Author"
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -24,6 +31,7 @@ import (
 
 	webtable "repro"
 	"repro/internal/cmdio"
+	"repro/internal/server"
 )
 
 func main() {
@@ -35,7 +43,7 @@ func main() {
 	}
 }
 
-var errUsage = errors.New("missing required flags (-catalog -corpus -relation -t1 -t2 -e2)")
+var errUsage = errors.New("missing required flags (-relation -t1 -t2 -e2, plus -catalog/-corpus or -load)")
 
 func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("tabsearch", flag.ContinueOnError)
@@ -52,27 +60,53 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		explain  = fs.Bool("explain", false, "print contributing table cells per answer")
 		ctxWords = fs.String("context", "", "baseline context keywords (defaults to relation name)")
 		workers  = fs.Int("workers", 0, "annotation workers (0 = GOMAXPROCS)")
+		load     = fs.String("load", "", "serve a corpus snapshot instead of annotating -catalog/-corpus")
+		save     = fs.String("save", "", "write the annotated corpus as a snapshot file after indexing")
+		jsonOut  = fs.Bool("json", false, "emit each page as the POST /v1/search wire JSON instead of text")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *catPath == "" || *corpus == "" || *relName == "" || *t1Name == "" || *t2Name == "" || *e2Text == "" {
+	if *relName == "" || *t1Name == "" || *t2Name == "" || *e2Text == "" {
+		fs.Usage()
+		return errUsage
+	}
+	if (*load == "") == (*catPath == "" || *corpus == "") {
 		fs.Usage()
 		return errUsage
 	}
 
-	cat, err := cmdio.LoadCatalog(*catPath)
-	if err != nil {
-		return err
+	var svc *webtable.Service
+	if *load != "" {
+		var err error
+		svc, err = cmdio.LoadSnapshotService(ctx, *load, *workers)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "loaded snapshot %s (%d tables)\n", *load, len(svc.Index().Tables))
+	} else {
+		cat, err := cmdio.LoadCatalog(*catPath)
+		if err != nil {
+			return err
+		}
+		tables, err := cmdio.LoadCorpus(*corpus)
+		if err != nil {
+			return err
+		}
+		svc, err = cmdio.NewService(cat, *workers)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "annotating %d tables (%d workers)...\n", len(tables), svc.Workers())
+		if _, err := svc.BuildIndex(ctx, tables); err != nil {
+			return fmt.Errorf("build index: %w", err)
+		}
 	}
-	tables, err := cmdio.LoadCorpus(*corpus)
-	if err != nil {
-		return err
-	}
-
-	svc, err := cmdio.NewService(cat, *workers)
-	if err != nil {
-		return err
+	if *save != "" {
+		if err := cmdio.SaveSnapshot(ctx, svc, *save); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "wrote snapshot %s\n", *save)
 	}
 
 	// Resolve the query up front: unknown relation/type names are hard
@@ -84,11 +118,6 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	}
 	if *ctxWords != "" {
 		q.RelationText = *ctxWords
-	}
-
-	fmt.Fprintf(stderr, "annotating %d tables (%d workers)...\n", len(tables), svc.Workers())
-	if _, err := svc.BuildIndex(ctx, tables); err != nil {
-		return fmt.Errorf("build index: %w", err)
 	}
 
 	for _, mode := range []webtable.SearchMode{webtable.SearchBaseline, webtable.SearchType, webtable.SearchTypeRel} {
@@ -103,6 +132,19 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 			})
 			if err != nil {
 				return fmt.Errorf("search (%v): %w", mode, err)
+			}
+			if *jsonOut {
+				// The exact POST /v1/search response shape, one JSON
+				// object per page, newline-delimited; modes in
+				// Baseline, Type, Type+Rel order.
+				if err := json.NewEncoder(stdout).Encode(server.ToSearchResponse(svc.Catalog(), res)); err != nil {
+					return fmt.Errorf("encode: %w", err)
+				}
+				cursor = res.NextCursor
+				if cursor == "" {
+					break
+				}
+				continue
 			}
 			if page == 0 {
 				fmt.Fprintf(stdout, "\n== %s (%d answers) ==\n", mode, res.Total)

@@ -1,8 +1,10 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"os"
 	"path/filepath"
@@ -10,6 +12,7 @@ import (
 	"testing"
 
 	webtable "repro"
+	"repro/internal/server"
 	"repro/internal/table"
 	"repro/internal/worldgen"
 )
@@ -127,6 +130,111 @@ func TestRunExplainAndPages(t *testing.T) {
 	// With k=2 and 2 pages, a mode with >2 answers numbers past rank 2.
 	if !strings.Contains(got, " 3. ") {
 		t.Logf("rankings stayed within one page:\n%s", got)
+	}
+}
+
+// TestRunJSONOutput drives -json: every stdout line must decode as the
+// POST /v1/search wire response shape.
+func TestRunJSONOutput(t *testing.T) {
+	dir := t.TempDir()
+	w := buildWorldFiles(t, dir)
+	workload := w.SearchWorkload([]string{"directed"}, 1, 7)
+	if len(workload) == 0 {
+		t.Fatal("empty search workload")
+	}
+	q := workload[0]
+
+	var out, errBuf bytes.Buffer
+	args := []string{
+		"-catalog", filepath.Join(dir, "catalog.json"),
+		"-corpus", filepath.Join(dir, "corpus.json"),
+		"-relation", q.RelationName,
+		"-t1", w.True.TypeName(q.T1),
+		"-t2", w.True.TypeName(q.T2),
+		"-e2", q.E2Name,
+		"-k", "3",
+		"-json",
+		"-workers", "2",
+	}
+	if err := run(context.Background(), args, &out, &errBuf); err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errBuf.String())
+	}
+	sc := bufio.NewScanner(&out)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	pages := 0
+	for sc.Scan() {
+		var res server.SearchResponse
+		if err := json.Unmarshal(sc.Bytes(), &res); err != nil {
+			t.Fatalf("page %d is not wire JSON: %v (%s)", pages+1, err, sc.Bytes())
+		}
+		if len(res.Answers) > 3 {
+			t.Fatalf("page %d overflows -k: %d answers", pages+1, len(res.Answers))
+		}
+		pages++
+	}
+	// One page per mode (three modes).
+	if pages != 3 {
+		t.Fatalf("emitted %d JSON pages, want 3", pages)
+	}
+	if strings.Contains(out.String(), "== ") {
+		t.Fatal("-json output still contains text headers")
+	}
+}
+
+// TestRunSaveThenLoad saves a snapshot on the first run and replays the
+// identical query from it: stdout must match byte for byte — serving
+// from a snapshot may not change a single ranking, score or cursor.
+func TestRunSaveThenLoad(t *testing.T) {
+	dir := t.TempDir()
+	w := buildWorldFiles(t, dir)
+	workload := w.SearchWorkload([]string{"directed"}, 1, 7)
+	if len(workload) == 0 {
+		t.Fatal("empty search workload")
+	}
+	q := workload[0]
+	snap := filepath.Join(dir, "corpus.snap")
+
+	query := []string{
+		"-relation", q.RelationName,
+		"-t1", w.True.TypeName(q.T1),
+		"-t2", w.True.TypeName(q.T2),
+		"-e2", q.E2Name,
+		"-k", "2",
+		"-pages", "2",
+		"-explain",
+		"-json",
+		"-workers", "2",
+	}
+	var first, errBuf bytes.Buffer
+	args := append([]string{
+		"-catalog", filepath.Join(dir, "catalog.json"),
+		"-corpus", filepath.Join(dir, "corpus.json"),
+		"-save", snap,
+	}, query...)
+	if err := run(context.Background(), args, &first, &errBuf); err != nil {
+		t.Fatalf("run -save: %v (stderr: %s)", err, errBuf.String())
+	}
+
+	var second bytes.Buffer
+	errBuf.Reset()
+	args = append([]string{"-load", snap}, query...)
+	if err := run(context.Background(), args, &second, &errBuf); err != nil {
+		t.Fatalf("run -load: %v (stderr: %s)", err, errBuf.String())
+	}
+	if first.String() != second.String() {
+		t.Fatalf("snapshot replay differs from annotate-and-search:\nfirst:\n%s\nsecond:\n%s",
+			first.String(), second.String())
+	}
+}
+
+func TestRunConflictingSources(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	err := run(context.Background(), []string{
+		"-catalog", "c.json", "-corpus", "t.json", "-load", "s.snap",
+		"-relation", "r", "-t1", "a", "-t2", "b", "-e2", "x",
+	}, &out, &errBuf)
+	if !errors.Is(err, errUsage) {
+		t.Fatalf("err = %v, want usage error", err)
 	}
 }
 

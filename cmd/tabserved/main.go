@@ -1,0 +1,133 @@
+// Command tabserved serves an annotated table corpus over JSON HTTP: the
+// deployable form of the search application (§7 — user queries run
+// against materialized annotation indices, not against raw tables).
+//
+// The corpus comes from either a snapshot written by `tabann -save` /
+// `tabsearch -save` (the fast path: the search index is rebuilt from
+// stored annotations, no annotation runs), or a catalog + corpus pair
+// annotated once at startup.
+//
+// Endpoints: POST /v1/search, POST /v1/search:batch, POST /v1/annotate,
+// GET /v1/healthz, GET /v1/stats. SIGINT/SIGTERM shut down gracefully,
+// draining in-flight requests.
+//
+// Usage:
+//
+//	tabserved -load corpus.snap -addr :8080
+//	tabserved -catalog data/catalog.json -corpus data/corpus.json
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	webtable "repro"
+	"repro/internal/cmdio"
+	"repro/internal/server"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "tabserved: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+var errUsage = errors.New("need -load, or -catalog with -corpus")
+
+// listenHook, when non-nil, receives the bound listener address before
+// serving starts. It is a test seam: -addr :0 picks a free port and the
+// test needs to learn which.
+var listenHook func(net.Addr)
+
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("tabserved", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr    = fs.String("addr", ":8080", "listen address")
+		load    = fs.String("load", "", "corpus snapshot to serve (annotate once, serve many)")
+		catPath = fs.String("catalog", "", "catalog JSON path (with -corpus: annotate at startup)")
+		corpus  = fs.String("corpus", "", "table corpus JSON path")
+		method  = fs.String("method", "collective", "startup annotation inference: collective|simple|lca|majority")
+		workers = fs.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS); bounds annotation and search concurrency")
+		timeout = fs.Duration("timeout", 30*time.Second, "per-request handling deadline")
+		drain   = fs.Duration("drain", 10*time.Second, "graceful-shutdown drain deadline")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if (*load == "") == (*catPath == "" || *corpus == "") {
+		fs.Usage()
+		return errUsage
+	}
+
+	logger := slog.New(slog.NewTextHandler(stderr, nil))
+
+	var svc *webtable.Service
+	if *load != "" {
+		start := time.Now()
+		var err error
+		svc, err = cmdio.LoadSnapshotService(ctx, *load, *workers)
+		if err != nil {
+			return err
+		}
+		logger.Info("snapshot loaded", "path", *load,
+			"tables", len(svc.Index().Tables), "took", time.Since(start).Round(time.Millisecond))
+	} else {
+		m, err := webtable.ParseMethod(*method)
+		if err != nil {
+			return err
+		}
+		cat, err := cmdio.LoadCatalog(*catPath)
+		if err != nil {
+			return err
+		}
+		tables, err := cmdio.LoadCorpus(*corpus)
+		if err != nil {
+			return err
+		}
+		svc, err = cmdio.NewService(cat, *workers)
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		logger.Info("annotating corpus at startup", "tables", len(tables), "workers", svc.Workers(), "method", m.String())
+		if _, err := svc.BuildIndex(ctx, tables, webtable.WithMethod(m)); err != nil {
+			return fmt.Errorf("build index: %w", err)
+		}
+		logger.Info("corpus indexed", "tables", len(tables), "took", time.Since(start).Round(time.Millisecond))
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	if listenHook != nil {
+		listenHook(ln.Addr())
+	}
+	logger.Info("tabserved listening", "addr", ln.Addr().String(),
+		"workers", svc.Workers(), "timeout", *timeout)
+	fmt.Fprintf(stdout, "tabserved: listening on %s\n", ln.Addr().String())
+
+	srv := server.New(svc,
+		server.WithLogger(logger),
+		server.WithTimeout(*timeout),
+		server.WithDrainTimeout(*drain),
+	)
+	if err := srv.Serve(ctx, ln); err != nil {
+		return err
+	}
+	logger.Info("tabserved stopped")
+	return nil
+}

@@ -1,0 +1,325 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	webtable "repro"
+	"repro/internal/table"
+	"repro/internal/worldgen"
+)
+
+func testWorld(t *testing.T) *worldgen.World {
+	t.Helper()
+	spec := worldgen.DefaultSpec()
+	spec.FilmsPerGenre = 10
+	spec.NovelsPerGenre = 8
+	spec.PeoplePerRole = 12
+	spec.AlbumCount = 15
+	spec.CountryCount = 8
+	spec.CitiesPerCountry = 2
+	spec.LanguageCount = 6
+	w, err := worldgen.Build(spec)
+	if err != nil {
+		t.Fatalf("build world: %v", err)
+	}
+	return w
+}
+
+func worldTables(t *testing.T, w *worldgen.World) []*table.Table {
+	t.Helper()
+	ds := w.GenerateDataset("served", 7, 6, 4, 8, worldgen.CleanProfile(), worldgen.AllGTLayers(), "directed")
+	tabs := make([]*table.Table, len(ds.Tables))
+	for i, lt := range ds.Tables {
+		tabs[i] = lt.Table
+	}
+	return tabs
+}
+
+// writeWorldFiles materializes catalog.json + corpus.json under dir.
+func writeWorldFiles(t *testing.T, w *worldgen.World, dir string) {
+	t.Helper()
+	cf, err := os.Create(filepath.Join(dir, "catalog.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Public.WriteJSON(cf); err != nil {
+		t.Fatalf("write catalog: %v", err)
+	}
+	if err := cf.Close(); err != nil {
+		t.Fatal(err)
+	}
+	tf, err := os.Create(filepath.Join(dir, "corpus.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := table.WriteCorpus(tf, worldTables(t, w)); err != nil {
+		t.Fatalf("write corpus: %v", err)
+	}
+	if err := tf.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// writeSnapshot annotates the world corpus in-process and saves it.
+func writeSnapshot(t *testing.T, w *worldgen.World, path string) {
+	t.Helper()
+	ctx := context.Background()
+	svc, err := webtable.NewService(w.Public, webtable.WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.BuildIndex(ctx, worldTables(t, w)); err != nil {
+		t.Fatalf("build index: %v", err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.SaveSnapshot(ctx, f); err != nil {
+		t.Fatalf("save snapshot: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// startServed launches run() on a free port and returns the base URL, a
+// cancel func triggering graceful shutdown, and the run error channel.
+func startServed(t *testing.T, args []string) (string, context.CancelFunc, chan error) {
+	t.Helper()
+	addrCh := make(chan net.Addr, 1)
+	listenHook = func(a net.Addr) { addrCh <- a }
+	t.Cleanup(func() { listenHook = nil })
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	var out, errBuf bytes.Buffer
+	go func() { done <- run(ctx, args, &out, &errBuf) }()
+
+	select {
+	case a := <-addrCh:
+		return "http://" + a.String(), cancel, done
+	case err := <-done:
+		cancel()
+		t.Fatalf("run exited before listening: %v (stderr: %s)", err, errBuf.String())
+		return "", cancel, done
+	case <-time.After(2 * time.Minute):
+		cancel()
+		t.Fatal("timed out waiting for tabserved to listen")
+		return "", cancel, done
+	}
+}
+
+func searchPayload(t *testing.T, w *worldgen.World, pageSize int) []byte {
+	t.Helper()
+	workload := w.SearchWorkload([]string{"directed"}, 1, 7)
+	if len(workload) == 0 {
+		t.Fatal("empty workload")
+	}
+	q := workload[0]
+	body, err := json.Marshal(map[string]any{
+		"relation":  q.RelationName,
+		"t1":        w.True.TypeName(q.T1),
+		"t2":        w.True.TypeName(q.T2),
+		"e2":        q.E2Name,
+		"page_size": pageSize,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+// TestServeFromSnapshot is the end-to-end daemon test: serve a saved
+// snapshot, answer concurrent searches, map errors, then shut down
+// gracefully on context cancellation (the SIGTERM path).
+func TestServeFromSnapshot(t *testing.T) {
+	w := testWorld(t)
+	dir := t.TempDir()
+	snap := filepath.Join(dir, "corpus.snap")
+	writeSnapshot(t, w, snap)
+
+	base, cancel, done := startServed(t, []string{
+		"-load", snap, "-addr", "127.0.0.1:0", "-workers", "4",
+	})
+	defer cancel()
+
+	// Health.
+	resp, err := http.Get(base + "/v1/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status = %d", resp.StatusCode)
+	}
+
+	// Stats show the snapshot corpus without any startup annotation.
+	resp, err = http.Get(base + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats struct {
+		Tables          int  `json:"tables"`
+		AnnotatedTables int  `json:"annotated_tables"`
+		IndexBuilt      bool `json:"index_built"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !stats.IndexBuilt || stats.Tables != 6 || stats.AnnotatedTables != 6 {
+		t.Fatalf("stats = %+v", stats)
+	}
+
+	// Concurrent searches: 8 parallel clients.
+	payload := searchPayload(t, w, 5)
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(base+"/v1/search", "application/json", bytes.NewReader(payload))
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer resp.Body.Close()
+			raw, _ := io.ReadAll(resp.Body)
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("search status %d: %s", resp.StatusCode, raw)
+				return
+			}
+			var res struct {
+				Answers []struct {
+					Text string `json:"text"`
+				} `json:"answers"`
+				Total int `json:"total"`
+			}
+			if err := json.Unmarshal(raw, &res); err != nil {
+				errs <- err
+				return
+			}
+			if res.Total == 0 || len(res.Answers) == 0 {
+				errs <- fmt.Errorf("no answers: %s", raw)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// Structured error with correct status.
+	resp, err = http.Post(base+"/v1/search", "application/json",
+		bytes.NewReader([]byte(`{"relation": "nonesuch", "t1": "Film", "t2": "Director", "e2": "x"}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown-name status = %d: %s", resp.StatusCode, raw)
+	}
+	var er struct {
+		Error struct {
+			Code  string `json:"code"`
+			Field string `json:"field"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal(raw, &er); err != nil {
+		t.Fatalf("error body not JSON: %v (%s)", err, raw)
+	}
+	if er.Error.Code != "unknown_name" || er.Error.Field != "relation" {
+		t.Fatalf("error = %+v", er.Error)
+	}
+
+	// Graceful shutdown: cancel (the signal path) and run returns nil.
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v after graceful shutdown", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("tabserved did not shut down")
+	}
+}
+
+// TestServeFromCatalogCorpus boots the annotate-at-startup path.
+func TestServeFromCatalogCorpus(t *testing.T) {
+	w := testWorld(t)
+	dir := t.TempDir()
+	writeWorldFiles(t, w, dir)
+
+	base, cancel, done := startServed(t, []string{
+		"-catalog", filepath.Join(dir, "catalog.json"),
+		"-corpus", filepath.Join(dir, "corpus.json"),
+		"-addr", "127.0.0.1:0",
+		"-workers", "2",
+	})
+	defer cancel()
+
+	resp, err := http.Post(base+"/v1/search", "application/json",
+		bytes.NewReader(searchPayload(t, w, 3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("search status = %d: %s", resp.StatusCode, raw)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("tabserved did not shut down")
+	}
+}
+
+func TestRunFlagValidation(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	// No source at all.
+	if err := run(context.Background(), nil, &out, &errBuf); !errors.Is(err, errUsage) {
+		t.Fatalf("err = %v, want usage error", err)
+	}
+	// Both sources.
+	err := run(context.Background(), []string{
+		"-load", "x.snap", "-catalog", "c.json", "-corpus", "t.json",
+	}, &out, &errBuf)
+	if !errors.Is(err, errUsage) {
+		t.Fatalf("err = %v, want usage error", err)
+	}
+}
+
+func TestRunRejectsBadSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.snap")
+	if err := os.WriteFile(path, []byte("this is not a snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errBuf bytes.Buffer
+	err := run(context.Background(), []string{"-load", path, "-addr", "127.0.0.1:0"}, &out, &errBuf)
+	if !errors.Is(err, webtable.ErrNotSnapshot) {
+		t.Fatalf("err = %v, want ErrNotSnapshot", err)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"repro/internal/search"
+	"repro/internal/snapshot"
 )
 
 // Sentinel errors of the Service API. Wrapped errors carry context; test
@@ -33,6 +34,15 @@ var (
 	// ErrInvalidMode reports a SearchRequest.Mode outside the defined
 	// search modes.
 	ErrInvalidMode = search.ErrInvalidMode
+	// ErrNotSnapshot reports a LoadService input that is not a snapshot
+	// file at all (bad magic).
+	ErrNotSnapshot = snapshot.ErrNotSnapshot
+	// ErrSnapshotVersion reports a snapshot written by a newer format
+	// version than this build reads.
+	ErrSnapshotVersion = snapshot.ErrVersion
+	// ErrSnapshotChecksum reports a snapshot whose payload failed its
+	// checksum (truncated or corrupted in transit).
+	ErrSnapshotChecksum = snapshot.ErrChecksum
 )
 
 // TableError locates an annotation failure within a corpus call.

@@ -1,0 +1,134 @@
+// Serving: the deployment loop of the search application — annotate a
+// corpus once, persist it as a snapshot, reconstruct a service from the
+// snapshot without re-annotating, and serve it over JSON HTTP (the same
+// stack as cmd/tabserved), then query it like a client would with
+// plain net/http.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"time"
+
+	webtable "repro"
+	"repro/internal/server"
+)
+
+func main() {
+	ctx := context.Background()
+	spec := webtable.DefaultWorldSpec()
+	spec.FilmsPerGenre = 20
+	spec.NovelsPerGenre = 15
+	spec.PeoplePerRole = 25
+	world, err := webtable.BuildWorld(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 1. Annotate once: build the index the expensive way, in memory.
+	corpus := world.SearchCorpus(40, 99)
+	var tables []*webtable.Table
+	for _, lt := range corpus.Tables {
+		tables = append(tables, lt.Table)
+	}
+	svc, err := webtable.NewService(world.Public)
+	if err != nil {
+		log.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := svc.BuildIndex(ctx, tables); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("annotated + indexed %d tables in %v\n", len(tables), time.Since(start).Round(time.Millisecond))
+
+	// 2. Persist the annotated corpus as one snapshot file.
+	dir, err := os.MkdirTemp("", "webtable-serving")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "corpus.snap")
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := svc.SaveSnapshot(ctx, f); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	info, _ := os.Stat(path)
+	fmt.Printf("snapshot: %s (%d bytes)\n", path, info.Size())
+
+	// 3. Serve many: reconstruct a service from the snapshot — no
+	// annotation runs — and expose it over HTTP.
+	f, err = os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	start = time.Now()
+	served, err := webtable.LoadService(ctx, f)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("service reloaded from snapshot in %v\n", time.Since(start).Round(time.Millisecond))
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	serveCtx, stop := context.WithCancel(ctx)
+	done := make(chan error, 1)
+	go func() {
+		done <- server.New(served).Serve(serveCtx, ln)
+	}()
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("serving on %s\n\n", base)
+
+	// 4. Query it like any HTTP client.
+	workload := world.SearchWorkload([]string{"directed"}, 1, 7)
+	q := workload[0]
+	body, _ := json.Marshal(map[string]any{
+		"relation":  q.RelationName,
+		"t1":        world.True.TypeName(q.T1),
+		"t2":        world.True.TypeName(q.T2),
+		"e2":        q.E2Name,
+		"page_size": 5,
+		"explain":   true,
+	})
+	fmt.Printf("POST /v1/search %s\n", body)
+	resp, err := http.Post(base+"/v1/search", "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	var res server.SearchResponse
+	if err := json.Unmarshal(raw, &res); err != nil {
+		log.Fatalf("%v (%s)", err, raw)
+	}
+	fmt.Printf("%d answers (showing %d):\n", res.Total, len(res.Answers))
+	for i, a := range res.Answers {
+		fmt.Printf("%2d. %-35s score=%.2f support=%d\n", i+1, a.Text, a.Score, a.Support)
+	}
+
+	// 5. Graceful shutdown: in-flight requests drain before exit.
+	stop()
+	if err := <-done; err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nserver drained and stopped")
+}

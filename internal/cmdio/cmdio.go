@@ -4,6 +4,7 @@
 package cmdio
 
 import (
+	"context"
 	"fmt"
 	"os"
 
@@ -24,10 +25,10 @@ func LoadCatalog(path string) (*webtable.Catalog, error) {
 	return cat, nil
 }
 
-// NewService builds a Service over cat honoring the shared -workers
-// flag convention: negative is an error, zero means the library default
+// serviceOptions maps the shared -workers flag convention onto service
+// options: negative is an error, zero means the library default
 // (GOMAXPROCS), positive sets the pool size.
-func NewService(cat *webtable.Catalog, workers int) (*webtable.Service, error) {
+func serviceOptions(workers int) ([]webtable.ServiceOption, error) {
 	if workers < 0 {
 		return nil, fmt.Errorf("-workers must be >= 0, got %d", workers)
 	}
@@ -35,7 +36,57 @@ func NewService(cat *webtable.Catalog, workers int) (*webtable.Service, error) {
 	if workers > 0 {
 		opts = append(opts, webtable.WithWorkers(workers))
 	}
+	return opts, nil
+}
+
+// NewService builds a Service over cat honoring the shared -workers
+// flag convention.
+func NewService(cat *webtable.Catalog, workers int) (*webtable.Service, error) {
+	opts, err := serviceOptions(workers)
+	if err != nil {
+		return nil, err
+	}
 	return webtable.NewService(cat, opts...)
+}
+
+// LoadSnapshotService reconstructs a search-ready Service from a
+// snapshot file written by a -save flag (or Service.SaveSnapshot),
+// honoring the shared -workers flag convention.
+func LoadSnapshotService(ctx context.Context, path string, workers int) (*webtable.Service, error) {
+	opts, err := serviceOptions(workers)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	svc, err := webtable.LoadService(ctx, f, opts...)
+	if err != nil {
+		return nil, fmt.Errorf("load snapshot %s: %w", path, err)
+	}
+	return svc, nil
+}
+
+// SaveSnapshot writes the service's current corpus snapshot to path,
+// atomically enough for the CLI tools: a failed write removes the
+// partial file.
+func SaveSnapshot(ctx context.Context, svc *webtable.Service, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := svc.SaveSnapshot(ctx, f); err != nil {
+		_ = f.Close()
+		_ = os.Remove(path)
+		return fmt.Errorf("save snapshot %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		_ = os.Remove(path)
+		return err
+	}
+	return nil
 }
 
 // LoadCorpus opens and decodes a table-corpus JSON file.

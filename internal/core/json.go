@@ -1,0 +1,140 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"repro/internal/catalog"
+)
+
+// jsonAnnotation is the stable wire shape of an Annotation. Cell entities
+// are stored sparsely (only non-na cells); the dense grid is
+// reconstructed from Rows × len(ColumnTypes). Diagnostics travel as
+// nanosecond integers and are omitted when zero.
+type jsonAnnotation struct {
+	TableID     string           `json:"table_id,omitempty"`
+	Rows        int              `json:"rows"`
+	ColumnTypes []catalog.TypeID `json:"column_types"`
+	Cells       []jsonCellEntity `json:"cells,omitempty"`
+	Relations   []jsonRelation   `json:"relations,omitempty"`
+	Diag        *jsonDiagnostics `json:"diag,omitempty"`
+}
+
+type jsonCellEntity struct {
+	Row    int              `json:"r"`
+	Col    int              `json:"c"`
+	Entity catalog.EntityID `json:"e"`
+}
+
+type jsonRelation struct {
+	Col1     int                `json:"col1"`
+	Col2     int                `json:"col2"`
+	Relation catalog.RelationID `json:"relation"`
+	Forward  bool               `json:"forward"`
+}
+
+type jsonDiagnostics struct {
+	CandidateGenNS int64 `json:"candidate_gen_ns,omitempty"`
+	GraphBuildNS   int64 `json:"graph_build_ns,omitempty"`
+	InferenceNS    int64 `json:"inference_ns,omitempty"`
+	Iterations     int   `json:"iterations,omitempty"`
+	Converged      bool  `json:"converged,omitempty"`
+	NumVars        int   `json:"num_vars,omitempty"`
+	NumFactors     int   `json:"num_factors,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler. The encoding is lossless for
+// annotations produced by this package (rectangular CellEntities grids
+// whose rows are len(ColumnTypes) wide).
+func (a *Annotation) MarshalJSON() ([]byte, error) {
+	j := jsonAnnotation{
+		TableID:     a.TableID,
+		Rows:        len(a.CellEntities),
+		ColumnTypes: a.ColumnTypes,
+	}
+	if j.ColumnTypes == nil {
+		j.ColumnTypes = []catalog.TypeID{}
+	}
+	for r, row := range a.CellEntities {
+		if len(row) != len(a.ColumnTypes) {
+			return nil, fmt.Errorf("core: annotation %q row %d has %d cells for %d columns",
+				a.TableID, r, len(row), len(a.ColumnTypes))
+		}
+		for c, e := range row {
+			if e != catalog.None {
+				j.Cells = append(j.Cells, jsonCellEntity{Row: r, Col: c, Entity: e})
+			}
+		}
+	}
+	for _, ra := range a.Relations {
+		j.Relations = append(j.Relations, jsonRelation{
+			Col1: ra.Col1, Col2: ra.Col2, Relation: ra.Relation, Forward: ra.Forward,
+		})
+	}
+	if a.Diag != (Diagnostics{}) {
+		j.Diag = &jsonDiagnostics{
+			CandidateGenNS: int64(a.Diag.CandidateGen),
+			GraphBuildNS:   int64(a.Diag.GraphBuild),
+			InferenceNS:    int64(a.Diag.Inference),
+			Iterations:     a.Diag.Iterations,
+			Converged:      a.Diag.Converged,
+			NumVars:        a.Diag.NumVars,
+			NumFactors:     a.Diag.NumFactors,
+		}
+	}
+	return json.Marshal(j)
+}
+
+// UnmarshalJSON implements json.Unmarshaler, rebuilding the dense
+// CellEntities grid (na everywhere a sparse cell entry is absent).
+func (a *Annotation) UnmarshalJSON(data []byte) error {
+	var j jsonAnnotation
+	if err := json.Unmarshal(data, &j); err != nil {
+		return fmt.Errorf("core: annotation json: %w", err)
+	}
+	if j.Rows < 0 {
+		return fmt.Errorf("core: annotation %q: negative row count %d", j.TableID, j.Rows)
+	}
+	cols := len(j.ColumnTypes)
+	*a = Annotation{TableID: j.TableID, ColumnTypes: j.ColumnTypes}
+	if a.ColumnTypes == nil {
+		a.ColumnTypes = []catalog.TypeID{}
+	}
+	a.CellEntities = make([][]catalog.EntityID, j.Rows)
+	for r := range a.CellEntities {
+		row := make([]catalog.EntityID, cols)
+		for c := range row {
+			row[c] = catalog.None
+		}
+		a.CellEntities[r] = row
+	}
+	for _, cell := range j.Cells {
+		if cell.Row < 0 || cell.Row >= j.Rows || cell.Col < 0 || cell.Col >= cols {
+			return fmt.Errorf("core: annotation %q: cell (%d,%d) outside %dx%d grid",
+				j.TableID, cell.Row, cell.Col, j.Rows, cols)
+		}
+		a.CellEntities[cell.Row][cell.Col] = cell.Entity
+	}
+	for _, ra := range j.Relations {
+		if ra.Col1 < 0 || ra.Col1 >= cols || ra.Col2 < 0 || ra.Col2 >= cols {
+			return fmt.Errorf("core: annotation %q: relation columns (%d,%d) outside %d columns",
+				j.TableID, ra.Col1, ra.Col2, cols)
+		}
+		a.Relations = append(a.Relations, RelationAnnotation{
+			Col1: ra.Col1, Col2: ra.Col2, Relation: ra.Relation, Forward: ra.Forward,
+		})
+	}
+	if j.Diag != nil {
+		a.Diag = Diagnostics{
+			CandidateGen: time.Duration(j.Diag.CandidateGenNS),
+			GraphBuild:   time.Duration(j.Diag.GraphBuildNS),
+			Inference:    time.Duration(j.Diag.InferenceNS),
+			Iterations:   j.Diag.Iterations,
+			Converged:    j.Diag.Converged,
+			NumVars:      j.Diag.NumVars,
+			NumFactors:   j.Diag.NumFactors,
+		}
+	}
+	return nil
+}

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/catalog"
+)
+
+func TestAnnotationJSONRoundTrip(t *testing.T) {
+	in := &Annotation{
+		TableID:     "t42",
+		ColumnTypes: []catalog.TypeID{3, catalog.None, 7},
+		CellEntities: [][]catalog.EntityID{
+			{10, catalog.None, catalog.None},
+			{catalog.None, catalog.None, 11},
+			{12, catalog.None, 13},
+		},
+		Relations: []RelationAnnotation{
+			{Col1: 0, Col2: 2, Relation: 5, Forward: true},
+			{Col1: 2, Col2: 1, Relation: 6, Forward: false},
+		},
+		Diag: Diagnostics{
+			CandidateGen: 3 * time.Millisecond,
+			GraphBuild:   time.Millisecond,
+			Inference:    7 * time.Millisecond,
+			Iterations:   4,
+			Converged:    true,
+			NumVars:      9,
+			NumFactors:   12,
+		},
+	}
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var out Annotation
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if !reflect.DeepEqual(in, &out) {
+		t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v", in, &out)
+	}
+}
+
+// TestAnnotationJSONSparse checks the wire shape stays sparse: na cells
+// must not appear in the encoded cells list.
+func TestAnnotationJSONSparse(t *testing.T) {
+	in := &Annotation{
+		TableID:     "sparse",
+		ColumnTypes: []catalog.TypeID{catalog.None, catalog.None},
+		CellEntities: [][]catalog.EntityID{
+			{catalog.None, catalog.None},
+			{catalog.None, 4},
+		},
+	}
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var j struct {
+		Rows  int `json:"rows"`
+		Cells []struct {
+			R int `json:"r"`
+			C int `json:"c"`
+			E int `json:"e"`
+		} `json:"cells"`
+	}
+	if err := json.Unmarshal(data, &j); err != nil {
+		t.Fatal(err)
+	}
+	if j.Rows != 2 || len(j.Cells) != 1 {
+		t.Fatalf("want 2 rows and 1 sparse cell, got rows=%d cells=%v", j.Rows, j.Cells)
+	}
+	if j.Cells[0].R != 1 || j.Cells[0].C != 1 || j.Cells[0].E != 4 {
+		t.Fatalf("sparse cell = %+v, want (1,1)=4", j.Cells[0])
+	}
+}
+
+func TestAnnotationJSONNilAndEmpty(t *testing.T) {
+	var in Annotation
+	data, err := json.Marshal(&in)
+	if err != nil {
+		t.Fatalf("marshal zero annotation: %v", err)
+	}
+	var out Annotation
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatalf("unmarshal zero annotation: %v", err)
+	}
+	if out.TableID != "" || len(out.ColumnTypes) != 0 || len(out.CellEntities) != 0 {
+		t.Fatalf("zero annotation round trip = %+v", out)
+	}
+}
+
+func TestAnnotationJSONRejectsOutOfRangeCell(t *testing.T) {
+	raw := `{"table_id":"x","rows":1,"column_types":[0],"cells":[{"r":2,"c":0,"e":1}]}`
+	var out Annotation
+	err := json.Unmarshal([]byte(raw), &out)
+	if err == nil || !strings.Contains(err.Error(), "outside") {
+		t.Fatalf("want out-of-range error, got %v", err)
+	}
+}
+
+// Out-of-range relation columns must be rejected at decode time, not
+// crash the search index scan later.
+func TestAnnotationJSONRejectsOutOfRangeRelation(t *testing.T) {
+	raw := `{"table_id":"x","rows":1,"column_types":[0,1],"relations":[{"col1":0,"col2":5,"relation":2,"forward":true}]}`
+	var out Annotation
+	err := json.Unmarshal([]byte(raw), &out)
+	if err == nil || !strings.Contains(err.Error(), "relation columns") {
+		t.Fatalf("want out-of-range relation error, got %v", err)
+	}
+}
+
+// TestAnnotationJSONRealOutput round-trips an annotation the annotator
+// actually produced, Diagnostics included.
+func TestAnnotationJSONRealOutput(t *testing.T) {
+	w := buildFigure1World(t)
+	ann := newTestAnnotator(t, w).AnnotateSimple(figure1Table())
+	data, err := json.Marshal(ann)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var out Annotation
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if !reflect.DeepEqual(ann, &out) {
+		t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v", ann, &out)
+	}
+}

@@ -1,0 +1,428 @@
+// Package server exposes a webtable.Service over JSON HTTP: the serving
+// tier of the search application (§7 runs user queries against
+// materialized annotation indices; this is that query front end).
+//
+// Endpoints:
+//
+//	POST /v1/search        one search request  → one result page
+//	POST /v1/search:batch  many requests       → parallel results
+//	POST /v1/annotate      one table           → its annotation
+//	GET  /v1/healthz       liveness
+//	GET  /v1/stats         corpus / index / catalog counts
+//
+// Every request gets an X-Request-ID (echoed if the client sent one), a
+// structured log line, and a per-request timeout; the request context is
+// canceled when the client disconnects, and that cancellation propagates
+// into query execution and the BP schedule. Search and annotate
+// concurrency is bounded by the Service's own worker-pool semaphore, so
+// HTTP load and library callers share one limit. Failures are structured
+// JSON ({"error": {code, message, field, request_id}}) with statuses
+// mapped from the service's sentinel errors.
+package server
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	webtable "repro"
+	"repro/internal/table"
+)
+
+// StatusClientClosedRequest is the non-standard (nginx-convention)
+// status reported when the client went away before the response.
+const StatusClientClosedRequest = 499
+
+// errBadBody reports an unreadable or non-JSON request body.
+var errBadBody = errors.New("server: malformed request body")
+
+// Server wraps one Service with the HTTP surface. Construct with New;
+// safe for concurrent use.
+type Server struct {
+	svc      *webtable.Service
+	log      *slog.Logger
+	timeout  time.Duration
+	drain    time.Duration
+	maxBody  int64
+	idPrefix string
+	reqSeq   atomic.Uint64
+	inflight atomic.Int64
+	handler  http.Handler
+}
+
+// Option configures a Server.
+type Option func(*Server)
+
+// WithLogger sets the structured logger (default: slog.Default()).
+func WithLogger(l *slog.Logger) Option { return func(s *Server) { s.log = l } }
+
+// WithTimeout bounds each request's handling time (default 30s; 0
+// disables the per-request deadline, leaving only client-disconnect
+// cancellation).
+func WithTimeout(d time.Duration) Option { return func(s *Server) { s.timeout = d } }
+
+// WithDrainTimeout bounds how long Serve waits for in-flight requests
+// after its context is canceled (default 10s).
+func WithDrainTimeout(d time.Duration) Option { return func(s *Server) { s.drain = d } }
+
+// WithMaxBodyBytes caps request body size (default 8 MiB).
+func WithMaxBodyBytes(n int64) Option { return func(s *Server) { s.maxBody = n } }
+
+// New builds a server over svc.
+func New(svc *webtable.Service, opts ...Option) *Server {
+	s := &Server{
+		svc:     svc,
+		log:     slog.Default(),
+		timeout: 30 * time.Second,
+		drain:   10 * time.Second,
+		maxBody: 8 << 20,
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	var pre [4]byte
+	if _, err := rand.Read(pre[:]); err == nil {
+		s.idPrefix = hex.EncodeToString(pre[:])
+	} else {
+		s.idPrefix = "00000000"
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("POST /v1/search", s.handleSearch)
+	mux.HandleFunc("POST /v1/search:batch", s.handleSearchBatch)
+	mux.HandleFunc("POST /v1/annotate", s.handleAnnotate)
+	// No catch-all: unmatched paths get ServeMux's 404 and, crucially,
+	// a matched path with the wrong method gets its 405 + Allow header
+	// (a "/" fallback would swallow those into 404s).
+	s.handler = s.middleware(mux)
+	return s
+}
+
+// Handler returns the full middleware-wrapped HTTP handler.
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// InFlight reports the number of requests currently being handled.
+func (s *Server) InFlight() int64 { return s.inflight.Load() }
+
+// Serve accepts connections on ln until ctx is canceled, then shuts down
+// gracefully: the listener closes, in-flight requests get up to the
+// drain timeout to finish, and Serve returns nil on a clean drain. A
+// listener failure is returned as-is.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	srv := &http.Server{
+		Handler:           s.handler,
+		ReadHeaderTimeout: 10 * time.Second,
+		BaseContext:       func(net.Listener) context.Context { return context.Background() },
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	s.log.Info("shutting down", "in_flight", s.InFlight(), "drain_timeout", s.drain)
+	sdCtx, cancel := context.WithTimeout(context.Background(), s.drain)
+	defer cancel()
+	if err := srv.Shutdown(sdCtx); err != nil {
+		return fmt.Errorf("server: shutdown: %w", err)
+	}
+	<-errc // http.ErrServerClosed from the Serve goroutine
+	return nil
+}
+
+// --- middleware ---
+
+type ctxKey int
+
+const requestIDKey ctxKey = 0
+
+// RequestID returns the request ID the middleware attached to ctx.
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey).(string)
+	return id
+}
+
+// statusWriter records the status code for the log line.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// middleware attaches the request ID, per-request timeout, in-flight
+// accounting and the structured log line, and maps a context already
+// dead on arrival (client gone before dispatch) to its error response
+// without invoking the handler.
+func (s *Server) middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		s.inflight.Add(1)
+		defer s.inflight.Add(-1)
+
+		id := r.Header.Get("X-Request-ID")
+		if id == "" {
+			id = fmt.Sprintf("%s-%06d", s.idPrefix, s.reqSeq.Add(1))
+		}
+		w.Header().Set("X-Request-ID", id)
+		ctx := context.WithValue(r.Context(), requestIDKey, id)
+		if s.timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, s.timeout)
+			defer cancel()
+		}
+		r = r.WithContext(ctx)
+		if s.maxBody > 0 && r.Body != nil {
+			r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
+		}
+
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		if err := ctx.Err(); err != nil {
+			s.writeError(sw, r, err)
+		} else {
+			next.ServeHTTP(sw, r)
+		}
+		s.log.Info("request",
+			"id", id,
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", sw.status,
+			"duration_ms", float64(time.Since(start).Microseconds())/1000,
+			"remote", r.RemoteAddr,
+		)
+	})
+}
+
+// --- error mapping ---
+
+// mapError resolves an error to its HTTP status, stable error code and
+// (when known) offending field. This is the single place the service's
+// sentinel errors meet HTTP.
+func mapError(err error) (status int, code, field string) {
+	var qe *webtable.QueryError
+	if errors.As(err, &qe) {
+		field = qe.Field
+	}
+	var tooBig *http.MaxBytesError
+	if errors.As(err, &tooBig) {
+		return http.StatusRequestEntityTooLarge, "body_too_large", field
+	}
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout, "deadline_exceeded", field
+	case errors.Is(err, context.Canceled):
+		return StatusClientClosedRequest, "client_closed_request", field
+	case errors.Is(err, webtable.ErrInvalidCursor):
+		return http.StatusBadRequest, "invalid_cursor", field
+	case errors.Is(err, webtable.ErrInvalidPageSize):
+		return http.StatusBadRequest, "invalid_page_size", field
+	case errors.Is(err, webtable.ErrInvalidMode):
+		return http.StatusBadRequest, "invalid_mode", field
+	case errors.Is(err, webtable.ErrUnknownName):
+		return http.StatusBadRequest, "unknown_name", field
+	case errors.Is(err, webtable.ErrInvalidQuery):
+		return http.StatusBadRequest, "invalid_query", field
+	case errors.Is(err, webtable.ErrNoIndex):
+		return http.StatusConflict, "no_index", field
+	case errors.Is(err, webtable.ErrNilTable),
+		errors.Is(err, table.ErrRagged),
+		errors.Is(err, table.ErrEmpty):
+		return http.StatusBadRequest, "invalid_table", field
+	case errors.Is(err, webtable.ErrUnknownMethod):
+		return http.StatusBadRequest, "unknown_method", field
+	case errors.Is(err, errBadBody):
+		return http.StatusBadRequest, "bad_request", field
+	default:
+		return http.StatusInternalServerError, "internal", field
+	}
+}
+
+func (s *Server) writeError(w http.ResponseWriter, r *http.Request, err error) {
+	status, code, field := mapError(err)
+	s.writeJSON(w, status, ErrorResponse{Error: ErrorBody{
+		Code:      code,
+		Message:   err.Error(),
+		Field:     field,
+		RequestID: RequestID(r.Context()),
+	}})
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		s.log.Error("encode response", "err", err)
+	}
+}
+
+func decodeBody(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			return err // mapError turns this into 413, not 400
+		}
+		return fmt.Errorf("%w: %v", errBadBody, err)
+	}
+	if dec.More() {
+		return fmt.Errorf("%w: trailing data after JSON body", errBadBody)
+	}
+	return nil
+}
+
+// --- handlers ---
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	cs := s.svc.Catalog().Stats()
+	resp := StatsResponse{
+		Workers:  s.svc.Workers(),
+		InFlight: s.InFlight(),
+		Catalog: CatalogStats{
+			Types:     cs.Types,
+			Entities:  cs.Entities,
+			Relations: cs.Relations,
+			Tuples:    cs.Tuples,
+		},
+	}
+	if ix := s.svc.Index(); ix != nil {
+		resp.IndexBuilt = true
+		resp.Tables = len(ix.Tables)
+		for _, a := range ix.Anns {
+			if a != nil {
+				resp.AnnotatedTables++
+			}
+		}
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// handleSearch is POST /v1/search. A worker-pool slot bounds how many
+// searches execute at once; waiting for a slot still honors the request
+// deadline and client disconnect.
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	var wr SearchRequest
+	if err := decodeBody(r, &wr); err != nil {
+		s.writeError(w, r, err)
+		return
+	}
+	req, err := wr.Resolve(s.svc)
+	if err != nil {
+		s.writeError(w, r, err)
+		return
+	}
+	ctx := r.Context()
+	if err := s.svc.Acquire(ctx); err != nil {
+		s.writeError(w, r, err)
+		return
+	}
+	defer s.svc.Release()
+	res, err := s.svc.Search(ctx, req)
+	if err != nil {
+		s.writeError(w, r, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, ToSearchResponse(s.svc.Catalog(), res))
+}
+
+// handleSearchBatch is POST /v1/search:batch. The fan-out runs on the
+// service's worker pool (SearchBatch acquires its own slots, so the
+// handler must not hold one). Per-item failures come back in the body;
+// only whole-batch failures (cancellation, no index, bad body) produce a
+// non-2xx status.
+func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
+	var br BatchRequest
+	if err := decodeBody(r, &br); err != nil {
+		s.writeError(w, r, err)
+		return
+	}
+	resp := BatchResponse{Results: make([]*SearchResponse, len(br.Requests))}
+	reqs := make([]webtable.SearchRequest, 0, len(br.Requests))
+	origIndex := make([]int, 0, len(br.Requests))
+	for i := range br.Requests {
+		req, err := br.Requests[i].Resolve(s.svc)
+		if err != nil {
+			_, code, field := mapError(err)
+			resp.Errors = append(resp.Errors, BatchItemError{Index: i, Error: ErrorBody{
+				Code: code, Message: err.Error(), Field: field,
+			}})
+			continue
+		}
+		reqs = append(reqs, req)
+		origIndex = append(origIndex, i)
+	}
+	results, err := s.svc.SearchBatch(r.Context(), reqs)
+	if err != nil {
+		var be *webtable.BatchError
+		if !errors.As(err, &be) {
+			s.writeError(w, r, err)
+			return
+		}
+		for _, f := range be.Failures {
+			_, code, field := mapError(f.Err)
+			resp.Errors = append(resp.Errors, BatchItemError{Index: origIndex[f.Index], Error: ErrorBody{
+				Code: code, Message: f.Err.Error(), Field: field,
+			}})
+		}
+	}
+	cat := s.svc.Catalog()
+	for i, res := range results {
+		if res != nil {
+			wr := ToSearchResponse(cat, res)
+			resp.Results[origIndex[i]] = &wr
+		}
+	}
+	sort.Slice(resp.Errors, func(i, j int) bool { return resp.Errors[i].Index < resp.Errors[j].Index })
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// handleAnnotate is POST /v1/annotate. AnnotateTable takes its own
+// worker-pool slot, so no extra acquire here.
+func (s *Server) handleAnnotate(w http.ResponseWriter, r *http.Request) {
+	var ar AnnotateRequest
+	if err := decodeBody(r, &ar); err != nil {
+		s.writeError(w, r, err)
+		return
+	}
+	if ar.Table == nil {
+		s.writeError(w, r, webtable.ErrNilTable)
+		return
+	}
+	if err := ar.Table.Validate(); err != nil {
+		s.writeError(w, r, err)
+		return
+	}
+	method := webtable.MethodCollective
+	if ar.Method != "" {
+		var err error
+		method, err = webtable.ParseMethod(ar.Method)
+		if err != nil {
+			s.writeError(w, r, err)
+			return
+		}
+	}
+	ann, err := s.svc.AnnotateTable(r.Context(), ar.Table, webtable.WithMethod(method))
+	if err != nil {
+		s.writeError(w, r, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, ToAnnotation(s.svc.Catalog(), ann))
+}

@@ -1,0 +1,639 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	webtable "repro"
+	"repro/internal/table"
+	"repro/internal/worldgen"
+)
+
+func quietLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+// testService builds a small world, annotates a "directed"-relation
+// corpus and returns a search-ready service.
+func testService(t testing.TB, workers int) (*webtable.Service, *worldgen.World) {
+	t.Helper()
+	spec := worldgen.DefaultSpec()
+	spec.FilmsPerGenre = 10
+	spec.NovelsPerGenre = 8
+	spec.PeoplePerRole = 12
+	spec.AlbumCount = 15
+	spec.CountryCount = 8
+	spec.CitiesPerCountry = 2
+	spec.LanguageCount = 6
+	w, err := worldgen.Build(spec)
+	if err != nil {
+		t.Fatalf("build world: %v", err)
+	}
+	svc, err := webtable.NewService(w.Public, webtable.WithWorkers(workers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := w.GenerateDataset("srv", 7, 8, 4, 8, worldgen.CleanProfile(), worldgen.AllGTLayers(), "directed")
+	tables := make([]*table.Table, len(ds.Tables))
+	for i, lt := range ds.Tables {
+		tables[i] = lt.Table
+	}
+	if _, err := svc.BuildIndex(context.Background(), tables); err != nil {
+		t.Fatalf("build index: %v", err)
+	}
+	return svc, w
+}
+
+// searchBody returns a valid wire search request for the world's
+// "directed" workload.
+func searchBody(t testing.TB, w *worldgen.World, extra map[string]any) []byte {
+	t.Helper()
+	workload := w.SearchWorkload([]string{"directed"}, 1, 7)
+	if len(workload) == 0 {
+		t.Fatal("empty workload")
+	}
+	q := workload[0]
+	m := map[string]any{
+		"relation": q.RelationName,
+		"t1":       w.True.TypeName(q.T1),
+		"t2":       w.True.TypeName(q.T2),
+		"e2":       q.E2Name,
+	}
+	for k, v := range extra {
+		m[k] = v
+	}
+	body, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+func postJSON(t testing.TB, h http.Handler, path string, body []byte) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func decodeErr(t testing.TB, rec *httptest.ResponseRecorder) ErrorBody {
+	t.Helper()
+	var er ErrorResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &er); err != nil {
+		t.Fatalf("error body is not ErrorResponse JSON: %v (%s)", err, rec.Body.String())
+	}
+	return er.Error
+}
+
+func TestHealthz(t *testing.T) {
+	svc, _ := testService(t, 2)
+	srv := New(svc, WithLogger(quietLogger()))
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/healthz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d, want 200", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), `"ok"`) {
+		t.Fatalf("body = %s", rec.Body.String())
+	}
+	if rec.Header().Get("X-Request-ID") == "" {
+		t.Fatal("no X-Request-ID header")
+	}
+}
+
+func TestStats(t *testing.T) {
+	svc, _ := testService(t, 2)
+	srv := New(svc, WithLogger(quietLogger()))
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/stats", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d, want 200", rec.Code)
+	}
+	var stats StatsResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if !stats.IndexBuilt || stats.Tables != 8 || stats.AnnotatedTables != 8 {
+		t.Fatalf("stats = %+v, want 8 annotated tables and index_built", stats)
+	}
+	if stats.Workers != 2 || stats.Catalog.Entities == 0 || stats.Catalog.Relations == 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+}
+
+func TestSearchEndpoint(t *testing.T) {
+	svc, w := testService(t, 2)
+	srv := New(svc, WithLogger(quietLogger()))
+	rec := postJSON(t, srv.Handler(), "/v1/search", searchBody(t, w, map[string]any{
+		"page_size": 5, "explain": true,
+	}))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	var res SearchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Total == 0 || len(res.Answers) == 0 {
+		t.Fatalf("no answers: %+v", res)
+	}
+	if len(res.Answers) > 5 {
+		t.Fatalf("page overflow: %d answers", len(res.Answers))
+	}
+	if res.Answers[0].Explanation == nil || len(res.Answers[0].Explanation.Sources) == 0 {
+		t.Fatalf("explain requested but missing: %+v", res.Answers[0])
+	}
+}
+
+// TestSearchErrorMapping drives each sentinel through the HTTP surface
+// and checks status code, stable error code, and the structured body.
+func TestSearchErrorMapping(t *testing.T) {
+	svc, w := testService(t, 2)
+	srv := New(svc, WithLogger(quietLogger()))
+	noIndexSvc, err := webtable.NewService(w.Public)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noIndexSrv := New(noIndexSvc, WithLogger(quietLogger()))
+
+	cases := []struct {
+		name       string
+		handler    http.Handler
+		body       []byte
+		wantStatus int
+		wantCode   string
+		wantField  string
+	}{
+		{"bad cursor", srv.Handler(), searchBody(t, w, map[string]any{"cursor": "!!!not-a-cursor"}),
+			http.StatusBadRequest, "invalid_cursor", ""},
+		{"negative page size", srv.Handler(), searchBody(t, w, map[string]any{"page_size": -3}),
+			http.StatusBadRequest, "invalid_page_size", "page_size"},
+		{"bogus mode", srv.Handler(), searchBody(t, w, map[string]any{"mode": "psychic"}),
+			http.StatusBadRequest, "invalid_mode", "mode"},
+		{"unknown relation", srv.Handler(), searchBody(t, w, map[string]any{"relation": "nonesuch"}),
+			http.StatusBadRequest, "unknown_name", "relation"},
+		{"unknown t1", srv.Handler(), searchBody(t, w, map[string]any{"t1": "Blorp"}),
+			http.StatusBadRequest, "unknown_name", "t1"},
+		{"missing probe", srv.Handler(), searchBody(t, w, map[string]any{"e2": ""}),
+			http.StatusBadRequest, "invalid_query", "e2"},
+		{"no index", noIndexSrv.Handler(), searchBody(t, w, nil),
+			http.StatusConflict, "no_index", ""},
+		{"malformed body", srv.Handler(), []byte("{not json"),
+			http.StatusBadRequest, "bad_request", ""},
+		{"oversized body", New(svc, WithLogger(quietLogger()), WithMaxBodyBytes(16)).Handler(),
+			searchBody(t, w, nil),
+			http.StatusRequestEntityTooLarge, "body_too_large", ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rec := postJSON(t, tc.handler, "/v1/search", tc.body)
+			if rec.Code != tc.wantStatus {
+				t.Fatalf("status = %d, want %d (%s)", rec.Code, tc.wantStatus, rec.Body.String())
+			}
+			eb := decodeErr(t, rec)
+			if eb.Code != tc.wantCode {
+				t.Errorf("code = %q, want %q", eb.Code, tc.wantCode)
+			}
+			if eb.Field != tc.wantField {
+				t.Errorf("field = %q, want %q", eb.Field, tc.wantField)
+			}
+			if eb.RequestID == "" {
+				t.Error("error body missing request_id")
+			}
+		})
+	}
+}
+
+// TestMapErrorTable unit-tests the sentinel→status table, including the
+// context errors the HTTP round trips above cannot produce on demand.
+func TestMapErrorTable(t *testing.T) {
+	cases := []struct {
+		err        error
+		wantStatus int
+		wantCode   string
+	}{
+		{context.DeadlineExceeded, http.StatusGatewayTimeout, "deadline_exceeded"},
+		{context.Canceled, StatusClientClosedRequest, "client_closed_request"},
+		{fmt.Errorf("wrap: %w", webtable.ErrInvalidCursor), http.StatusBadRequest, "invalid_cursor"},
+		{webtable.ErrInvalidPageSize, http.StatusBadRequest, "invalid_page_size"},
+		{webtable.ErrInvalidMode, http.StatusBadRequest, "invalid_mode"},
+		{webtable.ErrUnknownName, http.StatusBadRequest, "unknown_name"},
+		{webtable.ErrInvalidQuery, http.StatusBadRequest, "invalid_query"},
+		{webtable.ErrNoIndex, http.StatusConflict, "no_index"},
+		{webtable.ErrNilTable, http.StatusBadRequest, "invalid_table"},
+		{table.ErrRagged, http.StatusBadRequest, "invalid_table"},
+		{table.ErrEmpty, http.StatusBadRequest, "invalid_table"},
+		{webtable.ErrUnknownMethod, http.StatusBadRequest, "unknown_method"},
+		{errBadBody, http.StatusBadRequest, "bad_request"},
+		{&http.MaxBytesError{Limit: 8}, http.StatusRequestEntityTooLarge, "body_too_large"},
+		{fmt.Errorf("boom"), http.StatusInternalServerError, "internal"},
+	}
+	for _, tc := range cases {
+		status, code, _ := mapError(tc.err)
+		if status != tc.wantStatus || code != tc.wantCode {
+			t.Errorf("mapError(%v) = (%d, %q), want (%d, %q)",
+				tc.err, status, code, tc.wantStatus, tc.wantCode)
+		}
+	}
+	// A QueryError wrapper surfaces its field.
+	_, _, field := mapError(&webtable.QueryError{Field: "t2", Err: webtable.ErrUnknownName})
+	if field != "t2" {
+		t.Errorf("field = %q, want t2", field)
+	}
+}
+
+// TestCursorPagingHTTP walks the full ranking two answers at a time and
+// checks the union equals the one-shot full page, in order.
+func TestCursorPagingHTTP(t *testing.T) {
+	svc, w := testService(t, 2)
+	srv := New(svc, WithLogger(quietLogger()))
+
+	rec := postJSON(t, srv.Handler(), "/v1/search", searchBody(t, w, nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("full page: %d %s", rec.Code, rec.Body.String())
+	}
+	var full SearchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &full); err != nil {
+		t.Fatal(err)
+	}
+	if full.Total < 3 {
+		t.Skipf("ranking too small to page: total=%d", full.Total)
+	}
+
+	var paged []Answer
+	cursor := ""
+	for pages := 0; pages < full.Total; pages++ {
+		extra := map[string]any{"page_size": 2}
+		if cursor != "" {
+			extra["cursor"] = cursor
+		}
+		rec := postJSON(t, srv.Handler(), "/v1/search", searchBody(t, w, extra))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("page %d: %d %s", pages, rec.Code, rec.Body.String())
+		}
+		var page SearchResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &page); err != nil {
+			t.Fatal(err)
+		}
+		if page.Total != full.Total {
+			t.Fatalf("page total %d != full total %d", page.Total, full.Total)
+		}
+		paged = append(paged, page.Answers...)
+		cursor = page.NextCursor
+		if cursor == "" {
+			break
+		}
+	}
+	if len(paged) != len(full.Answers) {
+		t.Fatalf("paged %d answers, full %d", len(paged), len(full.Answers))
+	}
+	for i := range paged {
+		if paged[i].Text != full.Answers[i].Text || paged[i].Score != full.Answers[i].Score {
+			t.Fatalf("rank %d: paged %+v != full %+v", i, paged[i], full.Answers[i])
+		}
+	}
+}
+
+// TestClientDisconnect: a request whose context died before dispatch is
+// answered 499 without reaching the service.
+func TestClientDisconnect(t *testing.T) {
+	svc, w := testService(t, 2)
+	srv := New(svc, WithLogger(quietLogger()))
+	req := httptest.NewRequest(http.MethodPost, "/v1/search", bytes.NewReader(searchBody(t, w, nil)))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req = req.WithContext(ctx)
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, req)
+	if rec.Code != StatusClientClosedRequest {
+		t.Fatalf("status = %d, want %d", rec.Code, StatusClientClosedRequest)
+	}
+	if eb := decodeErr(t, rec); eb.Code != "client_closed_request" {
+		t.Fatalf("code = %q", eb.Code)
+	}
+}
+
+// TestRequestTimeout: an expired per-request deadline maps to 504.
+func TestRequestTimeout(t *testing.T) {
+	svc, w := testService(t, 2)
+	srv := New(svc, WithLogger(quietLogger()), WithTimeout(time.Nanosecond))
+	time.Sleep(time.Millisecond) // ensure any clock granularity has passed
+	rec := postJSON(t, srv.Handler(), "/v1/search", searchBody(t, w, nil))
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504 (%s)", rec.Code, rec.Body.String())
+	}
+	if eb := decodeErr(t, rec); eb.Code != "deadline_exceeded" {
+		t.Fatalf("code = %q", eb.Code)
+	}
+}
+
+func TestRequestIDEcho(t *testing.T) {
+	svc, _ := testService(t, 2)
+	srv := New(svc, WithLogger(quietLogger()))
+	req := httptest.NewRequest(http.MethodGet, "/v1/healthz", nil)
+	req.Header.Set("X-Request-ID", "caller-chosen-77")
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, req)
+	if got := rec.Header().Get("X-Request-ID"); got != "caller-chosen-77" {
+		t.Fatalf("X-Request-ID = %q, want caller-chosen-77", got)
+	}
+}
+
+func TestNotFoundAndMethodNotAllowed(t *testing.T) {
+	svc, _ := testService(t, 2)
+	srv := New(svc, WithLogger(quietLogger()))
+
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/nope", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("status = %d, want 404", rec.Code)
+	}
+
+	rec = httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/search", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("status = %d, want 405", rec.Code)
+	}
+}
+
+func TestBatchEndpoint(t *testing.T) {
+	svc, w := testService(t, 2)
+	srv := New(svc, WithLogger(quietLogger()))
+
+	var good SearchRequest
+	if err := json.Unmarshal(searchBody(t, w, nil), &good); err != nil {
+		t.Fatal(err)
+	}
+	bad := good
+	bad.Relation = "nonesuch"
+	badCursor := good
+	badCursor.Cursor = "???"
+	body, err := json.Marshal(BatchRequest{Requests: []SearchRequest{good, bad, good, badCursor}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := postJSON(t, srv.Handler(), "/v1/search:batch", body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	var br BatchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &br); err != nil {
+		t.Fatal(err)
+	}
+	if len(br.Results) != 4 {
+		t.Fatalf("results = %d, want 4 (parallel to requests)", len(br.Results))
+	}
+	if br.Results[0] == nil || br.Results[2] == nil {
+		t.Fatal("valid requests got nil results")
+	}
+	if br.Results[1] != nil || br.Results[3] != nil {
+		t.Fatal("failed requests got non-nil results")
+	}
+	if len(br.Errors) != 2 {
+		t.Fatalf("errors = %+v, want 2", br.Errors)
+	}
+	if br.Errors[0].Index != 1 || br.Errors[0].Error.Code != "unknown_name" {
+		t.Fatalf("errors[0] = %+v", br.Errors[0])
+	}
+	if br.Errors[1].Index != 3 || br.Errors[1].Error.Code != "invalid_cursor" {
+		t.Fatalf("errors[1] = %+v", br.Errors[1])
+	}
+	// The two identical good requests return identical pages.
+	a, err := json.Marshal(br.Results[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(br.Results[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("identical batch entries differ: %s vs %s", a, b)
+	}
+}
+
+func TestAnnotateEndpoint(t *testing.T) {
+	svc, w := testService(t, 2)
+	srv := New(svc, WithLogger(quietLogger()))
+
+	// A table naming a real film/director pair from the world.
+	rel := w.True.Tuples(w.RelID("directed"))
+	if len(rel) == 0 {
+		t.Fatal("no directed tuples")
+	}
+	film := w.True.EntityName(rel[0].Subject)
+	director := w.True.EntityName(rel[0].Object)
+	body, err := json.Marshal(AnnotateRequest{
+		Table: &webtable.Table{
+			ID:      "annotate-me",
+			Headers: []string{"Movie", "Director"},
+			Cells:   [][]string{{film, director}},
+		},
+		Method: "simple",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := postJSON(t, srv.Handler(), "/v1/annotate", body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	var ann Annotation
+	if err := json.Unmarshal(rec.Body.Bytes(), &ann); err != nil {
+		t.Fatal(err)
+	}
+	if ann.TableID != "annotate-me" {
+		t.Fatalf("table_id = %q", ann.TableID)
+	}
+
+	// Ragged table → 400 invalid_table.
+	raggedBody := []byte(`{"table": {"id": "x", "cells": [["a","b"],["c"]]}}`)
+	rec = postJSON(t, srv.Handler(), "/v1/annotate", raggedBody)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("ragged status = %d, want 400", rec.Code)
+	}
+	if eb := decodeErr(t, rec); eb.Code != "invalid_table" {
+		t.Fatalf("ragged code = %q", eb.Code)
+	}
+
+	// Unknown method → 400 unknown_method.
+	body, _ = json.Marshal(AnnotateRequest{
+		Table:  &webtable.Table{ID: "x", Cells: [][]string{{"a"}}},
+		Method: "oracle",
+	})
+	rec = postJSON(t, srv.Handler(), "/v1/annotate", body)
+	if eb := decodeErr(t, rec); rec.Code != http.StatusBadRequest || eb.Code != "unknown_method" {
+		t.Fatalf("method status/code = %d/%q", rec.Code, eb.Code)
+	}
+
+	// Missing table → 400 invalid_table.
+	rec = postJSON(t, srv.Handler(), "/v1/annotate", []byte(`{"method": "simple"}`))
+	if eb := decodeErr(t, rec); rec.Code != http.StatusBadRequest || eb.Code != "invalid_table" {
+		t.Fatalf("nil-table status/code = %d/%q", rec.Code, eb.Code)
+	}
+}
+
+// TestConcurrentSearches hammers the search endpoint with 8 parallel
+// clients (run under -race in CI) and checks every response is a valid
+// identical page.
+func TestConcurrentSearches(t *testing.T) {
+	svc, w := testService(t, 4)
+	srv := New(svc, WithLogger(quietLogger()))
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	body := searchBody(t, w, map[string]any{"page_size": 5})
+	var want SearchResponse
+	rec := postJSON(t, srv.Handler(), "/v1/search", body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("probe: %d %s", rec.Code, rec.Body.String())
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &want); err != nil {
+		t.Fatal(err)
+	}
+	wantJSON, err := json.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const clients = 8
+	const perClient = 3
+	var wg sync.WaitGroup
+	errs := make(chan error, clients*perClient)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perClient; j++ {
+				resp, err := http.Post(ts.URL+"/v1/search", "application/json", bytes.NewReader(body))
+				if err != nil {
+					errs <- err
+					return
+				}
+				raw, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					errs <- err
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("status %d: %s", resp.StatusCode, raw)
+					return
+				}
+				var got SearchResponse
+				if err := json.Unmarshal(raw, &got); err != nil {
+					errs <- err
+					return
+				}
+				gotJSON, err := json.Marshal(got)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !bytes.Equal(gotJSON, wantJSON) {
+					errs <- fmt.Errorf("divergent response: %s", gotJSON)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestGracefulShutdownDrains verifies Serve's contract: after its
+// context is canceled it stops accepting but waits for the in-flight
+// request — here one blocked waiting for a worker-pool slot the test is
+// hogging — and returns nil once the drain completes.
+func TestGracefulShutdownDrains(t *testing.T) {
+	svc, w := testService(t, 2)
+	srv := New(svc, WithLogger(quietLogger()), WithDrainTimeout(10*time.Second))
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ctx, ln) }()
+
+	// Hold every worker slot so the next search blocks in Acquire.
+	for i := 0; i < svc.Workers(); i++ {
+		if err := svc.Acquire(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	body := searchBody(t, w, nil)
+	type result struct {
+		status int
+		err    error
+	}
+	resCh := make(chan result, 1)
+	go func() {
+		resp, err := http.Post("http://"+ln.Addr().String()+"/v1/search", "application/json", bytes.NewReader(body))
+		if err != nil {
+			resCh <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resCh <- result{status: resp.StatusCode}
+	}()
+
+	// Wait until the request is in flight (blocked on the semaphore).
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.InFlight() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("request never became in-flight")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	cancel() // SIGTERM equivalent: begin graceful shutdown
+
+	// Serve must still be draining, not returned, while the request is
+	// blocked.
+	select {
+	case err := <-serveDone:
+		t.Fatalf("Serve returned %v before the in-flight request finished", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	// Release the pool: the blocked request completes, the drain ends.
+	for i := 0; i < svc.Workers(); i++ {
+		svc.Release()
+	}
+	res := <-resCh
+	if res.err != nil {
+		t.Fatalf("in-flight request failed: %v", res.err)
+	}
+	if res.status != http.StatusOK {
+		t.Fatalf("in-flight request status = %d, want 200", res.status)
+	}
+	if err := <-serveDone; err != nil {
+		t.Fatalf("Serve = %v, want nil after clean drain", err)
+	}
+
+	// New connections are refused after shutdown.
+	if _, err := http.Post("http://"+ln.Addr().String()+"/v1/healthz", "application/json", nil); err == nil {
+		t.Fatal("server still accepting after shutdown")
+	}
+}

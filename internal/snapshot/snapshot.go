@@ -1,0 +1,156 @@
+// Package snapshot implements the persistent corpus snapshot format: one
+// file holding a catalog, a table corpus and its per-table annotations,
+// so an annotated corpus can be served (search index rebuilt from stored
+// annotations) without re-running annotation — the paper's deployment
+// model of §7, where queries run against materialized annotation indices.
+//
+// Wire layout, in order:
+//
+//	magic   [6]byte  "WTSNAP"
+//	version uint8    format version (currently 1)
+//	length  uint64   big-endian payload byte count
+//	crc32   uint32   big-endian IEEE CRC of the payload
+//	payload []byte   gzip-compressed JSON body
+//
+// The header is uncompressed so foreign files fail fast on the magic, a
+// newer-format file fails on the version before any decoding, and a
+// truncated or bit-flipped payload fails the checksum before the JSON
+// decoder can misread it.
+package snapshot
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/table"
+)
+
+// Version is the current snapshot format version. Load accepts files of
+// this version or older.
+const Version = 1
+
+var magic = [6]byte{'W', 'T', 'S', 'N', 'A', 'P'}
+
+// headerLen is magic + version byte + payload length + payload CRC.
+const headerLen = len(magic) + 1 + 8 + 4
+
+// Sentinel errors of the snapshot format; test with errors.Is.
+var (
+	// ErrNotSnapshot reports a file that does not start with the snapshot
+	// magic bytes.
+	ErrNotSnapshot = errors.New("snapshot: not a snapshot file")
+	// ErrVersion reports a snapshot written by a newer format version
+	// than this package reads.
+	ErrVersion = errors.New("snapshot: unsupported format version")
+	// ErrChecksum reports a payload whose checksum does not match the
+	// header (truncation or corruption in transit).
+	ErrChecksum = errors.New("snapshot: checksum mismatch")
+	// ErrCorrupt reports a payload that passed the checksum but failed to
+	// decode (a bug, or a file assembled by hand).
+	ErrCorrupt = errors.New("snapshot: corrupt payload")
+)
+
+// Snapshot is one persisted corpus: the catalog's portable form, the
+// tables, and the per-table annotations (nil, or parallel to Tables with
+// nil entries for unannotated tables).
+type Snapshot struct {
+	Catalog catalog.Snapshot
+	Tables  []*table.Table
+	Anns    []*core.Annotation
+}
+
+// body is the JSON shape inside the compressed payload.
+type body struct {
+	Catalog catalog.Snapshot   `json:"catalog"`
+	Tables  []*table.Table     `json:"tables"`
+	Anns    []*core.Annotation `json:"annotations,omitempty"`
+}
+
+// Save writes s to w in the versioned snapshot format. The compressed
+// payload is buffered in memory so the header can carry its length and
+// checksum.
+func Save(w io.Writer, s *Snapshot) error {
+	if s.Anns != nil && len(s.Anns) != len(s.Tables) {
+		return fmt.Errorf("snapshot: %d annotations for %d tables", len(s.Anns), len(s.Tables))
+	}
+	var buf bytes.Buffer
+	gz := gzip.NewWriter(&buf)
+	if err := json.NewEncoder(gz).Encode(body{Catalog: s.Catalog, Tables: s.Tables, Anns: s.Anns}); err != nil {
+		return fmt.Errorf("snapshot: encode: %w", err)
+	}
+	if err := gz.Close(); err != nil {
+		return fmt.Errorf("snapshot: compress: %w", err)
+	}
+	payload := buf.Bytes()
+	header := make([]byte, 0, headerLen)
+	header = append(header, magic[:]...)
+	header = append(header, Version)
+	header = binary.BigEndian.AppendUint64(header, uint64(len(payload)))
+	header = binary.BigEndian.AppendUint32(header, crc32.ChecksumIEEE(payload))
+	if _, err := w.Write(header); err != nil {
+		return fmt.Errorf("snapshot: write header: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("snapshot: write payload: %w", err)
+	}
+	return nil
+}
+
+// Load reads one snapshot from r, verifying magic, version and checksum
+// before decoding, and validating the decoded tables and the
+// annotation/table parallelism.
+func Load(r io.Reader) (*Snapshot, error) {
+	header := make([]byte, headerLen)
+	if _, err := io.ReadFull(r, header); err != nil {
+		return nil, fmt.Errorf("%w: short header: %v", ErrNotSnapshot, err)
+	}
+	if !bytes.Equal(header[:len(magic)], magic[:]) {
+		return nil, ErrNotSnapshot
+	}
+	version := header[len(magic)]
+	if version == 0 || version > Version {
+		return nil, fmt.Errorf("%w: file version %d, reader supports <= %d", ErrVersion, version, Version)
+	}
+	length := binary.BigEndian.Uint64(header[len(magic)+1:])
+	wantCRC := binary.BigEndian.Uint32(header[len(magic)+9:])
+	// The length field is untrusted until the checksum passes: grow the
+	// buffer with the bytes that actually arrive (CopyN) rather than
+	// allocating length up front, so a corrupted length reports
+	// ErrChecksum instead of panicking or exhausting memory.
+	var buf bytes.Buffer
+	if n, err := io.CopyN(&buf, r, int64(length)); err != nil || uint64(n) != length {
+		return nil, fmt.Errorf("%w: payload truncated at %d of %d bytes: %v", ErrChecksum, n, length, err)
+	}
+	payload := buf.Bytes()
+	if got := crc32.ChecksumIEEE(payload); got != wantCRC {
+		return nil, fmt.Errorf("%w: crc %08x, header says %08x", ErrChecksum, got, wantCRC)
+	}
+	gz, err := gzip.NewReader(bytes.NewReader(payload))
+	if err != nil {
+		return nil, fmt.Errorf("%w: gzip: %v", ErrCorrupt, err)
+	}
+	var b body
+	if err := json.NewDecoder(gz).Decode(&b); err != nil {
+		return nil, fmt.Errorf("%w: decode: %v", ErrCorrupt, err)
+	}
+	if err := gz.Close(); err != nil {
+		return nil, fmt.Errorf("%w: gzip close: %v", ErrCorrupt, err)
+	}
+	for _, t := range b.Tables {
+		if err := t.Validate(); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+	}
+	if b.Anns != nil && len(b.Anns) != len(b.Tables) {
+		return nil, fmt.Errorf("%w: %d annotations for %d tables", ErrCorrupt, len(b.Anns), len(b.Tables))
+	}
+	return &Snapshot{Catalog: b.Catalog, Tables: b.Tables, Anns: b.Anns}, nil
+}

@@ -1,0 +1,65 @@
+package webtable
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"repro/internal/catalog"
+	"repro/internal/search"
+	"repro/internal/searchidx"
+	"repro/internal/snapshot"
+)
+
+// SaveSnapshot writes the service's current corpus — catalog, indexed
+// tables and their annotations — as one versioned snapshot file (gzipped
+// JSON with a format-version header and checksum). A service loaded back
+// from the snapshot answers searches identically to this one, without
+// re-running annotation: annotate once, serve many.
+//
+// The snapshot captures the most recently built index's corpus;
+// SaveSnapshot before any BuildIndex returns ErrNoIndex.
+func (s *Service) SaveSnapshot(ctx context.Context, w io.Writer) error {
+	st := s.srch.Load()
+	if st == nil {
+		return ErrNoIndex
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return snapshot.Save(w, &snapshot.Snapshot{
+		Catalog: s.cat.Snapshot(),
+		Tables:  st.ix.Tables,
+		Anns:    st.ix.Anns,
+	})
+}
+
+// LoadService reconstructs a ready-to-search Service from a snapshot
+// written by SaveSnapshot (or cmd tools' -save flags): the catalog is
+// rebuilt and frozen, and the search index is rebuilt from the stored
+// annotations — no annotation runs. Service options (worker count,
+// weights, ...) apply as in NewService.
+//
+// Format failures are structured: errors.Is recognizes ErrNotSnapshot
+// (foreign file), ErrSnapshotVersion (file newer than this reader) and
+// ErrSnapshotChecksum (truncation or corruption).
+func LoadService(ctx context.Context, r io.Reader, opts ...ServiceOption) (*Service, error) {
+	snap, err := snapshot.Load(r)
+	if err != nil {
+		return nil, err
+	}
+	cat, err := catalog.FromSnapshot(snap.Catalog)
+	if err != nil {
+		return nil, fmt.Errorf("webtable: snapshot catalog: %w", err)
+	}
+	svc, err := NewService(cat, opts...)
+	if err != nil {
+		return nil, err
+	}
+	ix, err := searchidx.BuildContext(ctx, cat, snap.Tables, snap.Anns)
+	if err != nil {
+		return nil, err
+	}
+	svc.srch.Store(&searchState{ix: ix, eng: search.NewEngine(ix)})
+	return svc, nil
+}

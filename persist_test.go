@@ -1,0 +1,121 @@
+package webtable_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"testing"
+
+	webtable "repro"
+)
+
+// TestSnapshotRoundTripSearchIdentical is the snapshot correctness
+// property: Save then Load yields a service whose Search returns
+// byte-identical result pages — same ranking, scores, cursors and
+// totals — as the original in-memory service, across every mode and
+// across pagination, without re-running annotation.
+func TestSnapshotRoundTripSearchIdentical(t *testing.T) {
+	w := testWorld(t)
+	tables := corpusTables(w, 10)
+	ctx := context.Background()
+
+	svc, err := webtable.NewService(w.Public, webtable.WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.BuildIndex(ctx, tables); err != nil {
+		t.Fatalf("build index: %v", err)
+	}
+
+	var buf bytes.Buffer
+	if err := svc.SaveSnapshot(ctx, &buf); err != nil {
+		t.Fatalf("save snapshot: %v", err)
+	}
+	loaded, err := webtable.LoadService(ctx, bytes.NewReader(buf.Bytes()), webtable.WithWorkers(4))
+	if err != nil {
+		t.Fatalf("load service: %v", err)
+	}
+
+	workload := w.SearchWorkload([]string{"directed", "actedIn"}, 2, 11)
+	if len(workload) == 0 {
+		t.Fatal("empty workload")
+	}
+	for _, wq := range workload {
+		for _, mode := range []webtable.SearchMode{webtable.SearchBaseline, webtable.SearchType, webtable.SearchTypeRel} {
+			req := w.Request(wq, mode, 3)
+			req.Explain = true
+			for page := 0; page < 4; page++ {
+				orig, err1 := svc.Search(ctx, req)
+				got, err2 := loaded.Search(ctx, req)
+				if err1 != nil || err2 != nil {
+					t.Fatalf("mode %v page %d: search errs %v / %v", mode, page, err1, err2)
+				}
+				origJSON, err := json.Marshal(orig)
+				if err != nil {
+					t.Fatal(err)
+				}
+				gotJSON, err := json.Marshal(got)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(origJSON, gotJSON) {
+					t.Fatalf("mode %v page %d: results differ\n in-memory: %s\n loaded:    %s",
+						mode, page, origJSON, gotJSON)
+				}
+				if orig.NextCursor == "" {
+					break
+				}
+				req.Cursor = orig.NextCursor
+			}
+		}
+	}
+
+	// The loaded catalog resolves the same names.
+	if _, err := loaded.ResolveQuery("directed", "Film", "Director", "whoever"); err != nil {
+		t.Fatalf("loaded ResolveQuery: %v", err)
+	}
+}
+
+func TestSaveSnapshotWithoutIndex(t *testing.T) {
+	w := testWorld(t)
+	svc, err := webtable.NewService(w.Public)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.SaveSnapshot(context.Background(), &bytes.Buffer{}); !errors.Is(err, webtable.ErrNoIndex) {
+		t.Fatalf("err = %v, want ErrNoIndex", err)
+	}
+}
+
+func TestLoadServiceRejectsGarbage(t *testing.T) {
+	_, err := webtable.LoadService(context.Background(), bytes.NewReader(bytes.Repeat([]byte("x"), 64)))
+	if !errors.Is(err, webtable.ErrNotSnapshot) {
+		t.Fatalf("err = %v, want ErrNotSnapshot", err)
+	}
+}
+
+// TestLoadServiceCorruption: a snapshot damaged in transit is a checksum
+// error through the public surface too.
+func TestLoadServiceCorruption(t *testing.T) {
+	w := testWorld(t)
+	tables := corpusTables(w, 3)
+	ctx := context.Background()
+	svc, err := webtable.NewService(w.Public)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.BuildIndex(ctx, tables, webtable.WithMethod(webtable.MethodMajority)); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := svc.SaveSnapshot(ctx, &buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[len(raw)/2] ^= 0x40
+	_, err = webtable.LoadService(ctx, bytes.NewReader(raw))
+	if !errors.Is(err, webtable.ErrSnapshotChecksum) {
+		t.Fatalf("err = %v, want ErrSnapshotChecksum", err)
+	}
+}

@@ -157,6 +157,19 @@ func resolveAnnotateOptions(opts []AnnotateOption) *annotateOptions {
 	return &o
 }
 
+// Acquire reserves a worker-pool slot, blocking until one frees or ctx
+// is done. It is the service's concurrency limit made available to
+// embedders — the HTTP server bounds in-flight searches with it — for
+// work that does not go through the pooled calls (AnnotateCorpus,
+// SearchBatch, AnnotateTable) themselves. Every successful Acquire must
+// be paired with exactly one Release; do not hold a slot across a call
+// that acquires its own (AnnotateTable, SearchBatch), which would
+// deadlock a single-worker service.
+func (s *Service) Acquire(ctx context.Context) error { return s.acquire(ctx) }
+
+// Release returns a slot taken by Acquire.
+func (s *Service) Release() { s.release() }
+
 // acquire takes a worker-pool slot, or fails fast when ctx is done.
 func (s *Service) acquire(ctx context.Context) error {
 	select {

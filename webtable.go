@@ -9,6 +9,8 @@
 //   - the collective annotator and its baselines (§4),
 //   - structured training (§4.3),
 //   - the relational search application (§5),
+//   - persistent corpus snapshots (SaveSnapshot / LoadService): annotate
+//     once, then reconstruct a search-ready service without re-annotating,
 //   - the synthetic world generator standing in for the paper's data assets.
 //
 // The primary entry point is Service: a context-aware, concurrency-safe
@@ -27,6 +29,11 @@
 //	})
 //	results, err := svc.SearchBatch(ctx, reqs)     // fan-out over the pool
 //	for page, err := range svc.SearchAll(ctx, req) { ... } // stream pages
+//	err = svc.SaveSnapshot(ctx, w)                 // persist annotated corpus
+//	svc, err = webtable.LoadService(ctx, r)        // reload, no re-annotation
+//
+// The cmd/tabserved daemon (internal/server) exposes a Service over JSON
+// HTTP; see the README's Serving section.
 //
 // The pre-Service construction path (NewAnnotator, NewSearchIndex,
 // NewSearchEngine) remains available for fine-grained control and for
