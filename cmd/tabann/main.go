@@ -117,10 +117,13 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		if err != nil {
 			return err
 		}
+		// One-segment live-corpus manifest at generation 1: tabserved
+		// -load resumes it as a mutable corpus (POST /v1/tables appends
+		// further segments).
 		err = snapshot.Save(f, &snapshot.Snapshot{
-			Catalog: cat.Snapshot(),
-			Tables:  tables,
-			Anns:    anns,
+			Catalog:    cat.Snapshot(),
+			Segments:   []snapshot.Segment{{ID: 1, Tables: tables, Anns: anns}},
+			Generation: 1,
 		})
 		if cerr := f.Close(); err == nil {
 			err = cerr

@@ -83,7 +83,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(stderr, "loaded snapshot %s (%d tables)\n", *load, len(svc.Index().Tables))
+		stats, _ := svc.CorpusStats()
+		fmt.Fprintf(stderr, "loaded snapshot %s (%d tables, %d segments)\n", *load, stats.Tables, stats.Segments)
 	} else {
 		cat, err := cmdio.LoadCatalog(*catPath)
 		if err != nil {

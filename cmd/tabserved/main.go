@@ -7,14 +7,22 @@
 // stored annotations, no annotation runs), or a catalog + corpus pair
 // annotated once at startup.
 //
+// The corpus served is live: POST /v1/tables annotates and indexes new
+// tables into a fresh index segment (the existing corpus is never
+// re-annotated), DELETE /v1/tables/{id} tombstones one, a background
+// compactor merges small segments, and POST /v1/snapshot persists the
+// updated corpus to the -snapshot path (default: the -load path) so a
+// restart resumes it.
+//
 // Endpoints: POST /v1/search, POST /v1/search:batch, POST /v1/annotate,
+// POST /v1/tables, DELETE /v1/tables/{id}, POST /v1/snapshot,
 // GET /v1/healthz, GET /v1/stats. SIGINT/SIGTERM shut down gracefully,
 // draining in-flight requests.
 //
 // Usage:
 //
 //	tabserved -load corpus.snap -addr :8080
-//	tabserved -catalog data/catalog.json -corpus data/corpus.json
+//	tabserved -catalog data/catalog.json -corpus data/corpus.json -snapshot corpus.snap
 package main
 
 import (
@@ -63,6 +71,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		workers = fs.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS); bounds annotation and search concurrency")
 		timeout = fs.Duration("timeout", 30*time.Second, "per-request handling deadline")
 		drain   = fs.Duration("drain", 10*time.Second, "graceful-shutdown drain deadline")
+		snap    = fs.String("snapshot", "", "path POST /v1/snapshot persists the live corpus to (default: the -load path)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -82,8 +91,13 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		if err != nil {
 			return err
 		}
-		logger.Info("snapshot loaded", "path", *load,
-			"tables", len(svc.Index().Tables), "took", time.Since(start).Round(time.Millisecond))
+		stats, _ := svc.CorpusStats()
+		logger.Info("snapshot loaded", "path", *load, "tables", stats.Tables,
+			"segments", stats.Segments, "generation", stats.Generation,
+			"took", time.Since(start).Round(time.Millisecond))
+		if *snap == "" {
+			*snap = *load
+		}
 	} else {
 		m, err := webtable.ParseMethod(*method)
 		if err != nil {
@@ -108,6 +122,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		}
 		logger.Info("corpus indexed", "tables", len(tables), "took", time.Since(start).Round(time.Millisecond))
 	}
+	defer svc.Close() // stop the background segment compactor
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -120,11 +135,15 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		"workers", svc.Workers(), "timeout", *timeout)
 	fmt.Fprintf(stdout, "tabserved: listening on %s\n", ln.Addr().String())
 
-	srv := server.New(svc,
+	opts := []server.Option{
 		server.WithLogger(logger),
 		server.WithTimeout(*timeout),
 		server.WithDrainTimeout(*drain),
-	)
+	}
+	if *snap != "" {
+		opts = append(opts, server.WithSnapshotPath(*snap))
+	}
+	srv := server.New(svc, opts...)
 	if err := srv.Serve(ctx, ln); err != nil {
 		return err
 	}

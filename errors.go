@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"repro/internal/search"
+	"repro/internal/segment"
 	"repro/internal/snapshot"
 )
 
@@ -34,6 +35,16 @@ var (
 	// ErrInvalidMode reports a SearchRequest.Mode outside the defined
 	// search modes.
 	ErrInvalidMode = search.ErrInvalidMode
+	// ErrUnknownTable reports a RemoveTables ID that is not live in the
+	// corpus (never added, or already removed). Carried inside a
+	// *CorpusError naming the offending IDs.
+	ErrUnknownTable = segment.ErrUnknownTable
+	// ErrDuplicateTable reports an AddTables table whose ID is already
+	// live in the corpus (or repeated within the batch).
+	ErrDuplicateTable = segment.ErrDuplicateTable
+	// ErrMissingTableID reports an AddTables table with no ID; live
+	// corpus tables must be addressable for later removal.
+	ErrMissingTableID = segment.ErrMissingTableID
 	// ErrNotSnapshot reports a LoadService input that is not a snapshot
 	// file at all (bad magic).
 	ErrNotSnapshot = snapshot.ErrNotSnapshot

@@ -220,9 +220,9 @@ func selectPage(clusters map[string]*cluster, pageSize int, after *rankKey) (*Re
 // for E2 in the T2 column; report the T1-column cells of qualifying
 // rows keyed by normalized text.
 func (e *Engine) scanBaseline(ctx context.Context, q Query, sink evidenceSink) error {
-	t1Cols := e.ix.HeaderMatches(q.T1Text)
-	t2Cols := e.ix.HeaderMatches(q.T2Text)
-	ctxTables := e.ix.ContextMatches(q.RelationText)
+	t1Cols := e.c.HeaderMatches(q.T1Text)
+	t2Cols := e.c.HeaderMatches(q.T2Text)
+	ctxTables := e.c.ContextMatches(q.RelationText)
 
 	type pair struct{ c1, c2 searchidx.ColRef }
 	var pairs []pair
@@ -260,19 +260,19 @@ func (e *Engine) scanBaseline(ctx context.Context, q Query, sink evidenceSink) e
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		tab := e.ix.Tables[p.c1.Table]
-		for r := 0; r < tab.Rows(); r++ {
+		rows := e.c.Rows(p.c1.Table)
+		for r := 0; r < rows; r++ {
 			loc2 := searchidx.CellLoc{Table: p.c2.Table, Row: r, Col: p.c2.Col}
-			sim := m.match(e.ix.NormCell(loc2), e.ix.CellTokens(loc2))
+			sim := m.match(e.c.NormCell(loc2), e.c.CellTokens(loc2))
 			if sim <= 0 {
 				continue
 			}
 			loc1 := searchidx.CellLoc{Table: p.c1.Table, Row: r, Col: p.c1.Col}
-			norm := e.ix.NormCell(loc1)
+			norm := e.c.NormCell(loc1)
 			if norm == "" {
 				continue
 			}
-			sink.add("t:"+norm, catalog.None, "", tab.Cell(r, p.c1.Col), sim,
+			sink.add("t:"+norm, catalog.None, "", e.c.RawCell(loc1), sim,
 				SourceRef{Table: loc1.Table, Row: r, Col: loc1.Col, Score: sim})
 		}
 	}
@@ -288,17 +288,24 @@ func (e *Engine) scanBaseline(ctx context.Context, q Query, sink evidenceSink) e
 func (e *Engine) scanAnnotated(ctx context.Context, q Query, requireRel bool, sink evidenceSink) error {
 	var pairs []searchidx.ColumnPair
 	if requireRel {
-		for _, p := range e.ix.RelationPairs(q.Relation) {
+		for _, p := range e.c.RelationPairs(q.Relation) {
 			if p.SubjType != catalog.None && e.cat.IsSubtype(p.SubjType, q.T1) &&
 				p.ObjType != catalog.None && e.cat.IsSubtype(p.ObjType, q.T2) {
 				pairs = append(pairs, p)
 			}
 		}
 	} else {
-		// TypedPairs is already scoped to subject types ⊆ T1.
-		for _, p := range e.ix.TypedPairs(q.T1) {
-			if p.ObjType != catalog.None && e.cat.IsSubtype(p.ObjType, q.T2) {
-				pairs = append(pairs, p)
+		// Type mode: subject types in ID order, each type's pairs in
+		// corpus order — the same candidate sequence whether the corpus
+		// is one index or many segments.
+		for _, T := range e.c.SubjectTypes() {
+			if !e.cat.IsSubtype(T, q.T1) {
+				continue
+			}
+			for _, p := range e.c.TypedPairsOf(T) {
+				if p.ObjType != catalog.None && e.cat.IsSubtype(p.ObjType, q.T2) {
+					pairs = append(pairs, p)
+				}
 			}
 		}
 	}
@@ -308,33 +315,33 @@ func (e *Engine) scanAnnotated(ctx context.Context, q Query, requireRel bool, si
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		tab := e.ix.Tables[p.Table]
-		for r := 0; r < tab.Rows(); r++ {
+		rows := e.c.Rows(p.Table)
+		for r := 0; r < rows; r++ {
 			loc2 := searchidx.CellLoc{Table: p.Table, Row: r, Col: p.ObjCol}
 			var evidence float64
 			if q.E2 != catalog.None {
-				if e.ix.EntityAt(loc2) == q.E2 {
+				if e.c.EntityAt(loc2) == q.E2 {
 					evidence = 1.5 // exact entity match beats text match
-				} else if e.ix.EntityAt(loc2) == catalog.None {
-					evidence = m.match(e.ix.NormCell(loc2), e.ix.CellTokens(loc2))
+				} else if e.c.EntityAt(loc2) == catalog.None {
+					evidence = m.match(e.c.NormCell(loc2), e.c.CellTokens(loc2))
 				}
 			} else {
-				evidence = m.match(e.ix.NormCell(loc2), e.ix.CellTokens(loc2))
+				evidence = m.match(e.c.NormCell(loc2), e.c.CellTokens(loc2))
 			}
 			if evidence <= 0 {
 				continue
 			}
 			loc1 := searchidx.CellLoc{Table: p.Table, Row: r, Col: p.SubjCol}
 			src := SourceRef{Table: p.Table, Row: r, Col: p.SubjCol, Score: evidence}
-			if ent := e.ix.EntityAt(loc1); ent != catalog.None {
+			if ent := e.c.EntityAt(loc1); ent != catalog.None {
 				sink.add("e:"+strconv.Itoa(int(ent)), ent, e.cat.EntityName(ent),
-					tab.Cell(r, p.SubjCol), evidence, src)
+					e.c.RawCell(loc1), evidence, src)
 			} else {
-				norm := e.ix.NormCell(loc1)
+				norm := e.c.NormCell(loc1)
 				if norm == "" {
 					continue
 				}
-				sink.add("t:"+norm, catalog.None, "", tab.Cell(r, p.SubjCol), evidence, src)
+				sink.add("t:"+norm, catalog.None, "", e.c.RawCell(loc1), evidence, src)
 			}
 		}
 	}

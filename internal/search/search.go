@@ -74,15 +74,61 @@ type Answer struct {
 	Explanation *Explanation
 }
 
-// Engine answers queries over one index.
+// Corpus is the read surface query execution runs over: the posting
+// lists and per-cell precomputations of one logical corpus. A monolithic
+// *searchidx.Index satisfies it directly (table numbers are its own),
+// and internal/segment's View satisfies it over many immutable segments
+// by translating segment-local table numbers to corpus-global ones and
+// skipping tombstoned tables.
+//
+// Ordering contract (what makes segmented execution byte-identical to a
+// from-scratch rebuild): RelationPairs and TypedPairsOf must list pairs
+// in corpus order — ascending global table number, per-table annotation
+// order — because floating-point evidence sums in scan order, and
+// cursors compare scores bit-exactly across separate executions.
+type Corpus interface {
+	// Catalog returns the catalog annotations refer to.
+	Catalog() *catalog.Catalog
+	// Rows returns the row count of a (global) table number.
+	Rows(table int) int
+	// RawCell returns the original cell text for presentation.
+	RawCell(loc searchidx.CellLoc) string
+	// NormCell returns the cell's precomputed normalized text.
+	NormCell(loc searchidx.CellLoc) string
+	// CellTokens returns the cell's precomputed token set (shared; do
+	// not mutate).
+	CellTokens(loc searchidx.CellLoc) map[string]struct{}
+	// EntityAt returns the entity annotation of a cell (None if absent).
+	EntityAt(loc searchidx.CellLoc) catalog.EntityID
+	// RelationPairs returns the oriented candidate column pairs carrying
+	// relation b, in corpus order.
+	RelationPairs(b catalog.RelationID) []searchidx.ColumnPair
+	// SubjectTypes returns every subject type with typed pairs, in
+	// ascending ID order.
+	SubjectTypes() []catalog.TypeID
+	// TypedPairsOf returns the typed pairs of exactly subject type T, in
+	// corpus order.
+	TypedPairsOf(T catalog.TypeID) []searchidx.ColumnPair
+	// HeaderMatches returns columns whose header shares a token with q.
+	HeaderMatches(q string) []searchidx.ColRef
+	// ContextMatches returns tables whose context shares a token with q.
+	ContextMatches(q string) map[int]struct{}
+}
+
+// Engine answers queries over one corpus.
 type Engine struct {
-	ix  *searchidx.Index
+	c   Corpus
 	cat *catalog.Catalog
 }
 
-// NewEngine wraps an index.
-func NewEngine(ix *searchidx.Index) *Engine {
-	return &Engine{ix: ix, cat: ix.Catalog()}
+// NewEngine wraps a monolithic index.
+func NewEngine(ix *searchidx.Index) *Engine { return NewEngineOver(ix) }
+
+// NewEngineOver wraps any Corpus — a monolithic index or a segmented
+// view. Engines are stateless and cheap; construct one per corpus
+// snapshot rather than mutating a shared one.
+func NewEngineOver(c Corpus) *Engine {
+	return &Engine{c: c, cat: c.Catalog()}
 }
 
 // Run answers q in the given mode, returning the full ranking (best

@@ -236,6 +236,15 @@ func typeOf(colT []catalog.TypeID, c int) catalog.TypeID {
 // Catalog returns the catalog the annotations refer to.
 func (ix *Index) Catalog() *catalog.Catalog { return ix.cat }
 
+// Rows returns the number of data rows of an indexed table.
+func (ix *Index) Rows(ti int) int { return ix.Tables[ti].Rows() }
+
+// RawCell returns the original (un-normalized) cell text, for answer
+// presentation.
+func (ix *Index) RawCell(loc CellLoc) string {
+	return ix.Tables[loc.Table].Cell(loc.Row, loc.Col)
+}
+
 // HeaderMatches returns columns whose header shares a token with q.
 func (ix *Index) HeaderMatches(q string) []ColRef {
 	seen := make(map[ColRef]struct{})
@@ -320,18 +329,34 @@ func (ix *Index) RelationPairs(b catalog.RelationID) []ColumnPair {
 // object-type compatibility. Matching subject types are visited in ID
 // order so the result is deterministic across calls.
 func (ix *Index) TypedPairs(subj catalog.TypeID) []ColumnPair {
-	var types []catalog.TypeID
-	for T := range ix.typedPairs {
+	var out []ColumnPair
+	for _, T := range ix.SubjectTypes() {
 		if ix.cat.IsSubtype(T, subj) {
-			types = append(types, T)
+			out = append(out, ix.typedPairs[T]...)
 		}
 	}
-	sort.Slice(types, func(i, j int) bool { return types[i] < types[j] })
-	var out []ColumnPair
-	for _, T := range types {
-		out = append(out, ix.typedPairs[T]...)
-	}
 	return out
+}
+
+// SubjectTypes returns every subject type the typed-pair posting list is
+// keyed by, in ascending ID order. Together with TypedPairsOf it gives
+// callers (the query engine, the segmented corpus view) the primitive
+// pieces of TypedPairs so multi-segment retrieval can interleave
+// segments per type and keep the monolithic scan order.
+func (ix *Index) SubjectTypes() []catalog.TypeID {
+	out := make([]catalog.TypeID, 0, len(ix.typedPairs))
+	for T := range ix.typedPairs {
+		out = append(out, T)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// TypedPairsOf returns the typed-pair posting list of exactly subject
+// type T (no subtype closure), in corpus order. The returned slice is
+// shared; callers must not mutate it.
+func (ix *Index) TypedPairsOf(T catalog.TypeID) []ColumnPair {
+	return ix.typedPairs[T]
 }
 
 // CellsOfEntity returns cells annotated with entity e.

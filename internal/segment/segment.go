@@ -1,0 +1,412 @@
+// Package segment is the live-corpus layer between annotation and query
+// execution: an LSM-flavored segmented search index that makes the
+// paper's annotate-once/index-once pipeline (§5, §7) mutable without
+// ever rebuilding the whole corpus.
+//
+// The design mirrors a log-structured merge tree specialized to web
+// tables:
+//
+//   - a Segment is one immutable searchidx posting-list bundle over a
+//     batch of tables — once built it is never modified;
+//   - a View is an immutable manifest: the ordered live segments plus a
+//     tombstone set of removed tables. Views implement search.Corpus by
+//     translating segment-local table numbers to corpus-global ones and
+//     skipping tombstoned tables, so the query engine runs over many
+//     segments exactly as it runs over one monolithic index;
+//   - a Store serializes mutations (Add builds one new segment over just
+//     the new tables; Remove only marks tombstones) and swaps the
+//     current View atomically, so readers never block and in-flight
+//     searches keep the view they started with;
+//   - a size-tiered compactor merges runs of adjacent similar-sized
+//     segments (and rewrites tombstone-heavy ones) in the background,
+//     bounding segment count and reclaiming dead tables.
+//
+// The load-bearing invariant is scan-order equivalence: a View yields
+// candidate column pairs in ascending global table order, per-table
+// annotation order — the exact sequence a from-scratch searchidx build
+// over the surviving tables would yield. Floating-point evidence sums in
+// scan order, and pagination cursors compare scores bit-exactly, so this
+// ordering is what makes segmented search results (rankings, totals,
+// cursors, explanations) byte-identical to a full rebuild. Compaction
+// preserves it by only merging adjacent runs.
+package segment
+
+import (
+	"sort"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/searchidx"
+	"repro/internal/table"
+)
+
+// Segment is one immutable indexed batch of tables.
+type Segment struct {
+	id uint64
+	ix *searchidx.Index
+}
+
+// ID returns the segment's store-unique id (monotonically assigned;
+// compaction products get fresh ids).
+func (s *Segment) ID() uint64 { return s.id }
+
+// Index returns the segment's posting-list bundle.
+func (s *Segment) Index() *searchidx.Index { return s.ix }
+
+// Len returns the number of tables the segment holds, including ones a
+// view may have tombstoned.
+func (s *Segment) Len() int { return len(s.ix.Tables) }
+
+// Loc addresses one table inside a view: the segment's position in the
+// view's manifest and the table's segment-local number.
+type Loc struct {
+	Seg   int
+	Table int
+}
+
+// View is one immutable point-in-time manifest of the corpus: the live
+// segments in order plus the tombstoned tables. It implements
+// search.Corpus with corpus-global table numbering (tombstones skipped),
+// so rankings and explanations are identical to a monolithic index over
+// the surviving tables. A View is safe for concurrent use and never
+// changes; mutations produce a new View.
+type View struct {
+	cat *catalog.Catalog
+	gen uint64
+
+	segs []*Segment
+	// dead[i] holds segment i's tombstoned local table numbers. Maps are
+	// shared across views and never mutated after installation;
+	// withoutTables copies the maps it changes.
+	dead []map[int]struct{}
+
+	// glob[i][local] is the corpus-global number of segment i's table
+	// local, or -1 when tombstoned; rev is the inverse.
+	glob  [][]int
+	rev   []Loc
+	live  map[string]Loc // table ID → location, live tables only
+	nDead int
+}
+
+// newView derives the global numbering of a manifest. segs and dead must
+// be parallel; both are adopted, not copied — callers hand over freshly
+// assembled slices.
+func newView(cat *catalog.Catalog, gen uint64, segs []*Segment, dead []map[int]struct{}) *View {
+	v := &View{cat: cat, gen: gen, segs: segs, dead: dead}
+	v.glob = make([][]int, len(segs))
+	v.live = make(map[string]Loc)
+	g := 0
+	for i, seg := range segs {
+		gl := make([]int, seg.Len())
+		for local := range gl {
+			if _, isDead := dead[i][local]; isDead {
+				gl[local] = -1
+				v.nDead++
+				continue
+			}
+			gl[local] = g
+			v.rev = append(v.rev, Loc{Seg: i, Table: local})
+			if id := seg.ix.Tables[local].ID; id != "" {
+				v.live[id] = Loc{Seg: i, Table: local}
+			}
+			g++
+		}
+		v.glob[i] = gl
+	}
+	return v
+}
+
+// withSegment derives the view that appends seg.
+func (v *View) withSegment(seg *Segment) *View {
+	segs := append(append([]*Segment(nil), v.segs...), seg)
+	dead := append(append([]map[int]struct{}(nil), v.dead...), nil)
+	return newView(v.cat, v.gen+1, segs, dead)
+}
+
+// withoutTables derives the view that tombstones locs.
+func (v *View) withoutTables(locs []Loc) *View {
+	dead := append([]map[int]struct{}(nil), v.dead...)
+	copied := make(map[int]bool)
+	for _, l := range locs {
+		if !copied[l.Seg] {
+			m := make(map[int]struct{}, len(dead[l.Seg])+1)
+			for k := range dead[l.Seg] {
+				m[k] = struct{}{}
+			}
+			dead[l.Seg] = m
+			copied[l.Seg] = true
+		}
+		dead[l.Seg][l.Table] = struct{}{}
+	}
+	return newView(v.cat, v.gen+1, append([]*Segment(nil), v.segs...), dead)
+}
+
+// withReplacedRun derives the view where segments [lo, hi] are replaced
+// by the single merged segment (which carries no tombstones: merging
+// physically drops dead tables).
+func (v *View) withReplacedRun(lo, hi int, seg *Segment) *View {
+	segs := make([]*Segment, 0, len(v.segs)-(hi-lo))
+	dead := make([]map[int]struct{}, 0, cap(segs))
+	segs = append(segs, v.segs[:lo]...)
+	dead = append(dead, v.dead[:lo]...)
+	segs = append(segs, seg)
+	dead = append(dead, nil)
+	segs = append(segs, v.segs[hi+1:]...)
+	dead = append(dead, v.dead[hi+1:]...)
+	return newView(v.cat, v.gen+1, segs, dead)
+}
+
+// withDroppedSegments derives the view without the fully-dead segments
+// listed in drop (ascending).
+func (v *View) withDroppedSegments(drop []int) *View {
+	skip := make(map[int]struct{}, len(drop))
+	for _, i := range drop {
+		skip[i] = struct{}{}
+	}
+	var segs []*Segment
+	var dead []map[int]struct{}
+	for i, seg := range v.segs {
+		if _, s := skip[i]; s {
+			continue
+		}
+		segs = append(segs, seg)
+		dead = append(dead, v.dead[i])
+	}
+	return newView(v.cat, v.gen+1, segs, dead)
+}
+
+// Generation returns the view's monotonically increasing corpus
+// generation; every successful mutation or compaction bumps it.
+func (v *View) Generation() uint64 { return v.gen }
+
+// Tables returns the number of live (non-tombstoned) tables.
+func (v *View) Tables() int { return len(v.rev) }
+
+// Segments returns the number of live segments.
+func (v *View) Segments() int { return len(v.segs) }
+
+// Tombstones returns the number of removed-but-not-yet-compacted tables.
+func (v *View) Tombstones() int { return v.nDead }
+
+// Has reports whether a live table with the given ID exists.
+func (v *View) Has(id string) bool {
+	_, ok := v.live[id]
+	return ok
+}
+
+// SegmentAt returns the i'th live segment of the manifest.
+func (v *View) SegmentAt(i int) *Segment { return v.segs[i] }
+
+// DeadAt returns segment i's tombstoned local table numbers, sorted.
+func (v *View) DeadAt(i int) []int {
+	out := make([]int, 0, len(v.dead[i]))
+	for local := range v.dead[i] {
+		out = append(out, local)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// isDead reports whether segment i's local table is tombstoned.
+func (v *View) isDead(i, local int) bool {
+	_, d := v.dead[i][local]
+	return d
+}
+
+// Flatten returns the surviving corpus in global order — the exact
+// (tables, annotations) input a from-scratch monolithic index build
+// would receive. Annotations is nil when no live table is annotated.
+func (v *View) Flatten() ([]*table.Table, []*core.Annotation) {
+	tables := make([]*table.Table, len(v.rev))
+	anns := make([]*core.Annotation, len(v.rev))
+	annotated := false
+	for g, l := range v.rev {
+		ix := v.segs[l.Seg].ix
+		tables[g] = ix.Tables[l.Table]
+		if ix.Anns != nil && ix.Anns[l.Table] != nil {
+			anns[g] = ix.Anns[l.Table]
+			annotated = true
+		}
+	}
+	if !annotated {
+		anns = nil
+	}
+	return tables, anns
+}
+
+// Stats summarizes a view for serving telemetry.
+type Stats struct {
+	// Tables counts live tables; Annotated counts the live tables with a
+	// stored annotation.
+	Tables    int
+	Annotated int
+	// Segments counts live segments; Tombstones counts removed tables
+	// not yet reclaimed by compaction.
+	Segments   int
+	Tombstones int
+	// Generation is the corpus generation of this view.
+	Generation uint64
+}
+
+// Stats computes the view's summary counters.
+func (v *View) Stats() Stats {
+	st := Stats{
+		Tables:     len(v.rev),
+		Segments:   len(v.segs),
+		Tombstones: v.nDead,
+		Generation: v.gen,
+	}
+	for _, l := range v.rev {
+		ix := v.segs[l.Seg].ix
+		if ix.Anns != nil && ix.Anns[l.Table] != nil {
+			st.Annotated++
+		}
+	}
+	return st
+}
+
+// Manifest describes one segment for persistence: its identity, its
+// tables and annotations in segment order, and its tombstones.
+type Manifest struct {
+	ID     uint64
+	Tables []*table.Table
+	Anns   []*core.Annotation
+	Dead   []int
+}
+
+// Manifests returns the view's persistent form, segment by segment.
+func (v *View) Manifests() []Manifest {
+	out := make([]Manifest, len(v.segs))
+	for i, seg := range v.segs {
+		out[i] = Manifest{
+			ID:     seg.id,
+			Tables: seg.ix.Tables,
+			Anns:   seg.ix.Anns,
+			Dead:   v.DeadAt(i),
+		}
+	}
+	return out
+}
+
+// --- search.Corpus implementation (global table numbering) ---
+
+// Catalog returns the catalog the annotations refer to.
+func (v *View) Catalog() *catalog.Catalog { return v.cat }
+
+// Rows returns the row count of global table g.
+func (v *View) Rows(g int) int {
+	l := v.rev[g]
+	return v.segs[l.Seg].ix.Rows(l.Table)
+}
+
+// local translates a global cell address into its owning segment's
+// index and segment-local address.
+func (v *View) local(loc searchidx.CellLoc) (*searchidx.Index, searchidx.CellLoc) {
+	l := v.rev[loc.Table]
+	return v.segs[l.Seg].ix, searchidx.CellLoc{Table: l.Table, Row: loc.Row, Col: loc.Col}
+}
+
+// RawCell returns the original cell text at a global address.
+func (v *View) RawCell(loc searchidx.CellLoc) string {
+	ix, ll := v.local(loc)
+	return ix.RawCell(ll)
+}
+
+// NormCell returns the precomputed normalized cell text at a global
+// address.
+func (v *View) NormCell(loc searchidx.CellLoc) string {
+	ix, ll := v.local(loc)
+	return ix.NormCell(ll)
+}
+
+// CellTokens returns the precomputed token set at a global address
+// (shared; do not mutate).
+func (v *View) CellTokens(loc searchidx.CellLoc) map[string]struct{} {
+	ix, ll := v.local(loc)
+	return ix.CellTokens(ll)
+}
+
+// EntityAt returns the entity annotation at a global address (None if
+// absent).
+func (v *View) EntityAt(loc searchidx.CellLoc) catalog.EntityID {
+	ix, ll := v.local(loc)
+	return ix.EntityAt(ll)
+}
+
+// RelationPairs returns the oriented candidate pairs carrying relation
+// b across all live segments, tombstones skipped, renumbered to global
+// tables — in corpus order, because segments are ordered and each
+// segment's list is in its own table order.
+func (v *View) RelationPairs(b catalog.RelationID) []searchidx.ColumnPair {
+	var out []searchidx.ColumnPair
+	for i, seg := range v.segs {
+		for _, p := range seg.ix.RelationPairs(b) {
+			if g := v.glob[i][p.Table]; g >= 0 {
+				p.Table = g
+				out = append(out, p)
+			}
+		}
+	}
+	return out
+}
+
+// SubjectTypes returns the ascending union of every live segment's
+// typed-pair subject types.
+func (v *View) SubjectTypes() []catalog.TypeID {
+	seen := make(map[catalog.TypeID]struct{})
+	var out []catalog.TypeID
+	for _, seg := range v.segs {
+		for _, T := range seg.ix.SubjectTypes() {
+			if _, dup := seen[T]; !dup {
+				seen[T] = struct{}{}
+				out = append(out, T)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// TypedPairsOf returns the typed pairs of exactly subject type T across
+// all live segments, tombstones skipped, in corpus order.
+func (v *View) TypedPairsOf(T catalog.TypeID) []searchidx.ColumnPair {
+	var out []searchidx.ColumnPair
+	for i, seg := range v.segs {
+		for _, p := range seg.ix.TypedPairsOf(T) {
+			if g := v.glob[i][p.Table]; g >= 0 {
+				p.Table = g
+				out = append(out, p)
+			}
+		}
+	}
+	return out
+}
+
+// HeaderMatches returns live columns whose header shares a token with q,
+// renumbered to global tables.
+func (v *View) HeaderMatches(q string) []searchidx.ColRef {
+	var out []searchidx.ColRef
+	for i, seg := range v.segs {
+		for _, ref := range seg.ix.HeaderMatches(q) {
+			if g := v.glob[i][ref.Table]; g >= 0 {
+				ref.Table = g
+				out = append(out, ref)
+			}
+		}
+	}
+	return out
+}
+
+// ContextMatches returns live tables whose context shares a token with
+// q, keyed by global table number.
+func (v *View) ContextMatches(q string) map[int]struct{} {
+	out := make(map[int]struct{})
+	for i, seg := range v.segs {
+		for local := range seg.ix.ContextMatches(q) {
+			if g := v.glob[i][local]; g >= 0 {
+				out[g] = struct{}{}
+			}
+		}
+	}
+	return out
+}

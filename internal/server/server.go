@@ -4,11 +4,14 @@
 //
 // Endpoints:
 //
-//	POST /v1/search        one search request  → one result page
-//	POST /v1/search:batch  many requests       → parallel results
-//	POST /v1/annotate      one table           → its annotation
-//	GET  /v1/healthz       liveness
-//	GET  /v1/stats         corpus / index / catalog counts
+//	POST   /v1/search        one search request  → one result page
+//	POST   /v1/search:batch  many requests       → parallel results
+//	POST   /v1/annotate      one table           → its annotation
+//	POST   /v1/tables        annotate + index new tables into the live corpus
+//	DELETE /v1/tables/{id}   remove one table from the live corpus
+//	POST   /v1/snapshot      persist the live corpus to the configured path
+//	GET    /v1/healthz       liveness
+//	GET    /v1/stats         corpus / segment / catalog counts
 //
 // Every request gets an X-Request-ID (echoed if the client sent one), a
 // structured log line, and a per-request timeout; the request context is
@@ -27,9 +30,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log/slog"
 	"net"
 	"net/http"
+	"os"
+	"path/filepath"
 	"sort"
 	"sync/atomic"
 	"time"
@@ -45,6 +51,10 @@ const StatusClientClosedRequest = 499
 // errBadBody reports an unreadable or non-JSON request body.
 var errBadBody = errors.New("server: malformed request body")
 
+// errSnapshotUnconfigured reports a POST /v1/snapshot on a server built
+// without WithSnapshotPath.
+var errSnapshotUnconfigured = errors.New("server: no snapshot path configured (start tabserved with -snapshot)")
+
 // Server wraps one Service with the HTTP surface. Construct with New;
 // safe for concurrent use.
 type Server struct {
@@ -53,10 +63,14 @@ type Server struct {
 	timeout  time.Duration
 	drain    time.Duration
 	maxBody  int64
+	snapPath string
 	idPrefix string
 	reqSeq   atomic.Uint64
 	inflight atomic.Int64
-	handler  http.Handler
+	// snapMu serializes POST /v1/snapshot so two concurrent persists
+	// cannot interleave their temp-file renames.
+	snapMu  chan struct{}
+	handler http.Handler
 }
 
 // Option configures a Server.
@@ -77,6 +91,12 @@ func WithDrainTimeout(d time.Duration) Option { return func(s *Server) { s.drain
 // WithMaxBodyBytes caps request body size (default 8 MiB).
 func WithMaxBodyBytes(n int64) Option { return func(s *Server) { s.maxBody = n } }
 
+// WithSnapshotPath enables POST /v1/snapshot: the live corpus is
+// persisted to this path (written via a temp file + atomic rename) so an
+// updated corpus survives a restart without re-annotating. Without it
+// the endpoint answers 409 snapshot_unconfigured.
+func WithSnapshotPath(path string) Option { return func(s *Server) { s.snapPath = path } }
+
 // New builds a server over svc.
 func New(svc *webtable.Service, opts ...Option) *Server {
 	s := &Server{
@@ -85,6 +105,7 @@ func New(svc *webtable.Service, opts ...Option) *Server {
 		timeout: 30 * time.Second,
 		drain:   10 * time.Second,
 		maxBody: 8 << 20,
+		snapMu:  make(chan struct{}, 1),
 	}
 	for _, opt := range opts {
 		opt(s)
@@ -101,6 +122,9 @@ func New(svc *webtable.Service, opts ...Option) *Server {
 	mux.HandleFunc("POST /v1/search", s.handleSearch)
 	mux.HandleFunc("POST /v1/search:batch", s.handleSearchBatch)
 	mux.HandleFunc("POST /v1/annotate", s.handleAnnotate)
+	mux.HandleFunc("POST /v1/tables", s.handleAddTables)
+	mux.HandleFunc("DELETE /v1/tables/{id}", s.handleRemoveTable)
+	mux.HandleFunc("POST /v1/snapshot", s.handleSnapshot)
 	// No catch-all: unmatched paths get ServeMux's 404 and, crucially,
 	// a matched path with the wrong method gets its 405 + Allow header
 	// (a "/" fallback would swallow those into 404s).
@@ -238,6 +262,14 @@ func mapError(err error) (status int, code, field string) {
 		return http.StatusBadRequest, "invalid_query", field
 	case errors.Is(err, webtable.ErrNoIndex):
 		return http.StatusConflict, "no_index", field
+	case errors.Is(err, webtable.ErrUnknownTable):
+		return http.StatusNotFound, "unknown_table", field
+	case errors.Is(err, webtable.ErrDuplicateTable):
+		return http.StatusConflict, "duplicate_table", field
+	case errors.Is(err, webtable.ErrMissingTableID):
+		return http.StatusBadRequest, "missing_table_id", field
+	case errors.Is(err, errSnapshotUnconfigured):
+		return http.StatusConflict, "snapshot_unconfigured", field
 	case errors.Is(err, webtable.ErrNilTable),
 		errors.Is(err, table.ErrRagged),
 		errors.Is(err, table.ErrEmpty):
@@ -303,14 +335,9 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			Tuples:    cs.Tuples,
 		},
 	}
-	if ix := s.svc.Index(); ix != nil {
+	if corpus, ok := s.svc.CorpusStats(); ok {
 		resp.IndexBuilt = true
-		resp.Tables = len(ix.Tables)
-		for _, a := range ix.Anns {
-			if a != nil {
-				resp.AnnotatedTables++
-			}
-		}
+		resp.CorpusStats = ToCorpusStats(corpus)
 	}
 	s.writeJSON(w, http.StatusOK, resp)
 }
@@ -425,4 +452,105 @@ func (s *Server) handleAnnotate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.writeJSON(w, http.StatusOK, ToAnnotation(s.svc.Catalog(), ann))
+}
+
+// handleAddTables is POST /v1/tables: annotate the batch (on the
+// service's worker pool — AddTables acquires its own slots, so the
+// handler must not hold one) and append it to the live corpus as one
+// fresh segment. Failures are all-or-nothing: a bad batch (duplicate or
+// missing IDs, invalid tables) leaves the corpus unchanged.
+func (s *Server) handleAddTables(w http.ResponseWriter, r *http.Request) {
+	var ar AddTablesRequest
+	if err := decodeBody(r, &ar); err != nil {
+		s.writeError(w, r, err)
+		return
+	}
+	if len(ar.Tables) == 0 {
+		s.writeError(w, r, fmt.Errorf("%w: tables must not be empty", errBadBody))
+		return
+	}
+	var opts []webtable.AnnotateOption
+	if ar.Method != "" {
+		method, err := webtable.ParseMethod(ar.Method)
+		if err != nil {
+			s.writeError(w, r, err)
+			return
+		}
+		opts = append(opts, webtable.WithMethod(method))
+	}
+	stats, err := s.svc.AddTables(r.Context(), ar.Tables, opts...)
+	if err != nil {
+		s.writeError(w, r, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, MutateResponse{
+		Added:       len(ar.Tables),
+		CorpusStats: ToCorpusStats(stats),
+	})
+}
+
+// handleRemoveTable is DELETE /v1/tables/{id}. An ID that is not live in
+// the corpus is 404 unknown_table; removal only writes a tombstone —
+// nothing is re-annotated or re-indexed.
+func (s *Server) handleRemoveTable(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	stats, err := s.svc.RemoveTables(r.Context(), []string{id})
+	if err != nil {
+		s.writeError(w, r, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, MutateResponse{
+		Removed:     1,
+		CorpusStats: ToCorpusStats(stats),
+	})
+}
+
+// handleSnapshot is POST /v1/snapshot: persist the live corpus to the
+// configured path without restarting the daemon. The snapshot is written
+// to a temp file in the target directory and renamed into place, so a
+// crash mid-write never clobbers the previous snapshot.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if s.snapPath == "" {
+		s.writeError(w, r, errSnapshotUnconfigured)
+		return
+	}
+	select {
+	case s.snapMu <- struct{}{}:
+		defer func() { <-s.snapMu }()
+	case <-r.Context().Done():
+		s.writeError(w, r, r.Context().Err())
+		return
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(s.snapPath), filepath.Base(s.snapPath)+".tmp-*")
+	if err != nil {
+		s.writeError(w, r, err)
+		return
+	}
+	// WriteSnapshot reports the counters of the view it persisted, so
+	// the response always describes the bytes on disk even if a
+	// mutation lands mid-save.
+	stats, err := s.svc.WriteSnapshot(r.Context(), tmp)
+	if err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		s.writeError(w, r, err)
+		return
+	}
+	size, _ := tmp.Seek(0, io.SeekEnd)
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		s.writeError(w, r, err)
+		return
+	}
+	if err := os.Rename(tmp.Name(), s.snapPath); err != nil {
+		os.Remove(tmp.Name())
+		s.writeError(w, r, err)
+		return
+	}
+	s.log.Info("snapshot written", "path", s.snapPath, "bytes", size, "generation", stats.Generation)
+	s.writeJSON(w, http.StatusOK, SnapshotResponse{
+		Path:        s.snapPath,
+		Bytes:       size,
+		CorpusStats: ToCorpusStats(stats),
+	})
 }

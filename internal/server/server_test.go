@@ -10,6 +10,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"strings"
 	"sync"
 	"testing"
@@ -52,7 +53,20 @@ func testService(t testing.TB, workers int) (*webtable.Service, *worldgen.World)
 	if _, err := svc.BuildIndex(context.Background(), tables); err != nil {
 		t.Fatalf("build index: %v", err)
 	}
+	t.Cleanup(svc.Close) // stop the background compactor if a test mutates
 	return svc, w
+}
+
+// extraTables generates tables disjoint from testService's corpus, for
+// live-corpus mutation tests.
+func extraTables(t testing.TB, w *worldgen.World, n int) []*table.Table {
+	t.Helper()
+	ds := w.GenerateDataset("extra", 11, n, 4, 8, worldgen.CleanProfile(), worldgen.AllGTLayers(), "directed")
+	tables := make([]*table.Table, len(ds.Tables))
+	for i, lt := range ds.Tables {
+		tables[i] = lt.Table
+	}
+	return tables
 }
 
 // searchBody returns a valid wire search request for the world's
@@ -635,5 +649,206 @@ func TestGracefulShutdownDrains(t *testing.T) {
 	// New connections are refused after shutdown.
 	if _, err := http.Post("http://"+ln.Addr().String()+"/v1/healthz", "application/json", nil); err == nil {
 		t.Fatal("server still accepting after shutdown")
+	}
+}
+
+// --- live corpus endpoints ---
+
+func addBody(t testing.TB, tables []*table.Table, method string) []byte {
+	t.Helper()
+	body, err := json.Marshal(AddTablesRequest{Tables: tables, Method: method})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+func decodeMutate(t testing.TB, rec *httptest.ResponseRecorder) MutateResponse {
+	t.Helper()
+	var mr MutateResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &mr); err != nil {
+		t.Fatalf("mutate response: %v (%s)", err, rec.Body.String())
+	}
+	return mr
+}
+
+// TestAddTablesEndpoint: POST /v1/tables annotates and indexes the new
+// batch as a fresh segment, the stats counters move, and a search that
+// previously missed the new evidence now sees it.
+func TestAddTablesEndpoint(t *testing.T) {
+	svc, w := testService(t, 2)
+	srv := New(svc, WithLogger(quietLogger()))
+
+	before := postJSON(t, srv.Handler(), "/v1/search", searchBody(t, w, map[string]any{"mode": "typerel"}))
+	if before.Code != http.StatusOK {
+		t.Fatalf("search before add: %d %s", before.Code, before.Body.String())
+	}
+	var beforeRes SearchResponse
+	if err := json.Unmarshal(before.Body.Bytes(), &beforeRes); err != nil {
+		t.Fatal(err)
+	}
+
+	extra := extraTables(t, w, 3)
+	rec := postJSON(t, srv.Handler(), "/v1/tables", addBody(t, extra, "collective"))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("add status = %d: %s", rec.Code, rec.Body.String())
+	}
+	mr := decodeMutate(t, rec)
+	if mr.Added != 3 || mr.Tables != 11 || mr.Segments < 1 || mr.IndexGeneration < 2 {
+		t.Fatalf("mutate response = %+v", mr)
+	}
+
+	// Stats reflect the mutation.
+	statsRec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(statsRec, httptest.NewRequest(http.MethodGet, "/v1/stats", nil))
+	var stats StatsResponse
+	if err := json.Unmarshal(statsRec.Body.Bytes(), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Tables != 11 || stats.AnnotatedTables != 11 || stats.IndexGeneration != mr.IndexGeneration {
+		t.Fatalf("stats after add = %+v", stats)
+	}
+
+	// The same query over the grown corpus accumulates at least as much
+	// evidence (the new tables carry the same relation).
+	after := postJSON(t, srv.Handler(), "/v1/search", searchBody(t, w, map[string]any{"mode": "typerel"}))
+	var afterRes SearchResponse
+	if err := json.Unmarshal(after.Body.Bytes(), &afterRes); err != nil {
+		t.Fatal(err)
+	}
+	if afterRes.Total < beforeRes.Total {
+		t.Fatalf("total shrank after add: %d -> %d", beforeRes.Total, afterRes.Total)
+	}
+}
+
+func TestAddTablesRejections(t *testing.T) {
+	svc, w := testService(t, 2)
+	srv := New(svc, WithLogger(quietLogger()))
+	extra := extraTables(t, w, 2)
+
+	if rec := postJSON(t, srv.Handler(), "/v1/tables", addBody(t, extra, "majority")); rec.Code != http.StatusOK {
+		t.Fatalf("first add: %d %s", rec.Code, rec.Body.String())
+	}
+	// Re-adding the same IDs is a conflict, and all-or-nothing.
+	rec := postJSON(t, srv.Handler(), "/v1/tables", addBody(t, extra, "majority"))
+	if rec.Code != http.StatusConflict {
+		t.Fatalf("duplicate add status = %d, want 409", rec.Code)
+	}
+	if eb := decodeErr(t, rec); eb.Code != "duplicate_table" {
+		t.Fatalf("duplicate add code = %q", eb.Code)
+	}
+
+	// A table with no ID cannot join the live corpus.
+	anon := &table.Table{Context: "x", Headers: []string{"A", "B"}, Cells: [][]string{{"a", "b"}}}
+	rec = postJSON(t, srv.Handler(), "/v1/tables", addBody(t, []*table.Table{anon}, "majority"))
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("missing-id add status = %d, want 400", rec.Code)
+	}
+	if eb := decodeErr(t, rec); eb.Code != "missing_table_id" {
+		t.Fatalf("missing-id code = %q", eb.Code)
+	}
+
+	// An empty batch is a bad request.
+	rec = postJSON(t, srv.Handler(), "/v1/tables", []byte(`{"tables":[]}`))
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("empty add status = %d, want 400", rec.Code)
+	}
+}
+
+func TestRemoveTableEndpoint(t *testing.T) {
+	svc, w := testService(t, 2)
+	srv := New(svc, WithLogger(quietLogger()))
+	extra := extraTables(t, w, 2)
+	if rec := postJSON(t, srv.Handler(), "/v1/tables", addBody(t, extra, "majority")); rec.Code != http.StatusOK {
+		t.Fatalf("add: %d %s", rec.Code, rec.Body.String())
+	}
+
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodDelete, "/v1/tables/"+extra[0].ID, nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("delete status = %d: %s", rec.Code, rec.Body.String())
+	}
+	mr := decodeMutate(t, rec)
+	if mr.Removed != 1 || mr.Tables != 9 {
+		t.Fatalf("delete response = %+v", mr)
+	}
+
+	// Deleting it again: the ID is no longer live -> 404 unknown_table.
+	rec = httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodDelete, "/v1/tables/"+extra[0].ID, nil))
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("re-delete status = %d, want 404", rec.Code)
+	}
+	if eb := decodeErr(t, rec); eb.Code != "unknown_table" {
+		t.Fatalf("re-delete code = %q", eb.Code)
+	}
+
+	// A never-seen ID is 404 too (the satellite fix: structured error,
+	// not silent success).
+	rec = httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodDelete, "/v1/tables/never-existed", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown delete status = %d, want 404", rec.Code)
+	}
+}
+
+// TestSnapshotEndpoint: POST /v1/snapshot persists the mutated corpus to
+// the configured path; reloading it yields a service whose stats match.
+func TestSnapshotEndpoint(t *testing.T) {
+	svc, w := testService(t, 2)
+	path := t.TempDir() + "/corpus.snap"
+	srv := New(svc, WithLogger(quietLogger()), WithSnapshotPath(path))
+
+	extra := extraTables(t, w, 2)
+	if rec := postJSON(t, srv.Handler(), "/v1/tables", addBody(t, extra, "majority")); rec.Code != http.StatusOK {
+		t.Fatalf("add: %d %s", rec.Code, rec.Body.String())
+	}
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodDelete, "/v1/tables/"+extra[1].ID, nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("delete: %d %s", rec.Code, rec.Body.String())
+	}
+
+	rec = postJSON(t, srv.Handler(), "/v1/snapshot", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("snapshot status = %d: %s", rec.Code, rec.Body.String())
+	}
+	var sr SnapshotResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Path != path || sr.Bytes <= 0 {
+		t.Fatalf("snapshot response = %+v", sr)
+	}
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	loaded, err := webtable.LoadService(context.Background(), f)
+	if err != nil {
+		t.Fatalf("load persisted snapshot: %v", err)
+	}
+	defer loaded.Close()
+	got, ok := loaded.CorpusStats()
+	if !ok {
+		t.Fatal("loaded service has no corpus")
+	}
+	want, _ := svc.CorpusStats()
+	if got != want {
+		t.Fatalf("reloaded stats %+v != served %+v", got, want)
+	}
+}
+
+func TestSnapshotUnconfigured(t *testing.T) {
+	svc, _ := testService(t, 2)
+	srv := New(svc, WithLogger(quietLogger()))
+	rec := postJSON(t, srv.Handler(), "/v1/snapshot", nil)
+	if rec.Code != http.StatusConflict {
+		t.Fatalf("status = %d, want 409", rec.Code)
+	}
+	if eb := decodeErr(t, rec); eb.Code != "snapshot_unconfigured" {
+		t.Fatalf("code = %q", eb.Code)
 	}
 }

@@ -249,14 +249,61 @@ func ToAnnotation(cat *webtable.Catalog, a *webtable.Annotation) Annotation {
 	return out
 }
 
+// CorpusStats is the live corpus's wire counters: table and segment
+// counts plus the index generation, which every mutation and compaction
+// bumps (watch it to detect concurrent corpus changes between calls).
+type CorpusStats struct {
+	Tables          int    `json:"tables"`
+	AnnotatedTables int    `json:"annotated_tables"`
+	Segments        int    `json:"segments"`
+	Tombstones      int    `json:"tombstones,omitempty"`
+	IndexGeneration uint64 `json:"index_generation"`
+}
+
+// ToCorpusStats converts service corpus counters to the wire shape.
+func ToCorpusStats(cs webtable.CorpusStats) CorpusStats {
+	return CorpusStats{
+		Tables:          cs.Tables,
+		AnnotatedTables: cs.Annotated,
+		Segments:        cs.Segments,
+		Tombstones:      cs.Tombstones,
+		IndexGeneration: cs.Generation,
+	}
+}
+
+// AddTablesRequest is the wire form of POST /v1/tables.
+type AddTablesRequest struct {
+	// Tables are the tables to annotate and index, in the corpus JSON
+	// shape ({id, context, headers, cells}). Every table needs a
+	// corpus-unique non-empty id.
+	Tables []*webtable.Table `json:"tables"`
+	// Method selects annotation inference: collective (default), simple,
+	// lca or majority.
+	Method string `json:"method,omitempty"`
+}
+
+// MutateResponse answers a corpus mutation with the batch size and the
+// post-mutation corpus counters.
+type MutateResponse struct {
+	Added   int `json:"added,omitempty"`
+	Removed int `json:"removed,omitempty"`
+	CorpusStats
+}
+
+// SnapshotResponse is the wire form of POST /v1/snapshot.
+type SnapshotResponse struct {
+	Path  string `json:"path"`
+	Bytes int64  `json:"bytes"`
+	CorpusStats
+}
+
 // StatsResponse is the wire form of GET /v1/stats.
 type StatsResponse struct {
-	Tables          int          `json:"tables"`
-	AnnotatedTables int          `json:"annotated_tables"`
-	IndexBuilt      bool         `json:"index_built"`
-	Workers         int          `json:"workers"`
-	InFlight        int64        `json:"in_flight"`
-	Catalog         CatalogStats `json:"catalog"`
+	CorpusStats
+	IndexBuilt bool         `json:"index_built"`
+	Workers    int          `json:"workers"`
+	InFlight   int64        `json:"in_flight"`
+	Catalog    CatalogStats `json:"catalog"`
 }
 
 // CatalogStats summarizes the serving catalog.

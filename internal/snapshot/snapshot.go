@@ -7,7 +7,7 @@
 // Wire layout, in order:
 //
 //	magic   [6]byte  "WTSNAP"
-//	version uint8    format version (currently 1)
+//	version uint8    format version (currently 2)
 //	length  uint64   big-endian payload byte count
 //	crc32   uint32   big-endian IEEE CRC of the payload
 //	payload []byte   gzip-compressed JSON body
@@ -16,6 +16,16 @@
 // newer-format file fails on the version before any decoding, and a
 // truncated or bit-flipped payload fails the checksum before the JSON
 // decoder can misread it.
+//
+// Version history:
+//
+//	v1  flat corpus: one tables list + parallel annotations.
+//	v2  adds the live-corpus manifest: the corpus may instead be a list
+//	    of index segments, each with its own tables, annotations and
+//	    tombstoned table numbers, plus the corpus generation — so a
+//	    mutable corpus (AddTables / RemoveTables) resumes exactly where
+//	    it stopped. v1 files remain readable; the flat form is still
+//	    valid in v2 and loads as a single segment.
 package snapshot
 
 import (
@@ -35,7 +45,7 @@ import (
 
 // Version is the current snapshot format version. Load accepts files of
 // this version or older.
-const Version = 1
+const Version = 2
 
 var magic = [6]byte{'W', 'T', 'S', 'N', 'A', 'P'}
 
@@ -58,32 +68,90 @@ var (
 	ErrCorrupt = errors.New("snapshot: corrupt payload")
 )
 
-// Snapshot is one persisted corpus: the catalog's portable form, the
-// tables, and the per-table annotations (nil, or parallel to Tables with
-// nil entries for unannotated tables).
+// Snapshot is one persisted corpus: the catalog's portable form plus
+// either the flat v1 corpus shape (Tables and parallel Anns) or the v2
+// segmented live-corpus manifest (Segments and Generation). Exactly one
+// of the two corpus shapes may be populated.
 type Snapshot struct {
 	Catalog catalog.Snapshot
-	Tables  []*table.Table
-	Anns    []*core.Annotation
+	// Tables and Anns are the flat corpus form: every table in order,
+	// annotations nil or parallel with nil entries for unannotated
+	// tables. Loaded as a single live segment.
+	Tables []*table.Table
+	Anns   []*core.Annotation
+	// Segments is the live-corpus manifest: the ordered immutable index
+	// segments, each with its own tables, annotations and tombstones.
+	Segments []Segment
+	// Generation is the corpus generation the manifest was taken at.
+	Generation uint64
+}
+
+// Segment is one persisted index segment of a live corpus.
+type Segment struct {
+	// ID is the segment's store-unique identity.
+	ID uint64 `json:"id"`
+	// Tables holds the segment's tables in segment order; Anns is nil or
+	// parallel to Tables.
+	Tables []*table.Table     `json:"tables"`
+	Anns   []*core.Annotation `json:"annotations,omitempty"`
+	// Dead lists the segment-local numbers of tombstoned tables.
+	Dead []int `json:"dead,omitempty"`
 }
 
 // body is the JSON shape inside the compressed payload.
 type body struct {
-	Catalog catalog.Snapshot   `json:"catalog"`
-	Tables  []*table.Table     `json:"tables"`
-	Anns    []*core.Annotation `json:"annotations,omitempty"`
+	Catalog    catalog.Snapshot   `json:"catalog"`
+	Tables     []*table.Table     `json:"tables,omitempty"`
+	Anns       []*core.Annotation `json:"annotations,omitempty"`
+	Segments   []Segment          `json:"segments,omitempty"`
+	Generation uint64             `json:"generation,omitempty"`
 }
 
-// Save writes s to w in the versioned snapshot format. The compressed
-// payload is buffered in memory so the header can carry its length and
-// checksum.
+// validate checks the structural invariants shared by Save and Load:
+// table validity, annotation/table parallelism (flat and per segment),
+// tombstone ranges, and that the flat and segmented corpus shapes are
+// not mixed.
+func (b *body) validate() error {
+	if len(b.Tables) > 0 && len(b.Segments) > 0 {
+		return errors.New("snapshot: both flat tables and segments populated")
+	}
+	for _, t := range b.Tables {
+		if err := t.Validate(); err != nil {
+			return err
+		}
+	}
+	if b.Anns != nil && len(b.Anns) != len(b.Tables) {
+		return fmt.Errorf("snapshot: %d annotations for %d tables", len(b.Anns), len(b.Tables))
+	}
+	for si, seg := range b.Segments {
+		for _, t := range seg.Tables {
+			if err := t.Validate(); err != nil {
+				return fmt.Errorf("segment %d: %w", si, err)
+			}
+		}
+		if seg.Anns != nil && len(seg.Anns) != len(seg.Tables) {
+			return fmt.Errorf("snapshot: segment %d: %d annotations for %d tables", si, len(seg.Anns), len(seg.Tables))
+		}
+		for _, local := range seg.Dead {
+			if local < 0 || local >= len(seg.Tables) {
+				return fmt.Errorf("snapshot: segment %d: tombstone %d out of range [0, %d)", si, local, len(seg.Tables))
+			}
+		}
+	}
+	return nil
+}
+
+// Save writes s to w in the versioned snapshot format (always the
+// current Version). The compressed payload is buffered in memory so the
+// header can carry its length and checksum.
 func Save(w io.Writer, s *Snapshot) error {
-	if s.Anns != nil && len(s.Anns) != len(s.Tables) {
-		return fmt.Errorf("snapshot: %d annotations for %d tables", len(s.Anns), len(s.Tables))
+	b := body{Catalog: s.Catalog, Tables: s.Tables, Anns: s.Anns, Segments: s.Segments, Generation: s.Generation}
+	if err := b.validate(); err != nil {
+		return err
 	}
 	var buf bytes.Buffer
 	gz := gzip.NewWriter(&buf)
-	if err := json.NewEncoder(gz).Encode(body{Catalog: s.Catalog, Tables: s.Tables, Anns: s.Anns}); err != nil {
+	if err := json.NewEncoder(gz).Encode(b); err != nil {
 		return fmt.Errorf("snapshot: encode: %w", err)
 	}
 	if err := gz.Close(); err != nil {
@@ -144,13 +212,14 @@ func Load(r io.Reader) (*Snapshot, error) {
 	if err := gz.Close(); err != nil {
 		return nil, fmt.Errorf("%w: gzip close: %v", ErrCorrupt, err)
 	}
-	for _, t := range b.Tables {
-		if err := t.Validate(); err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
-		}
+	if err := b.validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
-	if b.Anns != nil && len(b.Anns) != len(b.Tables) {
-		return nil, fmt.Errorf("%w: %d annotations for %d tables", ErrCorrupt, len(b.Anns), len(b.Tables))
-	}
-	return &Snapshot{Catalog: b.Catalog, Tables: b.Tables, Anns: b.Anns}, nil
+	return &Snapshot{
+		Catalog:    b.Catalog,
+		Tables:     b.Tables,
+		Anns:       b.Anns,
+		Segments:   b.Segments,
+		Generation: b.Generation,
+	}, nil
 }

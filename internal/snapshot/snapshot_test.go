@@ -2,7 +2,11 @@ package snapshot
 
 import (
 	"bytes"
+	"compress/gzip"
+	"encoding/binary"
+	"encoding/json"
 	"errors"
+	"hash/crc32"
 	"reflect"
 	"testing"
 
@@ -158,5 +162,103 @@ func TestLoadRejectsTruncation(t *testing.T) {
 	_, err := Load(bytes.NewReader(raw[:len(raw)-5]))
 	if !errors.Is(err, ErrChecksum) {
 		t.Fatalf("err = %v, want ErrChecksum", err)
+	}
+}
+
+// segmentedSnapshot derives a two-segment live-corpus manifest (with a
+// tombstone) from the flat fixture.
+func segmentedSnapshot(t *testing.T) *Snapshot {
+	t.Helper()
+	flat := testSnapshot(t)
+	tab2 := &table.Table{
+		ID:      "t1",
+		Headers: []string{"Movie", "Director"},
+		Cells:   [][]string{{"Rope", "Hitchcock"}, {"Psycho", "Hitchcock"}},
+	}
+	return &Snapshot{
+		Catalog: flat.Catalog,
+		Segments: []Segment{
+			{ID: 1, Tables: flat.Tables, Anns: flat.Anns},
+			{ID: 4, Tables: []*table.Table{tab2}, Dead: []int{0}},
+		},
+		Generation: 7,
+	}
+}
+
+func TestSegmentedRoundTrip(t *testing.T) {
+	snap := segmentedSnapshot(t)
+	var buf bytes.Buffer
+	if err := Save(&buf, snap); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if !reflect.DeepEqual(snap, got) {
+		t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v", snap, got)
+	}
+}
+
+func TestSaveRejectsMixedShapes(t *testing.T) {
+	snap := segmentedSnapshot(t)
+	snap.Tables = snap.Segments[0].Tables // both shapes populated
+	if err := Save(&bytes.Buffer{}, snap); err == nil {
+		t.Fatal("want error for flat+segmented snapshot")
+	}
+}
+
+func TestSaveRejectsBadTombstone(t *testing.T) {
+	snap := segmentedSnapshot(t)
+	snap.Segments[1].Dead = []int{5}
+	if err := Save(&bytes.Buffer{}, snap); err == nil {
+		t.Fatal("want error for out-of-range tombstone")
+	}
+}
+
+// writeVersioned replicates Save's framing with an arbitrary version
+// byte, to synthesize files from other format generations.
+func writeVersioned(t *testing.T, version uint8, b body) []byte {
+	t.Helper()
+	var payload bytes.Buffer
+	gz := gzip.NewWriter(&payload)
+	if err := json.NewEncoder(gz).Encode(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := gz.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]byte, 0, headerLen+payload.Len())
+	out = append(out, magic[:]...)
+	out = append(out, version)
+	out = binary.BigEndian.AppendUint64(out, uint64(payload.Len()))
+	out = binary.BigEndian.AppendUint32(out, crc32.ChecksumIEEE(payload.Bytes()))
+	return append(out, payload.Bytes()...)
+}
+
+// TestLoadAcceptsV1File: the version bump must not orphan existing
+// snapshots — a genuine version-1 file (flat body, no segments) still
+// loads.
+func TestLoadAcceptsV1File(t *testing.T) {
+	flat := testSnapshot(t)
+	raw := writeVersioned(t, 1, body{Catalog: flat.Catalog, Tables: flat.Tables, Anns: flat.Anns})
+	got, err := Load(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("load v1: %v", err)
+	}
+	if !reflect.DeepEqual(flat, got) {
+		t.Fatalf("v1 mismatch:\n in: %+v\nout: %+v", flat, got)
+	}
+}
+
+// TestLoadRejectsV3WithoutDecoding: a structurally valid file stamped
+// with a future version fails on ErrVersion before any payload decode —
+// even though its payload would decode fine.
+func TestLoadRejectsV3WithoutDecoding(t *testing.T) {
+	flat := testSnapshot(t)
+	raw := writeVersioned(t, Version+1, body{Catalog: flat.Catalog, Tables: flat.Tables, Anns: flat.Anns})
+	_, err := Load(bytes.NewReader(raw))
+	if !errors.Is(err, ErrVersion) {
+		t.Fatalf("err = %v, want ErrVersion", err)
 	}
 }

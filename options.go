@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/feature"
 	"repro/internal/search"
+	"repro/internal/segment"
 )
 
 // Method selects the inference algorithm an annotation call runs (§4).
@@ -59,10 +60,12 @@ func ParseMethod(s string) (Method, error) {
 type ServiceOption func(*serviceOptions)
 
 type serviceOptions struct {
-	weights feature.Weights
-	cfg     core.Config
-	workers int
-	method  Method
+	weights     feature.Weights
+	cfg         core.Config
+	workers     int
+	method      Method
+	compaction  segment.CompactionPolicy
+	autoCompact bool
 }
 
 // WithWorkers sets the size of the service's worker pool: the maximum
@@ -87,6 +90,22 @@ func WithServiceConfig(cfg Config) ServiceOption {
 // no WithMethod override. The default is MethodCollective.
 func WithDefaultMethod(m Method) ServiceOption {
 	return func(o *serviceOptions) { o.method = m }
+}
+
+// WithCompactionPolicy tunes how the live corpus merges its index
+// segments: how many adjacent similar-sized segments trigger a merge,
+// the size ratio between tiers, and the tombstone fraction that forces a
+// segment rewrite. Zero fields keep their defaults
+// (DefaultCompactionPolicy).
+func WithCompactionPolicy(p CompactionPolicy) ServiceOption {
+	return func(o *serviceOptions) { o.compaction = p }
+}
+
+// WithoutAutoCompaction disables the background compactor: segments then
+// only merge on explicit Service.Compact calls. Searches stay correct
+// either way; an uncompacted corpus just fans out over more segments.
+func WithoutAutoCompaction() ServiceOption {
+	return func(o *serviceOptions) { o.autoCompact = false }
 }
 
 // AnnotateOption overrides service defaults for one annotation call

@@ -6,39 +6,65 @@ import (
 	"io"
 
 	"repro/internal/catalog"
-	"repro/internal/search"
 	"repro/internal/searchidx"
+	"repro/internal/segment"
 	"repro/internal/snapshot"
 )
 
-// SaveSnapshot writes the service's current corpus — catalog, indexed
-// tables and their annotations — as one versioned snapshot file (gzipped
-// JSON with a format-version header and checksum). A service loaded back
-// from the snapshot answers searches identically to this one, without
-// re-running annotation: annotate once, serve many.
+// SaveSnapshot writes the service's live corpus — catalog, segment
+// manifest with each segment's tables and annotations, tombstones and
+// the corpus generation — as one versioned snapshot file (gzipped JSON
+// with a format-version header and checksum). A service loaded back from
+// the snapshot answers searches identically to this one, without
+// re-running annotation, and resumes mutating exactly where this one
+// stopped: annotate once, serve and grow forever.
 //
-// The snapshot captures the most recently built index's corpus;
-// SaveSnapshot before any BuildIndex returns ErrNoIndex.
+// The snapshot captures an atomic view of the corpus: a concurrent
+// AddTables/RemoveTables/compaction either precedes the whole snapshot
+// or misses it entirely. SaveSnapshot before any BuildIndex or AddTables
+// returns ErrNoIndex.
 func (s *Service) SaveSnapshot(ctx context.Context, w io.Writer) error {
-	st := s.srch.Load()
+	_, err := s.WriteSnapshot(ctx, w)
+	return err
+}
+
+// WriteSnapshot is SaveSnapshot returning the counters of the corpus
+// view it actually persisted — pinned before encoding, so the reported
+// generation and table counts always describe the bytes written even if
+// mutations land concurrently.
+func (s *Service) WriteSnapshot(ctx context.Context, w io.Writer) (CorpusStats, error) {
+	st := s.store.Load()
 	if st == nil {
-		return ErrNoIndex
+		return CorpusStats{}, ErrNoIndex
 	}
 	if err := ctx.Err(); err != nil {
-		return err
+		return CorpusStats{}, err
 	}
-	return snapshot.Save(w, &snapshot.Snapshot{
-		Catalog: s.cat.Snapshot(),
-		Tables:  st.ix.Tables,
-		Anns:    st.ix.Anns,
+	v := st.View()
+	manifests := v.Manifests()
+	segs := make([]snapshot.Segment, len(manifests))
+	for i, m := range manifests {
+		segs[i] = snapshot.Segment{ID: m.ID, Tables: m.Tables, Anns: m.Anns, Dead: m.Dead}
+	}
+	err := snapshot.Save(w, &snapshot.Snapshot{
+		Catalog:    s.cat.Snapshot(),
+		Segments:   segs,
+		Generation: v.Generation(),
 	})
+	if err != nil {
+		return CorpusStats{}, err
+	}
+	return v.Stats(), nil
 }
 
 // LoadService reconstructs a ready-to-search Service from a snapshot
 // written by SaveSnapshot (or cmd tools' -save flags): the catalog is
-// rebuilt and frozen, and the search index is rebuilt from the stored
-// annotations — no annotation runs. Service options (worker count,
-// weights, ...) apply as in NewService.
+// rebuilt and frozen, and each index segment is rebuilt from its stored
+// annotations — no annotation runs. Flat v1 snapshots load as a single
+// segment; segmented v2 snapshots restore the live-corpus manifest —
+// segment identities, tombstones and generation — so AddTables /
+// RemoveTables resume where the saved service stopped. Service options
+// (worker count, weights, compaction knobs, ...) apply as in NewService.
 //
 // Format failures are structured: errors.Is recognizes ErrNotSnapshot
 // (foreign file), ErrSnapshotVersion (file newer than this reader) and
@@ -56,10 +82,34 @@ func LoadService(ctx context.Context, r io.Reader, opts ...ServiceOption) (*Serv
 	if err != nil {
 		return nil, err
 	}
-	ix, err := searchidx.BuildContext(ctx, cat, snap.Tables, snap.Anns)
+	cfg := segment.Config{
+		Policy:      svc.compaction,
+		AutoCompact: svc.autoCompact,
+		Generation:  snap.Generation,
+	}
+	if len(snap.Segments) > 0 {
+		cfg.Seeds = make([]segment.Seed, len(snap.Segments))
+		for i, sg := range snap.Segments {
+			ix, err := searchidx.BuildContext(ctx, cat, sg.Tables, sg.Anns)
+			if err != nil {
+				return nil, err
+			}
+			cfg.Seeds[i] = segment.Seed{ID: sg.ID, Index: ix, Dead: sg.Dead}
+		}
+	} else {
+		ix, err := searchidx.BuildContext(ctx, cat, snap.Tables, snap.Anns)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Seeds = []segment.Seed{{Index: ix}}
+		if cfg.Generation == 0 {
+			cfg.Generation = 1
+		}
+	}
+	st, err := segment.New(cat, cfg)
 	if err != nil {
 		return nil, err
 	}
-	svc.srch.Store(&searchState{ix: ix, eng: search.NewEngine(ix)})
+	svc.store.Store(st)
 	return svc, nil
 }

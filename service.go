@@ -15,6 +15,7 @@ import (
 	"repro/internal/lemmaindex"
 	"repro/internal/search"
 	"repro/internal/searchidx"
+	"repro/internal/segment"
 	"repro/internal/table"
 )
 
@@ -33,25 +34,25 @@ import (
 //		Query: query, Mode: webtable.SearchTypeRel, PageSize: 10,
 //	})
 type Service struct {
-	cat     *catalog.Catalog
-	ix      *lemmaindex.Index
-	workers int
-	method  Method
-	sem     chan struct{}
+	cat         *catalog.Catalog
+	ix          *lemmaindex.Index
+	workers     int
+	method      Method
+	sem         chan struct{}
+	compaction  segment.CompactionPolicy
+	autoCompact bool
 
 	// base is the default-configured annotator; SetWeights swaps it
 	// atomically so training can retune a live service.
 	base atomic.Pointer[core.Annotator]
 
-	// srch pairs the built index with its engine in one pointer so
-	// concurrent BuildIndex calls can never leave Index() and Search()
-	// observing different corpora.
-	srch atomic.Pointer[searchState]
-}
-
-type searchState struct {
-	ix  *searchidx.Index
-	eng *search.Engine
+	// store is the live segmented corpus (nil before the first
+	// BuildIndex / AddTables). Searches load it atomically and pin the
+	// store's current immutable view; mutations are serialized by
+	// corpusMu so a store swap (BuildIndex) can never interleave with a
+	// segment mutation (AddTables / RemoveTables) on the outgoing store.
+	corpusMu sync.Mutex
+	store    atomic.Pointer[segment.Store]
 }
 
 // NewService builds a service over a catalog. The catalog is frozen if it
@@ -63,10 +64,12 @@ func NewService(cat *Catalog, opts ...ServiceOption) (*Service, error) {
 		return nil, ErrNilCatalog
 	}
 	so := serviceOptions{
-		weights: DefaultWeights(),
-		cfg:     core.DefaultConfig(),
-		workers: runtime.GOMAXPROCS(0),
-		method:  MethodCollective,
+		weights:     DefaultWeights(),
+		cfg:         core.DefaultConfig(),
+		workers:     runtime.GOMAXPROCS(0),
+		method:      MethodCollective,
+		compaction:  segment.DefaultCompactionPolicy(),
+		autoCompact: true,
 	}
 	for _, opt := range opts {
 		opt(&so)
@@ -82,11 +85,13 @@ func NewService(cat *Catalog, opts ...ServiceOption) (*Service, error) {
 	}
 	ix := lemmaindex.Build(cat, so.cfg.Candidates)
 	s := &Service{
-		cat:     cat,
-		ix:      ix,
-		workers: so.workers,
-		method:  so.method,
-		sem:     make(chan struct{}, so.workers),
+		cat:         cat,
+		ix:          ix,
+		workers:     so.workers,
+		method:      so.method,
+		sem:         make(chan struct{}, so.workers),
+		compaction:  so.compaction,
+		autoCompact: so.autoCompact,
 	}
 	s.base.Store(core.NewWithIndex(cat, ix, so.weights, so.cfg))
 	return s, nil
@@ -284,9 +289,12 @@ func tableID(t *table.Table) string {
 }
 
 // BuildIndex annotates a corpus (unless WithoutAnnotations) and indexes
-// it for Search. The built index replaces the service's current one
-// atomically — searches in flight keep the index they started with — and
-// is also returned for direct use with NewSearchEngine.
+// it for Search, replacing the service's whole live corpus with a fresh
+// one-segment store. The swap is atomic — searches in flight keep the
+// corpus view they started with — and the built index is also returned
+// for direct use with NewSearchEngine. For incremental growth of an
+// existing corpus use AddTables, which only annotates and indexes the
+// new tables.
 func (s *Service) BuildIndex(ctx context.Context, tables []*Table, opts ...AnnotateOption) (*SearchIndex, error) {
 	o := resolveAnnotateOptions(opts)
 	var anns []*Annotation
@@ -301,15 +309,186 @@ func (s *Service) BuildIndex(ctx context.Context, tables []*Table, opts ...Annot
 	if err != nil {
 		return nil, err
 	}
-	s.srch.Store(&searchState{ix: ix, eng: search.NewEngine(ix)})
+	s.corpusMu.Lock()
+	// The generation keeps counting across full rebuilds: clients watch
+	// it to detect corpus changes, so replacing the store must look like
+	// one more mutation, never a reset.
+	gen := uint64(1)
+	old := s.store.Load()
+	if old != nil {
+		gen = old.View().Generation() + 1
+	}
+	st, err := segment.New(s.cat, segment.Config{
+		Policy:      s.compaction,
+		AutoCompact: s.autoCompact,
+		Generation:  gen,
+		Seeds:       []segment.Seed{{Index: ix}},
+	})
+	if err != nil {
+		s.corpusMu.Unlock()
+		return nil, err
+	}
+	s.store.Store(st)
+	s.corpusMu.Unlock()
+	if old != nil {
+		old.Close()
+	}
 	return ix, nil
 }
 
-// Index returns the most recently built search index, or nil before the
-// first BuildIndex.
+// CorpusStats summarizes the live corpus: live/annotated table counts,
+// segment and tombstone counts, and the index generation (bumped by
+// every mutation and compaction).
+type CorpusStats = segment.Stats
+
+// CorpusStats reports the live corpus counters; ok is false before the
+// corpus exists (no BuildIndex or AddTables yet).
+func (s *Service) CorpusStats() (stats CorpusStats, ok bool) {
+	st := s.store.Load()
+	if st == nil {
+		return CorpusStats{}, false
+	}
+	return st.View().Stats(), true
+}
+
+// AddTables annotates a batch of new tables (unless WithoutAnnotations;
+// per-call options override defaults as in AnnotateCorpus) and appends
+// them to the live corpus as one fresh immutable segment — the existing
+// corpus is not re-annotated or re-indexed. On a service with no corpus
+// yet, AddTables starts one. The manifest swap is atomic: searches in
+// flight, SearchAll iterations and SearchBatch fan-outs keep the view
+// they started with, and subsequent searches rank exactly as a
+// from-scratch BuildIndex over the combined corpus would.
+//
+// Every table must carry a corpus-unique non-empty ID (that is how
+// RemoveTables addresses it later). Violations — a missing ID, an ID
+// already live, an invalid table — are aggregated into a *CorpusError
+// (test the causes with errors.Is against ErrMissingTableID /
+// ErrDuplicateTable) and the corpus is left unchanged.
+func (s *Service) AddTables(ctx context.Context, tables []*Table, opts ...AnnotateOption) (CorpusStats, error) {
+	o := resolveAnnotateOptions(opts)
+	// Fail fast on ID discipline before the expensive annotation pass: a
+	// rejected batch should cost validation, not a full corpus annotate.
+	// Store.Add revalidates authoritatively under its mutation lock.
+	var cur *segment.View
+	if st := s.store.Load(); st != nil {
+		cur = st.View()
+	}
+	if len(tables) > 0 {
+		if err := segment.ValidateBatch(cur, tables); err != nil {
+			return CorpusStats{}, corpusMutationError(err)
+		}
+	}
+	var anns []*Annotation
+	if !o.noAnns && len(tables) > 0 {
+		var err error
+		anns, err = s.AnnotateCorpus(ctx, tables, opts...)
+		if err != nil {
+			return CorpusStats{}, err
+		}
+	}
+	s.corpusMu.Lock()
+	defer s.corpusMu.Unlock()
+	st := s.store.Load()
+	fresh := st == nil
+	if fresh {
+		var err error
+		st, err = segment.New(s.cat, segment.Config{Policy: s.compaction, AutoCompact: s.autoCompact})
+		if err != nil {
+			return CorpusStats{}, err
+		}
+	}
+	v, err := st.Add(ctx, tables, anns)
+	if err != nil {
+		if fresh {
+			st.Close()
+		}
+		return CorpusStats{}, corpusMutationError(err)
+	}
+	if fresh && v.Segments() > 0 {
+		s.store.Store(st)
+	}
+	return v.Stats(), nil
+}
+
+// RemoveTables removes tables from the live corpus by ID. Removal only
+// marks tombstones — no table is re-annotated or re-indexed, and the
+// compactor reclaims the storage later; the per-call cost is the
+// manifest renumbering, O(live tables) of cheap bookkeeping.
+// All-or-nothing: if any ID is not live the call returns a *CorpusError
+// whose failures wrap ErrUnknownTable and removes nothing.
+func (s *Service) RemoveTables(ctx context.Context, ids []string) (CorpusStats, error) {
+	if err := ctx.Err(); err != nil {
+		return CorpusStats{}, err
+	}
+	s.corpusMu.Lock()
+	defer s.corpusMu.Unlock()
+	st := s.store.Load()
+	if st == nil {
+		return CorpusStats{}, ErrNoIndex
+	}
+	v, err := st.Remove(ids)
+	if err != nil {
+		return CorpusStats{}, corpusMutationError(err)
+	}
+	return v.Stats(), nil
+}
+
+// Compact forces a full compaction of the live corpus: fully-dead
+// segments are dropped, qualifying adjacent segment runs merge, and
+// tombstone-heavy segments are rewritten, until the manifest is stable.
+// With the default options a background compactor already does this
+// after every mutation; Compact is for deterministic tests, admin
+// endpoints, and services built WithoutAutoCompaction.
+func (s *Service) Compact(ctx context.Context) (CorpusStats, error) {
+	st := s.store.Load()
+	if st == nil {
+		return CorpusStats{}, ErrNoIndex
+	}
+	v, err := st.Compact(ctx)
+	if err != nil {
+		return CorpusStats{}, err
+	}
+	return v.Stats(), nil
+}
+
+// Close stops the corpus's background compactor, waiting for any pass in
+// flight. Idempotent; the service remains searchable afterwards, minus
+// auto-compaction. Services that never mutate their corpus never start
+// the compactor, so Close is optional for them.
+func (s *Service) Close() {
+	if st := s.store.Load(); st != nil {
+		st.Close()
+	}
+}
+
+// corpusMutationError converts the segment layer's batch rejection into
+// the public *CorpusError shape.
+func corpusMutationError(err error) error {
+	var be *segment.BatchError
+	if !errors.As(err, &be) {
+		return err
+	}
+	fails := make([]*TableError, len(be.Tables))
+	for i, te := range be.Tables {
+		fails[i] = &TableError{Index: te.Index, TableID: te.ID, Err: te.Err}
+	}
+	return &CorpusError{Failures: fails}
+}
+
+// Index returns the monolithic search index when the live corpus is a
+// single untombstoned segment (the state right after BuildIndex or
+// loading a flat snapshot), and nil otherwise.
+//
+// Deprecated: a mutated corpus has no single index. Use CorpusStats for
+// counters and Search for queries.
 func (s *Service) Index() *SearchIndex {
-	if st := s.srch.Load(); st != nil {
-		return st.ix
+	st := s.store.Load()
+	if st == nil {
+		return nil
+	}
+	if v := st.View(); v.Segments() == 1 && v.Tombstones() == 0 {
+		return v.SegmentAt(0).Index()
 	}
 	return nil
 }
@@ -330,18 +509,30 @@ const DefaultPageSize = 100
 // Invalid queries — fields the mode requires left unset, a negative page
 // size — return a *QueryError; a cursor that did not come from a
 // previous Result returns an error wrapping ErrInvalidCursor. Pages are
-// ranked against the index current at call time: a BuildIndex between
-// pages may shift results, so paginate over one index generation (or use
-// SearchAll, which snapshots the index for the whole iteration).
+// ranked against the corpus view current at call time: a BuildIndex,
+// AddTables or RemoveTables between pages may shift results, so paginate
+// over one index generation (or use SearchAll, which pins the view for
+// the whole iteration).
 func (s *Service) Search(ctx context.Context, req SearchRequest) (*SearchResult, error) {
-	st := s.srch.Load()
-	if st == nil {
-		return nil, ErrNoIndex
+	eng, err := s.engine()
+	if err != nil {
+		return nil, err
 	}
 	if err := validateRequest(req); err != nil {
 		return nil, err
 	}
-	return st.eng.Execute(ctx, req)
+	return eng.Execute(ctx, req)
+}
+
+// engine pins the current corpus view and wraps it in a query engine.
+// The view is immutable, so everything executed on the returned engine
+// is consistent regardless of concurrent mutations or compaction.
+func (s *Service) engine() (*search.Engine, error) {
+	st := s.store.Load()
+	if st == nil {
+		return nil, ErrNoIndex
+	}
+	return search.NewEngineOver(st.View()), nil
 }
 
 // SearchAnswers is the PR-1 search surface: functional options select
@@ -363,9 +554,10 @@ func (s *Service) SearchAnswers(ctx context.Context, q SearchQuery, opts ...Sear
 }
 
 // SearchBatch answers many requests concurrently over the service's
-// worker pool, against one consistent snapshot of the index. The
-// returned slice is parallel to reqs; entries whose request failed are
-// nil.
+// worker pool, against one consistent pinned view of the corpus — a
+// concurrent AddTables/RemoveTables cannot make two requests of one
+// batch see different corpora. The returned slice is parallel to reqs;
+// entries whose request failed are nil.
 //
 // Error contract (mirrors AnnotateCorpus): a context
 // cancellation/deadline aborts the fan-out and is returned as the
@@ -373,9 +565,9 @@ func (s *Service) SearchAnswers(ctx context.Context, q SearchQuery, opts ...Sear
 // Per-request failures that are not cancellations are aggregated into a
 // *BatchError while the remaining requests still run to completion.
 func (s *Service) SearchBatch(ctx context.Context, reqs []SearchRequest) ([]*SearchResult, error) {
-	st := s.srch.Load()
-	if st == nil {
-		return nil, ErrNoIndex
+	eng, err := s.engine()
+	if err != nil {
+		return nil, err
 	}
 	out := make([]*SearchResult, len(reqs))
 	var (
@@ -397,7 +589,7 @@ func (s *Service) SearchBatch(ctx context.Context, reqs []SearchRequest) ([]*Sea
 		go func(i int, req SearchRequest) {
 			defer wg.Done()
 			defer s.release()
-			res, err := st.eng.Execute(ctx, req)
+			res, err := eng.Execute(ctx, req)
 			if err != nil {
 				if ctx.Err() == nil {
 					mu.Lock()
@@ -423,10 +615,11 @@ func (s *Service) SearchBatch(ctx context.Context, reqs []SearchRequest) ([]*Sea
 // SearchAll streams every page of req as an iterator, starting from
 // req.Cursor (empty: the top) and following NextCursor until the ranking
 // is exhausted. A zero PageSize is replaced with DefaultPageSize. The
-// whole iteration runs against the index snapshot taken when iteration
-// begins, so pages stay consistent even if BuildIndex runs concurrently.
-// The iteration yields (nil, err) once and stops on the first error
-// (including context cancellation).
+// whole iteration runs against the immutable corpus view pinned when
+// iteration begins, so Total, ordering and cursors stay consistent even
+// if BuildIndex, AddTables, RemoveTables or compaction run concurrently
+// mid-stream. The iteration yields (nil, err) once and stops on the
+// first error (including context cancellation).
 //
 //	for page, err := range svc.SearchAll(ctx, req) {
 //		if err != nil { ... }
@@ -434,9 +627,9 @@ func (s *Service) SearchBatch(ctx context.Context, reqs []SearchRequest) ([]*Sea
 //	}
 func (s *Service) SearchAll(ctx context.Context, req SearchRequest) iter.Seq2[*SearchResult, error] {
 	return func(yield func(*SearchResult, error) bool) {
-		st := s.srch.Load()
-		if st == nil {
-			yield(nil, ErrNoIndex)
+		eng, err := s.engine()
+		if err != nil {
+			yield(nil, err)
 			return
 		}
 		if req.PageSize == 0 {
@@ -447,7 +640,7 @@ func (s *Service) SearchAll(ctx context.Context, req SearchRequest) iter.Seq2[*S
 			return
 		}
 		for {
-			res, err := st.eng.Execute(ctx, req)
+			res, err := eng.Execute(ctx, req)
 			if err != nil {
 				yield(nil, err)
 				return

@@ -9,8 +9,12 @@
 //   - the collective annotator and its baselines (§4),
 //   - structured training (§4.3),
 //   - the relational search application (§5),
+//   - the live corpus (AddTables / RemoveTables): an LSM-flavored
+//     segmented index that annotates and indexes only what changed, with
+//     search results byte-identical to a from-scratch rebuild,
 //   - persistent corpus snapshots (SaveSnapshot / LoadService): annotate
-//     once, then reconstruct a search-ready service without re-annotating,
+//     once, then reconstruct a search-ready — and still mutable — service
+//     without re-annotating,
 //   - the synthetic world generator standing in for the paper's data assets.
 //
 // The primary entry point is Service: a context-aware, concurrency-safe
@@ -29,8 +33,11 @@
 //	})
 //	results, err := svc.SearchBatch(ctx, reqs)     // fan-out over the pool
 //	for page, err := range svc.SearchAll(ctx, req) { ... } // stream pages
+//	stats, err := svc.AddTables(ctx, newTables)    // annotate + index only these
+//	stats, err = svc.RemoveTables(ctx, ids)        // tombstone by table ID
 //	err = svc.SaveSnapshot(ctx, w)                 // persist annotated corpus
 //	svc, err = webtable.LoadService(ctx, r)        // reload, no re-annotation
+//	defer svc.Close()                              // stop the segment compactor
 //
 // The cmd/tabserved daemon (internal/server) exposes a Service over JSON
 // HTTP; see the README's Serving section.
@@ -47,6 +54,7 @@ import (
 	"repro/internal/learn"
 	"repro/internal/search"
 	"repro/internal/searchidx"
+	"repro/internal/segment"
 	"repro/internal/table"
 	"repro/internal/worldgen"
 )
@@ -197,6 +205,19 @@ const (
 	SearchType     = search.Type
 	SearchTypeRel  = search.TypeRel
 )
+
+// Live corpus (the segmented incremental index behind AddTables /
+// RemoveTables).
+type (
+	// CompactionPolicy tunes the live corpus's size-tiered segment
+	// compactor; see WithCompactionPolicy.
+	CompactionPolicy = segment.CompactionPolicy
+)
+
+// DefaultCompactionPolicy is the standard segment-compaction operating
+// point (merge 4 adjacent same-tier segments, tier base 8, rewrite at
+// half-dead).
+var DefaultCompactionPolicy = segment.DefaultCompactionPolicy
 
 // Search constructors.
 var (
