@@ -10,6 +10,12 @@ import (
 	"repro/internal/text"
 )
 
+// rowCheckInterval bounds cancellation latency inside a single candidate
+// pair: the row loops poll ctx.Err() every this many rows, so one huge
+// table cannot delay a cancellation or deadline until its scan finishes.
+// Power of two so the poll is a mask, not a division.
+const rowCheckInterval = 1024
+
 // cluster accumulates the evidence of one answer while a query executes.
 type cluster struct {
 	key     string // unique aggregation key ("e:<id>" or "t:<norm>")
@@ -17,69 +23,140 @@ type cluster struct {
 	score   float64
 	support int
 	// canonical is the presented text for entity clusters; text clusters
-	// derive theirs from variants at selection time.
+	// derive theirs from the dominant surface form.
 	canonical string
-	// variants counts raw surface forms so the presented text is the
-	// dominant (highest-support) form, not the first seen.
+	// variants counts raw surface forms; bestText/bestN maintain the
+	// dominant (highest-count, ties broken lexicographically) form
+	// incrementally, so presentation never rescans the whole map.
 	variants map[string]int
+	bestText string
+	bestN    int
+}
+
+// noteRaw counts one occurrence of a raw surface form, keeping the
+// dominant-form fields current. The invariant — bestText is the
+// highest-count variant, ties broken by the lexicographically smaller
+// string — depends only on the final counts, so any accumulation order
+// (serial scan or parallel replay) lands on the same dominant form.
+func (c *cluster) noteRaw(raw string) {
+	total := c.variants[raw] + 1
+	c.variants[raw] = total
+	if total > c.bestN || (total == c.bestN && raw < c.bestText) {
+		c.bestText, c.bestN = raw, total
+	}
 }
 
 // text resolves the presented surface form: the canonical entity name for
-// entity clusters, else the dominant (highest-count) raw cell text, ties
-// broken lexicographically for determinism.
+// entity clusters, else the dominant raw cell text. O(1): the dominant
+// form is maintained as evidence accumulates, not recomputed per call.
 func (c *cluster) text() string {
 	if c.canonical != "" {
 		return c.canonical
 	}
-	best, bestN := "", -1
-	for v, n := range c.variants {
-		if n > bestN || (n == bestN && v < best) {
-			best, bestN = v, n
-		}
-	}
-	return best
+	return c.bestText
 }
 
-// evidenceSink receives every matching (answer cell, evidence) pair as a
-// scan walks the candidate column pairs. Two implementations: cluster
-// aggregation for ranking, and provenance recording for the page winners
-// only.
+// hit is one matching answer cell: its location, its entity annotation
+// (None for text clusters) and the evidence it contributes. A hit is
+// pointer-free on purpose — the parallel scan logs hits by the million,
+// and records without pointers are invisible to the garbage collector's
+// scan phase. Everything presentational (cluster key, canonical name,
+// raw text) is derived from the hit on demand.
+type hit struct {
+	loc      searchidx.CellLoc
+	entity   catalog.EntityID
+	evidence float64
+}
+
+// src converts a hit into its provenance record.
+func (h hit) src() SourceRef {
+	return SourceRef{Table: h.loc.Table, Row: h.loc.Row, Col: h.loc.Col, Score: h.evidence}
+}
+
+// resolveKey derives a hit's cluster aggregation key ("e:<id>" or
+// "t:<norm>"). ok is false for an unannotated cell whose normalized text
+// is empty: such cells have no cluster identity and contribute nothing.
+func (e *Engine) resolveKey(h hit) (key string, ok bool) {
+	if h.entity != catalog.None {
+		return "e:" + strconv.Itoa(int(h.entity)), true
+	}
+	norm := e.c.NormCell(h.loc)
+	if norm == "" {
+		return "", false
+	}
+	return "t:" + norm, true
+}
+
+// evidenceSink receives every matching hit as a scan walks the
+// candidate column pairs. Implementations: cluster aggregation for
+// ranking, the shard-local hit log of the parallel scan, and provenance
+// recording for the page winners only.
 type evidenceSink interface {
-	add(key string, entity catalog.EntityID, canonical, raw string, evidence float64, src SourceRef)
+	add(h hit)
 }
 
 // clusterSink aggregates score, support and surface-form counts per
 // answer cluster.
 type clusterSink map[string]*cluster
 
-func (cs clusterSink) add(key string, entity catalog.EntityID, canonical, raw string, evidence float64, _ SourceRef) {
+// insert folds one resolved hit into its cluster.
+func (cs clusterSink) insert(key string, h hit, canonical, raw string) {
 	a, ok := cs[key]
 	if !ok {
-		a = &cluster{key: key, entity: entity, canonical: canonical}
+		a = &cluster{key: key, entity: h.entity, canonical: canonical}
 		if canonical == "" {
 			a.variants = make(map[string]int)
 		}
 		cs[key] = a
 	}
-	a.score += evidence
+	a.score += h.evidence
 	a.support++
 	if a.variants != nil {
-		a.variants[raw]++
+		a.noteRaw(raw)
 	}
+}
+
+// clusterCollector is the ranking evidenceSink: it resolves each hit's
+// cluster identity and folds it into cs. Used by the serial scan
+// directly and by the parallel aggregation workers replaying hit logs.
+type clusterCollector struct {
+	e  *Engine
+	cs clusterSink
+}
+
+func (cc *clusterCollector) add(h hit) {
+	key, ok := cc.e.resolveKey(h)
+	if !ok {
+		return
+	}
+	canonical, raw := "", ""
+	if h.entity != catalog.None {
+		canonical = cc.e.cat.EntityName(h.entity)
+	} else {
+		raw = cc.e.c.RawCell(h.loc)
+	}
+	cc.cs.insert(key, h, canonical, raw)
 }
 
 // explainSink records provenance for a fixed set of clusters (the page
 // winners), so explanation state stays O(page size), not O(answers).
 // Evidence for other clusters is discarded.
-type explainSink map[string]*Explanation
+type explainSink struct {
+	e *Engine
+	m map[string]*Explanation
+}
 
-func (es explainSink) add(key string, _ catalog.EntityID, _, _ string, _ float64, src SourceRef) {
-	ex, ok := es[key]
+func (es *explainSink) add(h hit) {
+	key, ok := es.e.resolveKey(h)
+	if !ok {
+		return
+	}
+	ex, ok := es.m[key]
 	if !ok {
 		return
 	}
 	if len(ex.Sources) < MaxExplainSources {
-		ex.Sources = append(ex.Sources, src)
+		ex.Sources = append(ex.Sources, h.src())
 	} else {
 		ex.Truncated++
 	}
@@ -123,8 +200,13 @@ func (m queryMatcher) match(cellNorm string, cellToks map[string]struct{}) float
 // answers) — scores sum across rows before any answer can be ranked —
 // but selection, the returned page, and (with Explain set, via a second
 // winners-only scan) provenance state are all bounded by the page size.
-// A context cancellation between candidate pairs returns the context's
-// error.
+//
+// With parallelism above one (WithParallelism) the candidate pairs are
+// partitioned into contiguous shards scanned by a bounded worker pool;
+// results are byte-identical to the serial scan (see parallel.go).
+//
+// A context cancellation is detected between candidate pairs and every
+// rowCheckInterval rows within a pair, and returns the context's error.
 func (e *Engine) Execute(ctx context.Context, req Request) (*Result, error) {
 	if err := req.Validate(); err != nil {
 		return nil, err
@@ -137,17 +219,16 @@ func (e *Engine) Execute(ctx context.Context, req Request) (*Result, error) {
 		}
 		after = &k
 	}
-	clusters := clusterSink{}
-	if err := e.scan(ctx, req, clusters); err != nil {
+	p := e.plan(req)
+	cuts := e.cuts(&p)
+	clusters, err := e.collect(ctx, &p, cuts)
+	if err != nil {
 		return nil, err
 	}
 	res, keys := selectPage(clusters, req.PageSize, after)
 	if req.Explain && len(res.Answers) > 0 {
-		expl := explainSink{}
-		for _, key := range keys {
-			expl[key] = &Explanation{}
-		}
-		if err := e.scan(ctx, req, expl); err != nil {
+		expl, err := e.explain(ctx, &p, cuts, keys)
+		if err != nil {
 			return nil, err
 		}
 		for i, key := range keys {
@@ -157,44 +238,102 @@ func (e *Engine) Execute(ctx context.Context, req Request) (*Result, error) {
 	return res, nil
 }
 
-// scan dispatches one pass over the mode's candidate pairs into sink.
-func (e *Engine) scan(ctx context.Context, req Request, sink evidenceSink) error {
-	if req.Mode == Baseline {
-		return e.scanBaseline(ctx, req.Query, sink)
+// basePair is one baseline candidate: a header-matched answer column and
+// a same-table probe column.
+type basePair struct{ c1, c2 searchidx.ColRef }
+
+// scanPlan is one execution's candidate schedule: the mode's ordered
+// candidate column pairs plus the prepared query matcher. The pair list
+// is built once per Execute and scanned either whole (serial) or in
+// contiguous shards (parallel); both walk it in the same order.
+type scanPlan struct {
+	mode Mode
+	q    Query
+	m    queryMatcher
+	base []basePair             // Baseline candidates
+	ann  []searchidx.ColumnPair // Type / TypeRel candidates
+}
+
+// len returns the number of candidate pairs.
+func (p *scanPlan) len() int {
+	if p.mode == Baseline {
+		return len(p.base)
 	}
-	return e.scanAnnotated(ctx, req.Query, req.Mode == TypeRel, sink)
+	return len(p.ann)
+}
+
+// tableOf returns the (global) table number of candidate pair i. In
+// Baseline and TypeRel modes pairs ascend by table; in Type mode the
+// list concatenates one corpus-ordered run per subject type, so the
+// sequence is only piecewise ascending — segment-edge snapping treats
+// any segment transition between adjacent pairs as a boundary
+// candidate, which is still where locality changes.
+func (p *scanPlan) tableOf(i int) int {
+	if p.mode == Baseline {
+		return p.base[i].c1.Table
+	}
+	return p.ann[i].Table
+}
+
+// plan gathers the mode's candidate pairs and prepares the matcher.
+func (e *Engine) plan(req Request) scanPlan {
+	p := scanPlan{mode: req.Mode, q: req.Query, m: newQueryMatcher(req.Query.E2Text)}
+	if req.Mode == Baseline {
+		p.base = e.baselinePairs(req.Query)
+	} else {
+		p.ann = e.annotatedPairs(req.Query, req.Mode == TypeRel)
+	}
+	return p
+}
+
+// scanRange scans candidate pairs [lo, hi) of the plan into sink.
+func (e *Engine) scanRange(ctx context.Context, p *scanPlan, lo, hi int, sink evidenceSink) error {
+	if p.mode == Baseline {
+		return e.scanBaselineRange(ctx, p, lo, hi, sink)
+	}
+	return e.scanAnnotatedRange(ctx, p, lo, hi, sink)
 }
 
 // selectPage picks the PageSize best-ranked clusters strictly after the
-// cursor. With k > 0 it never sorts more than the k retained entries.
-// The second return value carries the cluster key of each answer, for
-// provenance attachment.
-func selectPage(clusters map[string]*cluster, pageSize int, after *rankKey) (*Result, []string) {
-	res := &Result{Total: len(clusters)}
+// cursor, iterating the disjoint cluster maps the collect phase
+// produced (one per aggregation partition; one total on the serial
+// path — a cluster's rank is a total order, so the iteration layout
+// never shows in the page). With k > 0 it never sorts more than the k
+// retained entries. The second return value carries the cluster key of
+// each answer, for provenance attachment.
+func selectPage(parts []clusterSink, pageSize int, after *rankKey) (*Result, []string) {
+	res := &Result{}
+	for _, clusters := range parts {
+		res.Total += len(clusters)
+	}
 	eligible := 0
 	keyOf := func(c *cluster) rankKey {
 		return rankKey{score: c.score, support: c.support, text: c.text(), key: c.key}
 	}
 	var page []pageEntry
 	if pageSize == 0 {
-		for _, c := range clusters {
-			k := keyOf(c)
-			if after != nil && !after.before(k) {
-				continue
+		for _, clusters := range parts {
+			for _, c := range clusters {
+				k := keyOf(c)
+				if after != nil && !after.before(k) {
+					continue
+				}
+				eligible++
+				page = append(page, pageEntry{c: c, key: k})
 			}
-			eligible++
-			page = append(page, pageEntry{c: c, key: k})
 		}
 		sort.Slice(page, func(i, j int) bool { return page[i].key.before(page[j].key) })
 	} else {
 		heap := newTopK(pageSize)
-		for _, c := range clusters {
-			k := keyOf(c)
-			if after != nil && !after.before(k) {
-				continue
+		for _, clusters := range parts {
+			for _, c := range clusters {
+				k := keyOf(c)
+				if after != nil && !after.before(k) {
+					continue
+				}
+				eligible++
+				heap.offer(pageEntry{c: c, key: k})
 			}
-			eligible++
-			heap.offer(pageEntry{c: c, key: k})
 		}
 		page = heap.ranked()
 	}
@@ -215,17 +354,16 @@ func selectPage(clusters map[string]*cluster, pageSize int, after *rankKey) (*Re
 	return res, keys
 }
 
-// scanBaseline implements Figure 3: interpret all inputs as strings;
-// find tables whose headers match T1 and T2 and context matches R; look
-// for E2 in the T2 column; report the T1-column cells of qualifying
-// rows keyed by normalized text.
-func (e *Engine) scanBaseline(ctx context.Context, q Query, sink evidenceSink) error {
+// baselinePairs implements the candidate retrieval of Figure 3:
+// interpret all inputs as strings; find tables whose headers match T1
+// and T2 and context matches R; pair each T1 column with every other
+// column of the same table that matches T2.
+func (e *Engine) baselinePairs(q Query) []basePair {
 	t1Cols := e.c.HeaderMatches(q.T1Text)
 	t2Cols := e.c.HeaderMatches(q.T2Text)
 	ctxTables := e.c.ContextMatches(q.RelationText)
 
-	type pair struct{ c1, c2 searchidx.ColRef }
-	var pairs []pair
+	var pairs []basePair
 	t2ByTable := make(map[int][]searchidx.ColRef)
 	for _, ref := range t2Cols {
 		t2ByTable[ref.Table] = append(t2ByTable[ref.Table], ref)
@@ -236,7 +374,7 @@ func (e *Engine) scanBaseline(ctx context.Context, q Query, sink evidenceSink) e
 		}
 		for _, c2 := range t2ByTable[c1.Table] {
 			if c2.Col != c1.Col {
-				pairs = append(pairs, pair{c1, c2})
+				pairs = append(pairs, basePair{c1, c2})
 			}
 		}
 	}
@@ -254,38 +392,41 @@ func (e *Engine) scanBaseline(ctx context.Context, q Query, sink evidenceSink) e
 		}
 		return a.c2.Col < b.c2.Col
 	})
+	return pairs
+}
 
-	m := newQueryMatcher(q.E2Text)
-	for _, p := range pairs {
+// scanBaselineRange runs the matching stage of Figure 3 over baseline
+// candidate pairs [lo, hi): look for E2 in the T2 column; report the
+// T1-column cells of qualifying rows keyed by normalized text.
+func (e *Engine) scanBaselineRange(ctx context.Context, pl *scanPlan, lo, hi int, sink evidenceSink) error {
+	for _, p := range pl.base[lo:hi] {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
 		rows := e.c.Rows(p.c1.Table)
 		for r := 0; r < rows; r++ {
+			if r&(rowCheckInterval-1) == rowCheckInterval-1 {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
 			loc2 := searchidx.CellLoc{Table: p.c2.Table, Row: r, Col: p.c2.Col}
-			sim := m.match(e.c.NormCell(loc2), e.c.CellTokens(loc2))
+			sim := pl.m.match(e.c.NormCell(loc2), e.c.CellTokens(loc2))
 			if sim <= 0 {
 				continue
 			}
 			loc1 := searchidx.CellLoc{Table: p.c1.Table, Row: r, Col: p.c1.Col}
-			norm := e.c.NormCell(loc1)
-			if norm == "" {
-				continue
-			}
-			sink.add("t:"+norm, catalog.None, "", e.c.RawCell(loc1), sim,
-				SourceRef{Table: loc1.Table, Row: r, Col: loc1.Col, Score: sim})
+			sink.add(hit{loc: loc1, entity: catalog.None, evidence: sim})
 		}
 	}
 	return nil
 }
 
-// scanAnnotated implements Figure 4 over the precomputed posting lists:
-// candidate pairs come from the per-relation list (TypeRel) or the
-// subject-type-keyed typed-pair list (Type), filtered by subtype
-// compatibility with the query types; E2 is matched by entity annotation
-// with text fallback; evidence is keyed per entity (or per normalized
-// text for unannotated answer cells).
-func (e *Engine) scanAnnotated(ctx context.Context, q Query, requireRel bool, sink evidenceSink) error {
+// annotatedPairs implements the candidate retrieval of Figure 4 over the
+// precomputed posting lists: pairs come from the per-relation list
+// (TypeRel) or the subject-type-keyed typed-pair list (Type), filtered
+// by subtype compatibility with the query types.
+func (e *Engine) annotatedPairs(q Query, requireRel bool) []searchidx.ColumnPair {
 	var pairs []searchidx.ColumnPair
 	if requireRel {
 		for _, p := range e.c.RelationPairs(q.Relation) {
@@ -309,40 +450,42 @@ func (e *Engine) scanAnnotated(ctx context.Context, q Query, requireRel bool, si
 			}
 		}
 	}
+	return pairs
+}
 
-	m := newQueryMatcher(q.E2Text)
-	for _, p := range pairs {
+// scanAnnotatedRange runs the matching stage of Figure 4 over annotated
+// candidate pairs [lo, hi): E2 is matched by entity annotation with text
+// fallback; evidence is keyed per entity (or per normalized text for
+// unannotated answer cells).
+func (e *Engine) scanAnnotatedRange(ctx context.Context, pl *scanPlan, lo, hi int, sink evidenceSink) error {
+	q := pl.q
+	for _, p := range pl.ann[lo:hi] {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
 		rows := e.c.Rows(p.Table)
 		for r := 0; r < rows; r++ {
+			if r&(rowCheckInterval-1) == rowCheckInterval-1 {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
 			loc2 := searchidx.CellLoc{Table: p.Table, Row: r, Col: p.ObjCol}
 			var evidence float64
 			if q.E2 != catalog.None {
 				if e.c.EntityAt(loc2) == q.E2 {
 					evidence = 1.5 // exact entity match beats text match
 				} else if e.c.EntityAt(loc2) == catalog.None {
-					evidence = m.match(e.c.NormCell(loc2), e.c.CellTokens(loc2))
+					evidence = pl.m.match(e.c.NormCell(loc2), e.c.CellTokens(loc2))
 				}
 			} else {
-				evidence = m.match(e.c.NormCell(loc2), e.c.CellTokens(loc2))
+				evidence = pl.m.match(e.c.NormCell(loc2), e.c.CellTokens(loc2))
 			}
 			if evidence <= 0 {
 				continue
 			}
 			loc1 := searchidx.CellLoc{Table: p.Table, Row: r, Col: p.SubjCol}
-			src := SourceRef{Table: p.Table, Row: r, Col: p.SubjCol, Score: evidence}
-			if ent := e.c.EntityAt(loc1); ent != catalog.None {
-				sink.add("e:"+strconv.Itoa(int(ent)), ent, e.cat.EntityName(ent),
-					e.c.RawCell(loc1), evidence, src)
-			} else {
-				norm := e.c.NormCell(loc1)
-				if norm == "" {
-					continue
-				}
-				sink.add("t:"+norm, catalog.None, "", e.c.RawCell(loc1), evidence, src)
-			}
+			sink.add(hit{loc: loc1, entity: e.c.EntityAt(loc1), evidence: evidence})
 		}
 	}
 	return nil

@@ -1,0 +1,438 @@
+// Parallel sharded query execution.
+//
+// Execute's candidate ColumnPair list is partitioned into contiguous
+// shards and processed in two parallel phases:
+//
+//  1. Scan: a bounded worker pool walks each shard's pairs and rows,
+//     appending every matching (answer cell, evidence) pair to a
+//     shard-local log, bucketed by cluster partition (a hash of the
+//     cluster key). The hot scan path does no map work at all.
+//  2. Aggregate: one worker per partition replays, for every shard in
+//     fixed shard order, the log entries of its own partition through
+//     the ordinary clusterSink — exactly the add sequence the serial
+//     scan would have produced for those clusters.
+//
+// The load-bearing property is byte-identical results: scores,
+// rankings, cursors and explanations must not depend on the parallelism
+// level, because pagination cursors compare scores bit-exactly across
+// separate executions (the same ULP discipline exec.go documents for
+// pair ordering). Floating-point addition is not associative, so
+// shard-local *partial sums* merged later would NOT reproduce the
+// serial left fold (((a+b)+c)+d differs from (a+b)+(c+d) by an ULP).
+// Replaying the logged evidence values per cluster — shards in order,
+// entries in scan order — reproduces the serial addition sequence
+// bit-for-bit, because a cluster's score only sums its own evidence and
+// every entry of one cluster lands in one partition. Partitioning is
+// therefore free parallelism for the aggregation stage: clusters are
+// independent of each other, and page selection consumes the partition
+// maps directly (a cluster's rank never depends on iteration order —
+// the rank key is a total order). The cost is O(matching rows) of log
+// memory during the scan; the rows were all visited anyway, and the
+// logs are dropped at aggregation time.
+//
+// Shard boundaries are a pure load-balancing choice — they never affect
+// results. The plan is over-partitioned (shardsPerWorker shards per
+// worker) and workers pull shards from a shared counter, so a shard
+// with unusually large tables does not stall the pool. When the corpus
+// is segmented (segment.View implements SegmentedCorpus), interior
+// boundaries snap to the nearest segment edge within half an ideal
+// shard, so a shard's cells resolve against one segment's postings
+// where possible.
+//
+// The explain pass parallelizes over the same shards with per-shard
+// provenance sinks pre-keyed by the page winners; concatenating them in
+// shard order preserves the serial SourceRef order and the exact
+// Truncated count.
+package search
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/catalog"
+	"repro/internal/searchidx"
+)
+
+// shardsPerWorker over-partitions the candidate list so the worker pool
+// can rebalance when shards carry unequal row counts.
+const shardsPerWorker = 4
+
+// SegmentedCorpus is an optional Corpus extension for corpora assembled
+// from ordered segments. ShardStarts returns the ascending global table
+// number at which each segment begins (the first is always 0); the
+// engine uses it to align parallel shard boundaries with segment edges.
+type SegmentedCorpus interface {
+	Corpus
+	ShardStarts() []int
+}
+
+// cuts returns the shard boundaries of a plan for this engine's
+// parallelism: [0, n] (one shard — the serial path) when parallelism is
+// 1 or there is nothing to split, else up to parallelism*shardsPerWorker
+// contiguous ranges.
+func (e *Engine) cuts(p *scanPlan) []int {
+	n := p.len()
+	if e.par <= 1 || n < 2 {
+		return []int{0, n}
+	}
+	var starts []int
+	if sc, ok := e.c.(SegmentedCorpus); ok {
+		starts = sc.ShardStarts()
+	}
+	return shardCuts(n, e.par*shardsPerWorker, p.tableOf, starts)
+}
+
+// shardCuts partitions n ordered candidate pairs into at most shards
+// contiguous ranges, returning the ascending boundary indices
+// (cuts[0]=0, cuts[len-1]=n). tableOf(i) is pair i's global table
+// number. segStarts, when it lists more than one segment, holds the
+// ascending global table numbers beginning each corpus segment; each
+// interior cut then snaps to the nearest pair index whose owning
+// segment differs from its predecessor's, if one lies within half an
+// ideal shard — close enough to keep the shards balanced. (In Type
+// mode the pair list is only piecewise ascending — one run per subject
+// type — so a "segment transition" can occur in either direction;
+// either way it marks where a shard's locality changes.) Results never
+// depend on the cut positions (aggregation replays evidence exactly),
+// only locality does.
+func shardCuts(n, shards int, tableOf func(int) int, segStarts []int) []int {
+	if shards > n {
+		shards = n
+	}
+	if shards <= 1 {
+		return []int{0, n}
+	}
+	edges := segEdgeIndices(n, tableOf, segStarts)
+	window := n / (2 * shards)
+	cuts := make([]int, 1, shards+1)
+	for s := 1; s < shards; s++ {
+		cut := s * n / shards
+		if i := nearestEdge(edges, cut); i >= 0 && abs(edges[i]-cut) <= window {
+			cut = edges[i]
+		}
+		if cut > cuts[len(cuts)-1] && cut < n {
+			cuts = append(cuts, cut)
+		}
+	}
+	return append(cuts, n)
+}
+
+// segEdgeIndices returns the ascending pair indices at which the owning
+// segment changes, or nil when the corpus has fewer than two segments.
+func segEdgeIndices(n int, tableOf func(int) int, segStarts []int) []int {
+	if len(segStarts) < 2 {
+		return nil
+	}
+	segOf := func(table int) int {
+		// Index of the last start <= table.
+		return sort.SearchInts(segStarts, table+1) - 1
+	}
+	var edges []int
+	prev := segOf(tableOf(0))
+	for i := 1; i < n; i++ {
+		if cur := segOf(tableOf(i)); cur != prev {
+			edges = append(edges, i)
+			prev = cur
+		}
+	}
+	return edges
+}
+
+// nearestEdge returns the index into edges of the edge closest to cut,
+// or -1 when edges is empty.
+func nearestEdge(edges []int, cut int) int {
+	if len(edges) == 0 {
+		return -1
+	}
+	i := sort.SearchInts(edges, cut)
+	if i == len(edges) {
+		return i - 1
+	}
+	if i > 0 && cut-edges[i-1] < edges[i]-cut {
+		return i - 1
+	}
+	return i
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// scanShards scans each shard [cuts[i], cuts[i+1]) into sinks[i] on a
+// pool of at most e.par workers. Workers pull shard indices from a
+// shared counter; which worker scans which shard never matters because
+// sinks are per-shard and consumed in index order. The first scan error
+// (in practice: the context's) is returned after all workers stop.
+func (e *Engine) scanShards(ctx context.Context, p *scanPlan, cuts []int, sinks []evidenceSink) error {
+	nShards := len(cuts) - 1
+	workers := e.par
+	if workers > nShards {
+		workers = nShards
+	}
+	var (
+		next    atomic.Int64
+		wg      sync.WaitGroup
+		errOnce sync.Once
+		scanErr error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= nShards {
+					return
+				}
+				if err := e.scanRange(ctx, p, cuts[i], cuts[i+1], sinks[i]); err != nil {
+					errOnce.Do(func() { scanErr = err })
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return scanErr
+}
+
+// collect aggregates the plan's evidence into answer clusters, serially
+// or via the two parallel phases; both produce identical clusters. cuts
+// comes from Engine.cuts, computed once per Execute and shared with the
+// explain pass. The result is a list of disjoint cluster maps (one per
+// partition; a single map on the serial path) whose union is the answer
+// set.
+func (e *Engine) collect(ctx context.Context, p *scanPlan, cuts []int) ([]clusterSink, error) {
+	if len(cuts) <= 2 {
+		cc := clusterCollector{e: e, cs: clusterSink{}}
+		if err := e.scanRange(ctx, p, 0, p.len(), &cc); err != nil {
+			return nil, err
+		}
+		return []clusterSink{cc.cs}, nil
+	}
+	nParts := e.par
+	logs := make([]*shardLog, len(cuts)-1)
+	sinks := make([]evidenceSink, len(logs))
+	for i := range logs {
+		logs[i] = &shardLog{e: e, parts: make([][]*hitChunk, nParts)}
+		sinks[i] = logs[i]
+	}
+	if err := e.scanShards(ctx, p, cuts, sinks); err != nil {
+		return nil, err
+	}
+	// Phase 2: aggregate each partition's hits — shards in fixed order,
+	// entries in scan order — on its own worker. Every cluster lives in
+	// exactly one partition, so per-cluster this replays the serial add
+	// sequence bit-for-bit. Cancellation is polled per chunk, so the
+	// replay honors the same latency bound as the row loops.
+	parts := make([]clusterSink, nParts)
+	var wg sync.WaitGroup
+	for w := 0; w < nParts; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cc := clusterCollector{e: e, cs: clusterSink{}}
+			for _, lg := range logs {
+				for _, ch := range lg.parts[w] {
+					if ctx.Err() != nil {
+						return
+					}
+					for i := 0; i < ch.n; i++ {
+						cc.add(ch.recs[i].unpack())
+					}
+				}
+			}
+			parts[w] = cc.cs
+		}(w)
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return parts, nil
+}
+
+// hitRec is a hit packed to 24 bytes for the scan logs (corpora are
+// bounded well below 2^31 tables, rows and columns).
+type hitRec struct {
+	table, row, col, entity int32
+	evidence                float64
+}
+
+func packHit(h hit) hitRec {
+	return hitRec{
+		table: int32(h.loc.Table), row: int32(h.loc.Row), col: int32(h.loc.Col),
+		entity: int32(h.entity), evidence: h.evidence,
+	}
+}
+
+func (r hitRec) unpack() hit {
+	return hit{
+		loc:      searchidx.CellLoc{Table: int(r.table), Row: int(r.row), Col: int(r.col)},
+		entity:   catalog.EntityID(r.entity),
+		evidence: r.evidence,
+	}
+}
+
+// logChunkSize is the records per log chunk: large enough to amortize
+// the chunk allocation, small enough that half-empty tail chunks waste
+// little.
+const logChunkSize = 512
+
+// hitChunk is one fixed-size block of logged hits. Chunks are allocated
+// exactly once and never copied (unlike an appended slice, which
+// re-copies on every doubling), and they contain no pointers, so the
+// logged megabytes are invisible to the garbage collector's scan phase.
+type hitChunk struct {
+	n    int
+	recs [logChunkSize]hitRec
+}
+
+// shardLog is the per-shard scan sink: the hit stream in scan order,
+// chunked and bucketed by cluster partition so aggregation can fan out.
+// Appending a packed record is the only work on the scan's hot path —
+// cluster keys, canonical names and raw texts are derived later by the
+// aggregation workers.
+type shardLog struct {
+	e     *Engine
+	parts [][]*hitChunk
+}
+
+func (sl *shardLog) add(h hit) {
+	w := sl.e.partitionOf(h, len(sl.parts))
+	chunks := sl.parts[w]
+	var c *hitChunk
+	if len(chunks) == 0 || chunks[len(chunks)-1].n == logChunkSize {
+		c = &hitChunk{}
+		sl.parts[w] = append(sl.parts[w], c)
+	} else {
+		c = chunks[len(chunks)-1]
+	}
+	c.recs[c.n] = packHit(h)
+	c.n++
+}
+
+// partitionOf assigns a hit's cluster to one of w aggregation
+// partitions: entity clusters hash their ID, text clusters their
+// precomputed normalized cell text (FNV-1a) — the same values resolveKey
+// derives keys from, so all hits of one cluster land in one partition.
+// Any deterministic function of the cluster identity works: results do
+// not depend on the partition layout, only aggregation balance does.
+func (e *Engine) partitionOf(h hit, w int) int {
+	if h.entity != catalog.None {
+		// Knuth's multiplicative hash spreads dense entity IDs.
+		return int((uint32(h.entity) * 2654435761) % uint32(w))
+	}
+	norm := e.c.NormCell(h.loc)
+	f := uint32(2166136261)
+	for i := 0; i < len(norm); i++ {
+		f = (f ^ uint32(norm[i])) * 16777619
+	}
+	return int(f % uint32(w))
+}
+
+// explain runs the winners-only provenance pass, serially or sharded
+// (over the same cuts the collect pass used); SourceRefs concatenate in
+// shard order, so provenance ordering matches the serial scan.
+func (e *Engine) explain(ctx context.Context, p *scanPlan, cuts []int, keys []string) (map[string]*Explanation, error) {
+	if len(cuts) <= 2 {
+		es := explainSink{e: e, m: make(map[string]*Explanation, len(keys))}
+		for _, k := range keys {
+			es.m[k] = &Explanation{}
+		}
+		if err := e.scanRange(ctx, p, 0, p.len(), &es); err != nil {
+			return nil, err
+		}
+		return es.m, nil
+	}
+	// The winner set is shared read-only across shard sinks; each sink
+	// materializes a winner's entry only when the shard actually hits
+	// it, so total explain state stays proportional to the provenance
+	// recorded, not to shards × winners.
+	winners := make(map[string]struct{}, len(keys))
+	for _, k := range keys {
+		winners[k] = struct{}{}
+	}
+	shards := make([]*shardExplainSink, len(cuts)-1)
+	sinks := make([]evidenceSink, len(shards))
+	for i := range shards {
+		s := &shardExplainSink{e: e, winners: winners, m: make(map[string]*shardExplain)}
+		shards[i] = s
+		sinks[i] = s
+	}
+	if err := e.scanShards(ctx, p, cuts, sinks); err != nil {
+		return nil, err
+	}
+	return mergeExplainShards(keys, shards), nil
+}
+
+// shardExplain is one winner's shard-local provenance: at most
+// MaxExplainSources sources (the merge takes a prefix in shard order, so
+// deeper entries could never be presented anyway) plus the overflow
+// count, which keeps Truncated exact.
+type shardExplain struct {
+	sources  []SourceRef
+	overflow int
+}
+
+// shardExplainSink is the per-shard provenance sink: it records only
+// the page winners (the shared winner set filters everything else) and
+// creates a winner's entry lazily on its first hit in this shard.
+type shardExplainSink struct {
+	e       *Engine
+	winners map[string]struct{} // shared across shards; never written
+	m       map[string]*shardExplain
+}
+
+func (es *shardExplainSink) add(h hit) {
+	key, ok := es.e.resolveKey(h)
+	if !ok {
+		return
+	}
+	if _, win := es.winners[key]; !win {
+		return
+	}
+	ex := es.m[key]
+	if ex == nil {
+		ex = &shardExplain{}
+		es.m[key] = ex
+	}
+	if len(ex.sources) < MaxExplainSources {
+		ex.sources = append(ex.sources, h.src())
+	} else {
+		ex.overflow++
+	}
+}
+
+// mergeExplainShards concatenates per-shard provenance in shard order —
+// the serial scan order — capping Sources at MaxExplainSources and
+// counting the rest as Truncated, exactly as the serial explainSink
+// does.
+func mergeExplainShards(keys []string, shards []*shardExplainSink) map[string]*Explanation {
+	out := make(map[string]*Explanation, len(keys))
+	for _, k := range keys {
+		out[k] = &Explanation{}
+	}
+	for _, ss := range shards {
+		for _, k := range keys {
+			sx := ss.m[k]
+			if sx == nil { // no hits for this winner in this shard
+				continue
+			}
+			ex := out[k]
+			for _, src := range sx.sources {
+				if len(ex.Sources) < MaxExplainSources {
+					ex.Sources = append(ex.Sources, src)
+				} else {
+					ex.Truncated++
+				}
+			}
+			ex.Truncated += sx.overflow
+		}
+	}
+	return out
+}

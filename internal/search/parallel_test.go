@@ -1,0 +1,466 @@
+package search
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/searchidx"
+	"repro/internal/table"
+)
+
+// --- shardCuts unit tests ---
+
+func TestShardCutsEvenSplit(t *testing.T) {
+	got := shardCuts(100, 4, func(i int) int { return i }, nil)
+	want := []int{0, 25, 50, 75, 100}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("cuts = %v, want %v", got, want)
+	}
+}
+
+func TestShardCutsClampsToPairs(t *testing.T) {
+	got := shardCuts(3, 8, func(i int) int { return i }, nil)
+	want := []int{0, 1, 2, 3}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("cuts = %v, want %v", got, want)
+	}
+	if got := shardCuts(1, 8, func(i int) int { return 0 }, nil); !reflect.DeepEqual(got, []int{0, 1}) {
+		t.Fatalf("single pair: cuts = %v", got)
+	}
+}
+
+func TestShardCutsSnapToSegmentEdges(t *testing.T) {
+	// 90 pairs, 10 per table; segment 1 starts at table 3 → the only
+	// segment-edge pair index is 30. Window is 90/(2*3) = 15, so the cut
+	// at 30 snaps exactly and the cut at 60 (distance 30 from the edge)
+	// stays on the even split.
+	tableOf := func(i int) int { return i / 10 }
+	got := shardCuts(90, 3, tableOf, []int{0, 3})
+	want := []int{0, 30, 60, 90}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("cuts = %v, want %v", got, want)
+	}
+
+	// With an edge just off the even split, the cut moves onto it.
+	got = shardCuts(90, 3, tableOf, []int{0, 4})
+	want = []int{0, 40, 60, 90}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("snapped cuts = %v, want %v", got, want)
+	}
+}
+
+func TestShardCutsDedupesSnappedBoundaries(t *testing.T) {
+	// One segment edge at pair 15 with shards of ideal width 10 and
+	// window 5: the ideal cuts at 10 and 20 both snap onto 15, so only
+	// one boundary survives and the cut list stays strictly increasing.
+	tableOf := func(i int) int {
+		if i < 15 {
+			return 0
+		}
+		return 1
+	}
+	got := shardCuts(100, 10, tableOf, []int{0, 1})
+	if got[0] != 0 || got[len(got)-1] != 100 {
+		t.Fatalf("cuts = %v", got)
+	}
+	snapped := 0
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatalf("cuts not strictly increasing: %v", got)
+		}
+		if got[i] == 15 {
+			snapped++
+		}
+	}
+	if snapped != 1 {
+		t.Fatalf("edge boundary appears %d times in %v, want once", snapped, got)
+	}
+}
+
+// --- serial ≡ parallel equivalence (engine level) ---
+
+// variantFixture builds a corpus whose answers are text clusters with
+// several raw spellings spread over many tables, so parallel shards
+// split clusters, surface-form counts, and explanation sources across
+// workers.
+func variantFixture(t testing.TB, nTables, rowsPerTable int) (*searchidx.Index, Query) {
+	t.Helper()
+	c := catalog.New()
+	film, err := c.AddType("Film", "movie")
+	if err != nil {
+		t.Fatal(err)
+	}
+	director, err := c.AddType("Director", "director")
+	if err != nil {
+		t.Fatal(err)
+	}
+	directed, err := c.AddRelation("directed", film, director, catalog.ManyToOne)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, err := c.AddEntity("Solo Auteur", nil, director)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	spell := func(i int) string {
+		// A handful of answer clusters, each with casing variants whose
+		// dominant form only emerges across tables.
+		base := fmt.Sprintf("Film Cluster %d", i%9)
+		if i%4 == 0 {
+			return "  " + base + "  "
+		}
+		if i%7 == 0 {
+			return "FILM CLUSTER " + fmt.Sprint(i%9)
+		}
+		return base
+	}
+	var tables []*table.Table
+	var anns []*core.Annotation
+	for ti := 0; ti < nTables; ti++ {
+		tab := &table.Table{
+			ID:      fmt.Sprintf("t%d", ti),
+			Context: "films directed by people",
+			Headers: []string{"Film", "Director"},
+		}
+		ann := &core.Annotation{
+			ColumnTypes: []catalog.TypeID{film, director},
+			Relations: []core.RelationAnnotation{{
+				Col1: 0, Col2: 1, Relation: directed, Forward: true,
+			}},
+		}
+		for r := 0; r < rowsPerTable; r++ {
+			tab.Cells = append(tab.Cells, []string{spell(ti*rowsPerTable + r), "Solo Auteur"})
+			ann.CellEntities = append(ann.CellEntities, []catalog.EntityID{catalog.None, d1})
+		}
+		tables = append(tables, tab)
+		anns = append(anns, ann)
+	}
+	return searchidx.New(c, tables, anns), Query{
+		Relation: directed, T1: film, T2: director, E2: d1,
+		RelationText: "directed", T1Text: "Film movie", T2Text: "Director person",
+		E2Text: "Solo Auteur",
+	}
+}
+
+// TestParallelMatchesSerial is the tentpole equivalence property at the
+// engine level: for every mode, page size, cursor chain and explanation,
+// a parallel engine returns exactly what the serial engine returns —
+// scores, order, totals, cursors and provenance included.
+func TestParallelMatchesSerial(t *testing.T) {
+	ix, q := variantFixture(t, 24, 7)
+	serial := NewEngineOver(ix)
+	ctx := context.Background()
+	for _, par := range []int{2, 3, 16} {
+		parallel := NewEngineOver(ix, WithParallelism(par))
+		if parallel.Parallelism() != par {
+			t.Fatalf("parallelism = %d, want %d", parallel.Parallelism(), par)
+		}
+		for _, mode := range []Mode{Baseline, Type, TypeRel} {
+			for _, pageSize := range []int{0, 1, 4, 100} {
+				cursor := ""
+				for page := 0; page < 30; page++ {
+					req := Request{Query: q, Mode: mode, PageSize: pageSize, Cursor: cursor, Explain: true}
+					want, err := serial.Execute(ctx, req)
+					if err != nil {
+						t.Fatal(err)
+					}
+					got, err := parallel.Execute(ctx, req)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(got, want) {
+						t.Fatalf("par=%d %v pageSize=%d page=%d:\n got  %+v\n want %+v",
+							par, mode, pageSize, page, got, want)
+					}
+					cursor = want.NextCursor
+					if cursor == "" {
+						break
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestParallelExplainTruncation splits one high-support answer across
+// shards: the merged explanation must keep the first MaxExplainSources
+// sources in corpus order and count the remainder, exactly like the
+// serial pass.
+func TestParallelExplainTruncation(t *testing.T) {
+	// 40 tables × 3 rows of the same answer = 120 sources, far past the cap.
+	ix, q := func() (*searchidx.Index, Query) {
+		c := catalog.New()
+		film, _ := c.AddType("Film", "movie")
+		director, _ := c.AddType("Director", "director")
+		directed, _ := c.AddRelation("directed", film, director, catalog.ManyToOne)
+		d1, _ := c.AddEntity("Busy Director", nil, director)
+		if err := c.Freeze(); err != nil {
+			t.Fatal(err)
+		}
+		var tables []*table.Table
+		var anns []*core.Annotation
+		for ti := 0; ti < 40; ti++ {
+			tab := &table.Table{ID: fmt.Sprintf("rep%d", ti), Headers: []string{"Film", "Director"}}
+			ann := &core.Annotation{
+				ColumnTypes: []catalog.TypeID{film, director},
+				Relations:   []core.RelationAnnotation{{Col1: 0, Col2: 1, Relation: directed, Forward: true}},
+			}
+			for r := 0; r < 3; r++ {
+				tab.Cells = append(tab.Cells, []string{"Same Film", "Busy Director"})
+				ann.CellEntities = append(ann.CellEntities, []catalog.EntityID{catalog.None, d1})
+			}
+			tables = append(tables, tab)
+			anns = append(anns, ann)
+		}
+		return searchidx.New(c, tables, anns), Query{
+			Relation: directed, T1: film, T2: director, E2: d1, E2Text: "Busy Director",
+		}
+	}()
+	ctx := context.Background()
+	req := Request{Query: q, Mode: TypeRel, Explain: true}
+	want, err := NewEngineOver(ix).Execute(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := NewEngineOver(ix, WithParallelism(8)).Execute(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("truncated explanations diverge:\n got  %+v\n want %+v",
+			got.Answers[0].Explanation, want.Answers[0].Explanation)
+	}
+	ex := got.Answers[0].Explanation
+	if len(ex.Sources) != MaxExplainSources || ex.Truncated != 120-MaxExplainSources {
+		t.Fatalf("sources=%d truncated=%d, want %d/%d",
+			len(ex.Sources), ex.Truncated, MaxExplainSources, 120-MaxExplainSources)
+	}
+	// Prefix property: sources are the corpus-order first cap entries.
+	for i, src := range ex.Sources {
+		if want := i / 3; src.Table != want {
+			t.Fatalf("source %d from table %d, want %d (corpus order)", i, src.Table, want)
+		}
+	}
+}
+
+// --- cancellation inside the row loops ---
+
+// countdownCtx reports Canceled after a fixed number of Err() polls —
+// a deterministic stand-in for a cancellation landing mid-scan.
+type countdownCtx struct {
+	context.Context
+	calls atomic.Int64
+	after int64
+}
+
+func (c *countdownCtx) Err() error {
+	if c.calls.Add(1) > c.after {
+		return context.Canceled
+	}
+	return c.Context.Err()
+}
+
+// hugeTableFixture is one candidate pair over one table with rows rows:
+// the adversarial case for cancellation latency, because pair-level
+// polling alone would not observe ctx until the whole table is scanned.
+func hugeTableFixture(t testing.TB, rows int) (*Engine, Query) {
+	t.Helper()
+	c := catalog.New()
+	film, _ := c.AddType("Film", "movie")
+	director, _ := c.AddType("Director", "director")
+	directed, _ := c.AddRelation("directed", film, director, catalog.ManyToOne)
+	d1, _ := c.AddEntity("Lone Director", nil, director)
+	if err := c.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	tab := &table.Table{ID: "huge", Context: "films directed by one person", Headers: []string{"Film", "Director"}}
+	ann := &core.Annotation{
+		ColumnTypes: []catalog.TypeID{film, director},
+		Relations:   []core.RelationAnnotation{{Col1: 0, Col2: 1, Relation: directed, Forward: true}},
+	}
+	for r := 0; r < rows; r++ {
+		tab.Cells = append(tab.Cells, []string{fmt.Sprintf("Film %07d", r), "Lone Director"})
+		ann.CellEntities = append(ann.CellEntities, []catalog.EntityID{catalog.None, d1})
+	}
+	ix := searchidx.New(c, []*table.Table{tab}, []*core.Annotation{ann})
+	return NewEngineOver(ix), Query{
+		Relation: directed, T1: film, T2: director, E2: d1,
+		RelationText: "directed", T1Text: "Film", T2Text: "Director", E2Text: "Lone Director",
+	}
+}
+
+// TestRowLoopCancellation is the satellite regression test: with a
+// single table far larger than rowCheckInterval, a cancellation landing
+// after the scan has started (simulated by countdownCtx: the pair-level
+// poll passes, then a row-level poll fires) must abort the scan — before
+// this fix ctx was only polled between pairs, so one huge table delayed
+// cancellation until its full scan finished.
+func TestRowLoopCancellation(t *testing.T) {
+	e, q := hugeTableFixture(t, 8*rowCheckInterval)
+	for _, mode := range []Mode{Baseline, TypeRel} {
+		ctx := &countdownCtx{Context: context.Background(), after: 2}
+		_, err := e.Execute(ctx, Request{Query: q, Mode: mode})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("%v: err = %v, want context.Canceled from a mid-table poll", mode, err)
+		}
+		// The scan must have stopped at a row-interval poll, not run the
+		// table to completion: every row costs at most one poll, so a full
+		// scan would need far more than the handful a prompt abort uses.
+		if polls := ctx.calls.Load(); polls > 16 {
+			t.Fatalf("%v: %d ctx polls before abort; scan did not stop promptly", mode, polls)
+		}
+	}
+}
+
+// TestPreCancelledLargeTable covers the trivial half of the satellite:
+// an already-dead context returns before any row is visited, serial and
+// parallel alike.
+func TestPreCancelledLargeTable(t *testing.T) {
+	e, q := hugeTableFixture(t, 4*rowCheckInterval)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, par := range []int{1, 4} {
+		eng := NewEngineOver(e.c, WithParallelism(par))
+		if _, err := eng.Execute(ctx, Request{Query: q, Mode: TypeRel}); !errors.Is(err, context.Canceled) {
+			t.Fatalf("par=%d: err = %v, want context.Canceled", par, err)
+		}
+	}
+}
+
+// TestParallelCancellationMidScan drives the sharded path with a
+// countdown context: workers must stop and Execute must surface the
+// cancellation.
+func TestParallelCancellationMidScan(t *testing.T) {
+	ix, q := variantFixture(t, 32, 5)
+	eng := NewEngineOver(ix, WithParallelism(4))
+	ctx := &countdownCtx{Context: context.Background(), after: 3}
+	if _, err := eng.Execute(ctx, Request{Query: q, Mode: TypeRel}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// --- benchmarks ---
+
+// parallelBenchFixture builds a one-relation corpus with nAnswers
+// distinct text-cluster answers of the given support (rows per answer),
+// so the scan stage does nAnswers*support row matches before selection.
+func parallelBenchFixture(tb testing.TB, nAnswers, support int) (*searchidx.Index, Query) {
+	tb.Helper()
+	c := catalog.New()
+	film, _ := c.AddType("Film", "movie")
+	director, _ := c.AddType("Director", "director")
+	directed, _ := c.AddRelation("directed", film, director, catalog.ManyToOne)
+	d1, _ := c.AddEntity("Prolific Director", nil, director)
+	if err := c.Freeze(); err != nil {
+		tb.Fatal(err)
+	}
+	const rowsPerTable = 100
+	var (
+		tables []*table.Table
+		anns   []*core.Annotation
+		tab    *table.Table
+		ann    *core.Annotation
+	)
+	flush := func() {
+		if tab != nil {
+			tables = append(tables, tab)
+			anns = append(anns, ann)
+			tab, ann = nil, nil
+		}
+	}
+	row := 0
+	for i := 0; i < nAnswers; i++ {
+		for s := 0; s < support; s++ {
+			if tab == nil {
+				tab = &table.Table{
+					ID:      fmt.Sprintf("t%d", len(tables)),
+					Context: "films and their directors",
+					Headers: []string{"Film", "Director"},
+				}
+				ann = &core.Annotation{
+					ColumnTypes: []catalog.TypeID{film, director},
+					Relations: []core.RelationAnnotation{{
+						Col1: 0, Col2: 1, Relation: directed, Forward: true,
+					}},
+				}
+			}
+			tab.Cells = append(tab.Cells, []string{fmt.Sprintf("Film %06d", i), "Prolific Director"})
+			ann.CellEntities = append(ann.CellEntities, []catalog.EntityID{catalog.None, catalog.None})
+			if row++; row == rowsPerTable {
+				row = 0
+				flush()
+			}
+		}
+	}
+	flush()
+	return searchidx.New(c, tables, anns), Query{
+		Relation: directed, T1: film, T2: director, E2: d1,
+		RelationText: "directors", T1Text: "Film", T2Text: "Director",
+		E2Text: "Prolific Director",
+	}
+}
+
+// BenchmarkSearchParallel contrasts the serial scan against the sharded
+// worker pool on a 12k-answer corpus (top-10 page). The parallel run
+// should be >=2x faster than serial on 4+ cores; results are
+// byte-identical either way (TestParallelMatchesSerial). par=4 is always
+// benchmarked so the sharded machinery is exercised even when
+// GOMAXPROCS is 1 (where it measures pure sharding overhead).
+func BenchmarkSearchParallel(b *testing.B) {
+	const nAnswers = 12000
+	ix, q := parallelBenchFixture(b, nAnswers, 5)
+	ctx := context.Background()
+	pars := []int{1, 4}
+	if p := runtime.GOMAXPROCS(0); p != 1 && p != 4 {
+		pars = append(pars, p)
+	}
+	for _, par := range pars {
+		eng := NewEngineOver(ix, WithParallelism(par))
+		b.Run(fmt.Sprintf("answers=%d/par=%d", nAnswers, par), func(b *testing.B) {
+			var total int
+			for i := 0; i < b.N; i++ {
+				res, err := eng.Execute(ctx, Request{Query: q, Mode: TypeRel, PageSize: 10})
+				if err != nil {
+					b.Fatal(err)
+				}
+				total = res.Total
+			}
+			if total != nAnswers {
+				b.Fatalf("total = %d, want %d", total, nAnswers)
+			}
+		})
+	}
+}
+
+// BenchmarkSelectPageDominantForm guards the satellite fix: rank-key
+// construction reads the memoized dominant surface form instead of
+// rescanning every cluster's variants map, so selection cost is O(n),
+// independent of variant counts. Regressing to the O(n·variants) rescan
+// shows up as a large per-op jump here.
+func BenchmarkSelectPageDominantForm(b *testing.B) {
+	const clusters, variants = 5000, 40
+	cs := clusterSink{}
+	for i := 0; i < clusters; i++ {
+		key := fmt.Sprintf("t:answer %d", i)
+		for v := 0; v < variants; v++ {
+			cs.insert(key, hit{entity: catalog.None, evidence: 0.5}, "", fmt.Sprintf("Answer %d v%d", i, v))
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, _ := selectPage([]clusterSink{cs}, 10, nil)
+		if res.Total != clusters {
+			b.Fatal("bad total")
+		}
+	}
+}

@@ -10,7 +10,10 @@
 // count and the cursor of the next page. Candidate retrieval runs over
 // posting lists the index materialized at build time, and page selection
 // uses a bounded min-heap so a top-k query never sorts the full answer
-// set. Run / RunContext / Strings are thin deprecated shims over Execute.
+// set. With WithParallelism the candidate scan fans out over contiguous
+// shards on a bounded worker pool while staying byte-identical to the
+// serial scan (parallel.go). Run / RunContext / Strings are thin
+// deprecated shims over Execute.
 package search
 
 import (
@@ -119,6 +122,23 @@ type Corpus interface {
 type Engine struct {
 	c   Corpus
 	cat *catalog.Catalog
+	par int
+}
+
+// EngineOption configures an Engine at construction time.
+type EngineOption func(*Engine)
+
+// WithParallelism sets how many worker goroutines one Execute call may
+// use to scan candidate column pairs (see parallel.go). 1 — the default
+// — is the serial scan; any level returns byte-identical results
+// (scores, rankings, cursors, explanations), so the knob is purely about
+// latency. Values below 1 are ignored.
+func WithParallelism(n int) EngineOption {
+	return func(e *Engine) {
+		if n > 0 {
+			e.par = n
+		}
+	}
 }
 
 // NewEngine wraps a monolithic index.
@@ -127,9 +147,16 @@ func NewEngine(ix *searchidx.Index) *Engine { return NewEngineOver(ix) }
 // NewEngineOver wraps any Corpus — a monolithic index or a segmented
 // view. Engines are stateless and cheap; construct one per corpus
 // snapshot rather than mutating a shared one.
-func NewEngineOver(c Corpus) *Engine {
-	return &Engine{c: c, cat: c.Catalog()}
+func NewEngineOver(c Corpus, opts ...EngineOption) *Engine {
+	e := &Engine{c: c, cat: c.Catalog(), par: 1}
+	for _, opt := range opts {
+		opt(e)
+	}
+	return e
 }
+
+// Parallelism reports the engine's configured scan parallelism.
+func (e *Engine) Parallelism() int { return e.par }
 
 // Run answers q in the given mode, returning the full ranking (best
 // first).
@@ -148,8 +175,10 @@ func (e *Engine) Run(q Query, mode Mode) []Answer {
 }
 
 // RunContext is Run with cancellation: the context is checked between
-// candidate column pairs, so long scans over large corpora abort promptly.
-// On cancellation it returns nil answers and the context's error.
+// candidate column pairs and every rowCheckInterval rows within one, so
+// long scans over large corpora — even a single huge table — abort
+// promptly. On cancellation it returns nil answers and the context's
+// error.
 //
 // Deprecated: use Execute with a Request for paging, explanations and
 // bounded top-k selection.

@@ -382,6 +382,21 @@ func (v *View) TypedPairsOf(T catalog.TypeID) []searchidx.ColumnPair {
 	return out
 }
 
+// ShardStarts returns the global table number at which each live
+// segment's surviving tables begin (the first is always 0). It
+// implements search.SegmentedCorpus: the parallel query engine aligns
+// shard boundaries with these edges so a shard's cells resolve against
+// one segment's postings where the segment sizes allow.
+func (v *View) ShardStarts() []int {
+	starts := make([]int, len(v.segs))
+	g := 0
+	for i, seg := range v.segs {
+		starts[i] = g
+		g += seg.Len() - len(v.dead[i])
+	}
+	return starts
+}
+
 // HeaderMatches returns live columns whose header shares a token with q,
 // renumbered to global tables.
 func (v *View) HeaderMatches(q string) []searchidx.ColRef {

@@ -326,8 +326,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	cs := s.svc.Catalog().Stats()
 	resp := StatsResponse{
-		Workers:  s.svc.Workers(),
-		InFlight: s.InFlight(),
+		Workers:     s.svc.Workers(),
+		Parallelism: s.svc.SearchParallelism(),
+		InFlight:    s.InFlight(),
 		Catalog: CatalogStats{
 			Types:     cs.Types,
 			Entities:  cs.Entities,
@@ -536,7 +537,22 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, err)
 		return
 	}
-	size, _ := tmp.Seek(0, io.SeekEnd)
+	size, err := tmp.Seek(0, io.SeekEnd)
+	if err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		s.writeError(w, r, err)
+		return
+	}
+	// Sync before rename: the rename is only atomic with respect to
+	// crashes once the temp file's bytes are durable, otherwise power
+	// loss can leave the final path pointing at a torn file.
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		s.writeError(w, r, err)
+		return
+	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
 		s.writeError(w, r, err)
@@ -546,6 +562,14 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		os.Remove(tmp.Name())
 		s.writeError(w, r, err)
 		return
+	}
+	// Best-effort directory sync so the rename itself survives power
+	// loss; the data is already safe either way.
+	if dir, err := os.Open(filepath.Dir(s.snapPath)); err == nil {
+		if err := dir.Sync(); err != nil {
+			s.log.Warn("snapshot: sync directory", "err", err)
+		}
+		dir.Close()
 	}
 	s.log.Info("snapshot written", "path", s.snapPath, "bytes", size, "generation", stats.Generation)
 	s.writeJSON(w, http.StatusOK, SnapshotResponse{

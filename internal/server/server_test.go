@@ -146,6 +146,11 @@ func TestStats(t *testing.T) {
 	if stats.Workers != 2 || stats.Catalog.Entities == 0 || stats.Catalog.Relations == 0 {
 		t.Fatalf("stats = %+v", stats)
 	}
+	// Search parallelism defaults to the worker-pool size and is
+	// surfaced so operators can see the per-query scan fan-out.
+	if stats.Parallelism != 2 {
+		t.Fatalf("parallelism = %d, want 2 (the worker count)", stats.Parallelism)
+	}
 }
 
 func TestSearchEndpoint(t *testing.T) {

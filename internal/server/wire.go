@@ -300,10 +300,13 @@ type SnapshotResponse struct {
 // StatsResponse is the wire form of GET /v1/stats.
 type StatsResponse struct {
 	CorpusStats
-	IndexBuilt bool         `json:"index_built"`
-	Workers    int          `json:"workers"`
-	InFlight   int64        `json:"in_flight"`
-	Catalog    CatalogStats `json:"catalog"`
+	IndexBuilt bool `json:"index_built"`
+	Workers    int  `json:"workers"`
+	// Parallelism is the per-search candidate-scan worker count
+	// (WithSearchParallelism); 1 means searches scan serially.
+	Parallelism int          `json:"parallelism"`
+	InFlight    int64        `json:"in_flight"`
+	Catalog     CatalogStats `json:"catalog"`
 }
 
 // CatalogStats summarizes the serving catalog.

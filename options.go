@@ -63,6 +63,7 @@ type serviceOptions struct {
 	weights     feature.Weights
 	cfg         core.Config
 	workers     int
+	searchPar   int
 	method      Method
 	compaction  segment.CompactionPolicy
 	autoCompact bool
@@ -73,6 +74,23 @@ type serviceOptions struct {
 // The default is runtime.GOMAXPROCS(0).
 func WithWorkers(n int) ServiceOption {
 	return func(o *serviceOptions) { o.workers = n }
+}
+
+// WithSearchParallelism sets how many goroutines one Search call may use
+// to scan candidate column pairs. The default derives from the worker
+// pool size (Workers()); 1 forces the serial scan. Any level returns
+// byte-identical results — scores, rankings, cursors and explanations do
+// not depend on it — so the knob trades per-query latency against CPU.
+// These scan workers are internal to a query and do not consume
+// worker-pool slots, so a SearchBatch of b requests may run up to
+// b*parallelism scan goroutines. Memory: a parallel scan buffers every
+// matching row as a 24-byte log record before aggregation — O(matching
+// rows) per in-flight query instead of the serial scan's O(distinct
+// answers) — so prefer parallelism 1 for very broad queries on
+// memory-constrained servers. 0 keeps the default; negative is an
+// error.
+func WithSearchParallelism(n int) ServiceOption {
+	return func(o *serviceOptions) { o.searchPar = n }
 }
 
 // WithServiceWeights sets the service's default model weights.

@@ -37,6 +37,7 @@ type Service struct {
 	cat         *catalog.Catalog
 	ix          *lemmaindex.Index
 	workers     int
+	searchPar   int
 	method      Method
 	sem         chan struct{}
 	compaction  segment.CompactionPolicy
@@ -77,6 +78,12 @@ func NewService(cat *Catalog, opts ...ServiceOption) (*Service, error) {
 	if so.workers < 1 {
 		return nil, fmt.Errorf("%w: workers must be >= 1, got %d", ErrInvalidOption, so.workers)
 	}
+	if so.searchPar == 0 {
+		so.searchPar = so.workers
+	}
+	if so.searchPar < 1 {
+		return nil, fmt.Errorf("%w: search parallelism must be >= 1, got %d", ErrInvalidOption, so.searchPar)
+	}
 	if so.method > MethodMajority {
 		return nil, fmt.Errorf("%w: %d", ErrUnknownMethod, uint8(so.method))
 	}
@@ -88,6 +95,7 @@ func NewService(cat *Catalog, opts ...ServiceOption) (*Service, error) {
 		cat:         cat,
 		ix:          ix,
 		workers:     so.workers,
+		searchPar:   so.searchPar,
 		method:      so.method,
 		sem:         make(chan struct{}, so.workers),
 		compaction:  so.compaction,
@@ -102,6 +110,11 @@ func (s *Service) Catalog() *Catalog { return s.cat }
 
 // Workers returns the worker-pool size.
 func (s *Service) Workers() int { return s.workers }
+
+// SearchParallelism returns the number of scan goroutines one Search
+// call may use (WithSearchParallelism; defaults to Workers()). 1 means
+// the serial scan.
+func (s *Service) SearchParallelism() int { return s.searchPar }
 
 // Annotator returns the service's current default annotator, for interop
 // with the training API (webtable.Train). Do not call SetWeights on it
@@ -524,15 +537,16 @@ func (s *Service) Search(ctx context.Context, req SearchRequest) (*SearchResult,
 	return eng.Execute(ctx, req)
 }
 
-// engine pins the current corpus view and wraps it in a query engine.
-// The view is immutable, so everything executed on the returned engine
-// is consistent regardless of concurrent mutations or compaction.
+// engine pins the current corpus view and wraps it in a query engine
+// carrying the service's search parallelism. The view is immutable, so
+// everything executed on the returned engine is consistent regardless of
+// concurrent mutations or compaction.
 func (s *Service) engine() (*search.Engine, error) {
 	st := s.store.Load()
 	if st == nil {
 		return nil, ErrNoIndex
 	}
-	return search.NewEngineOver(st.View()), nil
+	return search.NewEngineOver(st.View(), search.WithParallelism(s.searchPar)), nil
 }
 
 // SearchAnswers is the PR-1 search surface: functional options select
