@@ -113,23 +113,17 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		len(tables), time.Since(start).Round(time.Millisecond), m, svc.Workers())
 
 	if *save != "" {
-		f, err := os.Create(*save)
-		if err != nil {
-			return err
-		}
 		// One-segment live-corpus manifest at generation 1: tabserved
 		// -load resumes it as a mutable corpus (POST /v1/tables appends
 		// further segments).
-		err = snapshot.Save(f, &snapshot.Snapshot{
-			Catalog:    cat.Snapshot(),
-			Segments:   []snapshot.Segment{{ID: 1, Tables: tables, Anns: anns}},
-			Generation: 1,
+		err := cmdio.AtomicWriteFile(*save, func(w io.Writer) error {
+			return snapshot.Save(w, &snapshot.Snapshot{
+				Catalog:    cat.Snapshot(),
+				Segments:   []snapshot.Segment{{ID: 1, Tables: tables, Anns: anns}},
+				Generation: 1,
+			})
 		})
-		if cerr := f.Close(); err == nil {
-			err = cerr
-		}
 		if err != nil {
-			_ = os.Remove(*save)
 			return fmt.Errorf("save snapshot: %w", err)
 		}
 		fmt.Fprintf(stderr, "tabann: wrote snapshot %s\n", *save)

@@ -14,6 +14,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"repro/internal/cmdio"
 	"repro/internal/table"
 	"repro/internal/worldgen"
 )
@@ -64,16 +65,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	catPath := filepath.Join(*out, "catalog.json")
-	cf, err := os.Create(catPath)
-	if err != nil {
-		return err
-	}
-	if err := w.Public.WriteJSON(cf); err != nil {
-		_ = cf.Close()
+	if err := cmdio.AtomicWriteFile(catPath, w.Public.WriteJSON); err != nil {
 		return fmt.Errorf("write catalog: %w", err)
-	}
-	if err := cf.Close(); err != nil {
-		return err
 	}
 
 	ds := w.GenerateDataset("corpus", *seed+100, *tables, *minRows, *maxRows, np, worldgen.AllGTLayers())
@@ -82,16 +75,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 		tabs[i] = lt.Table
 	}
 	corpusPath := filepath.Join(*out, "corpus.json")
-	tf, err := os.Create(corpusPath)
+	err = cmdio.AtomicWriteFile(corpusPath, func(dst io.Writer) error {
+		return table.WriteCorpus(dst, tabs)
+	})
 	if err != nil {
-		return err
-	}
-	if err := table.WriteCorpus(tf, tabs); err != nil {
-		_ = tf.Close()
 		return fmt.Errorf("write corpus: %w", err)
-	}
-	if err := tf.Close(); err != nil {
-		return err
 	}
 
 	fmt.Fprintf(stdout, "wrote %s (%v)\n", catPath, w.Public.Stats())

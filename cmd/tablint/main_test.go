@@ -1,0 +1,73 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTablint compiles the tool once per test binary into a temp dir.
+func buildTablint(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "tablint")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func TestFlagsHandshake(t *testing.T) {
+	bin := buildTablint(t)
+	out, err := exec.Command(bin, "-flags").Output()
+	if err != nil {
+		t.Fatalf("tablint -flags: %v", err)
+	}
+	if got := strings.TrimSpace(string(out)); got != "[]" {
+		t.Fatalf("tablint -flags printed %q, want []", got)
+	}
+}
+
+func TestStandaloneFindsFixtureViolations(t *testing.T) {
+	bin := buildTablint(t)
+	cmd := exec.Command(bin, ".")
+	cmd.Dir = "testdata/flagged"
+	out, err := cmd.CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 2 {
+		t.Fatalf("tablint on fixture: err=%v, want exit 2\n%s", err, out)
+	}
+	text := string(out)
+	for _, want := range []string{"[maporder]", "[errcmp]", "[floatfold]", "[atomicwrite]"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing a %s finding:\n%s", want, text)
+		}
+	}
+	if n := strings.Count(text, "[maporder]"); n != 1 {
+		t.Errorf("got %d maporder findings, want 1 (the suppressed one must not report):\n%s", n, text)
+	}
+}
+
+// TestGoVetWholeRepoClean is the acceptance check: the suite, driven
+// through `go vet -vettool`, runs clean over every package in this
+// module.
+func TestGoVetWholeRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the whole module")
+	}
+	bin := buildTablint(t)
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	cmd.Dir = root
+	cmd.Env = append(os.Environ(), "GOFLAGS=")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go vet -vettool over the repo reported findings: %v\n%s", err, out)
+	}
+}

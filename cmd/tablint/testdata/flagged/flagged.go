@@ -1,0 +1,50 @@
+// Package flagged is an e2e fixture: one finding per analyzer, plus
+// one suppressed finding, so the driver tests can assert both
+// detection and the //lint:allow path end to end.
+package flagged
+
+import (
+	"errors"
+	"os"
+)
+
+var errSentinel = errors.New("sentinel")
+
+// MapOrder trips maporder.
+func MapOrder(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// ErrCmp trips errcmp.
+func ErrCmp(err error) bool {
+	return err == errSentinel
+}
+
+// FloatFold trips floatfold.
+func FloatFold(m map[string]float64) float64 {
+	sum := 0.0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// InPlace trips atomicwrite.
+func InPlace(path string) error {
+	return os.WriteFile(path, []byte("x"), 0o644)
+}
+
+// Suppressed is identical to MapOrder but carries the directive; the
+// driver must not report it.
+func Suppressed(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		//lint:allow maporder -- e2e fixture for the suppression path
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,3 @@
+module flagged
+
+go 1.24

@@ -56,6 +56,7 @@ func main() {
 	}
 	defer os.RemoveAll(dir)
 	path := filepath.Join(dir, "corpus.snap")
+	//lint:allow atomicwrite -- demo writes into its own MkdirTemp dir, removed on exit
 	f, err := os.Create(path)
 	if err != nil {
 		log.Fatal(err)

@@ -6,7 +6,9 @@ package cmdio
 import (
 	"context"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 
 	webtable "repro"
 )
@@ -69,22 +71,59 @@ func LoadSnapshotService(ctx context.Context, path string, workers int) (*webtab
 	return svc, nil
 }
 
-// SaveSnapshot writes the service's current corpus snapshot to path,
-// atomically enough for the CLI tools: a failed write removes the
-// partial file.
-func SaveSnapshot(ctx context.Context, svc *webtable.Service, path string) error {
-	f, err := os.Create(path)
+// AtomicWriteFile writes a file durably: write is handed a temp file
+// in path's directory, which is then Synced, renamed over path, and
+// the directory itself is Synced so the rename survives a crash. On
+// any failure the temp file is removed and path is untouched — the
+// previous copy is never exposed to a torn write. This is the only
+// sanctioned way for the CLI tools to produce files a later run loads
+// (the atomicwrite analyzer enforces it).
+func AtomicWriteFile(path string, write func(io.Writer) error) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return err
 	}
-	if err := svc.SaveSnapshot(ctx, f); err != nil {
+	tmp := f.Name()
+	fail := func(err error) error {
 		_ = f.Close()
-		_ = os.Remove(path)
-		return fmt.Errorf("save snapshot %s: %w", path, err)
+		_ = os.Remove(tmp)
+		return err
+	}
+	// CreateTemp opens 0600; published files keep the conventional 0644.
+	if err := f.Chmod(0o644); err != nil {
+		return fail(err)
+	}
+	if err := write(f); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
 	}
 	if err := f.Close(); err != nil {
-		_ = os.Remove(path)
+		_ = os.Remove(tmp)
 		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		_ = os.Remove(tmp)
+		return err
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// SaveSnapshot writes the service's current corpus snapshot to path
+// atomically: a crash mid-write leaves any previous snapshot intact.
+func SaveSnapshot(ctx context.Context, svc *webtable.Service, path string) error {
+	err := AtomicWriteFile(path, func(w io.Writer) error {
+		return svc.SaveSnapshot(ctx, w)
+	})
+	if err != nil {
+		return fmt.Errorf("save snapshot %s: %w", path, err)
 	}
 	return nil
 }

@@ -134,6 +134,9 @@ func (a *Annotator) voteColumnTypes(cs *candidates, i int, fraction float64) []c
 			qualified = append(qualified, T)
 		}
 	}
+	// TypeID order, not map order: qualified feeds the reported type
+	// sets, which must be reproducible run to run.
+	sort.Slice(qualified, func(i, j int) bool { return qualified[i] < qualified[j] })
 	// Minimal elements only (drop any type with a qualified descendant).
 	var minimal []catalog.TypeID
 	for _, T := range qualified {
@@ -197,7 +200,15 @@ func (a *Annotator) voteRelations(cs *candidates, p relPair, fraction float64, a
 		return
 	}
 	bestBi, bestVotes := -1, 0
-	for bi, v := range votes {
+	// Candidate-index order, not map order: RelationSets is part of the
+	// reported annotation and must be reproducible run to run.
+	bis := make([]int, 0, len(votes))
+	for bi := range votes {
+		bis = append(bis, bi)
+	}
+	sort.Ints(bis)
+	for _, bi := range bis {
+		v := votes[bi]
 		if float64(v) < fraction*float64(rows) {
 			continue
 		}

@@ -1,0 +1,127 @@
+// Package analysis is a deliberately small, dependency-free subset of
+// the golang.org/x/tools/go/analysis API: an Analyzer inspects one
+// type-checked package through a Pass and reports Diagnostics. The
+// toolchain image this repository builds in carries no module cache, so
+// tablint implements the analyzer contract (and the vet -vettool wire
+// protocol, see cmd/tablint) on the standard library alone. Analyzers
+// written against this package keep the upstream shape — Name, Doc,
+// Run(*Pass) — so they could be ported to x/tools verbatim if the
+// dependency ever becomes available.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer is one named invariant check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //lint:allow directives. Lower-case, no spaces.
+	Name string
+	// Doc states the invariant the analyzer enforces and why the
+	// codebase holds it (one paragraph; first line is a summary).
+	Doc string
+	// Run inspects one package and reports findings via pass.Report.
+	// A returned error aborts the whole tablint run — reserve it for
+	// analyzer bugs, never for findings.
+	Run func(pass *Pass) error
+}
+
+// Pass carries one package's syntax and type information through an
+// Analyzer.Run invocation.
+type Pass struct {
+	// Analyzer is the analyzer being run.
+	Analyzer *Analyzer
+	// Fset maps token.Pos values of Files to file positions.
+	Fset *token.FileSet
+	// Files is the package's parsed syntax, test files excluded.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// TypesInfo holds the type-checker's facts about Files.
+	TypesInfo *types.Info
+
+	diags []Diagnostic
+}
+
+// Diagnostic is one finding: a position, the analyzer that produced it
+// and a human-readable message.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Report records a finding.
+func (p *Pass) Report(d Diagnostic) {
+	if d.Analyzer == "" {
+		d.Analyzer = p.Analyzer.Name
+	}
+	p.diags = append(p.diags, d)
+}
+
+// Reportf records a finding at pos with a formatted message.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostics returns the findings reported so far, in report order.
+func (p *Pass) Diagnostics() []Diagnostic { return p.diags }
+
+// ObjectOf resolves an identifier through Uses and Defs.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	if o := p.TypesInfo.Uses[id]; o != nil {
+		return o
+	}
+	return p.TypesInfo.Defs[id]
+}
+
+// TypeOf returns the type of e, or nil when the checker recorded none.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	return p.TypesInfo.TypeOf(e)
+}
+
+// IsPkgCall reports whether call is pkgpath.name(...) — e.g.
+// IsPkgCall(call, "os", "Rename") — resolving the selector through the
+// package's import table rather than the source text, so aliased
+// imports are still recognized.
+func (p *Pass) IsPkgCall(call *ast.CallExpr, pkgpath, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := p.ObjectOf(id).(*types.PkgName)
+	return ok && pn.Imported().Path() == pkgpath
+}
+
+// DeclaredWithin reports whether obj's declaration lies inside node's
+// source extent — the test analyzers use to distinguish loop-local
+// state from state that outlives the loop.
+func DeclaredWithin(obj types.Object, node ast.Node) bool {
+	return obj != nil && node != nil && obj.Pos() >= node.Pos() && obj.Pos() < node.End()
+}
+
+// UsesObject reports whether any identifier under node resolves to obj.
+func (p *Pass) UsesObject(node ast.Node, obj types.Object) bool {
+	if obj == nil || node == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(node, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && p.ObjectOf(id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,81 @@
+// Package astutil holds the few AST helpers the tablint analyzers
+// share: expression roots, compact rendering for diagnostics, and
+// function-body access.
+package astutil
+
+import "go/ast"
+
+// FirstIdent returns the leftmost identifier of an expression chain
+// (the root variable of a[i].f style lvalues), or nil.
+func FirstIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// Render prints an expression compactly for diagnostics.
+func Render(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return Render(x.X) + "." + x.Sel.Name
+	case *ast.IndexExpr:
+		return Render(x.X) + "[...]"
+	case *ast.CallExpr:
+		return Render(x.Fun) + "(...)"
+	case *ast.ParenExpr:
+		return Render(x.X)
+	case *ast.StarExpr:
+		return "*" + Render(x.X)
+	case *ast.UnaryExpr:
+		return x.Op.String() + Render(x.X)
+	}
+	return "expression"
+}
+
+// FuncBody returns the body of a FuncDecl or FuncLit node, or nil.
+func FuncBody(fn ast.Node) *ast.BlockStmt {
+	switch fn := fn.(type) {
+	case *ast.FuncDecl:
+		return fn.Body
+	case *ast.FuncLit:
+		return fn.Body
+	}
+	return nil
+}
+
+// IsLoop reports whether n is a for or range statement.
+func IsLoop(n ast.Node) bool {
+	switch n.(type) {
+	case *ast.ForStmt, *ast.RangeStmt:
+		return true
+	}
+	return false
+}
+
+// LoopBody returns the body of a for or range statement, or nil.
+func LoopBody(n ast.Node) *ast.BlockStmt {
+	switch n := n.(type) {
+	case *ast.ForStmt:
+		return n.Body
+	case *ast.RangeStmt:
+		return n.Body
+	}
+	return nil
+}

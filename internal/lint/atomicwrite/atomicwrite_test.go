@@ -1,0 +1,12 @@
+package atomicwrite_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/atomicwrite"
+	"repro/internal/lint/linttest"
+)
+
+func TestAtomicwrite(t *testing.T) {
+	linttest.Run(t, atomicwrite.Analyzer, "testdata/src/atomicwrite")
+}

@@ -1,0 +1,108 @@
+// Package atomicwrite holds flagged and allowed shapes for the
+// atomicwrite analyzer. Comments marked `want` expect a diagnostic on
+// their line.
+package atomicwrite
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// flaggedRenameNoSync renames a temp file whose contents may still be
+// in the page cache.
+func flaggedRenameNoSync(path string, data []byte) error {
+	f, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(f.Name())
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(f.Name())
+		return err
+	}
+	return os.Rename(f.Name(), path) // want `os.Rename without a preceding Sync`
+}
+
+// syncedRename is the full discipline: temp file, Sync, rename, then
+// sync the directory so the rename itself is durable.
+func syncedRename(path string, data []byte) error {
+	f, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(f.Name())
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(f.Name())
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(f.Name())
+		return err
+	}
+	if err := os.Rename(f.Name(), path); err != nil {
+		os.Remove(f.Name())
+		return err
+	}
+	dir, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return err
+	}
+	defer dir.Close()
+	return dir.Sync()
+}
+
+// flaggedCreate writes the destination in place: a crash mid-write
+// destroys the previous good copy.
+func flaggedCreate(path string, data []byte) error {
+	f, err := os.Create(path) // want `destination file written in place`
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = f.Write(data)
+	return err
+}
+
+// flaggedWriteFile is the one-shot variant of the same bug.
+func flaggedWriteFile(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644) // want `destination file written in place`
+}
+
+// flaggedOpenFile creates through OpenFile.
+func flaggedOpenFile(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644) // want `destination file written in place`
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = f.Write(data)
+	return err
+}
+
+// readOnly opens nothing for writing: not a durability concern.
+func readOnly(path string) ([]byte, error) {
+	f, err := os.OpenFile(path, os.O_RDONLY, 0)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	buf := make([]byte, 16)
+	n, err := f.Read(buf)
+	return buf[:n], err
+}
+
+// allowedScratch writes a rebuild-on-miss scratch file; losing it
+// costs a recompute, not data.
+func allowedScratch(path string, data []byte) error {
+	//lint:allow atomicwrite -- scratch cache, rebuilt on miss
+	return os.WriteFile(path, data, 0o644)
+}

@@ -1,0 +1,12 @@
+package ctxpoll_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/ctxpoll"
+	"repro/internal/lint/linttest"
+)
+
+func TestCtxpoll(t *testing.T) {
+	linttest.Run(t, ctxpoll.Analyzer, "testdata/src/ctxpoll")
+}

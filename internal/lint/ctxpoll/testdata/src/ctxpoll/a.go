@@ -1,0 +1,132 @@
+// Package ctxpoll holds flagged and allowed shapes for the ctxpoll
+// analyzer. Comments marked `want` expect a diagnostic on their line.
+package ctxpoll
+
+import "context"
+
+type table struct{ rows, cols int }
+
+func (t *table) cell(r, c int) int { return r*t.cols + c }
+
+// flaggedNest never consults ctx inside the scan: one oversized table
+// delays cancellation until the whole nest finishes.
+func flaggedNest(ctx context.Context, tables []*table) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	sum := 0
+	for _, t := range tables { // want `loop nest never polls the context`
+		for r := 0; r < t.rows; r++ {
+			for c := 0; c < t.cols; c++ {
+				sum += t.cell(r, c)
+			}
+		}
+	}
+	return sum, nil
+}
+
+const rowCheckInterval = 1024
+
+// counterPoll is the repository's row-scan idiom: poll every
+// rowCheckInterval rows via a mask. The poll references ctx, so the
+// nest passes.
+func counterPoll(ctx context.Context, tables []*table) (int, error) {
+	sum := 0
+	for _, t := range tables {
+		for r := 0; r < t.rows; r++ {
+			if r&(rowCheckInterval-1) == rowCheckInterval-1 {
+				if err := ctx.Err(); err != nil {
+					return 0, err
+				}
+			}
+			for c := 0; c < t.cols; c++ {
+				sum += t.cell(r, c)
+			}
+		}
+	}
+	return sum, nil
+}
+
+// delegates passes ctx to the callee, which then owns the polling
+// obligation — the loop references ctx, so it passes.
+func delegates(ctx context.Context, tables []*table) (int, error) {
+	sum := 0
+	for _, t := range tables {
+		n, err := scanOne(ctx, t)
+		if err != nil {
+			return 0, err
+		}
+		sum += n
+	}
+	return sum, nil
+}
+
+func scanOne(ctx context.Context, t *table) (int, error) {
+	sum := 0
+	for r := 0; r < t.rows; r++ {
+		if r&(rowCheckInterval-1) == rowCheckInterval-1 {
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
+		}
+		for c := 0; c < t.cols; c++ {
+			sum += t.cell(r, c)
+		}
+	}
+	return sum, nil
+}
+
+// outerPollsInnerDoesNot polls between tables but runs an unpolled
+// double loop per table: the inner nest is flagged on its own.
+func outerPollsInnerDoesNot(ctx context.Context, tables []*table) (int, error) {
+	sum := 0
+	for _, t := range tables {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		for r := 0; r < t.rows; r++ { // want `loop nest never polls the context`
+			for c := 0; c < t.cols; c++ {
+				sum += t.cell(r, c)
+			}
+		}
+	}
+	return sum, nil
+}
+
+// noCtxParam is outside the contract: without a context parameter
+// there is nothing to poll.
+func noCtxParam(tables []*table) int {
+	sum := 0
+	for _, t := range tables {
+		for r := 0; r < t.rows; r++ {
+			for c := 0; c < t.cols; c++ {
+				sum += t.cell(r, c)
+			}
+		}
+	}
+	return sum
+}
+
+// singleLoop has no nested loop: per-iteration work is assumed
+// bounded, so it is not flagged even though it never polls.
+func singleLoop(ctx context.Context, xs []int) int {
+	sum := 0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum
+}
+
+// allowedNest documents a deliberate exception.
+func allowedNest(ctx context.Context, tables []*table) int {
+	sum := 0
+	//lint:allow ctxpoll -- fixture nest is bounded to 4x4 tables
+	for _, t := range tables {
+		for r := 0; r < t.rows; r++ {
+			for c := 0; c < t.cols; c++ {
+				sum += t.cell(r, c)
+			}
+		}
+	}
+	return sum
+}

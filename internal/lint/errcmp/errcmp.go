@@ -1,0 +1,121 @@
+// Package errcmp flags direct comparison against sentinel error values:
+// err == ErrX, err != ErrX, and switch-on-error with error-typed cases.
+//
+// Every layer of this repository wraps errors with context on the way
+// up — QueryError, BatchError, CorpusError, RequestError all implement
+// Unwrap, and callers are promised that errors.Is(err, ErrTableBounds)
+// works however deep the wrapping. A direct == comparison silently
+// breaks that promise the first time a layer adds a wrapper: the
+// comparison stops matching and the caller's fallback path runs
+// instead, with no compile-time signal. errors.Is (and errors.As for
+// typed errors) are the only comparisons that survive wrapping.
+//
+// Comparisons against nil are fine, as is == between two freshly
+// compared dynamic values inside errors.Is implementations themselves
+// (an Is method needs ==; those are annotated //lint:allow errcmp when
+// they exist).
+package errcmp
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/astutil"
+)
+
+// Analyzer flags ==/!=/switch comparisons on error values.
+var Analyzer = &analysis.Analyzer{
+	Name: "errcmp",
+	Doc:  "flags err == ErrX and switch-on-error; wrapping breaks them, use errors.Is/errors.As",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				checkBinary(pass, n)
+			case *ast.SwitchStmt:
+				checkSwitch(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkBinary flags ==/!= where both operands are error-typed and
+// neither is nil.
+func checkBinary(pass *analysis.Pass, b *ast.BinaryExpr) {
+	if b.Op != token.EQL && b.Op != token.NEQ {
+		return
+	}
+	if isNil(pass, b.X) || isNil(pass, b.Y) {
+		return
+	}
+	if !isErrorType(pass.TypeOf(b.X)) || !isErrorType(pass.TypeOf(b.Y)) {
+		return
+	}
+	pass.Reportf(b.Pos(), "%s %s %s breaks once the error is wrapped; use errors.Is(%s, %s), or annotate //lint:allow errcmp",
+		astutil.Render(b.X), b.Op, astutil.Render(b.Y), astutil.Render(b.X), astutil.Render(b.Y))
+}
+
+// checkSwitch flags `switch err { case ErrX: }` — every case is an ==
+// comparison in disguise. Type switches are not reached here (they are
+// *ast.TypeSwitchStmt) and are fine: errors.As exists precisely for
+// typed errors, but a type switch on a non-wrapped value is at least
+// explicit about it.
+func checkSwitch(pass *analysis.Pass, sw *ast.SwitchStmt) {
+	if sw.Tag == nil || !isErrorType(pass.TypeOf(sw.Tag)) {
+		return
+	}
+	for _, st := range sw.Body.List {
+		cc, ok := st.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			if isNil(pass, e) {
+				continue
+			}
+			pass.Reportf(cc.Pos(), "switch on %s compares sentinels with ==, which breaks once the error is wrapped; use if/else chains of errors.Is, or annotate //lint:allow errcmp",
+				astutil.Render(sw.Tag))
+			return // one report per switch
+		}
+	}
+}
+
+// isErrorType reports whether t is the error interface type.
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	it, ok := t.Underlying().(*types.Interface)
+	if !ok || it.NumMethods() != 1 {
+		return false
+	}
+	m := it.Method(0)
+	if m.Name() != "Error" {
+		return false
+	}
+	sig, ok := m.Type().(*types.Signature)
+	if !ok || sig.Params().Len() != 0 || sig.Results().Len() != 1 {
+		return false
+	}
+	b, ok := sig.Results().At(0).Type().(*types.Basic)
+	return ok && b.Kind() == types.String
+}
+
+// isNil reports whether e is the untyped nil.
+func isNil(pass *analysis.Pass, e ast.Expr) bool {
+	if id, ok := e.(*ast.Ident); ok && id.Name == "nil" {
+		if _, isNilObj := pass.ObjectOf(id).(*types.Nil); isNilObj {
+			return true
+		}
+	}
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.IsNil()
+}

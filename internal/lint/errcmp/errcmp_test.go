@@ -1,0 +1,12 @@
+package errcmp_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/errcmp"
+	"repro/internal/lint/linttest"
+)
+
+func TestErrcmp(t *testing.T) {
+	linttest.Run(t, errcmp.Analyzer, "testdata/src/errcmp")
+}

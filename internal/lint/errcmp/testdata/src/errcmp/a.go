@@ -1,0 +1,84 @@
+// Package errcmp holds flagged and allowed shapes for the errcmp
+// analyzer. Comments marked `want` expect a diagnostic on their line.
+package errcmp
+
+import (
+	"errors"
+	"fmt"
+)
+
+var (
+	errBounds = errors.New("row out of bounds")
+	errClosed = errors.New("corpus closed")
+)
+
+// wrap mirrors the repository's layered errors: context added on the
+// way up, Unwrap preserved.
+type wrap struct {
+	op  string
+	err error
+}
+
+func (w *wrap) Error() string { return w.op + ": " + w.err.Error() }
+func (w *wrap) Unwrap() error { return w.err }
+
+// flaggedEq breaks the moment a layer wraps the sentinel.
+func flaggedEq(err error) bool {
+	return err == errBounds // want `err == errBounds breaks once the error is wrapped`
+}
+
+// flaggedNeq is the same bug with the polarity flipped.
+func flaggedNeq(err error) bool {
+	if err != errClosed { // want `err != errClosed breaks once the error is wrapped`
+		return true
+	}
+	return false
+}
+
+// flaggedSwitch compares sentinels with == per case.
+func flaggedSwitch(err error) string {
+	switch err {
+	case errBounds: // want `switch on err compares sentinels with ==`
+		return "bounds"
+	case errClosed:
+		return "closed"
+	}
+	return "other"
+}
+
+// nilChecks are not sentinel comparisons.
+func nilChecks(err error) bool {
+	if err == nil {
+		return true
+	}
+	return err != nil && false
+}
+
+// nilSwitch distinguishes only presence, which == handles correctly.
+func nilSwitch(err error) string {
+	switch err {
+	case nil:
+		return "ok"
+	}
+	return "failed"
+}
+
+// usesIs survives arbitrary wrapping — including through fmt.Errorf's
+// %w and the wrap type above.
+func usesIs(err error) string {
+	wrapped := fmt.Errorf("outer: %w", &wrap{op: "load", err: err})
+	if errors.Is(wrapped, errBounds) {
+		return "bounds"
+	}
+	var w *wrap
+	if errors.As(wrapped, &w) {
+		return w.op
+	}
+	return "other"
+}
+
+// allowedEq documents a deliberate identity comparison.
+func allowedEq(err error) bool {
+	//lint:allow errcmp -- identity check in a fixture that never wraps
+	return err == errBounds
+}

@@ -1,0 +1,12 @@
+package floatfold_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/floatfold"
+	"repro/internal/lint/linttest"
+)
+
+func TestFloatfold(t *testing.T) {
+	linttest.Run(t, floatfold.Analyzer, "testdata/src/floatfold")
+}

@@ -1,0 +1,122 @@
+// Package floatfold holds flagged and allowed shapes for the floatfold
+// analyzer. Comments marked `want` expect a diagnostic on their line.
+package floatfold
+
+import (
+	"sort"
+	"sync"
+)
+
+// flaggedMapFold folds floats in map iteration order: same input,
+// different low bits across runs.
+func flaggedMapFold(w map[string]float64) float64 {
+	norm := 0.0
+	for _, wt := range w {
+		norm += wt * wt // want `float accumulation into norm across map iterations`
+	}
+	return norm
+}
+
+// sortedFold fixes the order first: a left fold over sorted keys is
+// bit-reproducible.
+func sortedFold(w map[string]float64) float64 {
+	keys := make([]string, 0, len(w))
+	for k := range w {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	norm := 0.0
+	for _, k := range keys {
+		norm += w[k] * w[k]
+	}
+	return norm
+}
+
+// keyedFold accumulates per-key state, not a fold across iterations.
+func keyedFold(m map[string][]float64) map[string]float64 {
+	sums := make(map[string]float64)
+	for k, vs := range m {
+		for _, v := range vs {
+			sums[k] += v
+		}
+	}
+	return sums
+}
+
+// bodyLocal accumulates into a variable that dies with the iteration.
+func bodyLocal(m map[string][]float64) int {
+	n := 0
+	for _, vs := range m {
+		local := 0.0
+		for _, v := range vs {
+			local += v
+		}
+		if local > 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// intFold is associative: integer accumulation over a map is a
+// maporder question (and only if order escapes), never a floatfold one.
+func intFold(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// flaggedGoroutine folds concurrent partials in scheduling order (and
+// races besides).
+func flaggedGoroutine(chunks [][]float64) float64 {
+	var wg sync.WaitGroup
+	total := 0.0
+	for _, chunk := range chunks {
+		wg.Add(1)
+		go func(c []float64) {
+			defer wg.Done()
+			for _, v := range c {
+				total += v // want `float accumulation into captured total inside a goroutine`
+			}
+		}(chunk)
+	}
+	wg.Wait()
+	return total
+}
+
+// shardedReplay is the executor's shape: goroutines fold locals, the
+// caller replays partials in a fixed order.
+func shardedReplay(chunks [][]float64) float64 {
+	partials := make([]float64, len(chunks))
+	var wg sync.WaitGroup
+	for i, chunk := range chunks {
+		wg.Add(1)
+		go func(i int, c []float64) {
+			defer wg.Done()
+			local := 0.0
+			for _, v := range c {
+				local += v
+			}
+			partials[i] = local
+		}(i, chunk)
+	}
+	wg.Wait()
+	total := 0.0
+	for _, p := range partials {
+		total += p
+	}
+	return total
+}
+
+// allowedFold documents a deliberate exception: a diagnostic-only
+// aggregate where low-bit drift is acceptable.
+func allowedFold(w map[string]float64) float64 {
+	mean := 0.0
+	for _, wt := range w {
+		//lint:allow floatfold -- debug-only mean, never compared bit-exactly
+		mean += wt
+	}
+	return mean / float64(len(w))
+}

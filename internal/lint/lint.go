@@ -1,0 +1,141 @@
+// Package lint is the tablint suite registry: the custom analyzers
+// that machine-enforce this repository's determinism, cancellation and
+// durability invariants, plus the //lint:allow suppression directive
+// the cmd/tablint driver honors.
+//
+// See README.md in this directory for the invariant each analyzer
+// encodes and the incident that motivated it.
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/atomicwrite"
+	"repro/internal/lint/ctxpoll"
+	"repro/internal/lint/errcmp"
+	"repro/internal/lint/floatfold"
+	"repro/internal/lint/load"
+	"repro/internal/lint/maporder"
+)
+
+// Suite returns the full tablint analyzer suite, in reporting order.
+func Suite() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		maporder.Analyzer,
+		ctxpoll.Analyzer,
+		errcmp.Analyzer,
+		atomicwrite.Analyzer,
+		floatfold.Analyzer,
+	}
+}
+
+// Run executes every suite analyzer over one loaded package and returns
+// the findings that survive //lint:allow suppression, in file order.
+func Run(pkg *load.Package) ([]analysis.Diagnostic, error) {
+	if len(pkg.Files) == 0 {
+		return nil, nil
+	}
+	var diags []analysis.Diagnostic
+	for _, a := range Suite() {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Pkg,
+			TypesInfo: pkg.Info,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, err
+		}
+		diags = append(diags, pass.Diagnostics()...)
+	}
+	return Suppress(pkg.Fset, pkg.Files, diags), nil
+}
+
+// allowDirective is the suppression marker: a comment of the form
+//
+//	//lint:allow maporder -- justification for the exception
+//
+// (one or more comma-separated analyzer names) placed on the flagged
+// line or the line directly above it. The justification after " -- "
+// is conventional, not parsed; write one anyway — the reviewer who
+// deletes the directive needs to know what it protected.
+const allowDirective = "lint:allow"
+
+// Suppress drops diagnostics covered by a //lint:allow directive.
+func Suppress(fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) []analysis.Diagnostic {
+	// allowed[file][line] lists the analyzer names allowed there.
+	allowed := make(map[string]map[int][]string)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, allowDirective) {
+					continue
+				}
+				names := strings.TrimSpace(strings.TrimPrefix(text, allowDirective))
+				if i := strings.Index(names, "--"); i >= 0 {
+					names = names[:i]
+				}
+				pos := fset.Position(c.Pos())
+				m := allowed[pos.Filename]
+				if m == nil {
+					m = make(map[int][]string)
+					allowed[pos.Filename] = m
+				}
+				for _, n := range strings.Split(names, ",") {
+					if n = strings.TrimSpace(n); n != "" {
+						m[pos.Line] = append(m[pos.Line], n)
+					}
+				}
+			}
+		}
+	}
+	var kept []analysis.Diagnostic
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		if lineAllows(allowed[pos.Filename], pos.Line, d.Analyzer) {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept
+}
+
+// lineAllows reports whether a directive on the diagnostic's line or
+// the line directly above names the analyzer.
+func lineAllows(m map[int][]string, line int, analyzer string) bool {
+	if m == nil {
+		return false
+	}
+	for _, l := range []int{line, line - 1} {
+		for _, n := range m[l] {
+			if n == analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Sort orders diagnostics by file, line and column for stable output.
+func Sort(fset *token.FileSet, diags []analysis.Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		pa, pb := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
+		if pa.Filename != pb.Filename {
+			return pa.Filename < pb.Filename
+		}
+		if pa.Line != pb.Line {
+			return pa.Line < pb.Line
+		}
+		if pa.Column != pb.Column {
+			return pa.Column < pb.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+}

@@ -1,0 +1,95 @@
+package lint_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysis"
+)
+
+func parseSrc(t *testing.T, src string) (*token.FileSet, []*ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fixture.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, []*ast.File{f}
+}
+
+// diagAt fabricates a diagnostic at a given line of the fixture file.
+func diagAt(fset *token.FileSet, files []*ast.File, line int, name string) analysis.Diagnostic {
+	tf := fset.File(files[0].Pos())
+	return analysis.Diagnostic{Pos: tf.LineStart(line), Analyzer: name, Message: "m"}
+}
+
+func TestSuiteHasFiveNamedAnalyzers(t *testing.T) {
+	want := map[string]bool{
+		"maporder": true, "ctxpoll": true, "errcmp": true,
+		"atomicwrite": true, "floatfold": true,
+	}
+	suite := lint.Suite()
+	if len(suite) != len(want) {
+		t.Fatalf("suite has %d analyzers, want %d", len(suite), len(want))
+	}
+	for _, a := range suite {
+		if !want[a.Name] {
+			t.Errorf("unexpected analyzer %q", a.Name)
+		}
+		if a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %q missing Doc or Run", a.Name)
+		}
+	}
+}
+
+func TestSuppressDirective(t *testing.T) {
+	src := `package p
+
+func f() {
+	//lint:allow maporder -- justified
+	_ = 1
+	_ = 2 //lint:allow errcmp, floatfold -- two at once
+
+	_ = 3
+}
+`
+	fset, files := parseSrc(t, src)
+	diags := []analysis.Diagnostic{
+		diagAt(fset, files, 5, "maporder"),  // line under directive: suppressed
+		diagAt(fset, files, 5, "ctxpoll"),   // same line, other analyzer: kept
+		diagAt(fset, files, 6, "errcmp"),    // same-line directive: suppressed
+		diagAt(fset, files, 6, "floatfold"), // second name in list: suppressed
+		diagAt(fset, files, 8, "errcmp"),    // two lines below directive: kept
+	}
+	kept := lint.Suppress(fset, files, diags)
+	if len(kept) != 2 {
+		t.Fatalf("kept %d diagnostics, want 2: %+v", len(kept), kept)
+	}
+	if kept[0].Analyzer != "ctxpoll" || kept[1].Analyzer != "errcmp" {
+		t.Errorf("kept wrong diagnostics: %+v", kept)
+	}
+	if fset.Position(kept[1].Pos).Line != 8 {
+		t.Errorf("kept errcmp diagnostic at line %d, want 8", fset.Position(kept[1].Pos).Line)
+	}
+}
+
+func TestSortOrdersByPosition(t *testing.T) {
+	src := "package p\n\nvar a = 1\nvar b = 2\n"
+	fset, files := parseSrc(t, src)
+	diags := []analysis.Diagnostic{
+		diagAt(fset, files, 4, "maporder"),
+		diagAt(fset, files, 3, "floatfold"),
+		diagAt(fset, files, 3, "ctxpoll"),
+	}
+	lint.Sort(fset, diags)
+	got := []string{diags[0].Analyzer, diags[1].Analyzer, diags[2].Analyzer}
+	want := []string{"ctxpoll", "floatfold", "maporder"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sorted order %v, want %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,259 @@
+// Package load turns Go packages into type-checked syntax for the lint
+// analyzers, without golang.org/x/tools: export data for dependencies
+// comes either from the vet.cfg file the go command hands a -vettool
+// (see cmd/tablint) or from `go list -export`, and is decoded by the
+// standard library's gc importer.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Config describes one package to analyze. It is the subset of the go
+// command's vet config (cmd/go/internal/work.vetConfig) tablint needs;
+// the JSON field names match the wire format exactly.
+type Config struct {
+	ID         string
+	Compiler   string
+	Dir        string
+	ImportPath string
+	GoFiles    []string
+	GoVersion  string
+
+	ImportMap   map[string]string // import path in source → canonical package path
+	PackageFile map[string]string // canonical package path → export data file
+	Standard    map[string]bool
+
+	VetxOnly   bool   // go vet only wants dependency facts; skip analysis
+	VetxOutput string // where to write the (empty) facts file
+
+	SucceedOnTypecheckFailure bool
+}
+
+// ReadConfig decodes a vet.cfg file written by `go vet -vettool`.
+func ReadConfig(path string) (*Config, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	cfg := new(Config)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("load: parse %s: %w", path, err)
+	}
+	return cfg, nil
+}
+
+// Package is one parsed and type-checked package, ready for analysis.
+type Package struct {
+	ImportPath string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Pkg        *types.Package
+	Info       *types.Info
+	// TypeErrors holds the type-checker's complaints. Analysis can
+	// proceed on a partially checked package, but the driver reports
+	// them (unless the go command asked it not to).
+	TypeErrors []error
+}
+
+// Load parses and type-checks the config's package. Files ending in
+// _test.go are skipped: tablint enforces production-code invariants,
+// and the go command hands test variants to the vettool as separate
+// configs sharing the non-test files.
+func (cfg *Config) Load() (*Package, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("load: %w", err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return &Package{ImportPath: cfg.ImportPath, Fset: fset}, nil
+	}
+	return check(cfg.ImportPath, cfg.GoVersion, fset, files, cfg.ImportMap, cfg.PackageFile)
+}
+
+// check runs the type checker with dependencies resolved from export
+// data files.
+func check(path, goVersion string, fset *token.FileSet, files []*ast.File, importMap, packageFile map[string]string) (*Package, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	pkg := &Package{ImportPath: path, Fset: fset, Files: files, Info: info}
+	tcfg := &types.Config{
+		Importer: &mappedImporter{
+			imp: importer.ForCompiler(fset, "gc", func(p string) (io.ReadCloser, error) {
+				file, ok := packageFile[p]
+				if !ok {
+					return nil, fmt.Errorf("load: no export data for %q", p)
+				}
+				return os.Open(file)
+			}),
+			m: importMap,
+		},
+		Error: func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+		Sizes: types.SizesFor("gc", "amd64"),
+	}
+	if goVersion != "" && strings.HasPrefix(goVersion, "go") {
+		tcfg.GoVersion = goVersion
+	}
+	// Check reports the first error it saw; the Error hook above already
+	// collected everything, so only an error without collected detail
+	// (an importer crash, say) is returned directly.
+	tpkg, err := tcfg.Check(path, fset, files, info)
+	pkg.Pkg = tpkg
+	if err != nil && len(pkg.TypeErrors) == 0 {
+		return nil, fmt.Errorf("load: typecheck %s: %w", path, err)
+	}
+	return pkg, nil
+}
+
+// mappedImporter applies a vendoring/canonicalization map before
+// delegating to the export-data importer. The gc importer caches, so a
+// package is decoded once per process however many times it is named.
+type mappedImporter struct {
+	imp types.Importer
+	m   map[string]string
+}
+
+func (mi *mappedImporter) Import(path string) (*types.Package, error) {
+	if p, ok := mi.m[path]; ok {
+		path = p
+	}
+	return mi.imp.Import(path)
+}
+
+// listPkg is the subset of `go list -json` output the standalone driver
+// and the test loader consume.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	DepOnly    bool
+	Standard   bool
+	ImportMap  map[string]string
+	Module     *struct{ GoVersion string }
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list -export -deps -json` over the patterns and
+// returns the decoded package stream.
+func goList(dir string, patterns []string) ([]*listPkg, error) {
+	args := append([]string{"list", "-export", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("load: go list: %v\n%s", err, errb.String())
+	}
+	var pkgs []*listPkg
+	dec := json.NewDecoder(&out)
+	for dec.More() {
+		p := new(listPkg)
+		if err := dec.Decode(p); err != nil {
+			return nil, fmt.Errorf("load: decode go list output: %w", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// Patterns resolves package patterns (./..., a package path, ...) into
+// one Config per matched non-dependency package, with export data for
+// every dependency. This is the standalone driver used when tablint is
+// invoked directly rather than through `go vet -vettool`.
+func Patterns(dir string, patterns []string) ([]*Config, error) {
+	pkgs, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	packageFile := make(map[string]string)
+	standard := make(map[string]bool)
+	for _, p := range pkgs {
+		if p.Export != "" {
+			packageFile[p.ImportPath] = p.Export
+		}
+		if p.Standard {
+			standard[p.ImportPath] = true
+		}
+	}
+	var cfgs []*Config
+	for _, p := range pkgs {
+		if p.DepOnly || len(p.GoFiles) == 0 {
+			continue
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("load: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		cfg := &Config{
+			ID:          p.ImportPath,
+			Compiler:    "gc",
+			Dir:         p.Dir,
+			ImportPath:  p.ImportPath,
+			ImportMap:   p.ImportMap,
+			PackageFile: packageFile,
+			Standard:    standard,
+		}
+		if p.Module != nil && p.Module.GoVersion != "" {
+			cfg.GoVersion = "go" + p.Module.GoVersion
+		}
+		for _, f := range p.GoFiles {
+			cfg.GoFiles = append(cfg.GoFiles, filepath.Join(p.Dir, f))
+		}
+		cfgs = append(cfgs, cfg)
+	}
+	return cfgs, nil
+}
+
+// ExportData resolves export-data files for the named packages and all
+// their dependencies — the test loader uses it to type-check testdata
+// sources against the real standard library.
+func ExportData(dir string, pkgs []string) (map[string]string, error) {
+	if len(pkgs) == 0 {
+		return map[string]string{}, nil
+	}
+	listed, err := goList(dir, pkgs)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]string, len(listed))
+	for _, p := range listed {
+		if p.Export != "" {
+			out[p.ImportPath] = p.Export
+		}
+	}
+	return out, nil
+}
+
+// CheckFiles type-checks already-parsed files (the test loader's path);
+// packageFile must cover every import, transitively.
+func CheckFiles(path string, fset *token.FileSet, files []*ast.File, packageFile map[string]string) (*Package, error) {
+	return check(path, "", fset, files, nil, packageFile)
+}

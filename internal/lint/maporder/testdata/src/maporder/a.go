@@ -1,0 +1,142 @@
+// Package maporder holds flagged and allowed shapes for the maporder
+// analyzer. Comments marked `want` expect a diagnostic on their line.
+package maporder
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// flaggedAppend accumulates into an outer slice straight from map
+// iteration with no later sort.
+func flaggedAppend(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `append to out inside map iteration`
+	}
+	return out
+}
+
+// sortedKeysFirst collects keys, sorts, then ranges the sorted slice:
+// the canonical deterministic idiom, never flagged.
+func sortedKeysFirst(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var out []string
+	for _, k := range keys {
+		out = append(out, fmt.Sprintf("%s=%d", k, m[k]))
+	}
+	return out
+}
+
+// appendThenSort collects in map order but sorts the result before it
+// escapes — allowed by the sorted-after exemption. (The first loop of
+// sortedKeysFirst above passes for the same reason.)
+func appendThenSort(m map[string]int) []int {
+	var vals []int
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	sort.Ints(vals)
+	return vals
+}
+
+// localSortHelper collects in map order and hands the slice to a local
+// sort* helper — the naming convention the analyzer trusts.
+func localSortHelper(m map[int]bool) []int {
+	var ids []int
+	for k := range m {
+		ids = append(ids, k)
+	}
+	sortInts(ids)
+	return ids
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// keyedWrites builds per-key state: final content is independent of
+// visit order.
+func keyedWrites(m map[string][]int) map[string]int {
+	sums := make(map[string]int)
+	for k, vs := range m {
+		for _, v := range vs {
+			sums[k] += v
+		}
+	}
+	return sums
+}
+
+// postingAppend mirrors the search index's posting lists: the append
+// target is indexed by the range key, so order within each list is the
+// inner slice's order, not the map's.
+func postingAppend(m map[string][]int) map[string][]int {
+	post := make(map[string][]int)
+	for tok, ids := range m {
+		post[tok] = append(post[tok], ids...)
+	}
+	return post
+}
+
+// flaggedString concatenates across iterations.
+func flaggedString(m map[string]int) string {
+	s := ""
+	for k := range m {
+		s += k // want `string built up across map iterations`
+	}
+	return s
+}
+
+// flaggedSend publishes values in iteration order.
+func flaggedSend(m map[string]int, ch chan string) {
+	for k := range m {
+		ch <- k // want `send on ch inside map iteration`
+	}
+}
+
+// flaggedFprintf serializes entries straight to an outer writer.
+func flaggedFprintf(m map[string]int, w io.Writer) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want `fmt.Fprintf inside map iteration`
+	}
+}
+
+// flaggedWriteString serializes into an outer buffer.
+func flaggedWriteString(m map[string]int, buf *bytes.Buffer) {
+	for k := range m {
+		buf.WriteString(k) // want `buf.WriteString inside map iteration`
+	}
+}
+
+// loopLocal appends to a slice that dies with the iteration — order
+// is unobservable.
+func loopLocal(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...)
+		n += len(local)
+	}
+	return n
+}
+
+// allowed demonstrates the suppression directive: iteration order is
+// deliberately accepted here.
+func allowed(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		//lint:allow maporder -- order deliberately unspecified in this fixture
+		out = append(out, k)
+	}
+	return out
+}

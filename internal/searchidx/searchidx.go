@@ -96,10 +96,17 @@ func New(cat *catalog.Catalog, tables []*table.Table, anns []*core.Annotation) *
 	return ix
 }
 
+// rowCheckInterval is how many cells are indexed between context polls,
+// mirroring the row-scan idiom in internal/search/exec.go. Power of two
+// so the check compiles to a mask, not a division.
+const rowCheckInterval = 1024
+
 // BuildContext is New with input validation and cancellation: a non-nil
 // anns slice must be parallel to tables (a length mismatch is reported as
 // an error instead of panicking later in EntityAt/TypeAt), and the context
-// is checked between tables so indexing a large corpus aborts promptly.
+// is checked between tables — and every rowCheckInterval cells within a
+// table — so indexing a corpus with one oversized table still aborts
+// promptly.
 func BuildContext(ctx context.Context, cat *catalog.Catalog, tables []*table.Table, anns []*core.Annotation) (*Index, error) {
 	if anns != nil && len(anns) != len(tables) {
 		return nil, fmt.Errorf("searchidx: %d annotations for %d tables", len(anns), len(tables))
@@ -131,6 +138,7 @@ func BuildContext(ctx context.Context, cat *catalog.Catalog, tables []*table.Tab
 		for tok := range text.TokenSet(t.Context) {
 			ix.contextPost[tok] = append(ix.contextPost[tok], ti)
 		}
+		//lint:allow ctxpoll -- bounded by column count × header tokens, not row-scale
 		for c := 0; c < cols; c++ {
 			for tok := range text.TokenSet(t.Header(c)) {
 				ix.headerPost[tok] = append(ix.headerPost[tok], ColRef{ti, c})
@@ -138,6 +146,11 @@ func BuildContext(ctx context.Context, cat *catalog.Catalog, tables []*table.Tab
 		}
 		for r := 0; r < t.Rows(); r++ {
 			for c := 0; c < cols; c++ {
+				if cell := r*cols + c; cell&(rowCheckInterval-1) == rowCheckInterval-1 {
+					if err := ctx.Err(); err != nil {
+						return nil, err
+					}
+				}
 				toks := text.Tokenize(t.Cell(r, c))
 				set := make(map[string]struct{}, len(toks))
 				for _, tok := range toks {
@@ -186,6 +199,7 @@ func BuildContext(ctx context.Context, cat *catalog.Catalog, tables []*table.Tab
 
 			// Typed-pair posting list: every ordered pair of distinct
 			// type-annotated columns, the type-only mode's candidates.
+			//lint:allow ctxpoll -- bounded by column count squared, not row-scale
 			for c1 := 0; c1 < cols; c1++ {
 				if colT[c1] == catalog.None {
 					continue
@@ -209,6 +223,11 @@ func BuildContext(ctx context.Context, cat *catalog.Catalog, tables []*table.Tab
 			for r, row := range ann.CellEntities {
 				if r >= rows {
 					break
+				}
+				if r&(rowCheckInterval-1) == rowCheckInterval-1 {
+					if err := ctx.Err(); err != nil {
+						return nil, err
+					}
 				}
 				for c, e := range row {
 					if c >= cols {
@@ -245,11 +264,13 @@ func (ix *Index) RawCell(loc CellLoc) string {
 	return ix.Tables[loc.Table].Cell(loc.Row, loc.Col)
 }
 
-// HeaderMatches returns columns whose header shares a token with q.
+// HeaderMatches returns columns whose header shares a token with q, in
+// sorted-token probe order: deterministic, so evidence replay sees the
+// same sequence every run.
 func (ix *Index) HeaderMatches(q string) []ColRef {
 	seen := make(map[ColRef]struct{})
 	var out []ColRef
-	for tok := range text.TokenSet(q) {
+	for _, tok := range sortedTokens(text.TokenSet(q)) {
 		for _, ref := range ix.headerPost[tok] {
 			if _, dup := seen[ref]; !dup {
 				seen[ref] = struct{}{}
@@ -258,6 +279,17 @@ func (ix *Index) HeaderMatches(q string) []ColRef {
 		}
 	}
 	return out
+}
+
+// sortedTokens returns the set's tokens in sorted order, so index
+// probes concatenate posting lists deterministically.
+func sortedTokens(set map[string]struct{}) []string {
+	toks := make([]string, 0, len(set))
+	for t := range set {
+		toks = append(toks, t)
+	}
+	sort.Strings(toks)
+	return toks
 }
 
 // ContextMatches returns tables whose context shares a token with q.
@@ -271,11 +303,12 @@ func (ix *Index) ContextMatches(q string) map[int]struct{} {
 	return out
 }
 
-// CellMatches returns cells sharing a token with q.
+// CellMatches returns cells sharing a token with q, in sorted-token
+// probe order (see HeaderMatches).
 func (ix *Index) CellMatches(q string) []CellLoc {
 	seen := make(map[CellLoc]struct{})
 	var out []CellLoc
-	for tok := range text.TokenSet(q) {
+	for _, tok := range sortedTokens(text.TokenSet(q)) {
 		for _, loc := range ix.cellPost[tok] {
 			if _, dup := seen[loc]; !dup {
 				seen[loc] = struct{}{}

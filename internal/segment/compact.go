@@ -145,6 +145,9 @@ func (s *Store) mergeLocked(ctx context.Context, v *View, lo, hi int) error {
 	var tables []*table.Table
 	var anns []*core.Annotation
 	for i := lo; i <= hi; i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		ix := v.segs[i].ix
 		for local, t := range ix.Tables {
 			if v.isDead(i, local) {

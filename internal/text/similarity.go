@@ -188,15 +188,17 @@ func CosineCounts(a, b map[string]float64) float64 {
 	if len(a) == 0 || len(b) == 0 {
 		return 0
 	}
+	// Sorted folds: see sortedKeys in tfidf.go.
 	var dot, na, nb float64
-	for t, wa := range a {
+	for _, t := range sortedKeys(a) {
+		wa := a[t]
 		na += wa * wa
 		if wb, ok := b[t]; ok {
 			dot += wa * wb
 		}
 	}
-	for _, wb := range b {
-		nb += wb * wb
+	for _, t := range sortedKeys(b) {
+		nb += b[t] * b[t]
 	}
 	if na == 0 || nb == 0 {
 		return 0

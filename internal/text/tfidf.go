@@ -57,13 +57,26 @@ func (v *VectorSpace) Vectorize(s string) Vector {
 		w[t]++
 	}
 	var norm float64
-	for t, tf := range w {
+	for _, t := range sortedKeys(w) {
 		// Sub-linear TF damping, standard in IR.
-		wt := (1 + math.Log(tf)) * v.IDF(t)
+		wt := (1 + math.Log(w[t])) * v.IDF(t)
 		w[t] = wt
 		norm += wt * wt
 	}
 	return Vector{Weights: w, Norm: math.Sqrt(norm)}
+}
+
+// sortedKeys returns m's keys in sorted order. Every float fold in
+// this package iterates sorted keys: map iteration order would perturb
+// the low bits of scores that pagination and the parallel-equivalence
+// contract compare bit-exactly.
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // Cosine returns the cosine similarity of two vectors in [0,1].
@@ -71,15 +84,16 @@ func Cosine(a, b Vector) float64 {
 	if a.Norm == 0 || b.Norm == 0 {
 		return 0
 	}
-	// iterate over the smaller map
+	// Iterate the smaller map, over sorted tokens so the dot product
+	// folds in a reproducible order.
 	small, big := a.Weights, b.Weights
 	if len(big) < len(small) {
 		small, big = big, small
 	}
 	var dot float64
-	for t, wa := range small {
+	for _, t := range sortedKeys(small) {
 		if wb, ok := big[t]; ok {
-			dot += wa * wb
+			dot += small[t] * wb
 		}
 	}
 	return dot / (a.Norm * b.Norm)
@@ -100,18 +114,21 @@ func (v *VectorSpace) SoftTFIDF(a, b string, threshold float64) float64 {
 	if va.Norm == 0 || vb.Norm == 0 {
 		return 0
 	}
+	// Sorted iteration on both sides: the outer order fixes the fold,
+	// and the inner order fixes which token wins a best-similarity tie.
+	bToks := sortedKeys(vb.Weights)
 	var sum float64
-	for ta, wa := range va.Weights {
+	for _, ta := range sortedKeys(va.Weights) {
 		best, bestSim := 0.0, 0.0
-		for tb, wb := range vb.Weights {
+		for _, tb := range bToks {
 			sim := JaroWinkler(ta, tb)
 			if sim >= threshold && sim > bestSim {
 				bestSim = sim
-				best = wb
+				best = vb.Weights[tb]
 			}
 		}
 		if bestSim > 0 {
-			sum += wa * best * bestSim
+			sum += va.Weights[ta] * best * bestSim
 		}
 	}
 	return sum / (va.Norm * vb.Norm)

@@ -394,27 +394,41 @@ func TestAddTablesSpeedup(t *testing.T) {
 		return svc
 	}
 
-	// Rebuild path: index all 1010 tables from scratch.
-	rebuildSvc := newSvc()
-	defer rebuildSvc.Close()
-	start := time.Now()
-	if _, err := rebuildSvc.BuildIndex(ctx, append(append([]*table.Table{}, base...), batch...), webtable.WithoutAnnotations()); err != nil {
-		t.Fatal(err)
+	// Best-of-3 on both sides: single-shot wall-clock ratios flap under
+	// CI load (GC pauses, noisy neighbors on 1-CPU runners); the best
+	// observation approximates the undisturbed cost of each path.
+	const trials = 3
+	rebuild := time.Duration(1<<63 - 1)
+	for i := 0; i < trials; i++ {
+		// Rebuild path: index all 1010 tables from scratch.
+		rebuildSvc := newSvc()
+		start := time.Now()
+		if _, err := rebuildSvc.BuildIndex(ctx, append(append([]*table.Table{}, base...), batch...), webtable.WithoutAnnotations()); err != nil {
+			t.Fatal(err)
+		}
+		if d := time.Since(start); d < rebuild {
+			rebuild = d
+		}
+		rebuildSvc.Close()
 	}
-	rebuild := time.Since(start)
 
-	// Incremental path: the 1000-table corpus is already indexed; only
-	// the 10-table batch is.
-	incSvc := newSvc()
-	defer incSvc.Close()
-	if _, err := incSvc.BuildIndex(ctx, base, webtable.WithoutAnnotations()); err != nil {
-		t.Fatal(err)
+	incremental := time.Duration(1<<63 - 1)
+	for i := 0; i < trials; i++ {
+		// Incremental path: the 1000-table corpus is already indexed;
+		// only the 10-table batch is.
+		incSvc := newSvc()
+		if _, err := incSvc.BuildIndex(ctx, base, webtable.WithoutAnnotations()); err != nil {
+			t.Fatal(err)
+		}
+		start := time.Now()
+		if _, err := incSvc.AddTables(ctx, batch, webtable.WithoutAnnotations()); err != nil {
+			t.Fatal(err)
+		}
+		if d := time.Since(start); d < incremental {
+			incremental = d
+		}
+		incSvc.Close()
 	}
-	start = time.Now()
-	if _, err := incSvc.AddTables(ctx, batch, webtable.WithoutAnnotations()); err != nil {
-		t.Fatal(err)
-	}
-	incremental := time.Since(start)
 
 	if incremental*10 > rebuild {
 		t.Fatalf("incremental add %v not >=10x faster than full rebuild %v", incremental, rebuild)
