@@ -1,0 +1,400 @@
+// Command tabload benchmarks serving topologies under load: it
+// generates a synthetic annotated corpus, serves the identical snapshot
+// from (a) one single-node tabserved-style server and (b) an N-shard
+// cluster behind a scatter-gather router — all over loopback HTTP —
+// and drives a fixed-concurrency search workload at each, reporting
+// p50/p99 latency and throughput per topology.
+//
+// Before measuring, it byte-diffs one response from each topology: the
+// cluster must answer identically to the single node or the run aborts
+// (a benchmark of wrong answers is noise).
+//
+// Usage:
+//
+//	tabload -out BENCH_dist.json -requests 400 -concurrency 8
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	webtable "repro"
+	"repro/internal/cmdio"
+	"repro/internal/dist"
+	"repro/internal/server"
+	"repro/internal/table"
+	"repro/internal/worldgen"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "tabload: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+type benchResult struct {
+	Name          string  `json:"name"`
+	Requests      int     `json:"requests"`
+	Errors        int     `json:"errors"`
+	P50Millis     float64 `json:"p50_ms"`
+	P99Millis     float64 `json:"p99_ms"`
+	WallMillis    float64 `json:"wall_ms"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+}
+
+type benchReport struct {
+	Tool         string        `json:"tool"`
+	Build        string        `json:"build"`
+	CorpusTables int           `json:"corpus_tables"`
+	Concurrency  int           `json:"concurrency"`
+	Shards       int           `json:"shards"`
+	Identical    bool          `json:"responses_identical"`
+	Configs      []benchResult `json:"configs"`
+}
+
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("tabload", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		out         = fs.String("out", "BENCH_dist.json", "report output path")
+		requests    = fs.Int("requests", 400, "requests per topology")
+		concurrency = fs.Int("concurrency", 8, "concurrent clients")
+		tables      = fs.Int("tables", 14, "synthetic corpus size")
+		shards      = fs.Int("shards", 2, "shard count for the cluster topology")
+		workers     = fs.Int("workers", 0, "server worker-pool size (0 = GOMAXPROCS)")
+		version     = fs.Bool("version", false, "print build information and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *version {
+		fmt.Fprintln(stdout, cmdio.BuildInfo("tabload"))
+		return nil
+	}
+	if *requests < 1 || *concurrency < 1 || *tables < 1 || *shards < 1 {
+		fs.Usage()
+		return errors.New("-requests, -concurrency, -tables and -shards must be positive")
+	}
+
+	logger := cmdio.NewLogger(stderr)
+	logger.Info("starting", "build", cmdio.BuildInfo("tabload"),
+		"requests", *requests, "concurrency", *concurrency, "shards", *shards)
+
+	// Corpus: annotate once, snapshot, then serve the same bytes from
+	// every topology.
+	snap, bodies, err := buildCorpus(ctx, *tables, *workers)
+	if err != nil {
+		return err
+	}
+	logger.Info("corpus ready", "tables", *tables, "queries", len(bodies))
+
+	report := benchReport{
+		Tool:         "tabload",
+		Build:        cmdio.BuildInfo("tabload"),
+		CorpusTables: *tables,
+		Concurrency:  *concurrency,
+		Shards:       *shards,
+	}
+
+	// Topology A: single node.
+	singleURL, stopSingle, err := startSingle(ctx, snap, *workers, logger)
+	if err != nil {
+		return err
+	}
+	defer stopSingle()
+
+	// Topology B: N shards + router.
+	routerURL, stopCluster, err := startCluster(ctx, snap, *shards, *workers, logger)
+	if err != nil {
+		return err
+	}
+	defer stopCluster()
+
+	// Correctness gate: the topologies must be indistinguishable.
+	if err := diffResponses(ctx, singleURL, routerURL, bodies[0]); err != nil {
+		return err
+	}
+	report.Identical = true
+	logger.Info("topologies verified byte-identical")
+
+	single, err := drive(ctx, "single-node", singleURL, bodies, *requests, *concurrency)
+	if err != nil {
+		return err
+	}
+	report.Configs = append(report.Configs, single)
+	logger.Info("bench done", "config", single.Name, "p50_ms", single.P50Millis,
+		"p99_ms", single.P99Millis, "rps", single.ThroughputRPS)
+
+	cluster, err := drive(ctx, fmt.Sprintf("%d-shard", *shards), routerURL, bodies, *requests, *concurrency)
+	if err != nil {
+		return err
+	}
+	report.Configs = append(report.Configs, cluster)
+	logger.Info("bench done", "config", cluster.Name, "p50_ms", cluster.P50Millis,
+		"p99_ms", cluster.P99Millis, "rps", cluster.ThroughputRPS)
+
+	if err := cmdio.AtomicWriteFile(*out, func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(report)
+	}); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "tabload: wrote %s\n", *out)
+	return nil
+}
+
+// buildCorpus annotates a synthetic multi-relation corpus and returns
+// the snapshot bytes plus a pool of wire request bodies covering every
+// mode.
+func buildCorpus(ctx context.Context, nTables, workers int) ([]byte, [][]byte, error) {
+	spec := worldgen.DefaultSpec()
+	w, err := worldgen.Build(spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	svc, err := cmdio.NewService(w.Public, workers)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer svc.Close()
+	ds := w.SearchCorpus(nTables, 7)
+	tabs := make([]*table.Table, len(ds.Tables))
+	for i, lt := range ds.Tables {
+		tabs[i] = lt.Table
+	}
+	if _, err := svc.BuildIndex(ctx, tabs); err != nil {
+		return nil, nil, err
+	}
+	var buf bytes.Buffer
+	if err := svc.SaveSnapshot(ctx, &buf); err != nil {
+		return nil, nil, err
+	}
+
+	var bodies [][]byte
+	for _, q := range w.SearchWorkload([]string{"directed", "actedIn", "wrote"}, 2, 7) {
+		for _, mode := range []string{"baseline", "type", "typerel"} {
+			body, err := json.Marshal(map[string]any{
+				"relation":  q.RelationName,
+				"t1":        w.True.TypeName(q.T1),
+				"t2":        w.True.TypeName(q.T2),
+				"e2":        q.E2Name,
+				"mode":      mode,
+				"page_size": 10,
+			})
+			if err != nil {
+				return nil, nil, err
+			}
+			bodies = append(bodies, body)
+		}
+	}
+	if len(bodies) == 0 {
+		return nil, nil, errors.New("empty workload")
+	}
+	return buf.Bytes(), bodies, nil
+}
+
+// serveOn starts a Serve-style loop on a loopback listener and returns
+// its base URL and a stop func that triggers drain and waits for exit.
+func serveOn(ctx context.Context, serve func(context.Context, net.Listener) error) (string, func(), error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	sctx, cancel := context.WithCancel(ctx)
+	done := make(chan error, 1)
+	go func() { done <- serve(sctx, ln) }()
+	stop := func() {
+		cancel()
+		<-done
+	}
+	return "http://" + ln.Addr().String(), stop, nil
+}
+
+func startSingle(ctx context.Context, snap []byte, workers int, logger *slog.Logger) (string, func(), error) {
+	var svcOpts []webtable.ServiceOption
+	if workers > 0 {
+		svcOpts = append(svcOpts, webtable.WithWorkers(workers))
+	}
+	svc, err := webtable.LoadService(ctx, bytes.NewReader(snap), svcOpts...)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := server.New(svc, server.WithLogger(quietLogger()))
+	url, stop, err := serveOn(ctx, srv.Serve)
+	if err != nil {
+		svc.Close()
+		return "", nil, err
+	}
+	logger.Info("single node up", "url", url)
+	return url, func() { stop(); svc.Close() }, nil
+}
+
+func startCluster(ctx context.Context, snap []byte, shards, workers int, logger *slog.Logger) (string, func(), error) {
+	var stops []func()
+	stopAll := func() {
+		for i := len(stops) - 1; i >= 0; i-- {
+			stops[i]()
+		}
+	}
+	var svcOpts []webtable.ServiceOption
+	if workers > 0 {
+		svcOpts = append(svcOpts, webtable.WithWorkers(workers))
+	}
+	urls := make([]string, shards)
+	for i := 0; i < shards; i++ {
+		svc, asn, err := webtable.LoadServiceShard(ctx, bytes.NewReader(snap), i, shards, svcOpts...)
+		if err != nil {
+			stopAll()
+			return "", nil, err
+		}
+		sh := dist.NewShardServer(svc, asn, i, shards, dist.WithLogger(quietLogger()))
+		url, stop, err := serveOn(ctx, sh.Serve)
+		if err != nil {
+			svc.Close()
+			stopAll()
+			return "", nil, err
+		}
+		urls[i] = url
+		stops = append(stops, func() { stop(); svc.Close() })
+	}
+	rt := dist.NewRouter(&dist.Client{URLs: urls}, dist.WithLogger(quietLogger()))
+	url, stop, err := serveOn(ctx, rt.Serve)
+	if err != nil {
+		stopAll()
+		return "", nil, err
+	}
+	stops = append(stops, stop)
+	logger.Info("cluster up", "router", url, "shards", shards)
+	return url, stopAll, nil
+}
+
+// diffResponses fires one identical request at both topologies and
+// byte-compares the pages.
+func diffResponses(ctx context.Context, singleURL, routerURL string, body []byte) error {
+	fetch := func(base string) ([]byte, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/search", bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("%s: HTTP %d: %s", base, resp.StatusCode, raw)
+		}
+		return raw, nil
+	}
+	a, err := fetch(singleURL)
+	if err != nil {
+		return err
+	}
+	b, err := fetch(routerURL)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(a, b) {
+		return fmt.Errorf("topologies disagree:\nsingle: %s\nrouter: %s", a, b)
+	}
+	return nil
+}
+
+// drive issues total requests at the base URL from fixed-concurrency
+// workers, cycling through the body pool, and reports latency
+// percentiles and throughput.
+func drive(ctx context.Context, name, base string, bodies [][]byte, total, concurrency int) (benchResult, error) {
+	lat := make([]float64, total)
+	var next atomic.Int64
+	var errCount atomic.Int64
+	client := &http.Client{Timeout: 30 * time.Second}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= total || ctx.Err() != nil {
+					return
+				}
+				body := bodies[i%len(bodies)]
+				t0 := time.Now()
+				req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/search", bytes.NewReader(body))
+				if err != nil {
+					errCount.Add(1)
+					continue
+				}
+				req.Header.Set("Content-Type", "application/json")
+				resp, err := client.Do(req)
+				if err != nil {
+					errCount.Add(1)
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errCount.Add(1)
+					continue
+				}
+				lat[i] = float64(time.Since(t0).Microseconds()) / 1000
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	if err := ctx.Err(); err != nil {
+		return benchResult{}, err
+	}
+	ok := lat[:0:0]
+	for _, v := range lat {
+		if v > 0 {
+			ok = append(ok, v)
+		}
+	}
+	res := benchResult{
+		Name:       name,
+		Requests:   total,
+		Errors:     int(errCount.Load()),
+		WallMillis: float64(wall.Microseconds()) / 1000,
+	}
+	if len(ok) > 0 {
+		sort.Float64s(ok)
+		res.P50Millis = ok[(len(ok)-1)*50/100]
+		res.P99Millis = ok[(len(ok)-1)*99/100]
+		res.ThroughputRPS = float64(len(ok)) / wall.Seconds()
+	}
+	if res.Errors > 0 {
+		return res, fmt.Errorf("%s: %d/%d requests failed", name, res.Errors, total)
+	}
+	return res, nil
+}
+
+// quietLogger silences the benched servers' per-request log lines so
+// the report isn't drowned in access logs.
+func quietLogger() *slog.Logger { return slog.New(slog.NewTextHandler(io.Discard, nil)) }

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestBenchSmoke runs a miniature benchmark end-to-end: corpus build,
+// both topologies over loopback, the byte-identity gate, and the
+// report file.
+func TestBenchSmoke(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "BENCH_dist.json")
+	var stdout, stderr bytes.Buffer
+	err := run(context.Background(), []string{
+		"-out", out, "-requests", "24", "-concurrency", "4", "-tables", "6", "-workers", "2",
+	}, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("run: %v\nstderr: %s", err, stderr.String())
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report benchReport
+	if err := json.Unmarshal(raw, &report); err != nil {
+		t.Fatalf("report not JSON: %v (%s)", err, raw)
+	}
+	if !report.Identical {
+		t.Fatal("topologies not verified identical")
+	}
+	if len(report.Configs) != 2 {
+		t.Fatalf("configs = %d, want 2", len(report.Configs))
+	}
+	for _, c := range report.Configs {
+		if c.Errors != 0 || c.Requests != 24 {
+			t.Fatalf("config %+v", c)
+		}
+		if c.P50Millis <= 0 || c.P99Millis < c.P50Millis || c.ThroughputRPS <= 0 {
+			t.Fatalf("degenerate metrics: %+v", c)
+		}
+	}
+	if report.Configs[0].Name != "single-node" || report.Configs[1].Name != "2-shard" {
+		t.Fatalf("config names: %+v", report.Configs)
+	}
+}
+
+func TestBenchVersionFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run(context.Background(), []string{"-version"}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(stdout.String(), "tabload ") {
+		t.Fatalf("version output = %q", stdout.String())
+	}
+}
+
+func TestBenchRejectsBadFlags(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run(context.Background(), []string{"-requests", "0"}, &stdout, &stderr); err == nil {
+		t.Fatal("want error for -requests 0")
+	}
+}

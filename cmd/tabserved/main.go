@@ -19,10 +19,19 @@
 // GET /v1/healthz, GET /v1/stats. SIGINT/SIGTERM shut down gracefully,
 // draining in-flight requests.
 //
+// With -shards, tabserved instead runs as the stateless scatter-gather
+// router of a shard cluster (see cmd/tabshard): it loads no corpus,
+// fans POST /v1/search out to every shard, and merges the partial
+// evidence into pages byte-identical to a single node serving the whole
+// snapshot. Router endpoints: POST /v1/search, GET /v1/healthz (green
+// only when every shard is), GET /v1/stats (per-shard request/retry
+// counters and fan-out latency percentiles).
+//
 // Usage:
 //
 //	tabserved -load corpus.snap -addr :8080
 //	tabserved -catalog data/catalog.json -corpus data/corpus.json -snapshot corpus.snap
+//	tabserved -shards localhost:9101,localhost:9102 -addr :8080
 package main
 
 import (
@@ -35,11 +44,13 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	webtable "repro"
 	"repro/internal/cmdio"
+	"repro/internal/dist"
 	"repro/internal/server"
 )
 
@@ -52,7 +63,7 @@ func main() {
 	}
 }
 
-var errUsage = errors.New("need -load, or -catalog with -corpus")
+var errUsage = errors.New("need exactly one corpus source: -load, -catalog with -corpus, or -shards")
 
 // listenHook, when non-nil, receives the bound listener address before
 // serving starts. It is a test seam: -addr :0 picks a free port and the
@@ -72,16 +83,37 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		timeout = fs.Duration("timeout", 30*time.Second, "per-request handling deadline")
 		drain   = fs.Duration("drain", 10*time.Second, "graceful-shutdown drain deadline")
 		snap    = fs.String("snapshot", "", "path POST /v1/snapshot persists the live corpus to (default: the -load path)")
+		shards  = fs.String("shards", "", "comma-separated shard addresses; run as the cluster's scatter-gather router instead of serving a corpus")
+		version = fs.Bool("version", false, "print build information and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if (*load == "") == (*catPath == "" || *corpus == "") {
+	if *version {
+		fmt.Fprintln(stdout, cmdio.BuildInfo("tabserved"))
+		return nil
+	}
+	sources := 0
+	if *load != "" {
+		sources++
+	}
+	if *catPath != "" && *corpus != "" {
+		sources++
+	}
+	if *shards != "" {
+		sources++
+	}
+	if sources != 1 {
 		fs.Usage()
 		return errUsage
 	}
 
-	logger := slog.New(slog.NewTextHandler(stderr, nil))
+	logger := cmdio.NewLogger(stderr)
+	logger.Info("starting", "build", cmdio.BuildInfo("tabserved"), "workers", *workers)
+
+	if *shards != "" {
+		return runRouter(ctx, *shards, *addr, *timeout, *drain, logger, stdout)
+	}
 
 	var svc *webtable.Service
 	if *load != "" {
@@ -145,6 +177,48 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	}
 	srv := server.New(svc, opts...)
 	if err := srv.Serve(ctx, ln); err != nil {
+		return err
+	}
+	logger.Info("tabserved stopped")
+	return nil
+}
+
+// runRouter is the -shards mode: a stateless scatter-gather router over
+// a tabshard cluster.
+func runRouter(ctx context.Context, shardList, addr string, timeout, drain time.Duration, logger *slog.Logger, stdout io.Writer) error {
+	var urls []string
+	for _, s := range strings.Split(shardList, ",") {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			continue
+		}
+		if !strings.Contains(s, "://") {
+			s = "http://" + s
+		}
+		urls = append(urls, strings.TrimRight(s, "/"))
+	}
+	if len(urls) == 0 {
+		return fmt.Errorf("-shards lists no addresses")
+	}
+	logger.Info("router mode", "shards", len(urls), "shard_list", strings.Join(urls, ","))
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	if listenHook != nil {
+		listenHook(ln.Addr())
+	}
+	logger.Info("tabserved listening", "addr", ln.Addr().String(), "mode", "router",
+		"shards", len(urls), "timeout", timeout)
+	fmt.Fprintf(stdout, "tabserved: listening on %s\n", ln.Addr().String())
+
+	rt := dist.NewRouter(&dist.Client{URLs: urls},
+		dist.WithLogger(logger),
+		dist.WithTimeout(timeout),
+		dist.WithDrainTimeout(drain),
+	)
+	if err := rt.Serve(ctx, ln); err != nil {
 		return err
 	}
 	logger.Info("tabserved stopped")

@@ -7,18 +7,26 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 	"time"
 
 	webtable "repro"
+	"repro/internal/dist"
 	"repro/internal/table"
 	"repro/internal/worldgen"
 )
+
+func quietTestLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
 
 func testWorld(t *testing.T) *worldgen.World {
 	t.Helper()
@@ -302,12 +310,120 @@ func TestRunFlagValidation(t *testing.T) {
 	if err := run(context.Background(), nil, &out, &errBuf); !errors.Is(err, errUsage) {
 		t.Fatalf("err = %v, want usage error", err)
 	}
-	// Both sources.
+	// Both corpus sources.
 	err := run(context.Background(), []string{
 		"-load", "x.snap", "-catalog", "c.json", "-corpus", "t.json",
 	}, &out, &errBuf)
 	if !errors.Is(err, errUsage) {
 		t.Fatalf("err = %v, want usage error", err)
+	}
+	// A corpus source AND router mode.
+	err = run(context.Background(), []string{
+		"-load", "x.snap", "-shards", "localhost:9101",
+	}, &out, &errBuf)
+	if !errors.Is(err, errUsage) {
+		t.Fatalf("err = %v, want usage error", err)
+	}
+}
+
+func TestVersionFlag(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run(context.Background(), []string{"-version"}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out.String(), "tabserved ") {
+		t.Fatalf("version output = %q", out.String())
+	}
+}
+
+// TestRouterMode boots the -shards router in front of two in-process
+// shard servers and checks the router's page is byte-identical to a
+// single-node tabserved over the same snapshot.
+func TestRouterMode(t *testing.T) {
+	w := testWorld(t)
+	dir := t.TempDir()
+	snap := filepath.Join(dir, "corpus.snap")
+	writeSnapshot(t, w, snap)
+
+	// Two shard servers over the snapshot's halves.
+	var shardURLs []string
+	for i := 0; i < 2; i++ {
+		f, err := os.Open(snap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		svc, asn, err := webtable.LoadServiceShard(context.Background(), f, i, 2)
+		f.Close()
+		if err != nil {
+			t.Fatalf("load shard %d: %v", i, err)
+		}
+		t.Cleanup(svc.Close)
+		sh := dist.NewShardServer(svc, asn, i, 2, dist.WithLogger(quietTestLogger()))
+		ts := httptest.NewServer(sh.Handler())
+		t.Cleanup(ts.Close)
+		shardURLs = append(shardURLs, ts.URL)
+	}
+
+	// Single-node reference.
+	singleBase, cancelSingle, _ := startServed(t, []string{
+		"-load", snap, "-addr", "127.0.0.1:0",
+	})
+	defer cancelSingle()
+
+	// Router under test, via the -shards flag.
+	routerBase, cancelRouter, routerDone := startServed(t, []string{
+		"-shards", strings.Join(shardURLs, ","), "-addr", "127.0.0.1:0",
+	})
+	defer cancelRouter()
+
+	payload := searchPayload(t, w, 5)
+	fetch := func(base string) []byte {
+		resp, err := http.Post(base+"/v1/search", "application/json", bytes.NewReader(payload))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		raw, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", base, resp.StatusCode, raw)
+		}
+		return raw
+	}
+	if single, routed := fetch(singleBase), fetch(routerBase); !bytes.Equal(single, routed) {
+		t.Fatalf("router page differs from single node:\nrouter: %s\nsingle: %s", routed, single)
+	}
+
+	// Router health and stats surface.
+	resp, err := http.Get(routerBase + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("router healthz = %d", resp.StatusCode)
+	}
+	resp, err = http.Get(routerBase + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st dist.RouterStatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(st.Shards) != 2 || st.Shards[0].Requests == 0 {
+		t.Fatalf("router stats = %+v", st)
+	}
+
+	// Graceful shutdown of the router path.
+	cancelRouter()
+	select {
+	case err := <-routerDone:
+		if err != nil {
+			t.Fatalf("router run returned %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("router did not shut down")
 	}
 }
 

@@ -1,0 +1,181 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	webtable "repro"
+	"repro/internal/dist"
+	"repro/internal/table"
+	"repro/internal/worldgen"
+)
+
+// writeSnapshot annotates a small corpus and saves it to path.
+func writeSnapshot(t *testing.T, path string) *worldgen.World {
+	t.Helper()
+	spec := worldgen.DefaultSpec()
+	spec.FilmsPerGenre = 10
+	spec.NovelsPerGenre = 8
+	spec.PeoplePerRole = 12
+	spec.AlbumCount = 15
+	spec.CountryCount = 8
+	spec.CitiesPerCountry = 2
+	spec.LanguageCount = 6
+	w, err := worldgen.Build(spec)
+	if err != nil {
+		t.Fatalf("build world: %v", err)
+	}
+	ctx := context.Background()
+	svc, err := webtable.NewService(w.Public, webtable.WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	ds := w.GenerateDataset("shardtest", 7, 6, 4, 8, worldgen.CleanProfile(), worldgen.AllGTLayers(), "directed")
+	tabs := make([]*table.Table, len(ds.Tables))
+	for i, lt := range ds.Tables {
+		tabs[i] = lt.Table
+	}
+	if _, err := svc.BuildIndex(ctx, tabs); err != nil {
+		t.Fatalf("build index: %v", err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.SaveSnapshot(ctx, f); err != nil {
+		t.Fatalf("save snapshot: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// startShard launches run() on a free port.
+func startShard(t *testing.T, args []string) (string, context.CancelFunc, chan error) {
+	t.Helper()
+	addrCh := make(chan net.Addr, 1)
+	listenHook = func(a net.Addr) { addrCh <- a }
+	t.Cleanup(func() { listenHook = nil })
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	var out, errBuf bytes.Buffer
+	go func() { done <- run(ctx, args, &out, &errBuf) }()
+
+	select {
+	case a := <-addrCh:
+		return "http://" + a.String(), cancel, done
+	case err := <-done:
+		cancel()
+		t.Fatalf("run exited before listening: %v (stderr: %s)", err, errBuf.String())
+	case <-time.After(2 * time.Minute):
+		cancel()
+		t.Fatal("timed out waiting for tabshard to listen")
+	}
+	return "", cancel, done
+}
+
+// TestShardServesPartials boots a real tabshard process loop from a
+// snapshot, checks its identity endpoints, fetches a partial payload,
+// and shuts it down gracefully.
+func TestShardServesPartials(t *testing.T) {
+	dir := t.TempDir()
+	snap := filepath.Join(dir, "corpus.snap")
+	w := writeSnapshot(t, snap)
+
+	base, cancel, done := startShard(t, []string{
+		"-load", snap, "-shard", "0", "-shards", "2", "-addr", "127.0.0.1:0", "-workers", "2",
+	})
+	defer cancel()
+
+	resp, err := http.Get(base + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+
+	resp, err = http.Get(base + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st dist.ShardStatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Shard != 0 || st.Shards != 2 || st.Generation == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+
+	workload := w.SearchWorkload([]string{"directed"}, 1, 7)
+	body, _ := json.Marshal(map[string]any{
+		"relation": workload[0].RelationName,
+		"t1":       w.True.TypeName(workload[0].T1),
+		"t2":       w.True.TypeName(workload[0].T2),
+		"e2":       workload[0].E2Name,
+	})
+	resp, err = http.Post(base+"/v1/partial", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("partial status = %d: %s", resp.StatusCode, raw)
+	}
+	p, err := dist.DecodePartial(raw)
+	if err != nil {
+		t.Fatalf("decode partial: %v", err)
+	}
+	if p.Shard != 0 || p.Shards != 2 || p.Generation != st.Generation {
+		t.Fatalf("partial envelope = %+v, stats = %+v", p, st)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v after graceful shutdown", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("tabshard did not shut down")
+	}
+}
+
+func TestShardFlagValidation(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	for _, args := range [][]string{
+		nil,
+		{"-load", "x.snap", "-shard", "2", "-shards", "2"},
+		{"-load", "x.snap", "-shard", "-1"},
+	} {
+		if err := run(context.Background(), args, &out, &errBuf); !errors.Is(err, errUsage) {
+			t.Fatalf("args %v: err = %v, want usage error", args, err)
+		}
+	}
+}
+
+func TestShardVersionFlag(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run(context.Background(), []string{"-version"}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out.String(), "tabshard ") {
+		t.Fatalf("version output = %q", out.String())
+	}
+}

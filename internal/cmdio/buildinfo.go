@@ -1,0 +1,44 @@
+package cmdio
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"runtime"
+	"runtime/debug"
+)
+
+// NewLogger returns the structured text logger the daemons write to
+// stderr.
+func NewLogger(w io.Writer) *slog.Logger {
+	return slog.New(slog.NewTextHandler(w, nil))
+}
+
+// BuildInfo returns the one-line build description the binaries print
+// for -version and log at startup: module version, VCS revision and
+// toolchain. Keeping it here means every tool reports identically —
+// which matters operationally once a deployment spans several
+// processes (router + shards) that must be upgraded in lockstep.
+func BuildInfo(tool string) string {
+	version, revision, modified := "devel", "unknown", ""
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+			version = bi.Main.Version
+		}
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				revision = s.Value
+				if len(revision) > 12 {
+					revision = revision[:12]
+				}
+			case "vcs.modified":
+				if s.Value == "true" {
+					modified = "+dirty"
+				}
+			}
+		}
+	}
+	return fmt.Sprintf("%s %s (rev %s%s, %s, %s/%s)",
+		tool, version, revision, modified, runtime.Version(), runtime.GOOS, runtime.GOARCH)
+}

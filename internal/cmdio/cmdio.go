@@ -71,6 +71,26 @@ func LoadSnapshotService(ctx context.Context, path string, workers int) (*webtab
 	return svc, nil
 }
 
+// LoadSnapshotShardService reconstructs the shard-th of shards read
+// replicas from a snapshot file (see webtable.LoadServiceShard),
+// honoring the shared -workers flag convention.
+func LoadSnapshotShardService(ctx context.Context, path string, shard, shards, workers int) (*webtable.Service, webtable.ShardAssignment, error) {
+	opts, err := serviceOptions(workers)
+	if err != nil {
+		return nil, webtable.ShardAssignment{}, err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, webtable.ShardAssignment{}, err
+	}
+	defer f.Close()
+	svc, asn, err := webtable.LoadServiceShard(ctx, f, shard, shards, opts...)
+	if err != nil {
+		return nil, webtable.ShardAssignment{}, fmt.Errorf("load snapshot %s: %w", path, err)
+	}
+	return svc, asn, nil
+}
+
 // AtomicWriteFile writes a file durably: write is handed a temp file
 // in path's directory, which is then Synced, renamed over path, and
 // the directory itself is Synced so the rename survives a crash. On

@@ -1,0 +1,259 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/server"
+)
+
+// Client defaults.
+const (
+	// DefaultAttemptTimeout bounds one attempt against one shard.
+	DefaultAttemptTimeout = 10 * time.Second
+	// DefaultRetries is how many times a failed attempt is retried
+	// (transport errors and 5xx only — never client errors).
+	DefaultRetries = 2
+	// DefaultBackoff is the delay before the first retry; it doubles on
+	// each subsequent one.
+	DefaultBackoff = 50 * time.Millisecond
+	// DefaultMaxResponse caps how many partial-payload bytes the client
+	// will read from one shard.
+	DefaultMaxResponse = 1 << 30
+)
+
+// ShardError reports a definitive failure talking to one shard, after
+// any retries. It names the shard so the router's 502 can point an
+// operator at the failing process instead of a vague cluster error.
+type ShardError struct {
+	// Shard is the failing shard's index; URL its base address.
+	Shard int
+	URL   string
+	// Status is the HTTP status of the last failed attempt (0 for
+	// transport-level failures). Code, Field and Message carry the
+	// shard's structured error body when it sent one.
+	Status  int
+	Code    string
+	Field   string
+	Message string
+	// Attempts is how many attempts were made in total.
+	Attempts int
+	// Err is the underlying transport or decode error, if any.
+	Err error
+}
+
+func (e *ShardError) Error() string {
+	switch {
+	case e.Err != nil:
+		return fmt.Sprintf("shard %d (%s): %v (after %d attempts)", e.Shard, e.URL, e.Err, e.Attempts)
+	case e.Code != "":
+		return fmt.Sprintf("shard %d (%s): HTTP %d %s: %s", e.Shard, e.URL, e.Status, e.Code, e.Message)
+	default:
+		return fmt.Sprintf("shard %d (%s): HTTP %d (after %d attempts)", e.Shard, e.URL, e.Status, e.Attempts)
+	}
+}
+
+func (e *ShardError) Unwrap() error { return e.Err }
+
+// ClientIsRetryable reports whether a single attempt's failure is worth
+// retrying: transport errors and shard-side 5xx are (the shard may be
+// restarting); client errors are not (the request itself is bad, and
+// will be just as bad next time).
+func clientRetryable(status int, err error) bool {
+	if err != nil {
+		return true
+	}
+	return status >= 500
+}
+
+// Client issues partial-evidence and health requests to a fixed set of
+// shard servers, with per-attempt timeouts and bounded exponential
+// retry. The zero value is not usable; fill URLs and leave the rest to
+// defaults or override per field.
+type Client struct {
+	// URLs are the shard base addresses ("http://host:port"), in shard
+	// order. Index in this slice IS the shard number.
+	URLs []string
+	// HTTP is the transport (default http.DefaultClient).
+	HTTP *http.Client
+	// AttemptTimeout, Retries, Backoff tune the retry loop; zero values
+	// take the Default* constants. Retries < 0 means no retries.
+	AttemptTimeout time.Duration
+	Retries        int
+	Backoff        time.Duration
+	// MaxResponse caps the decoded partial payload size.
+	MaxResponse int64
+	// Sleep waits between attempts; tests inject a no-op that records
+	// the requested delays. The default honors ctx cancellation.
+	Sleep func(ctx context.Context, d time.Duration) error
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) attemptTimeout() time.Duration {
+	if c.AttemptTimeout > 0 {
+		return c.AttemptTimeout
+	}
+	return DefaultAttemptTimeout
+}
+
+func (c *Client) retries() int {
+	if c.Retries != 0 {
+		return max(c.Retries, 0)
+	}
+	return DefaultRetries
+}
+
+func (c *Client) backoff() time.Duration {
+	if c.Backoff > 0 {
+		return c.Backoff
+	}
+	return DefaultBackoff
+}
+
+func (c *Client) maxResponse() int64 {
+	if c.MaxResponse > 0 {
+		return c.MaxResponse
+	}
+	return DefaultMaxResponse
+}
+
+func (c *Client) sleep(ctx context.Context, d time.Duration) error {
+	if c.Sleep != nil {
+		return c.Sleep(ctx, d)
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// Shards reports the cluster size.
+func (c *Client) Shards() int { return len(c.URLs) }
+
+// Partial POSTs the raw request body to one shard's /v1/partial and
+// decodes the binary payload, retrying transient failures with doubling
+// backoff. It reports how many retries were spent (for the router's
+// stats) alongside the result. A definitive failure is always a
+// *ShardError; if the shard returned a structured JSON error its code,
+// field and message are preserved so the router can propagate client
+// errors exactly.
+func (c *Client) Partial(ctx context.Context, shard int, body []byte) (p *Partial, retries int, err error) {
+	var last *ShardError
+	for attempt := 0; attempt <= c.retries(); attempt++ {
+		if attempt > 0 {
+			if err := c.sleep(ctx, c.backoff()<<(attempt-1)); err != nil {
+				break // parent canceled while backing off; report the last failure
+			}
+			retries++
+		}
+		status, serr := c.attemptPartial(ctx, shard, body, &p)
+		if serr == nil {
+			return p, retries, nil
+		}
+		last = serr
+		last.Attempts = attempt + 1
+		if !clientRetryable(status, serr.Err) || ctx.Err() != nil {
+			break
+		}
+	}
+	return nil, retries, last
+}
+
+// attemptPartial runs one bounded attempt. The returned status is 0 for
+// transport failures.
+func (c *Client) attemptPartial(ctx context.Context, shard int, body []byte, out **Partial) (int, *ShardError) {
+	url := c.URLs[shard]
+	actx, cancel := context.WithTimeout(ctx, c.attemptTimeout())
+	defer cancel()
+	req, err := http.NewRequestWithContext(actx, http.MethodPost, url+"/v1/partial", bytes.NewReader(body))
+	if err != nil {
+		return 0, &ShardError{Shard: shard, URL: url, Err: err}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if id := server.RequestID(ctx); id != "" {
+		req.Header.Set("X-Request-ID", id)
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return 0, &ShardError{Shard: shard, URL: url, Err: err}
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, c.maxResponse()+1))
+	if err != nil {
+		return resp.StatusCode, &ShardError{Shard: shard, URL: url, Status: resp.StatusCode, Err: err}
+	}
+	if int64(len(data)) > c.maxResponse() {
+		return resp.StatusCode, &ShardError{
+			Shard: shard, URL: url, Status: resp.StatusCode,
+			Err: fmt.Errorf("partial payload exceeds %d bytes", c.maxResponse()),
+		}
+	}
+	if resp.StatusCode != http.StatusOK {
+		se := &ShardError{Shard: shard, URL: url, Status: resp.StatusCode}
+		var eb server.ErrorResponse
+		if jerr := json.Unmarshal(data, &eb); jerr == nil && eb.Error.Code != "" {
+			se.Code = eb.Error.Code
+			se.Field = eb.Error.Field
+			se.Message = eb.Error.Message
+		} else {
+			se.Message = http.StatusText(resp.StatusCode)
+		}
+		return resp.StatusCode, se
+	}
+	p, err := DecodePartial(data)
+	if err != nil {
+		// A garbled payload is retryable only as a transport-ish fault;
+		// report it with the decode error attached.
+		return resp.StatusCode, &ShardError{Shard: shard, URL: url, Status: resp.StatusCode, Err: err}
+	}
+	*out = p
+	return resp.StatusCode, nil
+}
+
+// Health GETs one shard's /v1/healthz (single attempt — health checks
+// should observe failures, not mask them with retries).
+func (c *Client) Health(ctx context.Context, shard int) error {
+	url := c.URLs[shard]
+	actx, cancel := context.WithTimeout(ctx, c.attemptTimeout())
+	defer cancel()
+	req, err := http.NewRequestWithContext(actx, http.MethodGet, url+"/v1/healthz", nil)
+	if err != nil {
+		return &ShardError{Shard: shard, URL: url, Err: err, Attempts: 1}
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return &ShardError{Shard: shard, URL: url, Err: err, Attempts: 1}
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	if resp.StatusCode != http.StatusOK {
+		return &ShardError{Shard: shard, URL: url, Status: resp.StatusCode, Attempts: 1,
+			Message: http.StatusText(resp.StatusCode)}
+	}
+	return nil
+}
+
+// errors.As helper used by the router's error mapper.
+func asShardError(err error) (*ShardError, bool) {
+	var se *ShardError
+	if errors.As(err, &se) {
+		return se, true
+	}
+	return nil, false
+}

@@ -1,0 +1,297 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	webtable "repro"
+	"repro/internal/server"
+	"repro/internal/table"
+	"repro/internal/worldgen"
+)
+
+func quietLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+// noSleep makes client retries instantaneous in tests.
+func noSleep(context.Context, time.Duration) error { return nil }
+
+// buildSnapshot annotates a multi-relation search corpus and returns
+// the serialized snapshot plus the world (for workload generation).
+func buildSnapshot(t testing.TB) ([]byte, *worldgen.World) {
+	t.Helper()
+	spec := worldgen.DefaultSpec()
+	spec.FilmsPerGenre = 10
+	spec.NovelsPerGenre = 8
+	spec.PeoplePerRole = 12
+	spec.AlbumCount = 15
+	spec.CountryCount = 8
+	spec.CitiesPerCountry = 2
+	spec.LanguageCount = 6
+	w, err := worldgen.Build(spec)
+	if err != nil {
+		t.Fatalf("build world: %v", err)
+	}
+	svc, err := webtable.NewService(w.Public, webtable.WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	ds := w.SearchCorpus(14, 7)
+	tables := make([]*table.Table, len(ds.Tables))
+	for i, lt := range ds.Tables {
+		tables[i] = lt.Table
+	}
+	if _, err := svc.BuildIndex(context.Background(), tables); err != nil {
+		t.Fatalf("build index: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := svc.SaveSnapshot(context.Background(), &buf); err != nil {
+		t.Fatalf("save snapshot: %v", err)
+	}
+	return buf.Bytes(), w
+}
+
+// singleHandler serves the whole snapshot from one node — the byte
+// reference every cluster configuration is diffed against.
+func singleHandler(t testing.TB, snap []byte) http.Handler {
+	t.Helper()
+	svc, err := webtable.LoadService(context.Background(), bytes.NewReader(snap))
+	if err != nil {
+		t.Fatalf("load service: %v", err)
+	}
+	t.Cleanup(svc.Close)
+	return server.New(svc, server.WithLogger(quietLogger())).Handler()
+}
+
+// swapHandler lets a test replace a live HTTP server's handler between
+// requests — the seam for simulating a shard process restarting while
+// its address stays stable.
+type swapHandler struct {
+	h atomic.Pointer[http.Handler]
+}
+
+func (s *swapHandler) Set(h http.Handler) { s.h.Store(&h) }
+
+func (s *swapHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	(*s.h.Load()).ServeHTTP(w, r)
+}
+
+// loadShardHandler builds one shard server over its slice of the
+// snapshot.
+func loadShardHandler(t testing.TB, snap []byte, shard, shards int) http.Handler {
+	t.Helper()
+	svc, asn, err := webtable.LoadServiceShard(context.Background(), bytes.NewReader(snap), shard, shards)
+	if err != nil {
+		t.Fatalf("load shard %d/%d: %v", shard, shards, err)
+	}
+	t.Cleanup(svc.Close)
+	return NewShardServer(svc, asn, shard, shards, WithLogger(quietLogger())).Handler()
+}
+
+// cluster is a running shard cluster behind a router, with per-shard
+// handler-swap seams.
+type cluster struct {
+	router *Router
+	swaps  []*swapHandler
+	urls   []string
+}
+
+// startCluster loads the snapshot into n shard processes, mounts them
+// on real listeners, and fronts them with a router.
+func startCluster(t testing.TB, snap []byte, n int) *cluster {
+	t.Helper()
+	c := &cluster{}
+	for i := 0; i < n; i++ {
+		sw := &swapHandler{}
+		sw.Set(loadShardHandler(t, snap, i, n))
+		ts := httptest.NewServer(sw)
+		t.Cleanup(ts.Close)
+		c.swaps = append(c.swaps, sw)
+		c.urls = append(c.urls, ts.URL)
+	}
+	c.router = NewRouter(&Client{URLs: c.urls, Sleep: noSleep}, WithLogger(quietLogger()))
+	return c
+}
+
+// restartShard simulates shard i's process restarting: the old handler
+// is torn away and a fresh one, loaded from the same snapshot, takes
+// over at the same address.
+func (c *cluster) restartShard(t testing.TB, snap []byte, shard int) {
+	t.Helper()
+	c.swaps[shard].Set(loadShardHandler(t, snap, shard, len(c.swaps)))
+}
+
+func post(t testing.TB, h http.Handler, path string, body []byte) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func get(t testing.TB, h http.Handler, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+	return rec
+}
+
+// wireBody builds a wire search request for one workload query.
+func wireBody(t testing.TB, w *worldgen.World, q worldgen.SearchQuery, extra map[string]any) []byte {
+	t.Helper()
+	m := map[string]any{
+		"relation": q.RelationName,
+		"t1":       w.True.TypeName(q.T1),
+		"t2":       w.True.TypeName(q.T2),
+		"e2":       q.E2Name,
+	}
+	for k, v := range extra {
+		m[k] = v
+	}
+	body, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+// TestClusterByteIdentical is the core acceptance check of the
+// distributed design: the same corpus split across 1, 2 and 3 shards
+// must answer every mode × page size × cursor chain × explanation
+// byte-for-byte identically to a single node serving the whole
+// snapshot. In the 2-shard configuration one shard "restarts" (its
+// handler is rebuilt from the snapshot at the same address) between
+// requests, which must be invisible.
+func TestClusterByteIdentical(t *testing.T) {
+	snap, w := buildSnapshot(t)
+	single := singleHandler(t, snap)
+	workload := w.SearchWorkload([]string{"directed", "actedIn"}, 1, 7)
+	if len(workload) < 2 {
+		t.Fatalf("workload too small: %d", len(workload))
+	}
+
+	for _, n := range []int{1, 2, 3} {
+		t.Run(fmt.Sprintf("shards=%d", n), func(t *testing.T) {
+			c := startCluster(t, snap, n)
+			router := c.router.Handler()
+			requests := 0
+			for _, q := range workload {
+				for _, mode := range []string{"baseline", "type", "typerel"} {
+					for _, pageSize := range []int{1, 3, 0} {
+						for _, explain := range []bool{true, false} {
+							cursor := ""
+							for page := 0; page < 40; page++ {
+								body := wireBody(t, w, q, map[string]any{
+									"mode": mode, "page_size": pageSize,
+									"cursor": cursor, "explain": explain,
+								})
+								want := post(t, single, "/v1/search", body)
+								got := post(t, router, "/v1/search", body)
+								requests++
+								if n == 2 && requests%7 == 0 {
+									c.restartShard(t, snap, requests%2)
+								}
+								if want.Code != http.StatusOK {
+									t.Fatalf("single node: status %d: %s", want.Code, want.Body.String())
+								}
+								if got.Code != want.Code {
+									t.Fatalf("%s q=%s ps=%d page %d: router status %d, single %d: %s",
+										mode, q.E2Name, pageSize, page, got.Code, want.Code, got.Body.String())
+								}
+								if !bytes.Equal(got.Body.Bytes(), want.Body.Bytes()) {
+									t.Fatalf("%s q=%s ps=%d explain=%v page %d: bodies differ\nrouter: %s\nsingle: %s",
+										mode, q.E2Name, pageSize, explain, page,
+										got.Body.String(), want.Body.String())
+								}
+								var resp server.SearchResponse
+								if err := json.Unmarshal(want.Body.Bytes(), &resp); err != nil {
+									t.Fatal(err)
+								}
+								cursor = resp.NextCursor
+								if cursor == "" {
+									break
+								}
+							}
+							if cursor != "" {
+								t.Fatalf("%s ps=%d: cursor chain did not terminate", mode, pageSize)
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestClusterErrorParity checks that request-level failures (unknown
+// names, resolved on the shards) come back through the router with the
+// same status, code, field and message a single node produces.
+func TestClusterErrorParity(t *testing.T) {
+	snap, _ := buildSnapshot(t)
+	single := singleHandler(t, snap)
+	c := startCluster(t, snap, 2)
+
+	body, _ := json.Marshal(map[string]any{
+		"relation": "no-such-relation", "e2": "whoever", "mode": "typerel",
+	})
+	want := post(t, single, "/v1/search", body)
+	got := post(t, c.router.Handler(), "/v1/search", body)
+	if got.Code != want.Code || want.Code != http.StatusBadRequest {
+		t.Fatalf("status: router %d, single %d, want 400", got.Code, want.Code)
+	}
+	var we, ge server.ErrorResponse
+	if err := json.Unmarshal(want.Body.Bytes(), &we); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(got.Body.Bytes(), &ge); err != nil {
+		t.Fatal(err)
+	}
+	if ge.Error.Code != we.Error.Code || ge.Error.Field != we.Error.Field || ge.Error.Message != we.Error.Message {
+		t.Fatalf("error parity: router %+v, single %+v", ge.Error, we.Error)
+	}
+}
+
+// TestShardEndpoints exercises a shard server's health and stats
+// surface directly.
+func TestShardEndpoints(t *testing.T) {
+	snap, _ := buildSnapshot(t)
+	svc, asn, err := webtable.LoadServiceShard(context.Background(), bytes.NewReader(snap), 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(svc.Close)
+	sh := NewShardServer(svc, asn, 0, 2, WithLogger(quietLogger()))
+
+	if rec := get(t, sh.Handler(), "/v1/healthz"); rec.Code != http.StatusOK {
+		t.Fatalf("healthz: %d", rec.Code)
+	}
+	rec := get(t, sh.Handler(), "/v1/stats")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("stats: %d", rec.Code)
+	}
+	var st ShardStatsResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Shard != 0 || st.Shards != 2 {
+		t.Fatalf("identity: %+v", st)
+	}
+	if st.Segments != asn.Segments() || st.Tables != asn.Tables || st.TableOffset != asn.TableOffset {
+		t.Fatalf("ownership: %+v vs assignment %+v", st, asn)
+	}
+	if st.Generation == 0 {
+		t.Fatal("generation not reported")
+	}
+}

@@ -1,0 +1,354 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	webtable "repro"
+	"repro/internal/search"
+	"repro/internal/server"
+)
+
+// errShardInconsistent reports shards that disagree about cluster shape
+// or corpus generation — a deployment bug (mixed snapshots, wrong
+// -shard flags), not a transient fault.
+var errShardInconsistent = errors.New("dist: shard responses inconsistent")
+
+// latWindow is how many recent fan-out latencies each shard's stats
+// ring retains for the percentile estimates.
+const latWindow = 512
+
+// shardStat accumulates one shard's counters. A plain mutex: the
+// critical sections are a few stores, contention is bounded by fan-out
+// concurrency, and stats reads take consistent snapshots.
+type shardStat struct {
+	mu        sync.Mutex
+	requests  uint64
+	retries   uint64
+	failures  uint64
+	lastError string
+	lat       [latWindow]float64 // milliseconds, ring buffer
+	latN      int                // next write position
+	latSize   int                // valid entries
+}
+
+func (s *shardStat) record(d time.Duration, retries int, err error) {
+	ms := float64(d.Microseconds()) / 1000
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.requests++
+	s.retries += uint64(retries)
+	if err != nil {
+		s.failures++
+		s.lastError = err.Error()
+	}
+	s.lat[s.latN] = ms
+	s.latN = (s.latN + 1) % latWindow
+	if s.latSize < latWindow {
+		s.latSize++
+	}
+}
+
+// snapshot returns the wire form of the counters, computing p50/p99
+// over a sorted copy of the latency window.
+func (s *shardStat) snapshot(shard int, url string) RouterShardStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := RouterShardStats{
+		Shard:     shard,
+		URL:       url,
+		Requests:  s.requests,
+		Retries:   s.retries,
+		Failures:  s.failures,
+		LastError: s.lastError,
+	}
+	if s.latSize > 0 {
+		lats := make([]float64, s.latSize)
+		copy(lats, s.lat[:s.latSize])
+		sort.Float64s(lats)
+		out.P50Millis = lats[(s.latSize-1)*50/100]
+		out.P99Millis = lats[(s.latSize-1)*99/100]
+	}
+	return out
+}
+
+// RouterShardStats is one shard's slice of the router's GET /v1/stats.
+type RouterShardStats struct {
+	Shard     int     `json:"shard"`
+	URL       string  `json:"url"`
+	Requests  uint64  `json:"requests"`
+	Retries   uint64  `json:"retries"`
+	Failures  uint64  `json:"failures"`
+	P50Millis float64 `json:"p50_ms"`
+	P99Millis float64 `json:"p99_ms"`
+	LastError string  `json:"last_error,omitempty"`
+}
+
+// RouterStatsResponse is the wire form of the router's GET /v1/stats.
+type RouterStatsResponse struct {
+	Shards   []RouterShardStats `json:"shards"`
+	InFlight int64              `json:"in_flight"`
+}
+
+// Router is the stateless scatter-gather front of a shard cluster: it
+// validates requests locally (rejecting malformed input without
+// touching the cluster), forwards the raw request bytes to every
+// shard, and merges the partial evidence in corpus order so the page
+// it returns is byte-identical to a single node serving the whole
+// snapshot. It holds no index — only the shard addresses.
+//
+// Failure policy: any shard definitively failing (after the client's
+// retries) fails the request — a 502 naming the shard for
+// availability faults, the shard's own 4xx propagated verbatim for
+// request faults, and 502 shard_inconsistent when shards disagree on
+// generation or cluster shape. The router never returns a silently
+// truncated ranking.
+type Router struct {
+	base    *server.HTTPBase
+	client  *Client
+	stats   []*shardStat
+	handler http.Handler
+}
+
+// NewRouter builds a router over a shard client (which fixes the shard
+// addresses and retry policy).
+func NewRouter(client *Client, opts ...Option) *Router {
+	rt := &Router{
+		base:   server.NewHTTPBase(),
+		client: client,
+		stats:  make([]*shardStat, client.Shards()),
+	}
+	for i := range rt.stats {
+		rt.stats[i] = &shardStat{}
+	}
+	rt.base.MapErr = routerMapError
+	for _, opt := range opts {
+		opt(rt.base)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/search", rt.handleSearch)
+	mux.HandleFunc("GET /v1/healthz", rt.handleHealthz)
+	mux.HandleFunc("GET /v1/stats", rt.handleStats)
+	rt.handler = rt.base.Middleware(mux)
+	return rt
+}
+
+// routerMapError extends the standard error table with the router's
+// shard-failure domain.
+func routerMapError(err error) (int, string, string) {
+	if errors.Is(err, errShardInconsistent) {
+		return http.StatusBadGateway, "shard_inconsistent", ""
+	}
+	if se, ok := asShardError(err); ok {
+		if se.Status >= 400 && se.Status < 500 {
+			// A shard rejected the request itself; keep its status and code
+			// so clients can't tell a router from a single node.
+			return se.Status, se.Code, se.Field
+		}
+		return http.StatusBadGateway, "shard_unavailable", ""
+	}
+	return server.MapError(err)
+}
+
+// Handler exposes the router's HTTP surface (tests mount it directly).
+func (rt *Router) Handler() http.Handler { return rt.handler }
+
+// InFlight reports requests currently being handled.
+func (rt *Router) InFlight() int64 { return rt.base.InFlight() }
+
+// Serve runs until ctx is canceled, then drains gracefully.
+func (rt *Router) Serve(ctx context.Context, ln net.Listener) error {
+	return rt.base.Serve(ctx, ln, rt.handler)
+}
+
+// handleSearch is POST /v1/search: local validation, scatter, gather,
+// merge. The raw body bytes are forwarded to the shards unmodified so
+// every process parses exactly the same request.
+func (rt *Router) handleSearch(w http.ResponseWriter, r *http.Request) {
+	ctx := r.Context()
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		rt.base.WriteError(w, r, err)
+		return
+	}
+	var wireReq server.SearchRequest
+	if err := server.DecodeJSON(bytes.NewReader(body), &wireReq); err != nil {
+		rt.base.WriteError(w, r, err)
+		return
+	}
+	// Pre-flight checks that need no corpus: mode, page size and cursor
+	// shape. These produce the same structured 400s a single node would,
+	// without spending a cluster fan-out on a hopeless request.
+	mode, err := server.ParseMode(wireReq.Mode)
+	if err != nil {
+		rt.base.WriteError(w, r, err)
+		return
+	}
+	if err := (webtable.SearchRequest{Mode: mode, PageSize: wireReq.PageSize}).Validate(); err != nil {
+		rt.base.WriteError(w, r, &webtable.QueryError{Field: "page_size", Err: err})
+		return
+	}
+	if err := webtable.ValidateSearchCursor(wireReq.Cursor); err != nil {
+		rt.base.WriteError(w, r, err)
+		return
+	}
+
+	partials, err := rt.scatter(ctx, body)
+	if err != nil {
+		if se, ok := asShardError(err); ok && se.Status >= 400 && se.Status < 500 {
+			// A shard rejected the request itself (bad names, bad query
+			// shape). Relay its structured error verbatim — status, code,
+			// field and message — so a client can't tell the router from a
+			// single node; only the request ID is the router's own.
+			rt.base.WriteJSON(w, se.Status, server.ErrorResponse{Error: server.ErrorBody{
+				Code:      se.Code,
+				Message:   se.Message,
+				Field:     se.Field,
+				RequestID: server.RequestID(ctx),
+			}})
+			return
+		}
+		rt.base.WriteError(w, r, err)
+		return
+	}
+	groups := make([][]search.PartialGroup, len(partials))
+	for i, p := range partials {
+		groups[i] = p.Groups
+	}
+	res, err := webtable.MergeSearchPartials(groups, wireReq.PageSize, wireReq.Cursor, wireReq.Explain)
+	if err != nil {
+		rt.base.WriteError(w, r, err)
+		return
+	}
+	rt.base.WriteJSON(w, http.StatusOK, toWireResult(res))
+}
+
+// scatter fans the request body out to every shard concurrently and
+// gathers either a complete, consistent set of partials or one error
+// chosen deterministically: the parent context's own failure first,
+// then the lowest-index shard's client error (4xx), then the
+// lowest-index availability failure.
+func (rt *Router) scatter(ctx context.Context, body []byte) ([]*Partial, error) {
+	n := rt.client.Shards()
+	partials := make([]*Partial, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(shard int) {
+			defer wg.Done()
+			start := time.Now()
+			p, retries, err := rt.client.Partial(ctx, shard, body)
+			rt.stats[shard].record(time.Since(start), retries, err)
+			partials[shard], errs[shard] = p, err
+		}(i)
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		// The request as a whole timed out or the client left; report
+		// that, not the per-shard collateral damage.
+		return nil, err
+	}
+	// Client errors first: if any shard says the request is bad, that
+	// verdict is deterministic (every shard validates identically), so
+	// propagate the lowest shard's answer.
+	for _, err := range errs {
+		if se, ok := asShardError(err); ok && se.Status >= 400 && se.Status < 500 {
+			return nil, err
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Consistency: every shard must claim its own slot in a cluster of
+	// this size, all at one corpus generation.
+	for i, p := range partials {
+		if p.Shard != i || p.Shards != n {
+			return nil, fmt.Errorf("%w: shard %d (%s) answered as shard %d of %d (want %d of %d)",
+				errShardInconsistent, i, rt.client.URLs[i], p.Shard, p.Shards, i, n)
+		}
+		if p.Generation != partials[0].Generation {
+			return nil, fmt.Errorf("%w: shard %d (%s) at generation %d, shard 0 at %d",
+				errShardInconsistent, i, rt.client.URLs[i], p.Generation, partials[0].Generation)
+		}
+	}
+	return partials, nil
+}
+
+// toWireResult converts a merged result to the wire shape. A shard
+// cluster needs no catalog here: the engine's answer text for an
+// entity-backed answer IS the catalog's canonical entity name, so the
+// wire Entity field can be filled from the answer itself —
+// byte-identical to the single-node ToSearchResponse.
+func toWireResult(res *webtable.SearchResult) server.SearchResponse {
+	out := server.SearchResponse{
+		Answers:    make([]server.Answer, len(res.Answers)),
+		Total:      res.Total,
+		NextCursor: res.NextCursor,
+	}
+	for i, a := range res.Answers {
+		wa := server.Answer{Text: a.Text, Score: a.Score, Support: a.Support}
+		if a.Entity != webtable.None {
+			wa.Entity = a.Text
+		}
+		if a.Explanation != nil {
+			ex := &server.Explanation{
+				Sources:   make([]server.Source, len(a.Explanation.Sources)),
+				Truncated: a.Explanation.Truncated,
+			}
+			for j, s := range a.Explanation.Sources {
+				ex.Sources[j] = server.Source{Table: s.Table, Row: s.Row, Col: s.Col, Score: s.Score}
+			}
+			wa.Explanation = ex
+		}
+		out.Answers[i] = wa
+	}
+	return out
+}
+
+// handleHealthz fans a health probe out to every shard: the router is
+// healthy only if the whole cluster is (a green router in front of a
+// dead shard would hide exactly the failure this endpoint exists to
+// surface).
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	ctx := r.Context()
+	n := rt.client.Shards()
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(shard int) {
+			defer wg.Done()
+			errs[shard] = rt.client.Health(ctx, shard)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			rt.base.WriteError(w, r, err)
+			return
+		}
+	}
+	rt.base.WriteJSON(w, http.StatusOK, map[string]any{"status": "ok", "shards": n})
+}
+
+func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
+	resp := RouterStatsResponse{
+		Shards:   make([]RouterShardStats, len(rt.stats)),
+		InFlight: rt.base.InFlight(),
+	}
+	for i, st := range rt.stats {
+		resp.Shards[i] = st.snapshot(i, rt.client.URLs[i])
+	}
+	rt.base.WriteJSON(w, http.StatusOK, resp)
+}

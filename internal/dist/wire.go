@@ -1,0 +1,305 @@
+// Package dist implements distributed segment serving: shard servers
+// that own contiguous slices of a snapshot's segment manifest and
+// export partial search evidence over HTTP, and a stateless
+// scatter-gather router that merges those partials into result pages
+// byte-identical to a single node serving the whole corpus.
+//
+// Topology:
+//
+//	                      ┌────────────┐   snapshot segments [0,k)
+//	client ──► router ──► │ tabshard 0 │   (tables 0..t₀)
+//	          (tabserved  └────────────┘
+//	           -shards)   ┌────────────┐   snapshot segments [k,n)
+//	                 └──► │ tabshard 1 │   (tables t₀..t)
+//	                      └────────────┘
+//
+// Every process loads the same snapshot file; the shard placement is a
+// deterministic function of the manifest (snapshot.AssignShards), so
+// shards agree on who owns which global table numbers without any
+// coordination. The router holds no corpus state at all: it forwards
+// the client's request bytes to every shard, gathers partial evidence
+// (internal/search's replay-ordered hit logs), and folds it through
+// the same corpus-order aggregation a single node uses — scores,
+// totals, cursors, dominant surface forms and explanations come out
+// bit-for-bit identical because every cluster's floating-point
+// evidence is summed in exactly the single-node scan order.
+//
+// Failure semantics are structural, never silent: a shard that stays
+// unreachable after bounded retries fails the whole request with a 502
+// naming the shard (a partial cluster must not quietly return a subset
+// of the corpus), client errors (4xx) from shards propagate as-is, and
+// shards drain gracefully on shutdown.
+package dist
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/catalog"
+	"repro/internal/search"
+)
+
+// partialMagic heads every partial-evidence payload.
+var partialMagic = [6]byte{'W', 'T', 'P', 'A', 'R', 'T'}
+
+// PartialVersion is the current partial-evidence wire version.
+const PartialVersion = 1
+
+// ErrBadPartial reports a partial-evidence payload that is not
+// well-formed: wrong magic, unknown version, truncation, trailing
+// garbage, or ordering violations.
+var ErrBadPartial = errors.New("dist: malformed partial payload")
+
+// Partial is one shard's response to a partial-evidence query: the
+// replay groups plus the identity envelope the router verifies before
+// merging (a shard answering for the wrong slice or a different corpus
+// generation would silently corrupt the merge).
+type Partial struct {
+	// Generation is the corpus generation the shard serves.
+	Generation uint64
+	// Shard and Shards identify the responder's slice of the cluster.
+	Shard, Shards int
+	// Groups is the shard's partial evidence in replay order.
+	Groups []search.PartialGroup
+}
+
+// EncodePartial serializes p. Layout (all integers big-endian):
+//
+//	magic "WTPART", version u8, generation u64, shard u32, shards u32,
+//	groups u32, then per group: key u32, clusters u32, then per
+//	cluster: entity i32 (-1 = text cluster), norm string, canonical
+//	string, hits u32 × (table i32, row i32, col i32, evidence f64
+//	bits), variants u32 × (raw string, count u32).
+//
+// Strings are u32 length + bytes. The hit entries are the same
+// pointer-free 24-byte records the in-process parallel scan logs; the
+// evidence float crosses the wire as its exact bit pattern, because the
+// merge's byte-identity contract is bit-exact arithmetic.
+func EncodePartial(p *Partial) []byte {
+	// Pre-size: header + a conservative walk of the payload.
+	size := 6 + 1 + 8 + 4 + 4 + 4
+	for gi := range p.Groups {
+		size += 8
+		for ci := range p.Groups[gi].Clusters {
+			c := &p.Groups[gi].Clusters[ci]
+			size += 4 + 4 + len(c.Norm) + 4 + len(c.Canonical)
+			size += 4 + 20*len(c.Hits)
+			size += 4
+			for vi := range c.Variants {
+				size += 8 + len(c.Variants[vi].Raw)
+			}
+		}
+	}
+	buf := make([]byte, 0, size)
+	buf = append(buf, partialMagic[:]...)
+	buf = append(buf, PartialVersion)
+	buf = binary.BigEndian.AppendUint64(buf, p.Generation)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(p.Shard))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(p.Shards))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(p.Groups)))
+	appendString := func(s string) {
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(s)))
+		buf = append(buf, s...)
+	}
+	for gi := range p.Groups {
+		g := &p.Groups[gi]
+		buf = binary.BigEndian.AppendUint32(buf, g.Key)
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(g.Clusters)))
+		for ci := range g.Clusters {
+			c := &g.Clusters[ci]
+			buf = binary.BigEndian.AppendUint32(buf, uint32(int32(c.Entity)))
+			appendString(c.Norm)
+			appendString(c.Canonical)
+			buf = binary.BigEndian.AppendUint32(buf, uint32(len(c.Hits)))
+			for _, h := range c.Hits {
+				buf = binary.BigEndian.AppendUint32(buf, uint32(h.Table))
+				buf = binary.BigEndian.AppendUint32(buf, uint32(h.Row))
+				buf = binary.BigEndian.AppendUint32(buf, uint32(h.Col))
+				buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(h.Evidence))
+			}
+			buf = binary.BigEndian.AppendUint32(buf, uint32(len(c.Variants)))
+			for vi := range c.Variants {
+				appendString(c.Variants[vi].Raw)
+				buf = binary.BigEndian.AppendUint32(buf, uint32(c.Variants[vi].Count))
+			}
+		}
+	}
+	return buf
+}
+
+// partialReader is a bounds-checked cursor over an encoded payload.
+type partialReader struct {
+	data []byte
+	off  int
+}
+
+func (r *partialReader) remaining() int { return len(r.data) - r.off }
+
+func (r *partialReader) take(n int) ([]byte, error) {
+	if n < 0 || r.remaining() < n {
+		return nil, fmt.Errorf("%w: truncated at byte %d (need %d more)", ErrBadPartial, r.off, n)
+	}
+	b := r.data[r.off : r.off+n]
+	r.off += n
+	return b, nil
+}
+
+func (r *partialReader) u32() (uint32, error) {
+	b, err := r.take(4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint32(b), nil
+}
+
+func (r *partialReader) u64() (uint64, error) {
+	b, err := r.take(8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint64(b), nil
+}
+
+func (r *partialReader) str() (string, error) {
+	n, err := r.u32()
+	if err != nil {
+		return "", err
+	}
+	b, err := r.take(int(n))
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+// count reads an element count and sanity-checks it against the bytes
+// remaining (each element needs at least min bytes), so a corrupted
+// count fails as truncation instead of allocating unbounded memory.
+func (r *partialReader) count(min int) (int, error) {
+	n, err := r.u32()
+	if err != nil {
+		return 0, err
+	}
+	if int64(n)*int64(min) > int64(r.remaining()) {
+		return 0, fmt.Errorf("%w: count %d exceeds remaining %d bytes", ErrBadPartial, n, r.remaining())
+	}
+	return int(n), nil
+}
+
+// DecodePartial deserializes one payload, validating structure
+// strictly: magic, version, bounds on every count, strictly ascending
+// group keys (the replay order the merge depends on), and no trailing
+// bytes.
+func DecodePartial(data []byte) (*Partial, error) {
+	r := &partialReader{data: data}
+	head, err := r.take(len(partialMagic))
+	if err != nil {
+		return nil, err
+	}
+	if string(head) != string(partialMagic[:]) {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadPartial)
+	}
+	ver, err := r.take(1)
+	if err != nil {
+		return nil, err
+	}
+	if ver[0] != PartialVersion {
+		return nil, fmt.Errorf("%w: version %d, reader supports %d", ErrBadPartial, ver[0], PartialVersion)
+	}
+	p := &Partial{}
+	if p.Generation, err = r.u64(); err != nil {
+		return nil, err
+	}
+	shard, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	shards, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	p.Shard, p.Shards = int(shard), int(shards)
+	nGroups, err := r.count(8)
+	if err != nil {
+		return nil, err
+	}
+	if nGroups > 0 {
+		p.Groups = make([]search.PartialGroup, 0, nGroups)
+	}
+	for gi := 0; gi < nGroups; gi++ {
+		var g search.PartialGroup
+		if g.Key, err = r.u32(); err != nil {
+			return nil, err
+		}
+		if gi > 0 && g.Key <= p.Groups[gi-1].Key {
+			return nil, fmt.Errorf("%w: group keys not strictly ascending (%d after %d)",
+				ErrBadPartial, g.Key, p.Groups[gi-1].Key)
+		}
+		nClusters, err := r.count(20)
+		if err != nil {
+			return nil, err
+		}
+		if nClusters > 0 {
+			g.Clusters = make([]search.ClusterPartial, 0, nClusters)
+		}
+		for ci := 0; ci < nClusters; ci++ {
+			var c search.ClusterPartial
+			ent, err := r.u32()
+			if err != nil {
+				return nil, err
+			}
+			c.Entity = catalog.EntityID(int32(ent))
+			if c.Norm, err = r.str(); err != nil {
+				return nil, err
+			}
+			if c.Canonical, err = r.str(); err != nil {
+				return nil, err
+			}
+			nHits, err := r.count(20)
+			if err != nil {
+				return nil, err
+			}
+			if nHits > 0 {
+				c.Hits = make([]search.PartialHit, nHits)
+			}
+			for hi := 0; hi < nHits; hi++ {
+				b, err := r.take(20)
+				if err != nil {
+					return nil, err
+				}
+				c.Hits[hi] = search.PartialHit{
+					Table:    int32(binary.BigEndian.Uint32(b[0:4])),
+					Row:      int32(binary.BigEndian.Uint32(b[4:8])),
+					Col:      int32(binary.BigEndian.Uint32(b[8:12])),
+					Evidence: math.Float64frombits(binary.BigEndian.Uint64(b[12:20])),
+				}
+			}
+			nVars, err := r.count(8)
+			if err != nil {
+				return nil, err
+			}
+			if nVars > 0 {
+				c.Variants = make([]search.Variant, nVars)
+			}
+			for vi := 0; vi < nVars; vi++ {
+				raw, err := r.str()
+				if err != nil {
+					return nil, err
+				}
+				cnt, err := r.u32()
+				if err != nil {
+					return nil, err
+				}
+				c.Variants[vi] = search.Variant{Raw: raw, Count: int(cnt)}
+			}
+			g.Clusters = append(g.Clusters, c)
+		}
+		p.Groups = append(p.Groups, g)
+	}
+	if r.remaining() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadPartial, r.remaining())
+	}
+	return p, nil
+}

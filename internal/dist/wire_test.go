@@ -1,0 +1,126 @@
+package dist
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/search"
+)
+
+// samplePartial exercises every field: multiple groups, entity and text
+// clusters, empty hit/variant lists, and evidence floats whose exact
+// bit patterns must survive the wire (subnormal, negative zero, huge).
+func samplePartial() *Partial {
+	return &Partial{
+		Generation: 42,
+		Shard:      1,
+		Shards:     3,
+		Groups: []search.PartialGroup{
+			{Key: 0, Clusters: []search.ClusterPartial{
+				{
+					Entity:    7,
+					Norm:      "epic saga",
+					Canonical: "Epic Saga",
+					Hits: []search.PartialHit{
+						{Table: 0, Row: 3, Col: 1, Evidence: 0.375},
+						{Table: 2147483000, Row: 0, Col: 0, Evidence: math.Copysign(0, -1)},
+					},
+				},
+				{
+					Entity:    catalog.None,
+					Norm:      "solo auteur",
+					Canonical: "",
+					Hits:      []search.PartialHit{{Table: 1, Row: 2, Col: 0, Evidence: 5e-324}},
+					Variants: []search.Variant{
+						{Raw: "  Solo Auteur  ", Count: 2},
+						{Raw: "SOLO AUTEUR", Count: 1},
+					},
+				},
+			}},
+			{Key: 9, Clusters: nil},
+			{Key: 31, Clusters: []search.ClusterPartial{
+				{Entity: catalog.None, Norm: "x", Canonical: "", Hits: nil,
+					Variants: []search.Variant{{Raw: "x", Count: 1}}},
+			}},
+		},
+	}
+}
+
+func TestPartialRoundTrip(t *testing.T) {
+	for _, p := range []*Partial{
+		samplePartial(),
+		{Generation: 1, Shard: 0, Shards: 1, Groups: nil},
+	} {
+		data := EncodePartial(p)
+		got, err := DecodePartial(data)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if !reflect.DeepEqual(got, p) {
+			t.Fatalf("round trip mismatch:\ngot  %+v\nwant %+v", got, p)
+		}
+	}
+}
+
+func TestPartialEvidenceBitExact(t *testing.T) {
+	p := &Partial{Shards: 1, Groups: []search.PartialGroup{{Key: 0, Clusters: []search.ClusterPartial{{
+		Entity: catalog.None, Norm: "n",
+		Hits: []search.PartialHit{{Evidence: math.Copysign(0, -1)}},
+	}}}}}
+	got, err := DecodePartial(EncodePartial(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gb := math.Float64bits(got.Groups[0].Clusters[0].Hits[0].Evidence)
+	wb := math.Float64bits(math.Copysign(0, -1))
+	if gb != wb {
+		t.Fatalf("evidence bits %x, want %x (negative zero must survive)", gb, wb)
+	}
+}
+
+// TestDecodePartialTruncation decodes every strict prefix of a valid
+// payload: all must fail with ErrBadPartial, none may panic.
+func TestDecodePartialTruncation(t *testing.T) {
+	data := EncodePartial(samplePartial())
+	for n := 0; n < len(data); n++ {
+		if _, err := DecodePartial(data[:n]); !errors.Is(err, ErrBadPartial) {
+			t.Fatalf("prefix of %d bytes: err = %v, want ErrBadPartial", n, err)
+		}
+	}
+}
+
+func TestDecodePartialRejects(t *testing.T) {
+	valid := EncodePartial(samplePartial())
+
+	badMagic := append([]byte(nil), valid...)
+	badMagic[0] = 'X'
+
+	badVersion := append([]byte(nil), valid...)
+	badVersion[6] = 99
+
+	trailing := append(append([]byte(nil), valid...), 0xFF)
+
+	// Corrupt the group count (bytes 23..26, after the 23-byte header)
+	// to something absurd: must fail bounds checking, not allocate.
+	hugeCount := append([]byte(nil), valid...)
+	hugeCount[23], hugeCount[24], hugeCount[25], hugeCount[26] = 0xFF, 0xFF, 0xFF, 0xFF
+
+	// Two groups with descending keys violate replay order.
+	descending := EncodePartial(&Partial{Groups: []search.PartialGroup{{Key: 5}, {Key: 3}}})
+
+	for name, data := range map[string][]byte{
+		"bad magic":       badMagic,
+		"bad version":     badVersion,
+		"trailing bytes":  trailing,
+		"huge count":      hugeCount,
+		"descending keys": descending,
+		"empty":           nil,
+	} {
+		if _, err := DecodePartial(data); !errors.Is(err, ErrBadPartial) {
+			t.Errorf("%s: err = %v, want ErrBadPartial", name, err)
+		}
+	}
+}

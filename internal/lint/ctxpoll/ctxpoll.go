@@ -34,6 +34,7 @@ import (
 var Scope = []string{
 	"internal/search", // also matches internal/searchidx
 	"internal/segment",
+	"internal/dist", // partial encode/decode and scatter loops run per-hit work
 	"lint/ctxpoll",
 	"ctxpoll", // testdata package path
 }

@@ -1,0 +1,268 @@
+package server
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	webtable "repro"
+	"repro/internal/table"
+)
+
+// HTTPBase is the HTTP plumbing shared by every serving process — the
+// single-node server, the shard server and the scatter-gather router:
+// request IDs (echoed if the client sent one, else minted with a
+// process-unique prefix), per-request timeouts, body caps, in-flight
+// accounting, one structured log line per request, JSON responses with
+// structured errors, and graceful drain on shutdown. Embedding it keeps
+// the processes of a distributed deployment behaviorally identical at
+// the transport layer, which the byte-identical-results contract
+// depends on.
+//
+// Configure the exported fields before serving; they must not change
+// afterwards.
+type HTTPBase struct {
+	// Log receives the per-request log lines (default slog.Default()).
+	Log *slog.Logger
+	// Timeout bounds each request's handling time (0: no deadline,
+	// leaving only client-disconnect cancellation).
+	Timeout time.Duration
+	// Drain bounds how long Serve waits for in-flight requests after
+	// its context is canceled.
+	Drain time.Duration
+	// MaxBody caps request body size (0: unlimited).
+	MaxBody int64
+	// MapErr resolves an error to its HTTP status, stable error code and
+	// offending field; nil uses MapError. Servers with extra error
+	// domains (the router's shard failures) install a wrapper that
+	// falls back to MapError.
+	MapErr func(error) (status int, code, field string)
+
+	idPrefix string
+	reqSeq   atomic.Uint64
+	inflight atomic.Int64
+}
+
+// NewHTTPBase returns a base with the standard defaults: slog.Default,
+// 30s request timeout, 10s drain, 8 MiB body cap, and a random
+// process-unique request-ID prefix.
+func NewHTTPBase() *HTTPBase {
+	b := &HTTPBase{
+		Log:     slog.Default(),
+		Timeout: 30 * time.Second,
+		Drain:   10 * time.Second,
+		MaxBody: 8 << 20,
+	}
+	var pre [4]byte
+	if _, err := rand.Read(pre[:]); err == nil {
+		b.idPrefix = hex.EncodeToString(pre[:])
+	} else {
+		b.idPrefix = "00000000"
+	}
+	return b
+}
+
+// InFlight reports the number of requests currently being handled.
+func (b *HTTPBase) InFlight() int64 { return b.inflight.Load() }
+
+type ctxKey int
+
+const requestIDKey ctxKey = 0
+
+// RequestID returns the request ID the middleware attached to ctx.
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey).(string)
+	return id
+}
+
+// statusWriter records the status code for the log line.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// Middleware attaches the request ID, per-request timeout, body cap,
+// in-flight accounting and the structured log line, and maps a context
+// already dead on arrival (client gone before dispatch) to its error
+// response without invoking the handler.
+func (b *HTTPBase) Middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		b.inflight.Add(1)
+		defer b.inflight.Add(-1)
+
+		id := r.Header.Get("X-Request-ID")
+		if id == "" {
+			id = fmt.Sprintf("%s-%06d", b.idPrefix, b.reqSeq.Add(1))
+		}
+		w.Header().Set("X-Request-ID", id)
+		ctx := context.WithValue(r.Context(), requestIDKey, id)
+		if b.Timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, b.Timeout)
+			defer cancel()
+		}
+		r = r.WithContext(ctx)
+		if b.MaxBody > 0 && r.Body != nil {
+			r.Body = http.MaxBytesReader(w, r.Body, b.MaxBody)
+		}
+
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		if err := ctx.Err(); err != nil {
+			b.WriteError(sw, r, err)
+		} else {
+			next.ServeHTTP(sw, r)
+		}
+		b.Log.Info("request",
+			"id", id,
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", sw.status,
+			"duration_ms", float64(time.Since(start).Microseconds())/1000,
+			"remote", r.RemoteAddr,
+		)
+	})
+}
+
+// Serve accepts connections on ln until ctx is canceled, then shuts
+// down gracefully: the listener closes, in-flight requests get up to
+// the drain timeout to finish, and Serve returns nil on a clean drain.
+// A listener failure is returned as-is.
+func (b *HTTPBase) Serve(ctx context.Context, ln net.Listener, h http.Handler) error {
+	srv := &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: 10 * time.Second,
+		BaseContext:       func(net.Listener) context.Context { return context.Background() },
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	b.Log.Info("shutting down", "in_flight", b.InFlight(), "drain_timeout", b.Drain)
+	sdCtx, cancel := context.WithTimeout(context.Background(), b.Drain)
+	defer cancel()
+	if err := srv.Shutdown(sdCtx); err != nil {
+		return fmt.Errorf("server: shutdown: %w", err)
+	}
+	<-errc // http.ErrServerClosed from the Serve goroutine
+	return nil
+}
+
+// MapError resolves an error to its HTTP status, stable error code and
+// (when known) offending field. This is the single place the service's
+// sentinel errors meet HTTP; every serving process maps identically so
+// clients see one error contract cluster-wide.
+func MapError(err error) (status int, code, field string) {
+	var qe *webtable.QueryError
+	if errors.As(err, &qe) {
+		field = qe.Field
+	}
+	var tooBig *http.MaxBytesError
+	if errors.As(err, &tooBig) {
+		return http.StatusRequestEntityTooLarge, "body_too_large", field
+	}
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout, "deadline_exceeded", field
+	case errors.Is(err, context.Canceled):
+		return StatusClientClosedRequest, "client_closed_request", field
+	case errors.Is(err, webtable.ErrInvalidCursor):
+		return http.StatusBadRequest, "invalid_cursor", field
+	case errors.Is(err, webtable.ErrInvalidPageSize):
+		return http.StatusBadRequest, "invalid_page_size", field
+	case errors.Is(err, webtable.ErrInvalidMode):
+		return http.StatusBadRequest, "invalid_mode", field
+	case errors.Is(err, webtable.ErrUnknownName):
+		return http.StatusBadRequest, "unknown_name", field
+	case errors.Is(err, webtable.ErrInvalidQuery):
+		return http.StatusBadRequest, "invalid_query", field
+	case errors.Is(err, webtable.ErrNoIndex):
+		return http.StatusConflict, "no_index", field
+	case errors.Is(err, webtable.ErrUnknownTable):
+		return http.StatusNotFound, "unknown_table", field
+	case errors.Is(err, webtable.ErrDuplicateTable):
+		return http.StatusConflict, "duplicate_table", field
+	case errors.Is(err, webtable.ErrMissingTableID):
+		return http.StatusBadRequest, "missing_table_id", field
+	case errors.Is(err, errSnapshotUnconfigured):
+		return http.StatusConflict, "snapshot_unconfigured", field
+	case errors.Is(err, webtable.ErrNilTable),
+		errors.Is(err, table.ErrRagged),
+		errors.Is(err, table.ErrEmpty):
+		return http.StatusBadRequest, "invalid_table", field
+	case errors.Is(err, webtable.ErrUnknownMethod):
+		return http.StatusBadRequest, "unknown_method", field
+	case errors.Is(err, errBadBody):
+		return http.StatusBadRequest, "bad_request", field
+	default:
+		return http.StatusInternalServerError, "internal", field
+	}
+}
+
+// WriteError writes the structured JSON error response for err, mapped
+// through MapErr (default MapError).
+func (b *HTTPBase) WriteError(w http.ResponseWriter, r *http.Request, err error) {
+	mapErr := b.MapErr
+	if mapErr == nil {
+		mapErr = MapError
+	}
+	status, code, field := mapErr(err)
+	b.WriteJSON(w, status, ErrorResponse{Error: ErrorBody{
+		Code:      code,
+		Message:   err.Error(),
+		Field:     field,
+		RequestID: RequestID(r.Context()),
+	}})
+}
+
+// WriteJSON writes v as the JSON response body with the given status.
+func (b *HTTPBase) WriteJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		b.Log.Error("encode response", "err", err)
+	}
+}
+
+// DecodeBody strictly decodes a request's JSON body into v: unknown
+// fields and trailing data are errors (mapped to 400 bad_request), and
+// a body-cap overflow keeps its MaxBytesError identity (413).
+func DecodeBody(r *http.Request, v any) error {
+	return DecodeJSON(r.Body, v)
+}
+
+// DecodeJSON is DecodeBody over any reader, for handlers that buffered
+// the body (the router reads it once, validates locally, and forwards
+// the same bytes to every shard).
+func DecodeJSON(r io.Reader, v any) error {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			return err // MapError turns this into 413, not 400
+		}
+		return fmt.Errorf("%w: %v", errBadBody, err)
+	}
+	if dec.More() {
+		return fmt.Errorf("%w: trailing data after JSON body", errBadBody)
+	}
+	return nil
+}

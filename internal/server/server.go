@@ -25,9 +25,6 @@ package server
 
 import (
 	"context"
-	"crypto/rand"
-	"encoding/hex"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -37,11 +34,9 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
-	"sync/atomic"
 	"time"
 
 	webtable "repro"
-	"repro/internal/table"
 )
 
 // StatusClientClosedRequest is the non-standard (nginx-convention)
@@ -59,14 +54,8 @@ var errSnapshotUnconfigured = errors.New("server: no snapshot path configured (s
 // safe for concurrent use.
 type Server struct {
 	svc      *webtable.Service
-	log      *slog.Logger
-	timeout  time.Duration
-	drain    time.Duration
-	maxBody  int64
+	base     *HTTPBase
 	snapPath string
-	idPrefix string
-	reqSeq   atomic.Uint64
-	inflight atomic.Int64
 	// snapMu serializes POST /v1/snapshot so two concurrent persists
 	// cannot interleave their temp-file renames.
 	snapMu  chan struct{}
@@ -77,19 +66,19 @@ type Server struct {
 type Option func(*Server)
 
 // WithLogger sets the structured logger (default: slog.Default()).
-func WithLogger(l *slog.Logger) Option { return func(s *Server) { s.log = l } }
+func WithLogger(l *slog.Logger) Option { return func(s *Server) { s.base.Log = l } }
 
 // WithTimeout bounds each request's handling time (default 30s; 0
 // disables the per-request deadline, leaving only client-disconnect
 // cancellation).
-func WithTimeout(d time.Duration) Option { return func(s *Server) { s.timeout = d } }
+func WithTimeout(d time.Duration) Option { return func(s *Server) { s.base.Timeout = d } }
 
 // WithDrainTimeout bounds how long Serve waits for in-flight requests
 // after its context is canceled (default 10s).
-func WithDrainTimeout(d time.Duration) Option { return func(s *Server) { s.drain = d } }
+func WithDrainTimeout(d time.Duration) Option { return func(s *Server) { s.base.Drain = d } }
 
 // WithMaxBodyBytes caps request body size (default 8 MiB).
-func WithMaxBodyBytes(n int64) Option { return func(s *Server) { s.maxBody = n } }
+func WithMaxBodyBytes(n int64) Option { return func(s *Server) { s.base.MaxBody = n } }
 
 // WithSnapshotPath enables POST /v1/snapshot: the live corpus is
 // persisted to this path (written via a temp file + atomic rename) so an
@@ -100,21 +89,12 @@ func WithSnapshotPath(path string) Option { return func(s *Server) { s.snapPath 
 // New builds a server over svc.
 func New(svc *webtable.Service, opts ...Option) *Server {
 	s := &Server{
-		svc:     svc,
-		log:     slog.Default(),
-		timeout: 30 * time.Second,
-		drain:   10 * time.Second,
-		maxBody: 8 << 20,
-		snapMu:  make(chan struct{}, 1),
+		svc:    svc,
+		base:   NewHTTPBase(),
+		snapMu: make(chan struct{}, 1),
 	}
 	for _, opt := range opts {
 		opt(s)
-	}
-	var pre [4]byte
-	if _, err := rand.Read(pre[:]); err == nil {
-		s.idPrefix = hex.EncodeToString(pre[:])
-	} else {
-		s.idPrefix = "00000000"
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
@@ -128,7 +108,7 @@ func New(svc *webtable.Service, opts ...Option) *Server {
 	// No catch-all: unmatched paths get ServeMux's 404 and, crucially,
 	// a matched path with the wrong method gets its 405 + Allow header
 	// (a "/" fallback would swallow those into 404s).
-	s.handler = s.middleware(mux)
+	s.handler = s.base.Middleware(mux)
 	return s
 }
 
@@ -136,191 +116,20 @@ func New(svc *webtable.Service, opts ...Option) *Server {
 func (s *Server) Handler() http.Handler { return s.handler }
 
 // InFlight reports the number of requests currently being handled.
-func (s *Server) InFlight() int64 { return s.inflight.Load() }
+func (s *Server) InFlight() int64 { return s.base.InFlight() }
 
 // Serve accepts connections on ln until ctx is canceled, then shuts down
 // gracefully: the listener closes, in-flight requests get up to the
 // drain timeout to finish, and Serve returns nil on a clean drain. A
 // listener failure is returned as-is.
 func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
-	srv := &http.Server{
-		Handler:           s.handler,
-		ReadHeaderTimeout: 10 * time.Second,
-		BaseContext:       func(net.Listener) context.Context { return context.Background() },
-	}
-	errc := make(chan error, 1)
-	go func() { errc <- srv.Serve(ln) }()
-	select {
-	case err := <-errc:
-		return err
-	case <-ctx.Done():
-	}
-	s.log.Info("shutting down", "in_flight", s.InFlight(), "drain_timeout", s.drain)
-	sdCtx, cancel := context.WithTimeout(context.Background(), s.drain)
-	defer cancel()
-	if err := srv.Shutdown(sdCtx); err != nil {
-		return fmt.Errorf("server: shutdown: %w", err)
-	}
-	<-errc // http.ErrServerClosed from the Serve goroutine
-	return nil
-}
-
-// --- middleware ---
-
-type ctxKey int
-
-const requestIDKey ctxKey = 0
-
-// RequestID returns the request ID the middleware attached to ctx.
-func RequestID(ctx context.Context) string {
-	id, _ := ctx.Value(requestIDKey).(string)
-	return id
-}
-
-// statusWriter records the status code for the log line.
-type statusWriter struct {
-	http.ResponseWriter
-	status int
-}
-
-func (w *statusWriter) WriteHeader(code int) {
-	w.status = code
-	w.ResponseWriter.WriteHeader(code)
-}
-
-// middleware attaches the request ID, per-request timeout, in-flight
-// accounting and the structured log line, and maps a context already
-// dead on arrival (client gone before dispatch) to its error response
-// without invoking the handler.
-func (s *Server) middleware(next http.Handler) http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		start := time.Now()
-		s.inflight.Add(1)
-		defer s.inflight.Add(-1)
-
-		id := r.Header.Get("X-Request-ID")
-		if id == "" {
-			id = fmt.Sprintf("%s-%06d", s.idPrefix, s.reqSeq.Add(1))
-		}
-		w.Header().Set("X-Request-ID", id)
-		ctx := context.WithValue(r.Context(), requestIDKey, id)
-		if s.timeout > 0 {
-			var cancel context.CancelFunc
-			ctx, cancel = context.WithTimeout(ctx, s.timeout)
-			defer cancel()
-		}
-		r = r.WithContext(ctx)
-		if s.maxBody > 0 && r.Body != nil {
-			r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
-		}
-
-		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
-		if err := ctx.Err(); err != nil {
-			s.writeError(sw, r, err)
-		} else {
-			next.ServeHTTP(sw, r)
-		}
-		s.log.Info("request",
-			"id", id,
-			"method", r.Method,
-			"path", r.URL.Path,
-			"status", sw.status,
-			"duration_ms", float64(time.Since(start).Microseconds())/1000,
-			"remote", r.RemoteAddr,
-		)
-	})
-}
-
-// --- error mapping ---
-
-// mapError resolves an error to its HTTP status, stable error code and
-// (when known) offending field. This is the single place the service's
-// sentinel errors meet HTTP.
-func mapError(err error) (status int, code, field string) {
-	var qe *webtable.QueryError
-	if errors.As(err, &qe) {
-		field = qe.Field
-	}
-	var tooBig *http.MaxBytesError
-	if errors.As(err, &tooBig) {
-		return http.StatusRequestEntityTooLarge, "body_too_large", field
-	}
-	switch {
-	case errors.Is(err, context.DeadlineExceeded):
-		return http.StatusGatewayTimeout, "deadline_exceeded", field
-	case errors.Is(err, context.Canceled):
-		return StatusClientClosedRequest, "client_closed_request", field
-	case errors.Is(err, webtable.ErrInvalidCursor):
-		return http.StatusBadRequest, "invalid_cursor", field
-	case errors.Is(err, webtable.ErrInvalidPageSize):
-		return http.StatusBadRequest, "invalid_page_size", field
-	case errors.Is(err, webtable.ErrInvalidMode):
-		return http.StatusBadRequest, "invalid_mode", field
-	case errors.Is(err, webtable.ErrUnknownName):
-		return http.StatusBadRequest, "unknown_name", field
-	case errors.Is(err, webtable.ErrInvalidQuery):
-		return http.StatusBadRequest, "invalid_query", field
-	case errors.Is(err, webtable.ErrNoIndex):
-		return http.StatusConflict, "no_index", field
-	case errors.Is(err, webtable.ErrUnknownTable):
-		return http.StatusNotFound, "unknown_table", field
-	case errors.Is(err, webtable.ErrDuplicateTable):
-		return http.StatusConflict, "duplicate_table", field
-	case errors.Is(err, webtable.ErrMissingTableID):
-		return http.StatusBadRequest, "missing_table_id", field
-	case errors.Is(err, errSnapshotUnconfigured):
-		return http.StatusConflict, "snapshot_unconfigured", field
-	case errors.Is(err, webtable.ErrNilTable),
-		errors.Is(err, table.ErrRagged),
-		errors.Is(err, table.ErrEmpty):
-		return http.StatusBadRequest, "invalid_table", field
-	case errors.Is(err, webtable.ErrUnknownMethod):
-		return http.StatusBadRequest, "unknown_method", field
-	case errors.Is(err, errBadBody):
-		return http.StatusBadRequest, "bad_request", field
-	default:
-		return http.StatusInternalServerError, "internal", field
-	}
-}
-
-func (s *Server) writeError(w http.ResponseWriter, r *http.Request, err error) {
-	status, code, field := mapError(err)
-	s.writeJSON(w, status, ErrorResponse{Error: ErrorBody{
-		Code:      code,
-		Message:   err.Error(),
-		Field:     field,
-		RequestID: RequestID(r.Context()),
-	}})
-}
-
-func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	if err := json.NewEncoder(w).Encode(v); err != nil {
-		s.log.Error("encode response", "err", err)
-	}
-}
-
-func decodeBody(r *http.Request, v any) error {
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(v); err != nil {
-		var tooBig *http.MaxBytesError
-		if errors.As(err, &tooBig) {
-			return err // mapError turns this into 413, not 400
-		}
-		return fmt.Errorf("%w: %v", errBadBody, err)
-	}
-	if dec.More() {
-		return fmt.Errorf("%w: trailing data after JSON body", errBadBody)
-	}
-	return nil
+	return s.base.Serve(ctx, ln, s.handler)
 }
 
 // --- handlers ---
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	s.base.WriteJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -340,7 +149,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		resp.IndexBuilt = true
 		resp.CorpusStats = ToCorpusStats(corpus)
 	}
-	s.writeJSON(w, http.StatusOK, resp)
+	s.base.WriteJSON(w, http.StatusOK, resp)
 }
 
 // handleSearch is POST /v1/search. A worker-pool slot bounds how many
@@ -348,27 +157,27 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 // deadline and client disconnect.
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	var wr SearchRequest
-	if err := decodeBody(r, &wr); err != nil {
-		s.writeError(w, r, err)
+	if err := DecodeBody(r, &wr); err != nil {
+		s.base.WriteError(w, r, err)
 		return
 	}
 	req, err := wr.Resolve(s.svc)
 	if err != nil {
-		s.writeError(w, r, err)
+		s.base.WriteError(w, r, err)
 		return
 	}
 	ctx := r.Context()
 	if err := s.svc.Acquire(ctx); err != nil {
-		s.writeError(w, r, err)
+		s.base.WriteError(w, r, err)
 		return
 	}
 	defer s.svc.Release()
 	res, err := s.svc.Search(ctx, req)
 	if err != nil {
-		s.writeError(w, r, err)
+		s.base.WriteError(w, r, err)
 		return
 	}
-	s.writeJSON(w, http.StatusOK, ToSearchResponse(s.svc.Catalog(), res))
+	s.base.WriteJSON(w, http.StatusOK, ToSearchResponse(s.svc.Catalog(), res))
 }
 
 // handleSearchBatch is POST /v1/search:batch. The fan-out runs on the
@@ -378,8 +187,8 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 // non-2xx status.
 func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
 	var br BatchRequest
-	if err := decodeBody(r, &br); err != nil {
-		s.writeError(w, r, err)
+	if err := DecodeBody(r, &br); err != nil {
+		s.base.WriteError(w, r, err)
 		return
 	}
 	resp := BatchResponse{Results: make([]*SearchResponse, len(br.Requests))}
@@ -388,7 +197,7 @@ func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
 	for i := range br.Requests {
 		req, err := br.Requests[i].Resolve(s.svc)
 		if err != nil {
-			_, code, field := mapError(err)
+			_, code, field := MapError(err)
 			resp.Errors = append(resp.Errors, BatchItemError{Index: i, Error: ErrorBody{
 				Code: code, Message: err.Error(), Field: field,
 			}})
@@ -401,11 +210,11 @@ func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		var be *webtable.BatchError
 		if !errors.As(err, &be) {
-			s.writeError(w, r, err)
+			s.base.WriteError(w, r, err)
 			return
 		}
 		for _, f := range be.Failures {
-			_, code, field := mapError(f.Err)
+			_, code, field := MapError(f.Err)
 			resp.Errors = append(resp.Errors, BatchItemError{Index: origIndex[f.Index], Error: ErrorBody{
 				Code: code, Message: f.Err.Error(), Field: field,
 			}})
@@ -419,23 +228,23 @@ func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	sort.Slice(resp.Errors, func(i, j int) bool { return resp.Errors[i].Index < resp.Errors[j].Index })
-	s.writeJSON(w, http.StatusOK, resp)
+	s.base.WriteJSON(w, http.StatusOK, resp)
 }
 
 // handleAnnotate is POST /v1/annotate. AnnotateTable takes its own
 // worker-pool slot, so no extra acquire here.
 func (s *Server) handleAnnotate(w http.ResponseWriter, r *http.Request) {
 	var ar AnnotateRequest
-	if err := decodeBody(r, &ar); err != nil {
-		s.writeError(w, r, err)
+	if err := DecodeBody(r, &ar); err != nil {
+		s.base.WriteError(w, r, err)
 		return
 	}
 	if ar.Table == nil {
-		s.writeError(w, r, webtable.ErrNilTable)
+		s.base.WriteError(w, r, webtable.ErrNilTable)
 		return
 	}
 	if err := ar.Table.Validate(); err != nil {
-		s.writeError(w, r, err)
+		s.base.WriteError(w, r, err)
 		return
 	}
 	method := webtable.MethodCollective
@@ -443,16 +252,16 @@ func (s *Server) handleAnnotate(w http.ResponseWriter, r *http.Request) {
 		var err error
 		method, err = webtable.ParseMethod(ar.Method)
 		if err != nil {
-			s.writeError(w, r, err)
+			s.base.WriteError(w, r, err)
 			return
 		}
 	}
 	ann, err := s.svc.AnnotateTable(r.Context(), ar.Table, webtable.WithMethod(method))
 	if err != nil {
-		s.writeError(w, r, err)
+		s.base.WriteError(w, r, err)
 		return
 	}
-	s.writeJSON(w, http.StatusOK, ToAnnotation(s.svc.Catalog(), ann))
+	s.base.WriteJSON(w, http.StatusOK, ToAnnotation(s.svc.Catalog(), ann))
 }
 
 // handleAddTables is POST /v1/tables: annotate the batch (on the
@@ -462,29 +271,29 @@ func (s *Server) handleAnnotate(w http.ResponseWriter, r *http.Request) {
 // missing IDs, invalid tables) leaves the corpus unchanged.
 func (s *Server) handleAddTables(w http.ResponseWriter, r *http.Request) {
 	var ar AddTablesRequest
-	if err := decodeBody(r, &ar); err != nil {
-		s.writeError(w, r, err)
+	if err := DecodeBody(r, &ar); err != nil {
+		s.base.WriteError(w, r, err)
 		return
 	}
 	if len(ar.Tables) == 0 {
-		s.writeError(w, r, fmt.Errorf("%w: tables must not be empty", errBadBody))
+		s.base.WriteError(w, r, fmt.Errorf("%w: tables must not be empty", errBadBody))
 		return
 	}
 	var opts []webtable.AnnotateOption
 	if ar.Method != "" {
 		method, err := webtable.ParseMethod(ar.Method)
 		if err != nil {
-			s.writeError(w, r, err)
+			s.base.WriteError(w, r, err)
 			return
 		}
 		opts = append(opts, webtable.WithMethod(method))
 	}
 	stats, err := s.svc.AddTables(r.Context(), ar.Tables, opts...)
 	if err != nil {
-		s.writeError(w, r, err)
+		s.base.WriteError(w, r, err)
 		return
 	}
-	s.writeJSON(w, http.StatusOK, MutateResponse{
+	s.base.WriteJSON(w, http.StatusOK, MutateResponse{
 		Added:       len(ar.Tables),
 		CorpusStats: ToCorpusStats(stats),
 	})
@@ -497,10 +306,10 @@ func (s *Server) handleRemoveTable(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	stats, err := s.svc.RemoveTables(r.Context(), []string{id})
 	if err != nil {
-		s.writeError(w, r, err)
+		s.base.WriteError(w, r, err)
 		return
 	}
-	s.writeJSON(w, http.StatusOK, MutateResponse{
+	s.base.WriteJSON(w, http.StatusOK, MutateResponse{
 		Removed:     1,
 		CorpusStats: ToCorpusStats(stats),
 	})
@@ -512,19 +321,19 @@ func (s *Server) handleRemoveTable(w http.ResponseWriter, r *http.Request) {
 // crash mid-write never clobbers the previous snapshot.
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	if s.snapPath == "" {
-		s.writeError(w, r, errSnapshotUnconfigured)
+		s.base.WriteError(w, r, errSnapshotUnconfigured)
 		return
 	}
 	select {
 	case s.snapMu <- struct{}{}:
 		defer func() { <-s.snapMu }()
 	case <-r.Context().Done():
-		s.writeError(w, r, r.Context().Err())
+		s.base.WriteError(w, r, r.Context().Err())
 		return
 	}
 	tmp, err := os.CreateTemp(filepath.Dir(s.snapPath), filepath.Base(s.snapPath)+".tmp-*")
 	if err != nil {
-		s.writeError(w, r, err)
+		s.base.WriteError(w, r, err)
 		return
 	}
 	// WriteSnapshot reports the counters of the view it persisted, so
@@ -534,14 +343,14 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
-		s.writeError(w, r, err)
+		s.base.WriteError(w, r, err)
 		return
 	}
 	size, err := tmp.Seek(0, io.SeekEnd)
 	if err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
-		s.writeError(w, r, err)
+		s.base.WriteError(w, r, err)
 		return
 	}
 	// Sync before rename: the rename is only atomic with respect to
@@ -550,29 +359,29 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	if err := tmp.Sync(); err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
-		s.writeError(w, r, err)
+		s.base.WriteError(w, r, err)
 		return
 	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
-		s.writeError(w, r, err)
+		s.base.WriteError(w, r, err)
 		return
 	}
 	if err := os.Rename(tmp.Name(), s.snapPath); err != nil {
 		os.Remove(tmp.Name())
-		s.writeError(w, r, err)
+		s.base.WriteError(w, r, err)
 		return
 	}
 	// Best-effort directory sync so the rename itself survives power
 	// loss; the data is already safe either way.
 	if dir, err := os.Open(filepath.Dir(s.snapPath)); err == nil {
 		if err := dir.Sync(); err != nil {
-			s.log.Warn("snapshot: sync directory", "err", err)
+			s.base.Log.Warn("snapshot: sync directory", "err", err)
 		}
 		dir.Close()
 	}
-	s.log.Info("snapshot written", "path", s.snapPath, "bytes", size, "generation", stats.Generation)
-	s.writeJSON(w, http.StatusOK, SnapshotResponse{
+	s.base.Log.Info("snapshot written", "path", s.snapPath, "bytes", size, "generation", stats.Generation)
+	s.base.WriteJSON(w, http.StatusOK, SnapshotResponse{
 		Path:        s.snapPath,
 		Bytes:       size,
 		CorpusStats: ToCorpusStats(stats),

@@ -261,14 +261,14 @@ func TestMapErrorTable(t *testing.T) {
 		{fmt.Errorf("boom"), http.StatusInternalServerError, "internal"},
 	}
 	for _, tc := range cases {
-		status, code, _ := mapError(tc.err)
+		status, code, _ := MapError(tc.err)
 		if status != tc.wantStatus || code != tc.wantCode {
-			t.Errorf("mapError(%v) = (%d, %q), want (%d, %q)",
+			t.Errorf("MapError(%v) = (%d, %q), want (%d, %q)",
 				tc.err, status, code, tc.wantStatus, tc.wantCode)
 		}
 	}
 	// A QueryError wrapper surfaces its field.
-	_, _, field := mapError(&webtable.QueryError{Field: "t2", Err: webtable.ErrUnknownName})
+	_, _, field := MapError(&webtable.QueryError{Field: "t2", Err: webtable.ErrUnknownName})
 	if field != "t2" {
 		t.Errorf("field = %q, want t2", field)
 	}

@@ -1,0 +1,180 @@
+package snapshot
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/table"
+)
+
+// seg builds a manifest segment with n tables of which dead are
+// tombstoned.
+func seg(t *testing.T, id uint64, n int, dead ...int) Segment {
+	t.Helper()
+	s := Segment{ID: id, Dead: dead}
+	for i := 0; i < n; i++ {
+		s.Tables = append(s.Tables, &table.Table{
+			ID:      fmt.Sprintf("s%d-t%d", id, i),
+			Headers: []string{"A", "B"},
+			Cells:   [][]string{{"a", "b"}},
+		})
+	}
+	return s
+}
+
+// checkCover asserts the assignments form a contiguous exact cover of
+// the manifest with consistent table offsets.
+func checkCover(t *testing.T, segs []Segment, asn []Assignment) {
+	t.Helper()
+	seg, tables := 0, 0
+	for i, a := range asn {
+		if a.Lo != seg {
+			t.Fatalf("shard %d starts at segment %d, want %d", i, a.Lo, seg)
+		}
+		if a.Hi < a.Lo {
+			t.Fatalf("shard %d: inverted range [%d, %d)", i, a.Lo, a.Hi)
+		}
+		if a.TableOffset != tables {
+			t.Fatalf("shard %d: table offset %d, want %d", i, a.TableOffset, tables)
+		}
+		live := 0
+		for s := a.Lo; s < a.Hi; s++ {
+			live += segs[s].LiveCount()
+		}
+		if a.Tables != live {
+			t.Fatalf("shard %d: %d tables, segments hold %d live", i, a.Tables, live)
+		}
+		seg, tables = a.Hi, tables+live
+	}
+	if seg != len(segs) {
+		t.Fatalf("assignments cover %d of %d segments", seg, len(segs))
+	}
+}
+
+func TestAssignShardsUnevenSegments(t *testing.T) {
+	segs := []Segment{
+		seg(t, 1, 9), seg(t, 2, 1), seg(t, 3, 1), seg(t, 4, 1),
+		seg(t, 5, 6), seg(t, 6, 2),
+	}
+	for shards := 1; shards <= 8; shards++ {
+		asn, err := AssignShards(segs, shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(asn) != shards {
+			t.Fatalf("%d shards: got %d assignments", shards, len(asn))
+		}
+		checkCover(t, segs, asn)
+	}
+}
+
+func TestAssignShardsTombstoneHeavy(t *testing.T) {
+	// Live counts 1, 0, 4, 0: balancing must follow live tables, not raw
+	// segment sizes, and fully-dead segments still belong to exactly one
+	// shard.
+	segs := []Segment{
+		seg(t, 1, 5, 0, 1, 2, 3),
+		seg(t, 2, 3, 0, 1, 2),
+		seg(t, 3, 4),
+		seg(t, 4, 2, 0, 1),
+	}
+	asn, err := AssignShards(segs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCover(t, segs, asn)
+	if got := asn[0].Tables + asn[1].Tables; got != 5 {
+		t.Fatalf("total live tables %d, want 5", got)
+	}
+}
+
+func TestAssignShardsSingleShardDegenerate(t *testing.T) {
+	segs := []Segment{seg(t, 1, 3), seg(t, 2, 2, 1)}
+	asn, err := AssignShards(segs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Assignment{Lo: 0, Hi: 2, TableOffset: 0, Tables: 4}
+	if asn[0] != want {
+		t.Fatalf("single shard: %+v, want %+v", asn[0], want)
+	}
+}
+
+func TestAssignShardsMoreShardsThanSegments(t *testing.T) {
+	segs := []Segment{seg(t, 1, 2), seg(t, 2, 2)}
+	asn, err := AssignShards(segs, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCover(t, segs, asn)
+	empty := 0
+	for _, a := range asn {
+		if a.Segments() == 0 {
+			empty++
+		}
+	}
+	if empty != 3 {
+		t.Fatalf("%d empty shards, want 3", empty)
+	}
+}
+
+func TestAssignShardsRejectsBadCount(t *testing.T) {
+	if _, err := AssignShards(nil, 0); err == nil {
+		t.Fatal("shards=0 accepted")
+	}
+	if _, err := AssignShards(nil, -2); err == nil {
+		t.Fatal("negative shard count accepted")
+	}
+}
+
+// TestAssignShardsSnapshotRoundTrip is the satellite's manifest →
+// assignment round-trip: a v2 snapshot saved and reloaded yields the
+// identical placement, and every process deriving the placement from
+// the same file agrees.
+func TestAssignShardsSnapshotRoundTrip(t *testing.T) {
+	snap := &Snapshot{
+		Segments: []Segment{
+			seg(t, 7, 4, 1), seg(t, 9, 1), seg(t, 12, 6, 0, 5), seg(t, 13, 2),
+		},
+		Generation: 17,
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, snap); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for shards := 1; shards <= 4; shards++ {
+		want, err := AssignShards(snap.SegmentList(), shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := AssignShards(loaded.SegmentList(), shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("shards=%d: shard %d placement diverges after reload: %+v vs %+v",
+					shards, i, got[i], want[i])
+			}
+		}
+		checkCover(t, loaded.SegmentList(), got)
+	}
+}
+
+// TestSegmentListFlat checks the v1 flat corpus maps to a single
+// anonymous segment, matching how loading materializes it.
+func TestSegmentListFlat(t *testing.T) {
+	flat := &Snapshot{Tables: seg(t, 0, 3).Tables}
+	list := flat.SegmentList()
+	if len(list) != 1 || len(list[0].Tables) != 3 || list[0].LiveCount() != 3 {
+		t.Fatalf("flat SegmentList = %+v", list)
+	}
+	if (&Snapshot{}).SegmentList() != nil {
+		t.Fatal("empty snapshot: SegmentList should be nil")
+	}
+}

@@ -74,6 +74,57 @@ func LoadService(ctx context.Context, r io.Reader, opts ...ServiceOption) (*Serv
 	if err != nil {
 		return nil, err
 	}
+	segs := snap.SegmentList()
+	gen := snap.Generation
+	if len(snap.Segments) == 0 && gen == 0 {
+		gen = 1 // flat v1 snapshots predate generations
+	}
+	return loadSegments(ctx, snap, segs, gen, false, opts)
+}
+
+// LoadServiceShard reconstructs the shard-th of count shard services
+// from one snapshot: the manifest's segments are partitioned into
+// contiguous, live-table-balanced ranges (the same deterministic
+// placement in every process — see snapshot.AssignShards), and only the
+// owned range is index-built, so an N-shard cluster pays roughly 1/N of
+// a full load's index memory per process. The returned assignment
+// carries the shard's global table offset, which SearchPartial needs to
+// number hits corpus-globally.
+//
+// A shard service is a read replica of its slice: auto-compaction is
+// disabled regardless of options (compaction would bump the generation
+// and desynchronize the cluster's consistency check), and callers must
+// not mutate the corpus (AddTables / RemoveTables would change the
+// global numbering every other shard derives from the shared snapshot).
+func LoadServiceShard(ctx context.Context, r io.Reader, shard, count int, opts ...ServiceOption) (*Service, ShardAssignment, error) {
+	snap, err := snapshot.Load(r)
+	if err != nil {
+		return nil, ShardAssignment{}, err
+	}
+	asn, err := snapshot.AssignShards(snap.SegmentList(), count)
+	if err != nil {
+		return nil, ShardAssignment{}, err
+	}
+	if shard < 0 || shard >= count {
+		return nil, ShardAssignment{}, fmt.Errorf("webtable: shard %d out of range [0, %d)", shard, count)
+	}
+	a := asn[shard]
+	gen := snap.Generation
+	if len(snap.Segments) == 0 && gen == 0 {
+		gen = 1
+	}
+	svc, err := loadSegments(ctx, snap, snap.SegmentList()[a.Lo:a.Hi], gen, true, opts)
+	if err != nil {
+		return nil, ShardAssignment{}, err
+	}
+	return svc, a, nil
+}
+
+// loadSegments builds a service over a (possibly partial) run of
+// snapshot segments. An empty run still yields a searchable service
+// with an empty one-segment corpus — a shard owning no segments answers
+// partial queries with no evidence rather than erroring.
+func loadSegments(ctx context.Context, snap *snapshot.Snapshot, segs []snapshot.Segment, gen uint64, readOnly bool, opts []ServiceOption) (*Service, error) {
 	cat, err := catalog.FromSnapshot(snap.Catalog)
 	if err != nil {
 		return nil, fmt.Errorf("webtable: snapshot catalog: %w", err)
@@ -84,27 +135,18 @@ func LoadService(ctx context.Context, r io.Reader, opts ...ServiceOption) (*Serv
 	}
 	cfg := segment.Config{
 		Policy:      svc.compaction,
-		AutoCompact: svc.autoCompact,
-		Generation:  snap.Generation,
+		AutoCompact: svc.autoCompact && !readOnly,
+		Generation:  gen,
 	}
-	if len(snap.Segments) > 0 {
-		cfg.Seeds = make([]segment.Seed, len(snap.Segments))
-		for i, sg := range snap.Segments {
-			ix, err := searchidx.BuildContext(ctx, cat, sg.Tables, sg.Anns)
-			if err != nil {
-				return nil, err
-			}
-			cfg.Seeds[i] = segment.Seed{ID: sg.ID, Index: ix, Dead: sg.Dead}
-		}
-	} else {
-		ix, err := searchidx.BuildContext(ctx, cat, snap.Tables, snap.Anns)
+	// An empty run (a shard owning no segments) yields a store with no
+	// segments: still searchable, it just contributes no evidence.
+	cfg.Seeds = make([]segment.Seed, len(segs))
+	for i, sg := range segs {
+		ix, err := searchidx.BuildContext(ctx, cat, sg.Tables, sg.Anns)
 		if err != nil {
 			return nil, err
 		}
-		cfg.Seeds = []segment.Seed{{Index: ix}}
-		if cfg.Generation == 0 {
-			cfg.Generation = 1
-		}
+		cfg.Seeds[i] = segment.Seed{ID: sg.ID, Index: ix, Dead: sg.Dead}
 	}
 	st, err := segment.New(cat, cfg)
 	if err != nil {

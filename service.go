@@ -537,6 +537,26 @@ func (s *Service) Search(ctx context.Context, req SearchRequest) (*SearchResult,
 	return eng.Execute(ctx, req)
 }
 
+// SearchPartial executes req's candidate scan over the live corpus —
+// typically a shard's subset loaded with LoadServiceShard — and exports
+// the evidence as partial groups instead of a ranked page. tableOffset
+// shifts hit table numbers into the cluster-global numbering (a shard
+// passes its ShardAssignment.TableOffset; a single node passes 0).
+// Partials from every shard of one corpus merge through
+// MergeSearchPartials into pages byte-identical to a single-node
+// Search. The request is validated exactly as Search validates it;
+// PageSize, Cursor and Explain are ignored (merge-time concerns).
+func (s *Service) SearchPartial(ctx context.Context, req SearchRequest, tableOffset int) ([]PartialGroup, error) {
+	eng, err := s.engine()
+	if err != nil {
+		return nil, err
+	}
+	if err := validateRequest(req); err != nil {
+		return nil, err
+	}
+	return eng.ExecutePartial(ctx, req, tableOffset)
+}
+
 // engine pins the current corpus view and wraps it in a query engine
 // carrying the service's search parallelism. The view is immutable, so
 // everything executed on the returned engine is consistent regardless of

@@ -57,6 +57,7 @@ import (
 	"repro/internal/search"
 	"repro/internal/searchidx"
 	"repro/internal/segment"
+	"repro/internal/snapshot"
 	"repro/internal/table"
 	"repro/internal/worldgen"
 )
@@ -199,6 +200,35 @@ type (
 	SearchSource = search.SourceRef
 	// SearchMode selects Baseline / Type / TypeRel processing.
 	SearchMode = search.Mode
+)
+
+// Distributed serving (shard servers + scatter-gather router).
+type (
+	// PartialGroup is one replay unit of a shard's partial search
+	// evidence (Service.SearchPartial); groups merge byte-identically to
+	// a single-node execution via MergeSearchPartials.
+	PartialGroup = search.PartialGroup
+	// ClusterPartial is one answer cluster's evidence within one shard.
+	ClusterPartial = search.ClusterPartial
+	// PartialHit is one matching answer cell a shard exports.
+	PartialHit = search.PartialHit
+	// TextVariant is one raw surface form of a text cluster with its
+	// occurrence count.
+	TextVariant = search.Variant
+	// ShardAssignment is one shard's contiguous slice of a snapshot
+	// manifest (LoadServiceShard).
+	ShardAssignment = snapshot.Assignment
+)
+
+var (
+	// MergeSearchPartials merges per-shard partial evidence into one
+	// result page, byte-identical to a single-node Search over the
+	// concatenated corpus.
+	MergeSearchPartials = search.MergePartials
+	// ValidateSearchCursor checks a pagination cursor's well-formedness
+	// without executing anything (routers reject bad cursors before
+	// fanning out).
+	ValidateSearchCursor = search.ValidateCursor
 )
 
 // Search modes (Figure 9).
