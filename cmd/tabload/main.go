@@ -53,6 +53,7 @@ func main() {
 type benchResult struct {
 	Name          string  `json:"name"`
 	Requests      int     `json:"requests"`
+	Warmup        int     `json:"warmup"`
 	Errors        int     `json:"errors"`
 	P50Millis     float64 `json:"p50_ms"`
 	P99Millis     float64 `json:"p99_ms"`
@@ -75,11 +76,13 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs.SetOutput(stderr)
 	var (
 		out         = fs.String("out", "BENCH_dist.json", "report output path")
-		requests    = fs.Int("requests", 400, "requests per topology")
+		requests    = fs.Int("requests", 400, "measured requests per topology")
+		warmup      = fs.Int("warmup", 50, "warm-up requests per topology, excluded from percentiles and throughput")
 		concurrency = fs.Int("concurrency", 8, "concurrent clients")
 		tables      = fs.Int("tables", 14, "synthetic corpus size")
 		shards      = fs.Int("shards", 2, "shard count for the cluster topology")
 		workers     = fs.Int("workers", 0, "server worker-pool size (0 = GOMAXPROCS)")
+		metricsOut  = fs.String("metrics-out", "", "also dump each topology's final /metrics scrape to this path (Prometheus text)")
 		version     = fs.Bool("version", false, "print build information and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -89,9 +92,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		fmt.Fprintln(stdout, cmdio.BuildInfo("tabload"))
 		return nil
 	}
-	if *requests < 1 || *concurrency < 1 || *tables < 1 || *shards < 1 {
+	if *requests < 1 || *concurrency < 1 || *tables < 1 || *shards < 1 || *warmup < 0 {
 		fs.Usage()
-		return errors.New("-requests, -concurrency, -tables and -shards must be positive")
+		return errors.New("-requests, -concurrency, -tables and -shards must be positive (-warmup non-negative)")
 	}
 
 	logger := cmdio.NewLogger(stderr)
@@ -135,7 +138,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	report.Identical = true
 	logger.Info("topologies verified byte-identical")
 
-	single, err := drive(ctx, "single-node", singleURL, bodies, *requests, *concurrency)
+	single, err := drive(ctx, "single-node", singleURL, bodies, *requests, *warmup, *concurrency)
 	if err != nil {
 		return err
 	}
@@ -143,13 +146,42 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	logger.Info("bench done", "config", single.Name, "p50_ms", single.P50Millis,
 		"p99_ms", single.P99Millis, "rps", single.ThroughputRPS)
 
-	cluster, err := drive(ctx, fmt.Sprintf("%d-shard", *shards), routerURL, bodies, *requests, *concurrency)
+	cluster, err := drive(ctx, fmt.Sprintf("%d-shard", *shards), routerURL, bodies, *requests, *warmup, *concurrency)
 	if err != nil {
 		return err
 	}
 	report.Configs = append(report.Configs, cluster)
 	logger.Info("bench done", "config", cluster.Name, "p50_ms", cluster.P50Millis,
 		"p99_ms", cluster.P99Millis, "rps", cluster.ThroughputRPS)
+
+	if *metricsOut != "" {
+		singleScrape, err := scrapeMetrics(ctx, singleURL)
+		if err != nil {
+			return err
+		}
+		routerScrape, err := scrapeMetrics(ctx, routerURL)
+		if err != nil {
+			return err
+		}
+		if err := cmdio.AtomicWriteFile(*metricsOut, func(w io.Writer) error {
+			// One file, both topologies, separated by comment banners the
+			// exposition format ignores.
+			if _, err := fmt.Fprintf(w, "# tabload scrape: single-node %s\n", singleURL); err != nil {
+				return err
+			}
+			if _, err := w.Write(singleScrape); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "# tabload scrape: %d-shard router %s\n", *shards, routerURL); err != nil {
+				return err
+			}
+			_, err := w.Write(routerScrape)
+			return err
+		}); err != nil {
+			return err
+		}
+		logger.Info("metrics scrape written", "path", *metricsOut)
+	}
 
 	if err := cmdio.AtomicWriteFile(*out, func(w io.Writer) error {
 		enc := json.NewEncoder(w)
@@ -324,15 +356,14 @@ func diffResponses(ctx context.Context, singleURL, routerURL string, body []byte
 	return nil
 }
 
-// drive issues total requests at the base URL from fixed-concurrency
-// workers, cycling through the body pool, and reports latency
-// percentiles and throughput.
-func drive(ctx context.Context, name, base string, bodies [][]byte, total, concurrency int) (benchResult, error) {
-	lat := make([]float64, total)
+// fire issues total requests at the base URL from fixed-concurrency
+// workers, cycling through the body pool. With lat non-nil, per-request
+// latencies (milliseconds) are stored by request index; a nil lat fires
+// the same load unrecorded (the warm-up phase). Returns the failed
+// request count.
+func fire(ctx context.Context, client *http.Client, base string, bodies [][]byte, total, concurrency int, lat []float64) int64 {
 	var next atomic.Int64
 	var errCount atomic.Int64
-	client := &http.Client{Timeout: 30 * time.Second}
-	start := time.Now()
 	var wg sync.WaitGroup
 	for w := 0; w < concurrency; w++ {
 		wg.Add(1)
@@ -362,11 +393,33 @@ func drive(ctx context.Context, name, base string, bodies [][]byte, total, concu
 					errCount.Add(1)
 					continue
 				}
-				lat[i] = float64(time.Since(t0).Microseconds()) / 1000
+				if lat != nil {
+					lat[i] = float64(time.Since(t0).Microseconds()) / 1000
+				}
 			}
 		}()
 	}
 	wg.Wait()
+	return errCount.Load()
+}
+
+// drive measures one topology: a warm-up phase primes connection pools,
+// the scheduler and any lazily built state without touching the
+// recorded numbers (first-request setup costs used to inflate p99),
+// then the measured phase reports latency percentiles and throughput
+// over exactly the requested request count.
+func drive(ctx context.Context, name, base string, bodies [][]byte, total, warmup, concurrency int) (benchResult, error) {
+	client := &http.Client{Timeout: 30 * time.Second}
+	warmErrs := fire(ctx, client, base, bodies, warmup, concurrency, nil)
+	if err := ctx.Err(); err != nil {
+		return benchResult{}, err
+	}
+	if warmErrs > 0 {
+		return benchResult{}, fmt.Errorf("%s: %d/%d warm-up requests failed", name, warmErrs, warmup)
+	}
+	lat := make([]float64, total)
+	start := time.Now()
+	errCount := fire(ctx, client, base, bodies, total, concurrency, lat)
 	wall := time.Since(start)
 	if err := ctx.Err(); err != nil {
 		return benchResult{}, err
@@ -380,7 +433,8 @@ func drive(ctx context.Context, name, base string, bodies [][]byte, total, concu
 	res := benchResult{
 		Name:       name,
 		Requests:   total,
-		Errors:     int(errCount.Load()),
+		Warmup:     warmup,
+		Errors:     int(errCount),
 		WallMillis: float64(wall.Microseconds()) / 1000,
 	}
 	if len(ok) > 0 {
@@ -393,6 +447,27 @@ func drive(ctx context.Context, name, base string, bodies [][]byte, total, concu
 		return res, fmt.Errorf("%s: %d/%d requests failed", name, res.Errors, total)
 	}
 	return res, nil
+}
+
+// scrapeMetrics GETs one topology's /metrics page.
+func scrapeMetrics(ctx context.Context, base string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s/metrics: HTTP %d", base, resp.StatusCode)
+	}
+	return raw, nil
 }
 
 // quietLogger silences the benched servers' per-request log lines so

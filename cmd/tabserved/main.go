@@ -16,8 +16,9 @@
 //
 // Endpoints: POST /v1/search, POST /v1/search:batch, POST /v1/annotate,
 // POST /v1/tables, DELETE /v1/tables/{id}, POST /v1/snapshot,
-// GET /v1/healthz, GET /v1/stats. SIGINT/SIGTERM shut down gracefully,
-// draining in-flight requests.
+// GET /v1/healthz, GET /v1/stats, GET /metrics (Prometheus text
+// exposition), GET /v1/traces (recent per-stage span trees).
+// SIGINT/SIGTERM shut down gracefully, draining in-flight requests.
 //
 // With -shards, tabserved instead runs as the stateless scatter-gather
 // router of a shard cluster (see cmd/tabshard): it loads no corpus,
@@ -25,7 +26,8 @@
 // evidence into pages byte-identical to a single node serving the whole
 // snapshot. Router endpoints: POST /v1/search, GET /v1/healthz (green
 // only when every shard is), GET /v1/stats (per-shard request/retry
-// counters and fan-out latency percentiles).
+// counters and fan-out latency percentiles), GET /metrics and
+// GET /v1/traces.
 //
 // Usage:
 //
@@ -51,6 +53,7 @@ import (
 	webtable "repro"
 	"repro/internal/cmdio"
 	"repro/internal/dist"
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -84,6 +87,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		drain   = fs.Duration("drain", 10*time.Second, "graceful-shutdown drain deadline")
 		snap    = fs.String("snapshot", "", "path POST /v1/snapshot persists the live corpus to (default: the -load path)")
 		shards  = fs.String("shards", "", "comma-separated shard addresses; run as the cluster's scatter-gather router instead of serving a corpus")
+		slowLog = fs.Duration("slow-query-log", 0, "log the full span tree of any request at least this slow (0 = disabled)")
+		pprofAt = fs.String("pprof", "", "serve net/http/pprof on this loopback address (e.g. 127.0.0.1:6060; empty = disabled)")
 		version = fs.Bool("version", false, "print build information and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -111,8 +116,16 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	logger := cmdio.NewLogger(stderr)
 	logger.Info("starting", "build", cmdio.BuildInfo("tabserved"), "workers", *workers)
 
+	if *pprofAt != "" {
+		closePprof, err := obs.ServePprof(*pprofAt, logger)
+		if err != nil {
+			return err
+		}
+		defer closePprof()
+	}
+
 	if *shards != "" {
-		return runRouter(ctx, *shards, *addr, *timeout, *drain, logger, stdout)
+		return runRouter(ctx, *shards, *addr, *timeout, *drain, *slowLog, logger, stdout)
 	}
 
 	var svc *webtable.Service
@@ -175,6 +188,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	if *snap != "" {
 		opts = append(opts, server.WithSnapshotPath(*snap))
 	}
+	if *slowLog > 0 {
+		opts = append(opts, server.WithSlowQueryLog(*slowLog))
+	}
 	srv := server.New(svc, opts...)
 	if err := srv.Serve(ctx, ln); err != nil {
 		return err
@@ -185,7 +201,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 
 // runRouter is the -shards mode: a stateless scatter-gather router over
 // a tabshard cluster.
-func runRouter(ctx context.Context, shardList, addr string, timeout, drain time.Duration, logger *slog.Logger, stdout io.Writer) error {
+func runRouter(ctx context.Context, shardList, addr string, timeout, drain, slowLog time.Duration, logger *slog.Logger, stdout io.Writer) error {
 	var urls []string
 	for _, s := range strings.Split(shardList, ",") {
 		s = strings.TrimSpace(s)
@@ -213,11 +229,15 @@ func runRouter(ctx context.Context, shardList, addr string, timeout, drain time.
 		"shards", len(urls), "timeout", timeout)
 	fmt.Fprintf(stdout, "tabserved: listening on %s\n", ln.Addr().String())
 
-	rt := dist.NewRouter(&dist.Client{URLs: urls},
+	ropts := []dist.Option{
 		dist.WithLogger(logger),
 		dist.WithTimeout(timeout),
 		dist.WithDrainTimeout(drain),
-	)
+	}
+	if slowLog > 0 {
+		ropts = append(ropts, dist.WithSlowQueryLog(slowLog))
+	}
+	rt := dist.NewRouter(&dist.Client{URLs: urls}, ropts...)
 	if err := rt.Serve(ctx, ln); err != nil {
 		return err
 	}

@@ -13,8 +13,9 @@
 //	tabserved -shards localhost:9101,localhost:9102 -addr :8080
 //
 // Endpoints: POST /v1/partial (binary partial evidence), GET
-// /v1/healthz, GET /v1/stats (which segments/tables this shard owns).
-// SIGINT/SIGTERM drain gracefully.
+// /v1/healthz, GET /v1/stats (which segments/tables this shard owns),
+// GET /metrics (Prometheus text exposition), GET /v1/traces (recent
+// per-stage span trees). SIGINT/SIGTERM drain gracefully.
 package main
 
 import (
@@ -31,6 +32,7 @@ import (
 
 	"repro/internal/cmdio"
 	"repro/internal/dist"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -60,6 +62,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		workers = fs.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS); bounds search concurrency")
 		timeout = fs.Duration("timeout", 30*time.Second, "per-request handling deadline")
 		drain   = fs.Duration("drain", 10*time.Second, "graceful-shutdown drain deadline")
+		slowLog = fs.Duration("slow-query-log", 0, "log the full span tree of any request at least this slow (0 = disabled)")
+		pprofAt = fs.String("pprof", "", "serve net/http/pprof on this loopback address (e.g. 127.0.0.1:6061; empty = disabled)")
 		version = fs.Bool("version", false, "print build information and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -77,6 +81,14 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	logger := cmdio.NewLogger(stderr)
 	logger.Info("starting", "build", cmdio.BuildInfo("tabshard"),
 		"shard", *shard, "shards", *shards, "workers", *workers)
+
+	if *pprofAt != "" {
+		closePprof, err := obs.ServePprof(*pprofAt, logger)
+		if err != nil {
+			return err
+		}
+		defer closePprof()
+	}
 
 	start := time.Now()
 	svc, asn, err := cmdio.LoadSnapshotShardService(ctx, *load, *shard, *shards, *workers)
@@ -100,11 +112,15 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		"shard", *shard, "shards", *shards, "workers", svc.Workers(), "timeout", *timeout)
 	fmt.Fprintf(stdout, "tabshard: listening on %s\n", ln.Addr().String())
 
-	srv := dist.NewShardServer(svc, asn, *shard, *shards,
+	opts := []dist.Option{
 		dist.WithLogger(logger),
 		dist.WithTimeout(*timeout),
 		dist.WithDrainTimeout(*drain),
-	)
+	}
+	if *slowLog > 0 {
+		opts = append(opts, dist.WithSlowQueryLog(*slowLog))
+	}
+	srv := dist.NewShardServer(svc, asn, *shard, *shards, opts...)
 	if err := srv.Serve(ctx, ln); err != nil {
 		return err
 	}

@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -44,19 +45,28 @@ type ShardError struct {
 	Message string
 	// Attempts is how many attempts were made in total.
 	Attempts int
+	// RequestID is the router-minted request ID the failing attempts
+	// carried (the same ID the shard logged), so one failed query is
+	// greppable across router and shard logs.
+	RequestID string
 	// Err is the underlying transport or decode error, if any.
 	Err error
 }
 
 func (e *ShardError) Error() string {
+	var msg string
 	switch {
 	case e.Err != nil:
-		return fmt.Sprintf("shard %d (%s): %v (after %d attempts)", e.Shard, e.URL, e.Err, e.Attempts)
+		msg = fmt.Sprintf("shard %d (%s): %v (after %d attempts)", e.Shard, e.URL, e.Err, e.Attempts)
 	case e.Code != "":
-		return fmt.Sprintf("shard %d (%s): HTTP %d %s: %s", e.Shard, e.URL, e.Status, e.Code, e.Message)
+		msg = fmt.Sprintf("shard %d (%s): HTTP %d %s: %s", e.Shard, e.URL, e.Status, e.Code, e.Message)
 	default:
-		return fmt.Sprintf("shard %d (%s): HTTP %d (after %d attempts)", e.Shard, e.URL, e.Status, e.Attempts)
+		msg = fmt.Sprintf("shard %d (%s): HTTP %d (after %d attempts)", e.Shard, e.URL, e.Status, e.Attempts)
 	}
+	if e.RequestID != "" {
+		msg += fmt.Sprintf(" [request %s]", e.RequestID)
+	}
+	return msg
 }
 
 func (e *ShardError) Unwrap() error { return e.Err }
@@ -172,6 +182,7 @@ func (c *Client) Partial(ctx context.Context, shard int, body []byte) (p *Partia
 			break
 		}
 	}
+	last.RequestID = server.RequestID(ctx)
 	return nil, retries, last
 }
 
@@ -188,6 +199,12 @@ func (c *Client) attemptPartial(ctx context.Context, shard int, body []byte, out
 	req.Header.Set("Content-Type", "application/json")
 	if id := server.RequestID(ctx); id != "" {
 		req.Header.Set("X-Request-ID", id)
+	}
+	if traceID, spanID, ok := obs.SpanContext(ctx); ok {
+		// The shard roots its own trace under the same ID (it echoes
+		// X-Request-ID) and records this span as its parent, so the two
+		// processes' traces stitch into one query timeline.
+		req.Header.Set("X-Span-Context", traceID+"/"+spanID)
 	}
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
@@ -230,21 +247,25 @@ func (c *Client) attemptPartial(ctx context.Context, shard int, body []byte, out
 // should observe failures, not mask them with retries).
 func (c *Client) Health(ctx context.Context, shard int) error {
 	url := c.URLs[shard]
+	id := server.RequestID(ctx)
 	actx, cancel := context.WithTimeout(ctx, c.attemptTimeout())
 	defer cancel()
 	req, err := http.NewRequestWithContext(actx, http.MethodGet, url+"/v1/healthz", nil)
 	if err != nil {
-		return &ShardError{Shard: shard, URL: url, Err: err, Attempts: 1}
+		return &ShardError{Shard: shard, URL: url, Err: err, Attempts: 1, RequestID: id}
+	}
+	if id != "" {
+		req.Header.Set("X-Request-ID", id)
 	}
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
-		return &ShardError{Shard: shard, URL: url, Err: err, Attempts: 1}
+		return &ShardError{Shard: shard, URL: url, Err: err, Attempts: 1, RequestID: id}
 	}
 	defer resp.Body.Close()
 	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
 	if resp.StatusCode != http.StatusOK {
 		return &ShardError{Shard: shard, URL: url, Status: resp.StatusCode, Attempts: 1,
-			Message: http.StatusText(resp.StatusCode)}
+			Message: http.StatusText(resp.StatusCode), RequestID: id}
 	}
 	return nil
 }

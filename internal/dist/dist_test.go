@@ -9,11 +9,13 @@ import (
 	"log/slog"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
 
 	webtable "repro"
+	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/table"
 	"repro/internal/worldgen"
@@ -293,5 +295,132 @@ func TestShardEndpoints(t *testing.T) {
 	}
 	if st.Generation == 0 {
 		t.Fatal("generation not reported")
+	}
+}
+
+// TestClusterMetricsAndTraces drives one routed search through a real
+// 2-shard cluster and checks the observability surface end to end: the
+// router's counters and the shards' counters both increment, and the
+// request ID stitches the router's span tree (fanout → per-shard →
+// merge) to each shard's own trace.
+func TestClusterMetricsAndTraces(t *testing.T) {
+	snap, w := buildSnapshot(t)
+	c := startCluster(t, snap, 2)
+	workload := w.SearchWorkload([]string{"directed"}, 1, 7)
+	if len(workload) == 0 {
+		t.Fatal("empty workload")
+	}
+	body := wireBody(t, w, workload[0], nil)
+
+	req := httptest.NewRequest(http.MethodPost, "/v1/search", bytes.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Request-ID", "dist-trace-1")
+	rec := httptest.NewRecorder()
+	c.router.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("routed search = %d: %s", rec.Code, rec.Body.String())
+	}
+
+	// Router scrape: per-shard counters and RTT histograms moved onto
+	// the shared registry.
+	page := get(t, c.router.Handler(), "/metrics").Body.String()
+	for _, want := range []string{
+		`router_shard_requests_total{shard="0"} 1`,
+		`router_shard_requests_total{shard="1"} 1`,
+		`router_shard_rtt_seconds_count{shard="0"} 1`,
+		"router_shards 2",
+		`http_requests_total{route="POST /v1/search",method="POST",status="200"} 1`,
+	} {
+		if !strings.Contains(page, want) {
+			t.Fatalf("router scrape missing %q:\n%s", want, page)
+		}
+	}
+
+	// Shard scrapes: each shard served exactly one partial.
+	for i, sw := range c.swaps {
+		page := get(t, sw, "/metrics").Body.String()
+		for _, want := range []string{
+			"shard_partial_requests_total", // mode label depends on query
+			`http_requests_total{route="POST /v1/partial",method="POST",status="200"} 1`,
+			"# TYPE shard_index gauge",
+		} {
+			if !strings.Contains(page, want) {
+				t.Fatalf("shard %d scrape missing %q:\n%s", i, want, page)
+			}
+		}
+	}
+
+	// Router trace: fanout with one child span per shard, then merge.
+	var resp obs.TracesResponse
+	if err := json.Unmarshal(get(t, c.router.Handler(), "/v1/traces").Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	var rootTrace *obs.WireTrace
+	for i := range resp.Traces {
+		if resp.Traces[i].ID == "dist-trace-1" {
+			rootTrace = &resp.Traces[i]
+		}
+	}
+	if rootTrace == nil {
+		t.Fatalf("router trace ring has no dist-trace-1: %+v", resp)
+	}
+	stages := map[string]int{}
+	var childSum float64
+	for _, cs := range rootTrace.Root.Children {
+		stages[cs.Name]++
+		childSum += cs.DurationMs
+		if cs.Name == "router.fanout" {
+			if len(cs.Children) != 2 {
+				t.Fatalf("fanout has %d shard spans, want 2: %+v", len(cs.Children), cs)
+			}
+			for _, ss := range cs.Children {
+				if ss.Name != "router.shard" {
+					t.Fatalf("fanout child = %q, want router.shard", ss.Name)
+				}
+			}
+		}
+	}
+	if stages["router.fanout"] != 1 || stages["router.merge"] != 1 {
+		t.Fatalf("router span stages = %v, want one fanout and one merge", stages)
+	}
+	if childSum > rootTrace.Root.DurationMs {
+		t.Fatalf("child spans sum %.3fms exceeds root %.3fms", childSum, rootTrace.Root.DurationMs)
+	}
+
+	// Each shard's trace shares the router's request ID and records the
+	// router's calling span as its parent — one query, greppable and
+	// joinable across all three processes.
+	for i, sw := range c.swaps {
+		var sresp obs.TracesResponse
+		if err := json.Unmarshal(get(t, sw, "/v1/traces").Body.Bytes(), &sresp); err != nil {
+			t.Fatal(err)
+		}
+		var found *obs.WireTrace
+		for j := range sresp.Traces {
+			if sresp.Traces[j].ID == "dist-trace-1" {
+				found = &sresp.Traces[j]
+			}
+		}
+		if found == nil {
+			t.Fatalf("shard %d trace ring has no dist-trace-1", i)
+		}
+		var parent string
+		for _, a := range found.Root.Attrs {
+			if a.Key == "parent" {
+				parent = a.Value
+			}
+		}
+		if !strings.HasPrefix(parent, "dist-trace-1/") {
+			t.Fatalf("shard %d root span parent = %q, want dist-trace-1/<span>", i, parent)
+		}
+		var scans int
+		for _, cs := range found.Root.Children {
+			if cs.Name == "search.scan" {
+				scans++
+			}
+		}
+		if scans != 1 {
+			t.Fatalf("shard %d trace has %d search.scan spans, want 1: %+v", i, scans, found.Root)
+		}
 	}
 }

@@ -8,11 +8,12 @@ import (
 	"io"
 	"net"
 	"net/http"
-	"sort"
+	"strconv"
 	"sync"
 	"time"
 
 	webtable "repro"
+	"repro/internal/obs"
 	"repro/internal/search"
 	"repro/internal/server"
 )
@@ -22,60 +23,52 @@ import (
 // -shard flags), not a transient fault.
 var errShardInconsistent = errors.New("dist: shard responses inconsistent")
 
-// latWindow is how many recent fan-out latencies each shard's stats
-// ring retains for the percentile estimates.
-const latWindow = 512
-
-// shardStat accumulates one shard's counters. A plain mutex: the
-// critical sections are a few stores, contention is bounded by fan-out
-// concurrency, and stats reads take consistent snapshots.
+// shardStat is one shard's per-fan-out accounting, backed by the shared
+// metrics registry (router_shard_*_total counters plus the
+// router_shard_rtt_seconds histogram) so Prometheus and GET /v1/stats
+// report from one source. Only the free-text last error needs its own
+// mutex — everything countable lives in the registry.
 type shardStat struct {
+	requests *obs.Counter
+	retries  *obs.Counter
+	failures *obs.Counter
+	rtt      *obs.Histogram
+
 	mu        sync.Mutex
-	requests  uint64
-	retries   uint64
-	failures  uint64
 	lastError string
-	lat       [latWindow]float64 // milliseconds, ring buffer
-	latN      int                // next write position
-	latSize   int                // valid entries
 }
 
 func (s *shardStat) record(d time.Duration, retries int, err error) {
-	ms := float64(d.Microseconds()) / 1000
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.requests++
-	s.retries += uint64(retries)
+	s.requests.Inc()
+	s.retries.Add(uint64(retries))
 	if err != nil {
-		s.failures++
+		s.failures.Inc()
+		s.mu.Lock()
 		s.lastError = err.Error()
+		s.mu.Unlock()
 	}
-	s.lat[s.latN] = ms
-	s.latN = (s.latN + 1) % latWindow
-	if s.latSize < latWindow {
-		s.latSize++
-	}
+	s.rtt.Observe(d.Seconds())
 }
 
-// snapshot returns the wire form of the counters, computing p50/p99
-// over a sorted copy of the latency window.
+// snapshot returns the wire form of the counters. The p50/p99 estimates
+// come from the RTT histogram (interpolated within its fixed buckets);
+// with the whole request history in the histogram they no longer decay
+// with a fixed-size window, and they agree with what /metrics exports.
 func (s *shardStat) snapshot(shard int, url string) RouterShardStats {
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	lastError := s.lastError
+	s.mu.Unlock()
 	out := RouterShardStats{
 		Shard:     shard,
 		URL:       url,
-		Requests:  s.requests,
-		Retries:   s.retries,
-		Failures:  s.failures,
-		LastError: s.lastError,
+		Requests:  s.requests.Value(),
+		Retries:   s.retries.Value(),
+		Failures:  s.failures.Value(),
+		LastError: lastError,
 	}
-	if s.latSize > 0 {
-		lats := make([]float64, s.latSize)
-		copy(lats, s.lat[:s.latSize])
-		sort.Float64s(lats)
-		out.P50Millis = lats[(s.latSize-1)*50/100]
-		out.P99Millis = lats[(s.latSize-1)*99/100]
+	if s.rtt.Count() > 0 {
+		out.P50Millis = s.rtt.Quantile(0.5) * 1000
+		out.P99Millis = s.rtt.Quantile(0.99) * 1000
 	}
 	return out
 }
@@ -126,8 +119,26 @@ func NewRouter(client *Client, opts ...Option) *Router {
 		client: client,
 		stats:  make([]*shardStat, client.Shards()),
 	}
+	reqs := rt.base.Reg.Counter("router_shard_requests_total",
+		"Fan-out requests sent, by shard.", "shard")
+	retries := rt.base.Reg.Counter("router_shard_retries_total",
+		"Fan-out request retries, by shard.", "shard")
+	fails := rt.base.Reg.Counter("router_shard_failures_total",
+		"Fan-out requests that definitively failed (after retries), by shard.", "shard")
+	rtt := rt.base.Reg.Histogram("router_shard_rtt_seconds",
+		"Fan-out round-trip time including retries, by shard.",
+		obs.LatencyBuckets, "shard")
+	rt.base.Reg.GaugeFunc("router_shards",
+		"Shards this router fans out to.",
+		func() float64 { return float64(client.Shards()) })
 	for i := range rt.stats {
-		rt.stats[i] = &shardStat{}
+		label := strconv.Itoa(i)
+		rt.stats[i] = &shardStat{
+			requests: reqs.With(label),
+			retries:  retries.With(label),
+			failures: fails.With(label),
+			rtt:      rtt.With(label),
+		}
 	}
 	rt.base.MapErr = routerMapError
 	for _, opt := range opts {
@@ -137,6 +148,8 @@ func NewRouter(client *Client, opts ...Option) *Router {
 	mux.HandleFunc("POST /v1/search", rt.handleSearch)
 	mux.HandleFunc("GET /v1/healthz", rt.handleHealthz)
 	mux.HandleFunc("GET /v1/stats", rt.handleStats)
+	mux.Handle("GET /metrics", rt.base.MetricsHandler())
+	mux.Handle("GET /v1/traces", rt.base.TracesHandler())
 	rt.handler = rt.base.Middleware(mux)
 	return rt
 }
@@ -201,7 +214,9 @@ func (rt *Router) handleSearch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	partials, err := rt.scatter(ctx, body)
+	fanSp := obs.Begin(ctx, "router.fanout")
+	partials, err := rt.scatter(obs.ContextWithSpan(ctx, fanSp), body)
+	fanSp.End()
 	if err != nil {
 		if se, ok := asShardError(err); ok && se.Status >= 400 && se.Status < 500 {
 			// A shard rejected the request itself (bad names, bad query
@@ -223,7 +238,9 @@ func (rt *Router) handleSearch(w http.ResponseWriter, r *http.Request) {
 	for i, p := range partials {
 		groups[i] = p.Groups
 	}
+	msp := obs.Begin(ctx, "router.merge")
 	res, err := webtable.MergeSearchPartials(groups, wireReq.PageSize, wireReq.Cursor, wireReq.Explain)
+	msp.End()
 	if err != nil {
 		rt.base.WriteError(w, r, err)
 		return
@@ -245,8 +262,15 @@ func (rt *Router) scatter(ctx context.Context, body []byte) ([]*Partial, error) 
 		wg.Add(1)
 		go func(shard int) {
 			defer wg.Done()
+			// One child span per shard under the fan-out span; its
+			// context rides to the shard in X-Span-Context, so the
+			// shard's own trace records this span as its parent.
+			sp := obs.Begin(ctx, "router.shard")
+			sp.SetAttr("shard", strconv.Itoa(shard))
+			sp.SetAttr("url", rt.client.URLs[shard])
 			start := time.Now()
-			p, retries, err := rt.client.Partial(ctx, shard, body)
+			p, retries, err := rt.client.Partial(obs.ContextWithSpan(ctx, sp), shard, body)
+			sp.End()
 			rt.stats[shard].record(time.Since(start), retries, err)
 			partials[shard], errs[shard] = p, err
 		}(i)

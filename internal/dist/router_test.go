@@ -371,3 +371,41 @@ func TestRouterStatsPercentiles(t *testing.T) {
 		t.Fatalf("unexpected last error %q", s.LastError)
 	}
 }
+
+// TestShardErrorCarriesRequestID checks the cross-process grep story
+// for failures: when a shard dies mid-query, the router's error message
+// names both the shard and the request ID, so the same token finds the
+// failure in the router's response, the router's log, and the shard's
+// access log.
+func TestShardErrorCarriesRequestID(t *testing.T) {
+	down := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusInternalServerError)
+		w.Write([]byte(`{"error":{"code":"internal","message":"boom"}}`))
+	})
+	c := newFakeCluster(t, emptyPartial(0, 2), down)
+
+	req := httptest.NewRequest(http.MethodPost, "/v1/search", strings.NewReader(string(searchReq())))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Request-ID", "grep-me-42")
+	rec := httptest.NewRecorder()
+	c.router.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadGateway {
+		t.Fatalf("status = %d, want 502: %s", rec.Code, rec.Body.String())
+	}
+	eb := routerErr(t, rec)
+	if !strings.Contains(eb.Message, "shard 1") || !strings.Contains(eb.Message, "[request grep-me-42]") {
+		t.Fatalf("message %q must name shard 1 and request grep-me-42", eb.Message)
+	}
+
+	// The struct form carries it too, for callers using the client
+	// library directly.
+	var se *ShardError
+	ctx := server.ContextWithRequestID(context.Background(), "lib-req-7")
+	_, _, err := c.client.Partial(ctx, 1, searchReq())
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v, want *ShardError", err)
+	}
+	if se.RequestID != "lib-req-7" {
+		t.Fatalf("ShardError.RequestID = %q, want lib-req-7", se.RequestID)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	webtable "repro"
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -23,6 +24,10 @@ func WithTimeout(d time.Duration) Option { return func(b *server.HTTPBase) { b.T
 // WithDrainTimeout bounds the graceful-shutdown drain.
 func WithDrainTimeout(d time.Duration) Option { return func(b *server.HTTPBase) { b.Drain = d } }
 
+// WithSlowQueryLog emits any request whose handling takes at least d as
+// a full span tree to the structured log (default: disabled).
+func WithSlowQueryLog(d time.Duration) Option { return func(b *server.HTTPBase) { b.Tracer.Slow = d } }
+
 // ShardServer serves one shard's slice of a snapshot: it owns the
 // segments its assignment covers and answers partial-evidence queries
 // over them. It never merges, ranks or paginates — that is the
@@ -37,6 +42,8 @@ type ShardServer struct {
 	shards  int
 	gen     uint64
 	handler http.Handler
+
+	partialTotal *obs.CounterVec
 }
 
 // NewShardServer wraps a shard service produced by
@@ -58,12 +65,33 @@ func NewShardServer(svc *webtable.Service, asn webtable.ShardAssignment, shard, 
 	for _, opt := range opts {
 		opt(s.base)
 	}
+	s.registerMetrics()
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/partial", s.handlePartial)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.Handle("GET /metrics", s.base.MetricsHandler())
+	mux.Handle("GET /v1/traces", s.base.TracesHandler())
 	s.handler = s.base.Middleware(mux)
 	return s
+}
+
+// registerMetrics installs the shard's slice gauges: which part of the
+// cluster this process owns and how much corpus it carries.
+func (s *ShardServer) registerMetrics() {
+	reg := s.base.Reg
+	reg.GaugeFunc("shard_index", "This process's shard number.",
+		func() float64 { return float64(s.shard) })
+	reg.GaugeFunc("shard_count", "Total shards in the cluster this process expects.",
+		func() float64 { return float64(s.shards) })
+	reg.GaugeFunc("shard_segments", "Index segments in this shard's slice.",
+		func() float64 { return float64(s.asn.Segments()) })
+	reg.GaugeFunc("shard_tables", "Tables in this shard's slice.",
+		func() float64 { return float64(s.asn.Tables) })
+	reg.GaugeFunc("corpus_generation", "Snapshot generation this shard serves.",
+		func() float64 { return float64(s.gen) })
+	s.partialTotal = reg.Counter("shard_partial_requests_total",
+		"Partial-evidence requests executed, by query mode.", "mode")
 }
 
 // Handler exposes the shard's HTTP surface (tests mount it directly).
@@ -95,6 +123,7 @@ func (s *ShardServer) handlePartial(w http.ResponseWriter, r *http.Request) {
 		s.base.WriteError(w, r, err)
 		return
 	}
+	s.partialTotal.With(req.Mode.String()).Inc()
 	if err := s.svc.Acquire(ctx); err != nil {
 		s.base.WriteError(w, r, err)
 		return

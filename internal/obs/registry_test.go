@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestCounterBasics(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("requests_total", "Requests.", "route").With("/v1/search")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("Value() = %d, want 5", got)
+	}
+	// Same labels resolve the same cell; different labels a fresh one.
+	if reg.Counter("requests_total", "Requests.", "route").With("/v1/search") != c {
+		t.Fatal("same label values resolved a different cell")
+	}
+	other := reg.Counter("requests_total", "Requests.", "route").With("/v1/stats")
+	if other == c || other.Value() != 0 {
+		t.Fatalf("distinct label values shared a cell (value %d)", other.Value())
+	}
+}
+
+func TestGaugeBasics(t *testing.T) {
+	g := NewRegistry().Gauge("temp", "Temp.").With()
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("Value() = %v, want 1.5", got)
+	}
+}
+
+func TestHistogramObserveAndQuantile(t *testing.T) {
+	h := NewRegistry().Histogram("lat", "Latency.", []float64{1, 2, 4}).With()
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram must report 0")
+	}
+	for _, v := range []float64{0.5, 1.5, 1.5, 3, 10} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("Count() = %d, want 5", h.Count())
+	}
+	if got, want := h.Sum(), 16.5; got != want {
+		t.Fatalf("Sum() = %v, want %v", got, want)
+	}
+	// All quantile estimates must be positive (first bucket's lower
+	// bound is 0), monotonic in q, and clamp to the last finite bound
+	// for ranks landing in +Inf.
+	last := 0.0
+	for _, q := range []float64{0.01, 0.25, 0.5, 0.75, 0.9} {
+		est := h.Quantile(q)
+		if est <= 0 {
+			t.Fatalf("Quantile(%v) = %v, want > 0", q, est)
+		}
+		if est < last {
+			t.Fatalf("Quantile(%v) = %v < previous %v (not monotonic)", q, est, last)
+		}
+		last = est
+	}
+	if got := h.Quantile(1); got != 4 {
+		t.Fatalf("Quantile(1) = %v, want clamp to last finite bound 4", got)
+	}
+}
+
+func TestQuantileSubBucketPositive(t *testing.T) {
+	// Loopback RTTs land entirely in the first bucket; the router's
+	// /v1/stats p50 must still be positive.
+	h := NewRegistry().Histogram("rtt", "RTT.", LatencyBuckets).With()
+	for i := 0; i < 20; i++ {
+		h.Observe(0.00001)
+	}
+	p50, p99 := h.Quantile(0.5), h.Quantile(0.99)
+	if p50 <= 0 {
+		t.Fatalf("p50 = %v, want > 0", p50)
+	}
+	if p99 < p50 {
+		t.Fatalf("p99 %v < p50 %v", p99, p50)
+	}
+}
+
+func TestReRegisterMismatchPanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("m", "help", "a")
+	for _, tc := range []func(){
+		func() { reg.Gauge("m", "help", "a") },
+		func() { reg.Counter("m", "help", "b") },
+		func() { reg.Counter("m", "help") },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("conflicting re-registration did not panic")
+				}
+			}()
+			tc()
+		}()
+	}
+}
+
+func TestHistogramBadBucketsPanics(t *testing.T) {
+	reg := NewRegistry()
+	for _, buckets := range [][]float64{nil, {}, {1, 1}, {2, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("buckets %v did not panic", buckets)
+				}
+			}()
+			reg.Histogram(fmt.Sprintf("h%d", len(buckets)), "h", buckets)
+		}()
+	}
+}
+
+// TestRegistryConcurrency hammers one registry from 16 goroutines —
+// registration, labeled writes and scrapes all racing. Run under
+// -race; correctness check is the final counter total.
+func TestRegistryConcurrency(t *testing.T) {
+	reg := NewRegistry()
+	const (
+		goroutines = 16
+		perG       = 1000
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				reg.Counter("ops_total", "Ops.", "kind").With("write").Inc()
+				reg.Gauge("level", "Level.").With().Set(float64(i))
+				reg.Histogram("dur", "Dur.", LatencyBuckets, "op").
+					With(fmt.Sprintf("op%d", g%4)).Observe(float64(i) / 1e6)
+				if i%100 == 0 {
+					var sink discardWriter
+					if err := reg.WritePrometheus(&sink); err != nil {
+						t.Errorf("scrape: %v", err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := reg.Counter("ops_total", "Ops.", "kind").With("write").Value(); got != goroutines*perG {
+		t.Fatalf("ops_total = %d, want %d", got, goroutines*perG)
+	}
+	var total uint64
+	for g := 0; g < 4; g++ {
+		total += reg.Histogram("dur", "Dur.", LatencyBuckets, "op").
+			With(fmt.Sprintf("op%d", g)).Count()
+	}
+	if total != goroutines*perG {
+		t.Fatalf("histogram count = %d, want %d", total, goroutines*perG)
+	}
+}
+
+type discardWriter struct{}
+
+func (discardWriter) Write(p []byte) (int, error) { return len(p), nil }

@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"errors"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// memStatsTTL caches runtime.ReadMemStats between scrapes: it
+// stop-the-worlds briefly, and one read serves every heap/GC gauge of a
+// scrape (and any scrape bursts).
+const memStatsTTL = 500 * time.Millisecond
+
+// memReader caches one ReadMemStats for all the gauges derived from it.
+type memReader struct {
+	mu   sync.Mutex
+	at   time.Time
+	stat runtime.MemStats
+}
+
+func (m *memReader) read() runtime.MemStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.at.IsZero() || time.Since(m.at) > memStatsTTL {
+		runtime.ReadMemStats(&m.stat)
+		m.at = time.Now()
+	}
+	return m.stat
+}
+
+// registerRuntimeMetrics installs the process runtime gauges on reg.
+// Called once for the Default registry.
+func registerRuntimeMetrics(reg *Registry) {
+	mr := &memReader{}
+	reg.GaugeFunc("go_goroutines", "Number of live goroutines.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	reg.GaugeFunc("go_heap_alloc_bytes", "Bytes of allocated heap objects.",
+		func() float64 { return float64(mr.read().HeapAlloc) })
+	reg.GaugeFunc("go_heap_objects", "Number of allocated heap objects.",
+		func() float64 { return float64(mr.read().HeapObjects) })
+	reg.GaugeFunc("go_gc_cycles_total", "Completed GC cycles.",
+		func() float64 { return float64(mr.read().NumGC) })
+	reg.GaugeFunc("go_gc_pause_total_seconds", "Cumulative GC stop-the-world pause time.",
+		func() float64 { return float64(mr.read().PauseTotalNs) / 1e9 })
+}
+
+// ServePprof mounts net/http/pprof on its own listener at addr, which
+// must resolve to a loopback address — profiles expose memory contents
+// and must never face the network. It returns a closer that stops the
+// listener. Errors after startup (a scrape hitting a closed listener)
+// are logged, not fatal.
+func ServePprof(addr string, log *slog.Logger) (func() error, error) {
+	host, _, err := net.SplitHostPort(addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: pprof addr %q: %w", addr, err)
+	}
+	if !isLoopbackHost(host) {
+		return nil, fmt.Errorf("obs: pprof addr %q is not loopback-only (use 127.0.0.1:port)", addr)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	go func() {
+		if serr := srv.Serve(ln); serr != nil && !errors.Is(serr, http.ErrServerClosed) {
+			if log != nil {
+				log.Error("pprof listener", "err", serr)
+			}
+		}
+	}()
+	if log != nil {
+		log.Info("pprof listening", "addr", ln.Addr().String())
+	}
+	return srv.Close, nil
+}
+
+// isLoopbackHost reports whether host names a loopback interface.
+func isLoopbackHost(host string) bool {
+	if host == "localhost" {
+		return true
+	}
+	ip := net.ParseIP(host)
+	return ip != nil && ip.IsLoopback()
+}

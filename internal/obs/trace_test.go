@@ -1,0 +1,196 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanTree(t *testing.T) {
+	tr := NewTracer(nil, 4)
+	ctx, root := tr.Start(context.Background(), "req-1", "POST")
+	root.SetName("POST /v1/search")
+
+	scan := Begin(ctx, "search.scan")
+	scan.SetAttr("pairs", "12")
+	time.Sleep(time.Millisecond)
+	scan.End()
+	agg := Begin(ctx, "search.aggregate")
+	agg.End()
+	root.End()
+
+	traces := tr.Traces()
+	if len(traces) != 1 {
+		t.Fatalf("got %d traces, want 1", len(traces))
+	}
+	wt := traces[0]
+	if wt.ID != "req-1" || wt.Root.Name != "POST /v1/search" {
+		t.Fatalf("trace = %+v", wt)
+	}
+	if len(wt.Root.Children) != 2 {
+		t.Fatalf("root has %d children, want 2", len(wt.Root.Children))
+	}
+	// Children sort by start time: scan began before aggregate.
+	if wt.Root.Children[0].Name != "search.scan" || wt.Root.Children[1].Name != "search.aggregate" {
+		t.Fatalf("children out of order: %s, %s", wt.Root.Children[0].Name, wt.Root.Children[1].Name)
+	}
+	if wt.Root.Children[0].Attrs[0] != (Attr{Key: "pairs", Value: "12"}) {
+		t.Fatalf("attrs = %+v", wt.Root.Children[0].Attrs)
+	}
+	// The children's durations must fit inside the root's.
+	var sum float64
+	for _, c := range wt.Root.Children {
+		sum += c.DurationMs
+	}
+	if sum > wt.Root.DurationMs {
+		t.Fatalf("children sum %.3fms exceeds root %.3fms", sum, wt.Root.DurationMs)
+	}
+	if got, ok := tr.TraceByID("req-1"); !ok || got.ID != "req-1" {
+		t.Fatalf("TraceByID = %+v, %v", got, ok)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	// Untraced contexts yield nil spans; every operation must be a
+	// no-op, not a panic — instrumented code never branches on tracing.
+	ctx := context.Background()
+	sp := Begin(ctx, "anything")
+	if sp != nil {
+		t.Fatal("Begin on untraced ctx must return nil")
+	}
+	sp.SetName("x")
+	sp.SetAttr("k", "v")
+	sp.Child("c").End()
+	if sp.Duration() != 0 {
+		t.Fatal("nil span duration must be 0")
+	}
+	sp.End()
+	if _, _, ok := SpanContext(ctx); ok {
+		t.Fatal("SpanContext on untraced ctx must report !ok")
+	}
+	var tr *Tracer
+	if c2, root := tr.Start(ctx, "id", "n"); c2 != ctx || root != nil {
+		t.Fatal("nil tracer Start must be a no-op")
+	}
+}
+
+func TestTraceRingBound(t *testing.T) {
+	tr := NewTracer(nil, 3)
+	for i := 0; i < 10; i++ {
+		_, root := tr.Start(context.Background(), "req-"+strconv.Itoa(i), "GET")
+		root.End()
+	}
+	traces := tr.Traces()
+	if len(traces) != 3 {
+		t.Fatalf("ring holds %d traces, want 3", len(traces))
+	}
+	// Newest first: 9, 8, 7.
+	for i, want := range []string{"req-9", "req-8", "req-7"} {
+		if traces[i].ID != want {
+			t.Fatalf("traces[%d] = %s, want %s", i, traces[i].ID, want)
+		}
+	}
+}
+
+func TestSpanDurationHistogram(t *testing.T) {
+	reg := NewRegistry()
+	tr := NewTracer(reg, 4)
+	ctx, root := tr.Start(context.Background(), "r", "GET /x")
+	Begin(ctx, "stage.a").End()
+	root.End()
+	h := reg.Histogram("span_duration_seconds",
+		"Duration of completed trace spans by stage.", LatencyBuckets, "span")
+	if got := h.With("stage.a").Count(); got != 1 {
+		t.Fatalf("stage.a observations = %d, want 1", got)
+	}
+	if got := h.With("GET /x").Count(); got != 1 {
+		t.Fatalf("root observations = %d, want 1", got)
+	}
+}
+
+func TestSlowQueryLog(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(nil, 4)
+	tr.Log = slog.New(slog.NewTextHandler(&buf, nil))
+	tr.Slow = time.Nanosecond
+
+	ctx, root := tr.Start(context.Background(), "slow-1", "POST /v1/search")
+	Begin(ctx, "search.scan").End()
+	root.End()
+
+	out := buf.String()
+	for _, want := range []string{"slow query", "slow-1", "search.scan"} {
+		if !bytes.Contains([]byte(out), []byte(want)) {
+			t.Fatalf("slow log missing %q:\n%s", want, out)
+		}
+	}
+
+	// Below threshold: silent.
+	buf.Reset()
+	tr.Slow = time.Hour
+	_, root2 := tr.Start(context.Background(), "fast-1", "GET")
+	root2.End()
+	if buf.Len() != 0 {
+		t.Fatalf("fast trace logged:\n%s", buf.String())
+	}
+}
+
+func TestConcurrentChildren(t *testing.T) {
+	// Fan-out goroutines append children concurrently (the router's
+	// scatter); run under -race.
+	tr := NewTracer(nil, 4)
+	ctx, root := tr.Start(context.Background(), "fan", "POST")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sp := Begin(ctx, "router.shard")
+			sp.SetAttr("shard", strconv.Itoa(i))
+			sp.End()
+		}(i)
+	}
+	wg.Wait()
+	root.End()
+	wt := tr.Traces()[0]
+	if len(wt.Root.Children) != 8 {
+		t.Fatalf("got %d children, want 8", len(wt.Root.Children))
+	}
+}
+
+func TestTracesHandler(t *testing.T) {
+	tr := NewTracer(nil, 4)
+	_, root := tr.Start(context.Background(), "h-1", "GET /v1/stats")
+	root.End()
+	rec := httptest.NewRecorder()
+	tr.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/v1/traces", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	var resp TracesResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Traces) != 1 || resp.Traces[0].ID != "h-1" {
+		t.Fatalf("resp = %+v", resp)
+	}
+}
+
+func TestSpanContextPropagation(t *testing.T) {
+	tr := NewTracer(nil, 4)
+	ctx, root := tr.Start(context.Background(), "trace-9", "POST")
+	child := Begin(ctx, "router.shard")
+	cctx := ContextWithSpan(ctx, child)
+	traceID, spanID, ok := SpanContext(cctx)
+	if !ok || traceID != "trace-9" || spanID != child.id {
+		t.Fatalf("SpanContext = %q/%q, %v", traceID, spanID, ok)
+	}
+	child.End()
+	root.End()
+}

@@ -6,6 +6,7 @@ import (
 	"strconv"
 
 	"repro/internal/catalog"
+	"repro/internal/obs"
 	"repro/internal/searchidx"
 	"repro/internal/text"
 )
@@ -207,8 +208,18 @@ func (m queryMatcher) match(cellNorm string, cellToks map[string]struct{}) float
 //
 // A context cancellation is detected between candidate pairs and every
 // rowCheckInterval rows within a pair, and returns the context's error.
+//
+// Each stage opens a trace span (search.validate, search.plan,
+// search.scan, search.aggregate, search.select, search.explain) on the
+// context's trace, if it carries one; untraced executions pay one
+// context lookup per stage. Spans only time the stages — they never
+// reorder any work, so the byte-identical-results contract is
+// untouched.
 func (e *Engine) Execute(ctx context.Context, req Request) (*Result, error) {
-	if err := req.Validate(); err != nil {
+	vsp := obs.Begin(ctx, "search.validate")
+	err := req.Validate()
+	vsp.End()
+	if err != nil {
 		return nil, err
 	}
 	var after *rankKey
@@ -219,15 +230,21 @@ func (e *Engine) Execute(ctx context.Context, req Request) (*Result, error) {
 		}
 		after = &k
 	}
+	psp := obs.Begin(ctx, "search.plan")
 	p := e.plan(req)
 	cuts := e.cuts(&p)
+	psp.End()
 	clusters, err := e.collect(ctx, &p, cuts)
 	if err != nil {
 		return nil, err
 	}
+	ssp := obs.Begin(ctx, "search.select")
 	res, keys := selectPage(clusters, req.PageSize, after)
+	ssp.End()
 	if req.Explain && len(res.Answers) > 0 {
+		esp := obs.Begin(ctx, "search.explain")
 		expl, err := e.explain(ctx, &p, cuts, keys)
+		esp.End()
 		if err != nil {
 			return nil, err
 		}

@@ -52,6 +52,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/catalog"
+	"repro/internal/obs"
 	"repro/internal/searchidx"
 )
 
@@ -208,8 +209,13 @@ func (e *Engine) scanShards(ctx context.Context, p *scanPlan, cuts []int, sinks 
 // set.
 func (e *Engine) collect(ctx context.Context, p *scanPlan, cuts []int) ([]clusterSink, error) {
 	if len(cuts) <= 2 {
+		// Serial path: scan and aggregation are one fused pass, so one
+		// span covers both stages.
+		sp := obs.Begin(ctx, "search.scan")
 		cc := clusterCollector{e: e, cs: clusterSink{}}
-		if err := e.scanRange(ctx, p, 0, p.len(), &cc); err != nil {
+		err := e.scanRange(ctx, p, 0, p.len(), &cc)
+		sp.End()
+		if err != nil {
 			return nil, err
 		}
 		return []clusterSink{cc.cs}, nil
@@ -221,9 +227,14 @@ func (e *Engine) collect(ctx context.Context, p *scanPlan, cuts []int) ([]cluste
 		logs[i] = &shardLog{e: e, parts: make([][]*hitChunk, nParts)}
 		sinks[i] = logs[i]
 	}
-	if err := e.scanShards(ctx, p, cuts, sinks); err != nil {
+	scanSp := obs.Begin(ctx, "search.scan")
+	err := e.scanShards(ctx, p, cuts, sinks)
+	scanSp.End()
+	if err != nil {
 		return nil, err
 	}
+	aggSp := obs.Begin(ctx, "search.aggregate")
+	defer aggSp.End()
 	// Phase 2: aggregate each partition's hits — shards in fixed order,
 	// entries in scan order — on its own worker. Every cluster lives in
 	// exactly one partition, so per-cluster this replays the serial add

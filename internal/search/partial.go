@@ -38,6 +38,7 @@ import (
 	"strconv"
 
 	"repro/internal/catalog"
+	"repro/internal/obs"
 	"repro/internal/searchidx"
 )
 
@@ -117,9 +118,17 @@ func ValidateCursor(s string) error {
 // concerns); the request is otherwise validated as Execute validates
 // it. Groups with no hits are omitted.
 func (e *Engine) ExecutePartial(ctx context.Context, req Request, tableOffset int) ([]PartialGroup, error) {
-	if err := req.Validate(); err != nil {
+	vsp := obs.Begin(ctx, "search.validate")
+	err := req.Validate()
+	vsp.End()
+	if err != nil {
 		return nil, err
 	}
+	// One scan span covers the whole partial-evidence pass (including
+	// the per-type loop in Type mode): the shard has no aggregate or
+	// page-select stage — those happen at the router's merge.
+	sp := obs.Begin(ctx, "search.scan")
+	defer sp.End()
 	if req.Mode != Type {
 		p := e.plan(req)
 		clusters, err := e.collectPartial(ctx, &p, tableOffset)

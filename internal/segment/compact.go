@@ -2,11 +2,46 @@ package segment
 
 import (
 	"context"
+	"sync"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/searchidx"
 	"repro/internal/table"
 )
+
+// Compaction metrics live on the process-global obs.Default() registry:
+// a Store has no serving surface of its own, and every server's
+// /metrics handler merges the Default registry in. Registered lazily on
+// the first Compact call so stores that never compact never register.
+var (
+	compactMetricsOnce sync.Once
+	compactRuns        *obs.Counter
+	compactSteps       *obs.CounterVec
+	compactDur         *obs.Histogram
+	compactSegsMerged  *obs.Counter
+	compactSegsDropped *obs.Counter
+	compactTables      *obs.Counter
+)
+
+func compactMetricsInit() {
+	compactMetricsOnce.Do(func() {
+		reg := obs.Default()
+		compactRuns = reg.Counter("segment_compaction_runs_total",
+			"Compaction passes run (each drains to a stable manifest).").With()
+		compactSteps = reg.Counter("segment_compaction_steps_total",
+			"Individual compaction steps applied, by kind.", "step")
+		compactDur = reg.Histogram("segment_compaction_seconds",
+			"Duration of one full compaction pass.", obs.LatencyBuckets).With()
+		compactSegsMerged = reg.Counter("segment_compaction_segments_merged_total",
+			"Segments consumed by merge and rewrite steps.").With()
+		compactSegsDropped = reg.Counter("segment_compaction_segments_dropped_total",
+			"Fully-dead segments dropped without a rebuild.").With()
+		compactTables = reg.Counter("segment_compaction_tables_total",
+			"Live tables rewritten into merged segments.").With()
+	})
+}
 
 // CompactionPolicy tunes the size-tiered compactor. Segments are
 // bucketed into geometric tiers by live-table count (tier 0 holds up to
@@ -66,6 +101,10 @@ func (p CompactionPolicy) tier(live int) int {
 // mutations (it serializes with them) and with searches (which keep
 // their views). Returns the resulting view.
 func (s *Store) Compact(ctx context.Context) (*View, error) {
+	compactMetricsInit()
+	start := time.Now()
+	defer func() { compactDur.Observe(time.Since(start).Seconds()) }()
+	compactRuns.Inc()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for {
@@ -97,6 +136,8 @@ func (s *Store) compactOnceLocked(ctx context.Context) (bool, error) {
 	}
 	if len(fullyDead) > 0 {
 		s.view.Store(v.withDroppedSegments(fullyDead))
+		compactSteps.With("drop").Inc()
+		compactSegsDropped.Add(uint64(len(fullyDead)))
 		return true, nil
 	}
 
@@ -105,6 +146,7 @@ func (s *Store) compactOnceLocked(ctx context.Context) (bool, error) {
 		if err := s.mergeLocked(ctx, v, lo, hi); err != nil {
 			return false, err
 		}
+		compactSteps.With("merge").Inc()
 		return true, nil
 	}
 
@@ -115,6 +157,7 @@ func (s *Store) compactOnceLocked(ctx context.Context) (bool, error) {
 			if err := s.mergeLocked(ctx, v, i, i); err != nil {
 				return false, err
 			}
+			compactSteps.With("rewrite").Inc()
 			return true, nil
 		}
 	}
@@ -168,6 +211,8 @@ func (s *Store) mergeLocked(ctx context.Context, v *View, lo, hi int) error {
 	seg := &Segment{id: s.nextID, ix: ix}
 	s.nextID++
 	s.view.Store(v.withReplacedRun(lo, hi, seg))
+	compactSegsMerged.Add(uint64(hi - lo + 1))
+	compactTables.Add(uint64(len(tables)))
 	return nil
 }
 

@@ -11,10 +11,12 @@ import (
 	"log/slog"
 	"net"
 	"net/http"
+	"strconv"
 	"sync/atomic"
 	"time"
 
 	webtable "repro"
+	"repro/internal/obs"
 	"repro/internal/table"
 )
 
@@ -46,6 +48,14 @@ type HTTPBase struct {
 	// domains (the router's shard failures) install a wrapper that
 	// falls back to MapError.
 	MapErr func(error) (status int, code, field string)
+	// Reg collects this serving surface's metrics. Each base owns its
+	// own registry (two servers in one process never share counters);
+	// MetricsHandler merges it with the process-global obs.Default().
+	Reg *obs.Registry
+	// Tracer records one span tree per request, rooted at the matched
+	// route and keyed by the request ID. Set Tracer.Slow (via the
+	// servers' WithSlowQueryLog options) to emit slow traces to Log.
+	Tracer *obs.Tracer
 
 	idPrefix string
 	reqSeq   atomic.Uint64
@@ -56,11 +66,14 @@ type HTTPBase struct {
 // 30s request timeout, 10s drain, 8 MiB body cap, and a random
 // process-unique request-ID prefix.
 func NewHTTPBase() *HTTPBase {
+	reg := obs.NewRegistry()
 	b := &HTTPBase{
 		Log:     slog.Default(),
 		Timeout: 30 * time.Second,
 		Drain:   10 * time.Second,
 		MaxBody: 8 << 20,
+		Reg:     reg,
+		Tracer:  obs.NewTracer(reg, obs.DefaultTraceRing),
 	}
 	var pre [4]byte
 	if _, err := rand.Read(pre[:]); err == nil {
@@ -84,6 +97,13 @@ func RequestID(ctx context.Context) string {
 	return id
 }
 
+// ContextWithRequestID attaches a request ID to ctx, for callers
+// entering the request path without going through the HTTP middleware
+// (library use of the shard client, tests).
+func ContextWithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey, id)
+}
+
 // statusWriter records the status code for the log line.
 type statusWriter struct {
 	http.ResponseWriter
@@ -96,10 +116,29 @@ func (w *statusWriter) WriteHeader(code int) {
 }
 
 // Middleware attaches the request ID, per-request timeout, body cap,
-// in-flight accounting and the structured log line, and maps a context
-// already dead on arrival (client gone before dispatch) to its error
-// response without invoking the handler.
+// in-flight accounting, per-route metrics, the request's trace root
+// span and the structured log line, and maps a context already dead on
+// arrival (client gone before dispatch) to its error response without
+// invoking the handler.
 func (b *HTTPBase) Middleware(next http.Handler) http.Handler {
+	var (
+		reqTotal *obs.CounterVec
+		reqDur   *obs.HistogramVec
+	)
+	if b.Reg != nil {
+		reqTotal = b.Reg.Counter("http_requests_total",
+			"HTTP requests handled, by matched route, method and status.",
+			"route", "method", "status")
+		reqDur = b.Reg.Histogram("http_request_duration_seconds",
+			"HTTP request handling latency by matched route.",
+			obs.LatencyBuckets, "route")
+		b.Reg.GaugeFunc("http_in_flight_requests",
+			"Requests currently being handled.",
+			func() float64 { return float64(b.inflight.Load()) })
+	}
+	if b.Tracer != nil && b.Tracer.Log == nil {
+		b.Tracer.Log = b.Log
+	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		b.inflight.Add(1)
@@ -116,6 +155,16 @@ func (b *HTTPBase) Middleware(next http.Handler) http.Handler {
 			ctx, cancel = context.WithTimeout(ctx, b.Timeout)
 			defer cancel()
 		}
+		var sp *obs.Span
+		if b.Tracer != nil {
+			// The root span's trace ID is the request ID, so one query's
+			// traces correlate across router and shards; the span is
+			// renamed to the matched route once the mux resolved it.
+			ctx, sp = b.Tracer.Start(ctx, id, r.Method)
+			if parent := r.Header.Get("X-Span-Context"); parent != "" {
+				sp.SetAttr("parent", parent)
+			}
+		}
 		r = r.WithContext(ctx)
 		if b.MaxBody > 0 && r.Body != nil {
 			r.Body = http.MaxBytesReader(w, r.Body, b.MaxBody)
@@ -127,16 +176,38 @@ func (b *HTTPBase) Middleware(next http.Handler) http.Handler {
 		} else {
 			next.ServeHTTP(sw, r)
 		}
+		// r.Pattern is filled by the inner ServeMux during dispatch;
+		// using it (not the raw path) keeps the route label's
+		// cardinality bounded by the route table.
+		route := r.Pattern
+		if route == "" {
+			route = "unmatched"
+		}
+		sp.SetName(route)
+		sp.End()
+		dur := time.Since(start)
+		if reqTotal != nil {
+			reqTotal.With(route, r.Method, strconv.Itoa(sw.status)).Inc()
+			reqDur.With(route).Observe(dur.Seconds())
+		}
 		b.Log.Info("request",
 			"id", id,
 			"method", r.Method,
 			"path", r.URL.Path,
 			"status", sw.status,
-			"duration_ms", float64(time.Since(start).Microseconds())/1000,
+			"duration_ms", float64(dur.Microseconds())/1000,
 			"remote", r.RemoteAddr,
 		)
 	})
 }
+
+// MetricsHandler serves this base's registry merged with the
+// process-global obs.Default() (runtime and subsystem metrics) in
+// Prometheus text exposition format.
+func (b *HTTPBase) MetricsHandler() http.Handler { return obs.Handler(b.Reg, obs.Default()) }
+
+// TracesHandler serves the tracer's completed-trace ring as JSON.
+func (b *HTTPBase) TracesHandler() http.Handler { return b.Tracer.Handler() }
 
 // Serve accepts connections on ln until ctx is canceled, then shuts
 // down gracefully: the listener closes, in-flight requests get up to

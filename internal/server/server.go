@@ -37,6 +37,7 @@ import (
 	"time"
 
 	webtable "repro"
+	"repro/internal/obs"
 )
 
 // StatusClientClosedRequest is the non-standard (nginx-convention)
@@ -58,8 +59,9 @@ type Server struct {
 	snapPath string
 	// snapMu serializes POST /v1/snapshot so two concurrent persists
 	// cannot interleave their temp-file renames.
-	snapMu  chan struct{}
-	handler http.Handler
+	snapMu      chan struct{}
+	handler     http.Handler
+	searchTotal *obs.CounterVec
 }
 
 // Option configures a Server.
@@ -86,6 +88,10 @@ func WithMaxBodyBytes(n int64) Option { return func(s *Server) { s.base.MaxBody 
 // the endpoint answers 409 snapshot_unconfigured.
 func WithSnapshotPath(path string) Option { return func(s *Server) { s.snapPath = path } }
 
+// WithSlowQueryLog emits any request whose handling takes at least d as
+// a full span tree to the structured log (default: disabled).
+func WithSlowQueryLog(d time.Duration) Option { return func(s *Server) { s.base.Tracer.Slow = d } }
+
 // New builds a server over svc.
 func New(svc *webtable.Service, opts ...Option) *Server {
 	s := &Server{
@@ -96,9 +102,14 @@ func New(svc *webtable.Service, opts ...Option) *Server {
 	for _, opt := range opts {
 		opt(s)
 	}
+	s.searchTotal = s.base.Reg.Counter("search_requests_total",
+		"Search requests executed, by query mode.", "mode")
+	registerServiceMetrics(s.base.Reg, svc)
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.Handle("GET /metrics", s.base.MetricsHandler())
+	mux.Handle("GET /v1/traces", s.base.TracesHandler())
 	mux.HandleFunc("POST /v1/search", s.handleSearch)
 	mux.HandleFunc("POST /v1/search:batch", s.handleSearchBatch)
 	mux.HandleFunc("POST /v1/annotate", s.handleAnnotate)
@@ -110,6 +121,35 @@ func New(svc *webtable.Service, opts ...Option) *Server {
 	// (a "/" fallback would swallow those into 404s).
 	s.handler = s.base.Middleware(mux)
 	return s
+}
+
+// registerServiceMetrics installs the worker-pool and corpus gauges
+// every corpus-serving process exposes (the single-node server and the
+// shard server; the router has no corpus).
+func registerServiceMetrics(reg *obs.Registry, svc *webtable.Service) {
+	reg.GaugeFunc("service_worker_slots",
+		"Worker-pool size bounding concurrent annotation and search.",
+		func() float64 { return float64(svc.Workers()) })
+	reg.GaugeFunc("service_workers_busy",
+		"Worker-pool slots currently held.",
+		func() float64 { return float64(svc.WorkersInUse()) })
+	corpusGauge := func(f func(webtable.CorpusStats) float64) func() float64 {
+		return func() float64 {
+			stats, ok := svc.CorpusStats()
+			if !ok {
+				return 0
+			}
+			return f(stats)
+		}
+	}
+	reg.GaugeFunc("corpus_tables", "Live tables in the corpus.",
+		corpusGauge(func(s webtable.CorpusStats) float64 { return float64(s.Tables) }))
+	reg.GaugeFunc("corpus_segments", "Live index segments.",
+		corpusGauge(func(s webtable.CorpusStats) float64 { return float64(s.Segments) }))
+	reg.GaugeFunc("corpus_tombstones", "Removed tables not yet compacted away.",
+		corpusGauge(func(s webtable.CorpusStats) float64 { return float64(s.Tombstones) }))
+	reg.GaugeFunc("corpus_generation", "Corpus generation (bumped by every mutation).",
+		corpusGauge(func(s webtable.CorpusStats) float64 { return float64(s.Generation) }))
 }
 
 // Handler returns the full middleware-wrapped HTTP handler.
@@ -166,6 +206,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		s.base.WriteError(w, r, err)
 		return
 	}
+	s.searchTotal.With(req.Mode.String()).Inc()
 	ctx := r.Context()
 	if err := s.svc.Acquire(ctx); err != nil {
 		s.base.WriteError(w, r, err)

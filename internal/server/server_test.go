@@ -857,3 +857,108 @@ func TestSnapshotUnconfigured(t *testing.T) {
 		t.Fatalf("code = %q", eb.Code)
 	}
 }
+
+func TestMetricsEndpoint(t *testing.T) {
+	svc, w := testService(t, 2)
+	srv := New(svc, WithLogger(quietLogger()))
+	h := srv.Handler()
+	if rec := postJSON(t, h, "/v1/search", searchBody(t, w, nil)); rec.Code != http.StatusOK {
+		t.Fatalf("search status = %d: %s", rec.Code, rec.Body.String())
+	}
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	page := rec.Body.String()
+	for _, want := range []string{
+		`search_requests_total{mode="Type+Rel"} 1`,
+		`http_requests_total{route="POST /v1/search",method="POST",status="200"} 1`,
+		"http_request_duration_seconds_bucket",
+		"# TYPE corpus_tables gauge",
+		"# TYPE service_worker_slots gauge",
+		"# TYPE go_goroutines gauge", // merged process-global registry
+	} {
+		if !strings.Contains(page, want) {
+			t.Fatalf("scrape missing %q:\n%s", want, page)
+		}
+	}
+}
+
+// TestTraceSpanTree checks the acceptance shape: a traced search yields
+// a span tree whose stages cover scan (and aggregate under parallel
+// execution) and whose child durations fit inside the measured wall
+// time of the request.
+func TestTraceSpanTree(t *testing.T) {
+	svc, w := testService(t, 2) // workers=2: parallel path, so aggregate is a distinct stage
+	srv := New(svc, WithLogger(quietLogger()))
+	h := srv.Handler()
+
+	req := httptest.NewRequest(http.MethodPost, "/v1/search", bytes.NewReader(searchBody(t, w, nil)))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Request-ID", "trace-accept-1")
+	rec := httptest.NewRecorder()
+	wallStart := time.Now()
+	h.ServeHTTP(rec, req)
+	wallMs := float64(time.Since(wallStart).Microseconds()) / 1000
+	if rec.Code != http.StatusOK {
+		t.Fatalf("search status = %d: %s", rec.Code, rec.Body.String())
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/traces", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /v1/traces = %d", rec.Code)
+	}
+	var resp struct {
+		Traces []struct {
+			ID         string  `json:"id"`
+			DurationMs float64 `json:"duration_ms"`
+			Root       struct {
+				Name       string  `json:"name"`
+				DurationMs float64 `json:"duration_ms"`
+				Children   []struct {
+					Name       string  `json:"name"`
+					DurationMs float64 `json:"duration_ms"`
+				} `json:"children"`
+			} `json:"root"`
+		} `json:"traces"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("traces JSON: %v (%s)", err, rec.Body.String())
+	}
+	var found bool
+	for _, tr := range resp.Traces {
+		if tr.ID != "trace-accept-1" {
+			continue
+		}
+		found = true
+		if tr.Root.Name != "POST /v1/search" {
+			t.Fatalf("root span = %q, want route name", tr.Root.Name)
+		}
+		stages := map[string]bool{}
+		var childSum float64
+		for _, c := range tr.Root.Children {
+			stages[c.Name] = true
+			childSum += c.DurationMs
+		}
+		for _, stage := range []string{"search.validate", "search.plan", "search.scan", "search.aggregate", "search.select"} {
+			if !stages[stage] {
+				t.Fatalf("span tree missing stage %q; have %v", stage, stages)
+			}
+		}
+		if childSum > tr.Root.DurationMs {
+			t.Fatalf("child spans sum %.3fms exceeds root %.3fms", childSum, tr.Root.DurationMs)
+		}
+		if tr.Root.DurationMs > wallMs {
+			t.Fatalf("root span %.3fms exceeds measured wall time %.3fms", tr.Root.DurationMs, wallMs)
+		}
+	}
+	if !found {
+		t.Fatalf("trace trace-accept-1 not in ring: %s", rec.Body.String())
+	}
+}

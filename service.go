@@ -116,6 +116,11 @@ func (s *Service) Workers() int { return s.workers }
 // the serial scan.
 func (s *Service) SearchParallelism() int { return s.searchPar }
 
+// WorkersInUse reports how many worker-pool slots are currently held.
+// It is a point-in-time reading for observability (the workers-busy
+// gauge), not a synchronization primitive.
+func (s *Service) WorkersInUse() int { return len(s.sem) }
+
 // Annotator returns the service's current default annotator, for interop
 // with the training API (webtable.Train). Do not call SetWeights on it
 // while service calls are in flight; use Service.SetWeights instead.
