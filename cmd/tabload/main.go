@@ -83,6 +83,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		shards      = fs.Int("shards", 2, "shard count for the cluster topology")
 		workers     = fs.Int("workers", 0, "server worker-pool size (0 = GOMAXPROCS)")
 		metricsOut  = fs.String("metrics-out", "", "also dump each topology's final /metrics scrape to this path (Prometheus text)")
+		history     = fs.String("history", "BENCH_history.jsonl", "append a timestamped one-line run summary to this JSONL log (empty to skip)")
 		version     = fs.Bool("version", false, "print build information and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -191,7 +192,37 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 	fmt.Fprintf(stdout, "tabload: wrote %s\n", *out)
+
+	if *history != "" {
+		if err := appendHistory(*history, report); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "tabload: appended %s\n", *history)
+	}
 	return nil
+}
+
+// appendHistory records this run as one timestamped JSON line at the
+// end of path — an append-only log tracking performance across runs,
+// where -out holds only the latest report.
+func appendHistory(path string, report benchReport) error {
+	line, err := json.Marshal(struct {
+		At string `json:"at"`
+		benchReport
+	}{At: time.Now().UTC().Format(time.RFC3339), benchReport: report})
+	if err != nil {
+		return err
+	}
+	//lint:allow atomicwrite -- append-only log: O_APPEND preserves prior lines; readers skip a torn final line
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(append(line, '\n')); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // buildCorpus annotates a synthetic multi-relation corpus and returns

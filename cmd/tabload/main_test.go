@@ -16,9 +16,11 @@ import (
 func TestBenchSmoke(t *testing.T) {
 	dir := t.TempDir()
 	out := filepath.Join(dir, "BENCH_dist.json")
+	history := filepath.Join(dir, "BENCH_history.jsonl")
 	var stdout, stderr bytes.Buffer
 	err := run(context.Background(), []string{
-		"-out", out, "-requests", "24", "-concurrency", "4", "-tables", "6", "-workers", "2",
+		"-out", out, "-history", history,
+		"-requests", "24", "-concurrency", "4", "-tables", "6", "-workers", "2",
 	}, &stdout, &stderr)
 	if err != nil {
 		t.Fatalf("run: %v\nstderr: %s", err, stderr.String())
@@ -47,6 +49,27 @@ func TestBenchSmoke(t *testing.T) {
 	}
 	if report.Configs[0].Name != "single-node" || report.Configs[1].Name != "2-shard" {
 		t.Fatalf("config names: %+v", report.Configs)
+	}
+
+	// The run appended exactly one timestamped history line holding the
+	// same report.
+	hraw, err := os.ReadFile(history)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(hraw), "\n"), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("history has %d lines, want 1:\n%s", len(lines), hraw)
+	}
+	var entry struct {
+		At string `json:"at"`
+		benchReport
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &entry); err != nil {
+		t.Fatalf("history line not JSON: %v (%s)", err, lines[0])
+	}
+	if entry.At == "" || entry.Tool != "tabload" || len(entry.Configs) != 2 {
+		t.Fatalf("history entry: %+v", entry)
 	}
 }
 

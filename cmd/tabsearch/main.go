@@ -58,6 +58,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		topK     = fs.Int("k", 10, "answers per page per mode")
 		pages    = fs.Int("pages", 1, "pages of k answers to print per mode")
 		explain  = fs.Bool("explain", false, "print contributing table cells per answer")
+		debug    = fs.Bool("debug", false, "print per-page execution stats (EXPLAIN ANALYZE); with -json, attach the debug block")
 		ctxWords = fs.String("context", "", "baseline context keywords (defaults to relation name)")
 		workers  = fs.Int("workers", 0, "annotation workers (0 = GOMAXPROCS)")
 		load     = fs.String("load", "", "serve a corpus snapshot instead of annotating -catalog/-corpus")
@@ -138,7 +139,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 				// The exact POST /v1/search response shape, one JSON
 				// object per page, newline-delimited; modes in
 				// Baseline, Type, Type+Rel order.
-				if err := json.NewEncoder(stdout).Encode(server.ToSearchResponse(svc.Catalog(), res)); err != nil {
+				resp := server.ToSearchResponse(svc.Catalog(), res)
+				if *debug {
+					resp.Debug = &server.SearchDebug{Stats: server.ToExecStatsWire(res.Stats)}
+				}
+				if err := json.NewEncoder(stdout).Encode(resp); err != nil {
 					return fmt.Errorf("encode: %w", err)
 				}
 				cursor = res.NextCursor
@@ -165,6 +170,15 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 						fmt.Fprintf(stdout, "      <- ... %d more\n", a.Explanation.Truncated)
 					}
 				}
+			}
+			if *debug && res.Stats != nil {
+				st := res.Stats
+				fmt.Fprintf(stdout, "    -- stats: pairs=%d matched=%d rows=%d segments=%d tombstones=%d eligible=%d parallelism=%d\n",
+					st.CandidatePairs, st.PairsMatched, st.RowsScanned,
+					st.SegmentsVisited, st.TombstonesSkipped, st.AnswersBeforeTopK, st.Parallelism)
+				fmt.Fprintf(stdout, "    -- stage ms: validate=%.3f plan=%.3f scan=%.3f aggregate=%.3f select=%.3f explain=%.3f\n",
+					float64(st.Stage.Validate)/1e6, float64(st.Stage.Plan)/1e6, float64(st.Stage.Scan)/1e6,
+					float64(st.Stage.Aggregate)/1e6, float64(st.Stage.Select)/1e6, float64(st.Stage.Explain)/1e6)
 			}
 			cursor = res.NextCursor
 			if cursor == "" {

@@ -424,3 +424,277 @@ func TestClusterMetricsAndTraces(t *testing.T) {
 		}
 	}
 }
+
+// lookupTrace fetches one trace by ID through GET /v1/traces/{id} and
+// fails the test unless it exists.
+func lookupTrace(t testing.TB, h http.Handler, id string) *obs.WireTrace {
+	t.Helper()
+	rec := get(t, h, "/v1/traces/"+id)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("trace %s: status %d: %s", id, rec.Code, rec.Body.String())
+	}
+	var wt obs.WireTrace
+	if err := json.Unmarshal(rec.Body.Bytes(), &wt); err != nil {
+		t.Fatal(err)
+	}
+	if wt.ID != id {
+		t.Fatalf("trace ID = %q, want %q", wt.ID, id)
+	}
+	return &wt
+}
+
+// TestClusterDebugStats is the acceptance check for per-query execution
+// stats across shards: debug:true through a 2-shard router returns the
+// merged stats plus both shards' own, with every merged counter exactly
+// the sum of the shard counters; the deterministic counters agree with
+// a single node answering the same query; and debug:false responses
+// carry no debug block at all.
+func TestClusterDebugStats(t *testing.T) {
+	snap, w := buildSnapshot(t)
+	single := singleHandler(t, snap)
+	c := startCluster(t, snap, 2)
+	workload := w.SearchWorkload([]string{"directed", "actedIn"}, 1, 7)
+	if len(workload) == 0 {
+		t.Fatal("empty workload")
+	}
+
+	for _, q := range workload {
+		debugBody := wireBody(t, w, q, map[string]any{"mode": "typerel", "debug": true})
+
+		rec := post(t, c.router.Handler(), "/v1/search", debugBody)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("routed debug search = %d: %s", rec.Code, rec.Body.String())
+		}
+		var routed server.SearchResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &routed); err != nil {
+			t.Fatal(err)
+		}
+		if routed.Debug == nil {
+			t.Fatal("debug:true routed response has no debug block")
+		}
+		if len(routed.Debug.Shards) != 2 {
+			t.Fatalf("debug block has %d shard entries, want 2", len(routed.Debug.Shards))
+		}
+
+		// Merged counters = sum of per-shard counters, exactly.
+		var sum server.ExecStatsWire
+		for _, sh := range routed.Debug.Shards {
+			sum.CandidatePairs += sh.CandidatePairs
+			sum.PairsMatched += sh.PairsMatched
+			sum.RowsScanned += sh.RowsScanned
+			sum.SegmentsVisited += sh.SegmentsVisited
+			sum.TombstonesSkipped += sh.TombstonesSkipped
+		}
+		m := routed.Debug.Stats
+		if m.CandidatePairs != sum.CandidatePairs || m.PairsMatched != sum.PairsMatched ||
+			m.RowsScanned != sum.RowsScanned || m.SegmentsVisited != sum.SegmentsVisited ||
+			m.TombstonesSkipped != sum.TombstonesSkipped {
+			t.Fatalf("merged counters are not the shard sums:\nmerged %+v\nsum    %+v\nshards %+v",
+				m, sum, routed.Debug.Shards)
+		}
+		if m.Parallelism < 1 {
+			t.Fatalf("merged parallelism = %d, want >= 1", m.Parallelism)
+		}
+
+		// Same query on a single node: the deterministic scan counters
+		// must agree with the routed merge (timings are wall clock and
+		// segment counts depend on the shard split, so neither compares).
+		srec := post(t, single, "/v1/search", debugBody)
+		if srec.Code != http.StatusOK {
+			t.Fatalf("single debug search = %d: %s", srec.Code, srec.Body.String())
+		}
+		var sresp server.SearchResponse
+		if err := json.Unmarshal(srec.Body.Bytes(), &sresp); err != nil {
+			t.Fatal(err)
+		}
+		if sresp.Debug == nil {
+			t.Fatal("debug:true single-node response has no debug block")
+		}
+		if len(sresp.Debug.Shards) != 0 {
+			t.Fatalf("single node reported shard stats: %+v", sresp.Debug.Shards)
+		}
+		s := sresp.Debug.Stats
+		if s.CandidatePairs != m.CandidatePairs || s.PairsMatched != m.PairsMatched ||
+			s.RowsScanned != m.RowsScanned || s.AnswersBeforeTopK != m.AnswersBeforeTopK ||
+			s.TombstonesSkipped != m.TombstonesSkipped {
+			t.Fatalf("routed merge diverges from single node:\nrouted %+v\nsingle %+v", m, s)
+		}
+
+		// Without debug the response has no debug key and stays
+		// byte-identical to the single node.
+		plainBody := wireBody(t, w, q, map[string]any{"mode": "typerel"})
+		got := post(t, c.router.Handler(), "/v1/search", plainBody)
+		want := post(t, single, "/v1/search", plainBody)
+		if got.Code != http.StatusOK || want.Code != http.StatusOK {
+			t.Fatalf("plain search: router %d, single %d", got.Code, want.Code)
+		}
+		if bytes.Contains(got.Body.Bytes(), []byte(`"debug"`)) {
+			t.Fatalf("debug:false response leaked a debug block: %s", got.Body.String())
+		}
+		if !bytes.Equal(got.Body.Bytes(), want.Body.Bytes()) {
+			t.Fatalf("debug:false bodies differ\nrouter: %s\nsingle: %s",
+				got.Body.String(), want.Body.String())
+		}
+	}
+
+	// The queries above fed the fleet-level search_* counters on the
+	// router and on each shard.
+	for name, h := range map[string]http.Handler{
+		"router":  c.router.Handler(),
+		"shard 0": c.swaps[0],
+		"shard 1": c.swaps[1],
+	} {
+		page := get(t, h, "/metrics").Body.String()
+		for _, want := range []string{
+			"search_rows_scanned_total",
+			`search_candidate_pairs_total{outcome="matched"}`,
+			`search_stage_duration_seconds_count{stage="scan"}`,
+		} {
+			if !strings.Contains(page, want) {
+				t.Fatalf("%s scrape missing %q:\n%s", name, want, page)
+			}
+		}
+		// A shard whose slice held no candidates can legitimately report
+		// zero rows; the router's merged total cannot.
+		if name == "router" && strings.Contains(page, "search_rows_scanned_total 0\n") {
+			t.Fatalf("%s search_rows_scanned_total stayed at zero", name)
+		}
+	}
+}
+
+// TestTraceLookupEndpoint covers GET /v1/traces/{id}: a routed query's
+// trace is retrievable by request ID from the router and from each
+// shard it touched, and an ID the ring does not hold (never recorded,
+// or evicted — the same miss) is the standard 404 error body.
+func TestTraceLookupEndpoint(t *testing.T) {
+	snap, w := buildSnapshot(t)
+	c := startCluster(t, snap, 2)
+	workload := w.SearchWorkload([]string{"directed"}, 1, 7)
+	if len(workload) == 0 {
+		t.Fatal("empty workload")
+	}
+	body := wireBody(t, w, workload[0], nil)
+
+	req := httptest.NewRequest(http.MethodPost, "/v1/search", bytes.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Request-ID", "lookup-1")
+	rec := httptest.NewRecorder()
+	c.router.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("routed search = %d: %s", rec.Code, rec.Body.String())
+	}
+
+	if wt := lookupTrace(t, c.router.Handler(), "lookup-1"); len(wt.Root.Children) == 0 {
+		t.Fatalf("router trace has no child spans: %+v", wt.Root)
+	}
+	for i, sw := range c.swaps {
+		if wt := lookupTrace(t, sw, "lookup-1"); wt.ID != "lookup-1" {
+			t.Fatalf("shard %d trace = %+v", i, wt)
+		}
+	}
+
+	for name, h := range map[string]http.Handler{
+		"router": c.router.Handler(),
+		"shard":  c.swaps[0],
+	} {
+		miss := get(t, h, "/v1/traces/never-recorded")
+		if miss.Code != http.StatusNotFound {
+			t.Fatalf("%s: unknown trace = %d, want 404: %s", name, miss.Code, miss.Body.String())
+		}
+		var er server.ErrorResponse
+		if err := json.Unmarshal(miss.Body.Bytes(), &er); err != nil {
+			t.Fatalf("%s: 404 body is not the standard error shape: %v: %s", name, err, miss.Body.String())
+		}
+		if er.Error.Code != "trace_not_found" {
+			t.Fatalf("%s: error code = %q, want trace_not_found", name, er.Error.Code)
+		}
+	}
+}
+
+// TestSpanContextHeaderHardening sends malformed, truncated and
+// oversized X-Span-Context headers to the router and straight to a
+// shard: every request must succeed, with the garbage degraded to a
+// fresh root span carrying no parent attribute. A well-formed header
+// must still thread through as the parent.
+func TestSpanContextHeaderHardening(t *testing.T) {
+	snap, w := buildSnapshot(t)
+	c := startCluster(t, snap, 1)
+	workload := w.SearchWorkload([]string{"directed"}, 1, 7)
+	if len(workload) == 0 {
+		t.Fatal("empty workload")
+	}
+	body := wireBody(t, w, workload[0], nil)
+
+	targets := []struct {
+		name string
+		h    http.Handler
+		path string
+	}{
+		{"router", c.router.Handler(), "/v1/search"},
+		{"shard", c.swaps[0], "/v1/partial"},
+	}
+	send := func(t *testing.T, tg struct {
+		name string
+		h    http.Handler
+		path string
+	}, id, header string) *httptest.ResponseRecorder {
+		t.Helper()
+		req := httptest.NewRequest(http.MethodPost, tg.path, bytes.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("X-Request-ID", id)
+		req.Header.Set("X-Span-Context", header)
+		rec := httptest.NewRecorder()
+		tg.h.ServeHTTP(rec, req)
+		return rec
+	}
+
+	cases := []struct{ name, header string }{
+		{"no separator", "justatraceid"},
+		{"truncated spanID", "trace/"},
+		{"truncated traceID", "/span"},
+		{"only separator", "/"},
+		{"extra separators", "a/b/c/d"},
+		{"oversized", strings.Repeat("x", 4096) + "/1"},
+		{"embedded space", "tra ce/1"},
+		{"control byte", "tra\x01ce/1"},
+		{"non-ascii", "tracé/1"},
+		{"whitespace only", "   "},
+	}
+	n := 0
+	for _, tc := range cases {
+		for _, tg := range targets {
+			n++
+			id := fmt.Sprintf("hardening-%d", n)
+			rec := send(t, tg, id, tc.header)
+			if rec.Code != http.StatusOK {
+				t.Fatalf("%s %s: garbage header failed the request: %d: %s",
+					tg.name, tc.name, rec.Code, rec.Body.String())
+			}
+			wt := lookupTrace(t, tg.h, id)
+			for _, a := range wt.Root.Attrs {
+				if a.Key == "parent" {
+					t.Fatalf("%s %s: garbage header %q became parent attr %q",
+						tg.name, tc.name, tc.header, a.Value)
+				}
+			}
+		}
+	}
+
+	// Control: a valid header still records its parent.
+	for _, tg := range targets {
+		n++
+		id := fmt.Sprintf("hardening-%d", n)
+		if rec := send(t, tg, id, "upstream-7/3"); rec.Code != http.StatusOK {
+			t.Fatalf("%s: valid header failed: %d: %s", tg.name, rec.Code, rec.Body.String())
+		}
+		var parent string
+		for _, a := range lookupTrace(t, tg.h, id).Root.Attrs {
+			if a.Key == "parent" {
+				parent = a.Value
+			}
+		}
+		if parent != "upstream-7/3" {
+			t.Fatalf("%s: valid header parent = %q, want upstream-7/3", tg.name, parent)
+		}
+	}
+}

@@ -105,10 +105,11 @@ type RouterStatsResponse struct {
 // generation or cluster shape. The router never returns a silently
 // truncated ranking.
 type Router struct {
-	base    *server.HTTPBase
-	client  *Client
-	stats   []*shardStat
-	handler http.Handler
+	base      *server.HTTPBase
+	client    *Client
+	stats     []*shardStat
+	execStats *server.ExecStatsRecorder
+	handler   http.Handler
 }
 
 // NewRouter builds a router over a shard client (which fixes the shard
@@ -140,6 +141,7 @@ func NewRouter(client *Client, opts ...Option) *Router {
 			rtt:      rtt.With(label),
 		}
 	}
+	rt.execStats = server.NewExecStatsRecorder(rt.base.Reg)
 	rt.base.MapErr = routerMapError
 	for _, opt := range opts {
 		opt(rt.base)
@@ -150,6 +152,7 @@ func NewRouter(client *Client, opts ...Option) *Router {
 	mux.HandleFunc("GET /v1/stats", rt.handleStats)
 	mux.Handle("GET /metrics", rt.base.MetricsHandler())
 	mux.Handle("GET /v1/traces", rt.base.TracesHandler())
+	mux.Handle("GET /v1/traces/{id}", rt.base.TraceHandler())
 	rt.handler = rt.base.Middleware(mux)
 	return rt
 }
@@ -235,17 +238,31 @@ func (rt *Router) handleSearch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	groups := make([][]search.PartialGroup, len(partials))
+	shardStats := make([]search.ExecStats, len(partials))
 	for i, p := range partials {
 		groups[i] = p.Groups
+		shardStats[i] = p.Stats
 	}
 	msp := obs.Begin(ctx, "router.merge")
-	res, err := webtable.MergeSearchPartials(groups, wireReq.PageSize, wireReq.Cursor, wireReq.Explain)
+	res, err := webtable.MergeSearchPartials(groups, shardStats, wireReq.PageSize, wireReq.Cursor, wireReq.Explain)
 	msp.End()
 	if err != nil {
 		rt.base.WriteError(w, r, err)
 		return
 	}
-	rt.base.WriteJSON(w, http.StatusOK, toWireResult(res))
+	rt.execStats.Record(res.Stats)
+	out := toWireResult(res)
+	if wireReq.Debug {
+		dbg := &server.SearchDebug{
+			Stats:  server.ToExecStatsWire(res.Stats),
+			Shards: make([]server.ExecStatsWire, len(shardStats)),
+		}
+		for i := range shardStats {
+			dbg.Shards[i] = server.ToExecStatsWire(&shardStats[i])
+		}
+		out.Debug = dbg
+	}
+	rt.base.WriteJSON(w, http.StatusOK, out)
 }
 
 // scatter fans the request body out to every shard concurrently and

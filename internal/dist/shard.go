@@ -44,6 +44,7 @@ type ShardServer struct {
 	handler http.Handler
 
 	partialTotal *obs.CounterVec
+	execStats    *server.ExecStatsRecorder
 }
 
 // NewShardServer wraps a shard service produced by
@@ -72,6 +73,7 @@ func NewShardServer(svc *webtable.Service, asn webtable.ShardAssignment, shard, 
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.Handle("GET /metrics", s.base.MetricsHandler())
 	mux.Handle("GET /v1/traces", s.base.TracesHandler())
+	mux.Handle("GET /v1/traces/{id}", s.base.TraceHandler())
 	s.handler = s.base.Middleware(mux)
 	return s
 }
@@ -92,6 +94,7 @@ func (s *ShardServer) registerMetrics() {
 		func() float64 { return float64(s.gen) })
 	s.partialTotal = reg.Counter("shard_partial_requests_total",
 		"Partial-evidence requests executed, by query mode.", "mode")
+	s.execStats = server.NewExecStatsRecorder(reg)
 }
 
 // Handler exposes the shard's HTTP surface (tests mount it directly).
@@ -129,17 +132,22 @@ func (s *ShardServer) handlePartial(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer s.svc.Release()
-	groups, err := s.svc.SearchPartial(ctx, req, s.asn.TableOffset)
+	groups, stats, err := s.svc.SearchPartial(ctx, req, s.asn.TableOffset)
 	if err != nil {
 		s.base.WriteError(w, r, err)
 		return
 	}
-	payload := EncodePartial(&Partial{
+	p := &Partial{
 		Generation: s.gen,
 		Shard:      s.shard,
 		Shards:     s.shards,
 		Groups:     groups,
-	})
+	}
+	if stats != nil {
+		p.Stats = *stats
+		s.execStats.Record(stats)
+	}
+	payload := EncodePartial(p)
 	w.Header().Set("Content-Type", "application/x-webtable-partial")
 	w.Write(payload)
 }

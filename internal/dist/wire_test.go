@@ -4,6 +4,7 @@ import (
 	"errors"
 	"math"
 	"reflect"
+	"strings"
 	"testing"
 
 	"repro/internal/catalog"
@@ -18,6 +19,19 @@ func samplePartial() *Partial {
 		Generation: 42,
 		Shard:      1,
 		Shards:     3,
+		Stats: search.ExecStats{
+			CandidatePairs:    12,
+			PairsMatched:      5,
+			RowsScanned:       321,
+			SegmentsVisited:   2,
+			TombstonesSkipped: 1,
+			AnswersBeforeTopK: 9,
+			Parallelism:       3,
+			Stage: search.StageNanos{
+				Validate: 100, Plan: 200, Scan: 300000,
+				Aggregate: 0, Select: 0, Explain: 0,
+			},
+		},
 		Groups: []search.PartialGroup{
 			{Key: 0, Clusters: []search.ClusterPartial{
 				{
@@ -92,6 +106,54 @@ func TestDecodePartialTruncation(t *testing.T) {
 	}
 }
 
+// TestDecodePartialV1Compat pins backward compatibility: a version-1
+// payload (pre-stats) decodes successfully, every evidence field
+// intact, with zero-value Stats — exactly what a router merging output
+// from a not-yet-upgraded shard must see.
+func TestDecodePartialV1Compat(t *testing.T) {
+	p := samplePartial()
+	data := encodePartial(p, 1)
+	got, err := DecodePartial(data)
+	if err != nil {
+		t.Fatalf("v1 payload rejected: %v", err)
+	}
+	want := *p
+	want.Stats = search.ExecStats{}
+	if !reflect.DeepEqual(got, &want) {
+		t.Fatalf("v1 decode mismatch:\ngot  %+v\nwant %+v", got, &want)
+	}
+	// The v1 payload really is the old layout: exactly the stats block
+	// shorter than the v2 encoding of the same partial.
+	if len(EncodePartial(p))-len(data) != partialStatsLen {
+		t.Fatalf("v1 payload %d bytes, v2 %d bytes, want difference %d",
+			len(data), len(EncodePartial(p)), partialStatsLen)
+	}
+}
+
+// TestDecodePartialFutureVersion pins forward incompatibility: a
+// payload claiming a version above PartialVersion fails with
+// ErrBadPartial before any field decode — the version gate sits
+// directly after the magic, so even a payload truncated right after the
+// version byte reports the unsupported version, not truncation.
+func TestDecodePartialFutureVersion(t *testing.T) {
+	full := append([]byte(nil), EncodePartial(samplePartial())...)
+	full[6] = PartialVersion + 1
+	if _, err := DecodePartial(full); !errors.Is(err, ErrBadPartial) {
+		t.Fatalf("v%d payload: err = %v, want ErrBadPartial", PartialVersion+1, err)
+	}
+	// Magic + version byte only: nothing after the version exists to
+	// decode, so an error mentioning the version proves the gate fired
+	// before any field was read.
+	short := append(append([]byte(nil), partialMagic[:]...), PartialVersion+1)
+	_, err := DecodePartial(short)
+	if !errors.Is(err, ErrBadPartial) {
+		t.Fatalf("truncated v%d payload: err = %v, want ErrBadPartial", PartialVersion+1, err)
+	}
+	if !strings.Contains(err.Error(), "version") {
+		t.Fatalf("truncated future-version payload failed as %q, want a version error (gate must precede field decode)", err)
+	}
+}
+
 func TestDecodePartialRejects(t *testing.T) {
 	valid := EncodePartial(samplePartial())
 
@@ -103,10 +165,13 @@ func TestDecodePartialRejects(t *testing.T) {
 
 	trailing := append(append([]byte(nil), valid...), 0xFF)
 
-	// Corrupt the group count (bytes 23..26, after the 23-byte header)
-	// to something absurd: must fail bounds checking, not allocate.
+	// Corrupt the group count (the 4 bytes after the 23-byte header and
+	// the 88-byte v2 stats block) to something absurd: must fail bounds
+	// checking, not allocate.
+	const groupCountOff = 23 + partialStatsLen
 	hugeCount := append([]byte(nil), valid...)
-	hugeCount[23], hugeCount[24], hugeCount[25], hugeCount[26] = 0xFF, 0xFF, 0xFF, 0xFF
+	hugeCount[groupCountOff], hugeCount[groupCountOff+1] = 0xFF, 0xFF
+	hugeCount[groupCountOff+2], hugeCount[groupCountOff+3] = 0xFF, 0xFF
 
 	// Two groups with descending keys violate replay order.
 	descending := EncodePartial(&Partial{Groups: []search.PartialGroup{{Key: 5}, {Key: 3}}})

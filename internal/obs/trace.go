@@ -143,6 +143,40 @@ func SpanContext(ctx context.Context) (traceID, spanID string, ok bool) {
 	return sp.tr.id, sp.id, true
 }
 
+// MaxSpanContextLen bounds an acceptable X-Span-Context header value.
+// Real values are a request ID plus a small span sequence number;
+// anything longer is garbage (or an attack on the trace store).
+const MaxSpanContextLen = 128
+
+// ParseSpanContext validates and splits an X-Span-Context header value
+// ("traceID/spanID", as SpanContext emits). It never panics and rejects
+// rather than guesses: empty values, oversized values, missing or
+// duplicated separators, empty halves, and bytes outside printable
+// ASCII all return ok=false — ingestion then proceeds with a fresh root
+// span, because a degraded trace beats a failed request.
+func ParseSpanContext(s string) (traceID, spanID string, ok bool) {
+	if len(s) == 0 || len(s) > MaxSpanContextLen {
+		return "", "", false
+	}
+	sep := -1
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c <= ' ' || c > '~' {
+			return "", "", false
+		}
+		if c == '/' {
+			if sep >= 0 {
+				return "", "", false
+			}
+			sep = i
+		}
+	}
+	if sep <= 0 || sep == len(s)-1 {
+		return "", "", false
+	}
+	return s[:sep], s[sep+1:], true
+}
+
 // Child starts a new span under s, safe to call from concurrent
 // goroutines (the router's shard fan-out).
 func (s *Span) Child(name string) *Span {

@@ -7,6 +7,7 @@ import (
 	"log/slog"
 	"net/http/httptest"
 	"strconv"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -180,6 +181,48 @@ func TestTracesHandler(t *testing.T) {
 	if len(resp.Traces) != 1 || resp.Traces[0].ID != "h-1" {
 		t.Fatalf("resp = %+v", resp)
 	}
+}
+
+// TestParseSpanContext covers the ingestion side of X-Span-Context:
+// only well-formed "traceID/spanID" values parse; everything else —
+// truncated, oversized, mis-delimited, non-printable — is rejected so
+// the HTTP middleware falls back to a fresh root span.
+func TestParseSpanContext(t *testing.T) {
+	cases := []struct {
+		name, in        string
+		traceID, spanID string
+		ok              bool
+	}{
+		{"valid", "abc123-000042/7", "abc123-000042", "7", true},
+		{"valid max length", strings.Repeat("t", MaxSpanContextLen-2) + "/s", strings.Repeat("t", MaxSpanContextLen-2), "s", true},
+		{"empty", "", "", "", false},
+		{"no separator", "abc123", "", "", false},
+		{"separator first", "/span", "", "", false},
+		{"separator last", "trace/", "", "", false},
+		{"only separator", "/", "", "", false},
+		{"two separators", "a/b/c", "", "", false},
+		{"oversized", strings.Repeat("x", MaxSpanContextLen) + "/1", "", "", false},
+		{"embedded space", "tra ce/1", "", "", false},
+		{"control byte", "tra\x00ce/1", "", "", false},
+		{"newline", "trace/1\n", "", "", false},
+		{"non-ascii", "tracé/1", "", "", false},
+		{"high byte", "trace/\xff", "", "", false},
+	}
+	for _, tc := range cases {
+		traceID, spanID, ok := ParseSpanContext(tc.in)
+		if ok != tc.ok || traceID != tc.traceID || spanID != tc.spanID {
+			t.Errorf("%s: ParseSpanContext(%q) = %q/%q, %v; want %q/%q, %v",
+				tc.name, tc.in, traceID, spanID, ok, tc.traceID, tc.spanID, tc.ok)
+		}
+	}
+	// Round trip: what SpanContext emits must always parse.
+	tr := NewTracer(nil, 4)
+	ctx, root := tr.Start(context.Background(), "rt-1", "POST")
+	traceID, spanID, _ := SpanContext(ctx)
+	if _, _, ok := ParseSpanContext(traceID + "/" + spanID); !ok {
+		t.Fatalf("emitted span context %q/%q does not parse", traceID, spanID)
+	}
+	root.End()
 }
 
 func TestSpanContextPropagation(t *testing.T) {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"sort"
 	"strconv"
+	"time"
 
 	"repro/internal/catalog"
 	"repro/internal/obs"
@@ -214,11 +215,16 @@ func (m queryMatcher) match(cellNorm string, cellToks map[string]struct{}) float
 // context's trace, if it carries one; untraced executions pay one
 // context lookup per stage. Spans only time the stages — they never
 // reorder any work, so the byte-identical-results contract is
-// untouched.
+// untouched. The same holds for Result.Stats: counters and stage
+// timings ride alongside the page and never influence it.
 func (e *Engine) Execute(ctx context.Context, req Request) (*Result, error) {
+	st := &ExecStats{Parallelism: 1}
+	e.viewCounts(st)
+	t0 := time.Now()
 	vsp := obs.Begin(ctx, "search.validate")
 	err := req.Validate()
 	vsp.End()
+	st.Stage.Validate = int64(time.Since(t0))
 	if err != nil {
 		return nil, err
 	}
@@ -230,21 +236,28 @@ func (e *Engine) Execute(ctx context.Context, req Request) (*Result, error) {
 		}
 		after = &k
 	}
+	t0 = time.Now()
 	psp := obs.Begin(ctx, "search.plan")
 	p := e.plan(req)
 	cuts := e.cuts(&p)
 	psp.End()
-	clusters, err := e.collect(ctx, &p, cuts)
+	st.Stage.Plan = int64(time.Since(t0))
+	clusters, err := e.collect(ctx, &p, cuts, st)
 	if err != nil {
 		return nil, err
 	}
+	t0 = time.Now()
 	ssp := obs.Begin(ctx, "search.select")
-	res, keys := selectPage(clusters, req.PageSize, after)
+	res, keys, eligible := selectPage(clusters, req.PageSize, after)
 	ssp.End()
+	st.Stage.Select = int64(time.Since(t0))
+	st.AnswersBeforeTopK = eligible
 	if req.Explain && len(res.Answers) > 0 {
+		t0 = time.Now()
 		esp := obs.Begin(ctx, "search.explain")
 		expl, err := e.explain(ctx, &p, cuts, keys)
 		esp.End()
+		st.Stage.Explain = int64(time.Since(t0))
 		if err != nil {
 			return nil, err
 		}
@@ -252,6 +265,7 @@ func (e *Engine) Execute(ctx context.Context, req Request) (*Result, error) {
 			res.Answers[i].Explanation = expl[key]
 		}
 	}
+	res.Stats = st
 	return res, nil
 }
 
@@ -303,12 +317,14 @@ func (e *Engine) plan(req Request) scanPlan {
 	return p
 }
 
-// scanRange scans candidate pairs [lo, hi) of the plan into sink.
-func (e *Engine) scanRange(ctx context.Context, p *scanPlan, lo, hi int, sink evidenceSink) error {
+// scanRange scans candidate pairs [lo, hi) of the plan into sink,
+// accumulating pair/row counters into sc (per-worker instances; the
+// caller sums them afterwards).
+func (e *Engine) scanRange(ctx context.Context, p *scanPlan, lo, hi int, sink evidenceSink, sc *scanCounters) error {
 	if p.mode == Baseline {
-		return e.scanBaselineRange(ctx, p, lo, hi, sink)
+		return e.scanBaselineRange(ctx, p, lo, hi, sink, sc)
 	}
-	return e.scanAnnotatedRange(ctx, p, lo, hi, sink)
+	return e.scanAnnotatedRange(ctx, p, lo, hi, sink, sc)
 }
 
 // selectPage picks the PageSize best-ranked clusters strictly after the
@@ -318,7 +334,9 @@ func (e *Engine) scanRange(ctx context.Context, p *scanPlan, lo, hi int, sink ev
 // never shows in the page). With k > 0 it never sorts more than the k
 // retained entries. The second return value carries the cluster key of
 // each answer, for provenance attachment.
-func selectPage(parts []clusterSink, pageSize int, after *rankKey) (*Result, []string) {
+// The third return value is the eligible count itself, for
+// ExecStats.AnswersBeforeTopK.
+func selectPage(parts []clusterSink, pageSize int, after *rankKey) (*Result, []string, int) {
 	res := &Result{}
 	for _, clusters := range parts {
 		res.Total += len(clusters)
@@ -368,7 +386,7 @@ func selectPage(parts []clusterSink, pageSize int, after *rankKey) (*Result, []s
 	if eligible > len(page) && len(page) > 0 {
 		res.NextCursor = encodeCursor(page[len(page)-1].key)
 	}
-	return res, keys
+	return res, keys, eligible
 }
 
 // baselinePairs implements the candidate retrieval of Figure 3:
@@ -415,12 +433,13 @@ func (e *Engine) baselinePairs(q Query) []basePair {
 // scanBaselineRange runs the matching stage of Figure 3 over baseline
 // candidate pairs [lo, hi): look for E2 in the T2 column; report the
 // T1-column cells of qualifying rows keyed by normalized text.
-func (e *Engine) scanBaselineRange(ctx context.Context, pl *scanPlan, lo, hi int, sink evidenceSink) error {
+func (e *Engine) scanBaselineRange(ctx context.Context, pl *scanPlan, lo, hi int, sink evidenceSink, sc *scanCounters) error {
 	for _, p := range pl.base[lo:hi] {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
 		rows := e.c.Rows(p.c1.Table)
+		matched := false
 		for r := 0; r < rows; r++ {
 			if r&(rowCheckInterval-1) == rowCheckInterval-1 {
 				if err := ctx.Err(); err != nil {
@@ -432,8 +451,14 @@ func (e *Engine) scanBaselineRange(ctx context.Context, pl *scanPlan, lo, hi int
 			if sim <= 0 {
 				continue
 			}
+			matched = true
 			loc1 := searchidx.CellLoc{Table: p.c1.Table, Row: r, Col: p.c1.Col}
 			sink.add(hit{loc: loc1, entity: catalog.None, evidence: sim})
+		}
+		sc.pairs++
+		sc.rows += int64(rows)
+		if matched {
+			sc.pairsMatched++
 		}
 	}
 	return nil
@@ -474,13 +499,14 @@ func (e *Engine) annotatedPairs(q Query, requireRel bool) []searchidx.ColumnPair
 // candidate pairs [lo, hi): E2 is matched by entity annotation with text
 // fallback; evidence is keyed per entity (or per normalized text for
 // unannotated answer cells).
-func (e *Engine) scanAnnotatedRange(ctx context.Context, pl *scanPlan, lo, hi int, sink evidenceSink) error {
+func (e *Engine) scanAnnotatedRange(ctx context.Context, pl *scanPlan, lo, hi int, sink evidenceSink, sc *scanCounters) error {
 	q := pl.q
 	for _, p := range pl.ann[lo:hi] {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
 		rows := e.c.Rows(p.Table)
+		matched := false
 		for r := 0; r < rows; r++ {
 			if r&(rowCheckInterval-1) == rowCheckInterval-1 {
 				if err := ctx.Err(); err != nil {
@@ -501,8 +527,14 @@ func (e *Engine) scanAnnotatedRange(ctx context.Context, pl *scanPlan, lo, hi in
 			if evidence <= 0 {
 				continue
 			}
+			matched = true
 			loc1 := searchidx.CellLoc{Table: p.Table, Row: r, Col: p.SubjCol}
 			sink.add(hit{loc: loc1, entity: e.c.EntityAt(loc1), evidence: evidence})
+		}
+		sc.pairs++
+		sc.rows += int64(rows)
+		if matched {
+			sc.pairsMatched++
 		}
 	}
 	return nil

@@ -50,6 +50,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/catalog"
 	"repro/internal/obs"
@@ -167,9 +168,12 @@ func abs(x int) int {
 // scanShards scans each shard [cuts[i], cuts[i+1]) into sinks[i] on a
 // pool of at most e.par workers. Workers pull shard indices from a
 // shared counter; which worker scans which shard never matters because
-// sinks are per-shard and consumed in index order. The first scan error
-// (in practice: the context's) is returned after all workers stop.
-func (e *Engine) scanShards(ctx context.Context, p *scanPlan, cuts []int, sinks []evidenceSink) error {
+// sinks are per-shard and consumed in index order. scs is parallel to
+// sinks: each shard's counters accumulate contention-free and the
+// caller sums them (integer addition — the totals are independent of
+// shard layout). The first scan error (in practice: the context's) is
+// returned after all workers stop.
+func (e *Engine) scanShards(ctx context.Context, p *scanPlan, cuts []int, sinks []evidenceSink, scs []scanCounters) error {
 	nShards := len(cuts) - 1
 	workers := e.par
 	if workers > nShards {
@@ -190,7 +194,7 @@ func (e *Engine) scanShards(ctx context.Context, p *scanPlan, cuts []int, sinks 
 				if i >= nShards {
 					return
 				}
-				if err := e.scanRange(ctx, p, cuts[i], cuts[i+1], sinks[i]); err != nil {
+				if err := e.scanRange(ctx, p, cuts[i], cuts[i+1], sinks[i], &scs[i]); err != nil {
 					errOnce.Do(func() { scanErr = err })
 					return
 				}
@@ -206,15 +210,20 @@ func (e *Engine) scanShards(ctx context.Context, p *scanPlan, cuts []int, sinks 
 // comes from Engine.cuts, computed once per Execute and shared with the
 // explain pass. The result is a list of disjoint cluster maps (one per
 // partition; a single map on the serial path) whose union is the answer
-// set.
-func (e *Engine) collect(ctx context.Context, p *scanPlan, cuts []int) ([]clusterSink, error) {
+// set. Scan counters, stage times and the parallelism actually used
+// accumulate into st.
+func (e *Engine) collect(ctx context.Context, p *scanPlan, cuts []int, st *ExecStats) ([]clusterSink, error) {
 	if len(cuts) <= 2 {
 		// Serial path: scan and aggregation are one fused pass, so one
 		// span covers both stages.
+		t0 := time.Now()
 		sp := obs.Begin(ctx, "search.scan")
 		cc := clusterCollector{e: e, cs: clusterSink{}}
-		err := e.scanRange(ctx, p, 0, p.len(), &cc)
+		var sc scanCounters
+		err := e.scanRange(ctx, p, 0, p.len(), &cc, &sc)
 		sp.End()
+		st.Stage.Scan = int64(time.Since(t0))
+		st.add(&sc)
 		if err != nil {
 			return nil, err
 		}
@@ -227,12 +236,24 @@ func (e *Engine) collect(ctx context.Context, p *scanPlan, cuts []int) ([]cluste
 		logs[i] = &shardLog{e: e, parts: make([][]*hitChunk, nParts)}
 		sinks[i] = logs[i]
 	}
+	scs := make([]scanCounters, len(logs))
+	st.Parallelism = e.par
+	if st.Parallelism > len(logs) {
+		st.Parallelism = len(logs)
+	}
+	t0 := time.Now()
 	scanSp := obs.Begin(ctx, "search.scan")
-	err := e.scanShards(ctx, p, cuts, sinks)
+	err := e.scanShards(ctx, p, cuts, sinks, scs)
 	scanSp.End()
+	st.Stage.Scan = int64(time.Since(t0))
+	for i := range scs {
+		st.add(&scs[i])
+	}
 	if err != nil {
 		return nil, err
 	}
+	t0 = time.Now()
+	defer func() { st.Stage.Aggregate = int64(time.Since(t0)) }()
 	aggSp := obs.Begin(ctx, "search.aggregate")
 	defer aggSp.End()
 	// Phase 2: aggregate each partition's hits — shards in fixed order,
@@ -348,14 +369,18 @@ func (e *Engine) partitionOf(h hit, w int) int {
 
 // explain runs the winners-only provenance pass, serially or sharded
 // (over the same cuts the collect pass used); SourceRefs concatenate in
-// shard order, so provenance ordering matches the serial scan.
+// shard order, so provenance ordering matches the serial scan. The
+// re-scan's counters go to a scratch accumulator: ExecStats counts the
+// evidence scan once, so a merged result's totals stay exact sums of
+// the shards' (only the explain stage's duration is recorded, by the
+// caller).
 func (e *Engine) explain(ctx context.Context, p *scanPlan, cuts []int, keys []string) (map[string]*Explanation, error) {
 	if len(cuts) <= 2 {
 		es := explainSink{e: e, m: make(map[string]*Explanation, len(keys))}
 		for _, k := range keys {
 			es.m[k] = &Explanation{}
 		}
-		if err := e.scanRange(ctx, p, 0, p.len(), &es); err != nil {
+		if err := e.scanRange(ctx, p, 0, p.len(), &es, &scanCounters{}); err != nil {
 			return nil, err
 		}
 		return es.m, nil
@@ -375,7 +400,7 @@ func (e *Engine) explain(ctx context.Context, p *scanPlan, cuts []int, keys []st
 		shards[i] = s
 		sinks[i] = s
 	}
-	if err := e.scanShards(ctx, p, cuts, sinks); err != nil {
+	if err := e.scanShards(ctx, p, cuts, sinks, make([]scanCounters, len(shards))); err != nil {
 		return nil, err
 	}
 	return mergeExplainShards(keys, shards), nil

@@ -178,9 +178,22 @@ func TestParallelMatchesSerial(t *testing.T) {
 					if err != nil {
 						t.Fatal(err)
 					}
+					// Stats timings are wall clock; equivalence is asserted on the
+					// result with Stats stripped and on the deterministic counters.
+					gotStats, wantStats := got.Stats, want.Stats
+					got.Stats, want.Stats = nil, nil
 					if !reflect.DeepEqual(got, want) {
 						t.Fatalf("par=%d %v pageSize=%d page=%d:\n got  %+v\n want %+v",
 							par, mode, pageSize, page, got, want)
+					}
+					if gotStats.CandidatePairs != wantStats.CandidatePairs ||
+						gotStats.PairsMatched != wantStats.PairsMatched ||
+						gotStats.RowsScanned != wantStats.RowsScanned ||
+						gotStats.AnswersBeforeTopK != wantStats.AnswersBeforeTopK ||
+						gotStats.SegmentsVisited != wantStats.SegmentsVisited ||
+						gotStats.TombstonesSkipped != wantStats.TombstonesSkipped {
+						t.Fatalf("par=%d %v pageSize=%d page=%d: parallel counters diverge from serial:\n got  %+v\n want %+v",
+							par, mode, pageSize, page, *gotStats, *wantStats)
 					}
 					cursor = want.NextCursor
 					if cursor == "" {
@@ -236,6 +249,7 @@ func TestParallelExplainTruncation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	got.Stats, want.Stats = nil, nil
 	if !reflect.DeepEqual(got, want) {
 		t.Fatalf("truncated explanations diverge:\n got  %+v\n want %+v",
 			got.Answers[0].Explanation, want.Answers[0].Explanation)
@@ -458,7 +472,7 @@ func BenchmarkSelectPageDominantForm(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, _ := selectPage([]clusterSink{cs}, 10, nil)
+		res, _, _ := selectPage([]clusterSink{cs}, 10, nil)
 		if res.Total != clusters {
 			b.Fatal("bad total")
 		}

@@ -36,6 +36,7 @@ import (
 	"fmt"
 	"sort"
 	"strconv"
+	"time"
 
 	"repro/internal/catalog"
 	"repro/internal/obs"
@@ -117,12 +118,21 @@ func ValidateCursor(s string) error {
 // PageSize, Cursor and Explain are ignored (they are merge-time
 // concerns); the request is otherwise validated as Execute validates
 // it. Groups with no hits are omitted.
-func (e *Engine) ExecutePartial(ctx context.Context, req Request, tableOffset int) ([]PartialGroup, error) {
+//
+// The returned ExecStats carries the shard-local scan cost (pairs,
+// rows, segments, scan/plan/validate time); the merge-side stages
+// (aggregate, select, explain) happen in MergePartials, which sums the
+// shard stats and adds its own.
+func (e *Engine) ExecutePartial(ctx context.Context, req Request, tableOffset int) ([]PartialGroup, *ExecStats, error) {
+	st := &ExecStats{Parallelism: 1}
+	e.viewCounts(st)
+	t0 := time.Now()
 	vsp := obs.Begin(ctx, "search.validate")
 	err := req.Validate()
 	vsp.End()
+	st.Stage.Validate = int64(time.Since(t0))
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	// One scan span covers the whole partial-evidence pass (including
 	// the per-type loop in Type mode): the shard has no aggregate or
@@ -130,25 +140,29 @@ func (e *Engine) ExecutePartial(ctx context.Context, req Request, tableOffset in
 	sp := obs.Begin(ctx, "search.scan")
 	defer sp.End()
 	if req.Mode != Type {
+		t0 = time.Now()
 		p := e.plan(req)
-		clusters, err := e.collectPartial(ctx, &p, tableOffset)
+		st.Stage.Plan = int64(time.Since(t0))
+		clusters, err := e.collectPartial(ctx, &p, tableOffset, st)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if len(clusters) == 0 {
-			return nil, nil
+			return nil, st, nil
 		}
-		return []PartialGroup{{Key: 0, Clusters: clusters}}, nil
+		return []PartialGroup{{Key: 0, Clusters: clusters}}, st, nil
 	}
 	// Type mode: one group per matching subject type, types ascending —
 	// the serial scan's type-major pair order, reified so the merger can
-	// interleave shards within a type run instead of across runs.
+	// interleave shards within a type run instead of across runs. The
+	// per-type planning time folds into the scan stage, like the fused
+	// span above.
 	q := req.Query
 	m := newQueryMatcher(q.E2Text)
 	var groups []PartialGroup
 	for _, T := range e.c.SubjectTypes() {
 		if err := ctx.Err(); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if !e.cat.IsSubtype(T, q.T1) {
 			continue
@@ -163,15 +177,15 @@ func (e *Engine) ExecutePartial(ctx context.Context, req Request, tableOffset in
 			continue
 		}
 		p := scanPlan{mode: Type, q: q, m: m, ann: pairs}
-		clusters, err := e.collectPartial(ctx, &p, tableOffset)
+		clusters, err := e.collectPartial(ctx, &p, tableOffset, st)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if len(clusters) > 0 {
 			groups = append(groups, PartialGroup{Key: uint32(T), Clusters: clusters})
 		}
 	}
-	return groups, nil
+	return groups, st, nil
 }
 
 // partialAccum accumulates one cluster's partial evidence while a scan
@@ -223,12 +237,19 @@ func (pc *partialCollector) add(h hit) {
 // collectPartial scans one plan into ClusterPartials, serially or via
 // the same two-phase shard/replay machinery the in-process parallel
 // scan uses — each cluster's partition replays shards in order, so its
-// hit list comes out in serial scan order either way.
-func (e *Engine) collectPartial(ctx context.Context, p *scanPlan, tableOffset int) ([]ClusterPartial, error) {
+// hit list comes out in serial scan order either way. Counters, scan
+// time and parallelism accumulate into st (Type mode calls this once
+// per subject type, so everything adds rather than assigns).
+func (e *Engine) collectPartial(ctx context.Context, p *scanPlan, tableOffset int, st *ExecStats) ([]ClusterPartial, error) {
 	pc := &partialCollector{e: e, offset: int32(tableOffset), m: make(map[string]*partialAccum)}
 	cuts := e.cuts(p)
 	if len(cuts) <= 2 {
-		if err := e.scanRange(ctx, p, 0, p.len(), pc); err != nil {
+		var sc scanCounters
+		t0 := time.Now()
+		err := e.scanRange(ctx, p, 0, p.len(), pc, &sc)
+		st.Stage.Scan += int64(time.Since(t0))
+		st.add(&sc)
+		if err != nil {
 			return nil, err
 		}
 		return pc.finish(), nil
@@ -239,13 +260,24 @@ func (e *Engine) collectPartial(ctx context.Context, p *scanPlan, tableOffset in
 		logs[i] = &shardLog{e: e, parts: make([][]*hitChunk, e.par)}
 		sinks[i] = logs[i]
 	}
-	if err := e.scanShards(ctx, p, cuts, sinks); err != nil {
+	if used := min(e.par, len(logs)); used > st.Parallelism {
+		st.Parallelism = used
+	}
+	scs := make([]scanCounters, len(logs))
+	t0 := time.Now()
+	err := e.scanShards(ctx, p, cuts, sinks, scs)
+	st.Stage.Scan += int64(time.Since(t0))
+	for i := range scs {
+		st.add(&scs[i])
+	}
+	if err != nil {
 		return nil, err
 	}
 	// Replay partitions into one collector: every cluster lives in
 	// exactly one partition, and within it the chunks replay shards in
 	// order, entries in scan order — so each cluster's hit list is the
 	// serial order regardless of partition layout.
+	t0 = time.Now()
 	for w := 0; w < e.par; w++ {
 		for _, lg := range logs {
 			for _, ch := range lg.parts[w] {
@@ -258,6 +290,7 @@ func (e *Engine) collectPartial(ctx context.Context, p *scanPlan, tableOffset in
 			}
 		}
 	}
+	st.Stage.Aggregate += int64(time.Since(t0))
 	return pc.finish(), nil
 }
 
@@ -322,7 +355,11 @@ func (c *cluster) noteRawN(raw string, n int) {
 //
 // shards must be ordered by shard index (ascending table ranges); a
 // shard with no matching evidence contributes an empty group list.
-func MergePartials(shards [][]PartialGroup, pageSize int, cursor string, explain bool) (*Result, error) {
+// shardStats carries each shard's ExecStats in the same order (entries
+// may be zero-valued when a shard reported none, e.g. a WTPART v1
+// payload); the merged Result.Stats sums them and adds the merge's own
+// aggregate/select/explain time.
+func MergePartials(shards [][]PartialGroup, shardStats []ExecStats, pageSize int, cursor string, explain bool) (*Result, error) {
 	if pageSize < 0 {
 		return nil, fmt.Errorf("%w: %d", ErrInvalidPageSize, pageSize)
 	}
@@ -334,6 +371,8 @@ func MergePartials(shards [][]PartialGroup, pageSize int, cursor string, explain
 		}
 		after = &k
 	}
+	st := MergeExecStats(shardStats)
+	t0 := time.Now()
 	groupKeys := mergedGroupKeys(shards)
 	cs := clusterSink{}
 	replayPartials(shards, groupKeys, func(cp *ClusterPartial) {
@@ -354,7 +393,12 @@ func MergePartials(shards [][]PartialGroup, pageSize int, cursor string, explain
 			c.noteRawN(v.Raw, v.Count)
 		}
 	})
-	res, keys := selectPage([]clusterSink{cs}, pageSize, after)
+	st.Stage.Aggregate += int64(time.Since(t0))
+	t0 = time.Now()
+	res, keys, eligible := selectPage([]clusterSink{cs}, pageSize, after)
+	st.Stage.Select += int64(time.Since(t0))
+	st.AnswersBeforeTopK = eligible
+	t0 = time.Now()
 	if explain && len(res.Answers) > 0 {
 		expl := make(map[string]*Explanation, len(keys))
 		for _, k := range keys {
@@ -379,6 +423,8 @@ func MergePartials(shards [][]PartialGroup, pageSize int, cursor string, explain
 			res.Answers[i].Explanation = expl[key]
 		}
 	}
+	st.Stage.Explain += int64(time.Since(t0))
+	res.Stats = &st
 	return res, nil
 }
 

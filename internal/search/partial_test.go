@@ -120,18 +120,24 @@ func shardEngines(t testing.TB, c *catalog.Catalog, tables []*table.Table, anns 
 }
 
 // collectPartials runs ExecutePartial on every shard engine in shard
-// order — the scatter half of the distributed execution.
-func collectPartials(t testing.TB, engines []*Engine, offsets []int, req Request) [][]PartialGroup {
+// order — the scatter half of the distributed execution — returning
+// each shard's partial groups and execution stats.
+func collectPartials(t testing.TB, engines []*Engine, offsets []int, req Request) ([][]PartialGroup, []ExecStats) {
 	t.Helper()
 	out := make([][]PartialGroup, len(engines))
+	stats := make([]ExecStats, len(engines))
 	for i, eng := range engines {
-		groups, err := eng.ExecutePartial(context.Background(), req, offsets[i])
+		groups, st, err := eng.ExecutePartial(context.Background(), req, offsets[i])
 		if err != nil {
 			t.Fatalf("shard %d: %v", i, err)
 		}
+		if st == nil {
+			t.Fatalf("shard %d: nil stats", i)
+		}
 		out[i] = groups
+		stats[i] = *st
 	}
-	return out
+	return out, stats
 }
 
 // TestMergePartialsMatchesExecute is the subsystem's tentpole property
@@ -153,7 +159,7 @@ func TestMergePartialsMatchesExecute(t *testing.T) {
 		for _, cuts := range splits {
 			engines, offsets := shardEngines(t, c, tables, anns, cuts, par)
 			for _, mode := range []Mode{Baseline, Type, TypeRel} {
-				partials := collectPartials(t, engines, offsets, Request{Query: q, Mode: mode})
+				partials, shardStats := collectPartials(t, engines, offsets, Request{Query: q, Mode: mode})
 				for _, pageSize := range []int{0, 1, 4, 100} {
 					cursor := ""
 					for page := 0; page < 30; page++ {
@@ -162,13 +168,30 @@ func TestMergePartialsMatchesExecute(t *testing.T) {
 						if err != nil {
 							t.Fatal(err)
 						}
-						got, err := MergePartials(partials, pageSize, cursor, true)
+						got, err := MergePartials(partials, shardStats, pageSize, cursor, true)
 						if err != nil {
 							t.Fatal(err)
 						}
+						// Stats carry wall-clock timings (and shard-count-dependent
+						// segment totals), so the byte-identity contract is asserted
+						// with Stats stripped; the deterministic counters are compared
+						// separately below.
+						gotStats, wantStats := got.Stats, want.Stats
+						got.Stats, want.Stats = nil, nil
 						if !reflect.DeepEqual(got, want) {
 							t.Fatalf("par=%d cuts=%v %v pageSize=%d page=%d:\n got  %+v\n want %+v",
 								par, cuts, mode, pageSize, page, got, want)
+						}
+						if gotStats == nil || wantStats == nil {
+							t.Fatalf("par=%d cuts=%v %v: missing stats (merged %v, full %v)",
+								par, cuts, mode, gotStats, wantStats)
+						}
+						if gotStats.CandidatePairs != wantStats.CandidatePairs ||
+							gotStats.PairsMatched != wantStats.PairsMatched ||
+							gotStats.RowsScanned != wantStats.RowsScanned ||
+							gotStats.AnswersBeforeTopK != wantStats.AnswersBeforeTopK {
+							t.Fatalf("par=%d cuts=%v %v pageSize=%d page=%d: merged counters diverge from single-node:\n got  %+v\n want %+v",
+								par, cuts, mode, pageSize, page, *gotStats, *wantStats)
 						}
 						for _, a := range want.Answers {
 							if a.Explanation != nil && a.Explanation.Truncated > 0 {
@@ -198,7 +221,7 @@ func TestExecutePartialTypeGroups(t *testing.T) {
 	eng := NewEngineOver(searchidx.New(c, tables, anns))
 	ctx := context.Background()
 
-	groups, err := eng.ExecutePartial(ctx, Request{Query: q, Mode: Type}, 0)
+	groups, _, err := eng.ExecutePartial(ctx, Request{Query: q, Mode: Type}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -211,7 +234,7 @@ func TestExecutePartialTypeGroups(t *testing.T) {
 		}
 	}
 	for _, mode := range []Mode{Baseline, TypeRel} {
-		groups, err := eng.ExecutePartial(ctx, Request{Query: q, Mode: mode}, 0)
+		groups, _, err := eng.ExecutePartial(ctx, Request{Query: q, Mode: mode}, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -233,12 +256,12 @@ func TestExecutePartialDeterministic(t *testing.T) {
 	ctx := context.Background()
 	for _, mode := range []Mode{Baseline, Type, TypeRel} {
 		req := Request{Query: q, Mode: mode}
-		want, err := serial.ExecutePartial(ctx, req, 5)
+		want, _, err := serial.ExecutePartial(ctx, req, 5)
 		if err != nil {
 			t.Fatal(err)
 		}
 		for i := 0; i < 3; i++ {
-			got, err := parallel.ExecutePartial(ctx, req, 5)
+			got, _, err := parallel.ExecutePartial(ctx, req, 5)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -254,11 +277,11 @@ func TestExecutePartialDeterministic(t *testing.T) {
 func TestExecutePartialAppliesOffset(t *testing.T) {
 	c, tables, anns, q := partialFixture(t, 4, 3)
 	eng := NewEngineOver(searchidx.New(c, tables, anns))
-	base, err := eng.ExecutePartial(context.Background(), Request{Query: q, Mode: TypeRel}, 0)
+	base, _, err := eng.ExecutePartial(context.Background(), Request{Query: q, Mode: TypeRel}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	shifted, err := eng.ExecutePartial(context.Background(), Request{Query: q, Mode: TypeRel}, 100)
+	shifted, _, err := eng.ExecutePartial(context.Background(), Request{Query: q, Mode: TypeRel}, 100)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -279,7 +302,7 @@ func TestExecutePartialAppliesOffset(t *testing.T) {
 func TestExecutePartialValidates(t *testing.T) {
 	c, tables, anns, q := partialFixture(t, 2, 2)
 	eng := NewEngineOver(searchidx.New(c, tables, anns))
-	_, err := eng.ExecutePartial(context.Background(), Request{Query: q, Mode: Mode(99)}, 0)
+	_, _, err := eng.ExecutePartial(context.Background(), Request{Query: q, Mode: Mode(99)}, 0)
 	if !errors.Is(err, ErrInvalidMode) {
 		t.Fatalf("err = %v, want ErrInvalidMode", err)
 	}
@@ -312,17 +335,17 @@ func TestValidateCursor(t *testing.T) {
 // same sentinel errors Execute reports, so the router maps them to the
 // same HTTP statuses.
 func TestMergePartialsBadInput(t *testing.T) {
-	if _, err := MergePartials(nil, -1, "", false); !errors.Is(err, ErrInvalidPageSize) {
+	if _, err := MergePartials(nil, nil, -1, "", false); !errors.Is(err, ErrInvalidPageSize) {
 		t.Fatalf("negative page size: err = %v, want ErrInvalidPageSize", err)
 	}
-	if _, err := MergePartials(nil, 5, "garbage", false); !errors.Is(err, ErrInvalidCursor) {
+	if _, err := MergePartials(nil, nil, 5, "garbage", false); !errors.Is(err, ErrInvalidCursor) {
 		t.Fatalf("bad cursor: err = %v, want ErrInvalidCursor", err)
 	}
 }
 
 // TestMergePartialsEmpty checks the all-shards-empty degenerate case.
 func TestMergePartialsEmpty(t *testing.T) {
-	res, err := MergePartials([][]PartialGroup{nil, nil, nil}, 5, "", true)
+	res, err := MergePartials([][]PartialGroup{nil, nil, nil}, nil, 5, "", true)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -36,6 +36,12 @@ type Request struct {
 	// Explain attaches per-answer provenance (contributing table cells
 	// and their evidence scores) to each returned Answer.
 	Explain bool
+	// Debug asks the serving layer to include execution statistics in
+	// the wire response. The engine collects Result.Stats
+	// unconditionally (the counters are a handful of integer adds);
+	// Debug only controls whether they are exposed on the wire, so it
+	// can never change what the query computes.
+	Debug bool
 }
 
 // Result is the response to one Request.
@@ -48,6 +54,11 @@ type Result struct {
 	// NextCursor resumes the ranking after the last answer of this page;
 	// empty when the ranking is exhausted.
 	NextCursor string
+	// Stats describes what this execution cost. Always populated by
+	// Execute and MergePartials; never influences Answers, Total or
+	// NextCursor. The counters are deterministic, the stage timings are
+	// wall clock (see ExecStats).
+	Stats *ExecStats
 }
 
 // Validate checks the execution controls of the request (page size and

@@ -1,0 +1,57 @@
+package server
+
+import (
+	webtable "repro"
+	"repro/internal/obs"
+)
+
+// ExecStatsRecorder aggregates per-query execution stats into the
+// registry's fleet-level search_* families, so dashboards and the
+// per-query debug block report from the same source of truth. One
+// recorder per process (single node, shard or router); Record is
+// goroutine-safe because the underlying registry instruments are.
+type ExecStatsRecorder struct {
+	rows     *obs.Counter
+	pairs    *obs.CounterVec
+	stageDur *obs.HistogramVec
+}
+
+// NewExecStatsRecorder registers the search_* metric families on reg
+// and returns a recorder feeding them.
+func NewExecStatsRecorder(reg *obs.Registry) *ExecStatsRecorder {
+	return &ExecStatsRecorder{
+		rows: reg.Counter("search_rows_scanned_total",
+			"Rows walked by search candidate scans (per-pair work, not distinct rows).").With(),
+		pairs: reg.Counter("search_candidate_pairs_total",
+			"Candidate column pairs visited by search scans, by outcome (matched = contributed evidence).",
+			"outcome"),
+		stageDur: reg.Histogram("search_stage_duration_seconds",
+			"Wall-clock time spent per search pipeline stage.",
+			obs.LatencyBuckets, "stage"),
+	}
+}
+
+// Record folds one execution's stats into the fleet counters. Nil-safe
+// on both the recorder and the stats (a no-op either way).
+func (r *ExecStatsRecorder) Record(st *webtable.SearchExecStats) {
+	if r == nil || st == nil {
+		return
+	}
+	r.rows.Add(uint64(st.RowsScanned))
+	r.pairs.With("matched").Add(uint64(st.PairsMatched))
+	r.pairs.With("empty").Add(uint64(st.CandidatePairs - st.PairsMatched))
+	stages := []struct {
+		name string
+		ns   int64
+	}{
+		{"validate", st.Stage.Validate},
+		{"plan", st.Stage.Plan},
+		{"scan", st.Stage.Scan},
+		{"aggregate", st.Stage.Aggregate},
+		{"select", st.Stage.Select},
+		{"explain", st.Stage.Explain},
+	}
+	for _, s := range stages {
+		r.stageDur.With(s.name).Observe(float64(s.ns) / 1e9)
+	}
+}

@@ -161,8 +161,14 @@ func (b *HTTPBase) Middleware(next http.Handler) http.Handler {
 			// traces correlate across router and shards; the span is
 			// renamed to the matched route once the mux resolved it.
 			ctx, sp = b.Tracer.Start(ctx, id, r.Method)
-			if parent := r.Header.Get("X-Span-Context"); parent != "" {
-				sp.SetAttr("parent", parent)
+			// A parent span context is advisory: a malformed, truncated
+			// or oversized header degrades to a fresh root span (no
+			// parent attr), never an error — tracing must not be able to
+			// fail a request.
+			if raw := r.Header.Get("X-Span-Context"); raw != "" {
+				if traceID, spanID, ok := obs.ParseSpanContext(raw); ok {
+					sp.SetAttr("parent", traceID+"/"+spanID)
+				}
 			}
 		}
 		r = r.WithContext(ctx)
@@ -208,6 +214,25 @@ func (b *HTTPBase) MetricsHandler() http.Handler { return obs.Handler(b.Reg, obs
 
 // TracesHandler serves the tracer's completed-trace ring as JSON.
 func (b *HTTPBase) TracesHandler() http.Handler { return b.Tracer.Handler() }
+
+// errTraceNotFound reports a GET /v1/traces/{id} whose trace is not in
+// the ring — never recorded, or already evicted by newer traces.
+var errTraceNotFound = errors.New("server: trace not found (never recorded or evicted)")
+
+// TraceHandler serves GET /v1/traces/{id}: one completed trace by
+// request ID, or the standard 404 error body when the ring no longer
+// holds it.
+func (b *HTTPBase) TraceHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		wt, ok := b.Tracer.TraceByID(id)
+		if !ok {
+			b.WriteError(w, r, fmt.Errorf("%w: %q", errTraceNotFound, id))
+			return
+		}
+		b.WriteJSON(w, http.StatusOK, wt)
+	})
+}
 
 // Serve accepts connections on ln until ctx is canceled, then shuts
 // down gracefully: the listener closes, in-flight requests get up to
@@ -268,6 +293,8 @@ func MapError(err error) (status int, code, field string) {
 		return http.StatusConflict, "no_index", field
 	case errors.Is(err, webtable.ErrUnknownTable):
 		return http.StatusNotFound, "unknown_table", field
+	case errors.Is(err, errTraceNotFound):
+		return http.StatusNotFound, "trace_not_found", field
 	case errors.Is(err, webtable.ErrDuplicateTable):
 		return http.StatusConflict, "duplicate_table", field
 	case errors.Is(err, webtable.ErrMissingTableID):

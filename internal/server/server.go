@@ -62,6 +62,7 @@ type Server struct {
 	snapMu      chan struct{}
 	handler     http.Handler
 	searchTotal *obs.CounterVec
+	execStats   *ExecStatsRecorder
 }
 
 // Option configures a Server.
@@ -104,12 +105,14 @@ func New(svc *webtable.Service, opts ...Option) *Server {
 	}
 	s.searchTotal = s.base.Reg.Counter("search_requests_total",
 		"Search requests executed, by query mode.", "mode")
+	s.execStats = NewExecStatsRecorder(s.base.Reg)
 	registerServiceMetrics(s.base.Reg, svc)
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.Handle("GET /metrics", s.base.MetricsHandler())
 	mux.Handle("GET /v1/traces", s.base.TracesHandler())
+	mux.Handle("GET /v1/traces/{id}", s.base.TraceHandler())
 	mux.HandleFunc("POST /v1/search", s.handleSearch)
 	mux.HandleFunc("POST /v1/search:batch", s.handleSearchBatch)
 	mux.HandleFunc("POST /v1/annotate", s.handleAnnotate)
@@ -218,7 +221,12 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		s.base.WriteError(w, r, err)
 		return
 	}
-	s.base.WriteJSON(w, http.StatusOK, ToSearchResponse(s.svc.Catalog(), res))
+	s.execStats.Record(res.Stats)
+	out := ToSearchResponse(s.svc.Catalog(), res)
+	if req.Debug {
+		out.Debug = &SearchDebug{Stats: ToExecStatsWire(res.Stats)}
+	}
+	s.base.WriteJSON(w, http.StatusOK, out)
 }
 
 // handleSearchBatch is POST /v1/search:batch. The fan-out runs on the
@@ -264,7 +272,11 @@ func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
 	cat := s.svc.Catalog()
 	for i, res := range results {
 		if res != nil {
+			s.execStats.Record(res.Stats)
 			wr := ToSearchResponse(cat, res)
+			if reqs[i].Debug {
+				wr.Debug = &SearchDebug{Stats: ToExecStatsWire(res.Stats)}
+			}
 			resp.Results[origIndex[i]] = &wr
 		}
 	}

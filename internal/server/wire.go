@@ -29,6 +29,11 @@ type SearchRequest struct {
 	PageSize int    `json:"page_size,omitempty"`
 	Cursor   string `json:"cursor,omitempty"`
 	Explain  bool   `json:"explain,omitempty"`
+	// Debug attaches an execution-statistics "debug" block to the
+	// response (EXPLAIN ANALYZE). Off by default; stats are collected
+	// either way, so the flag never changes answers, totals or cursors —
+	// only whether the block is serialized.
+	Debug bool `json:"debug,omitempty"`
 }
 
 // ParseMode resolves a wire mode name. Empty selects TypeRel.
@@ -102,14 +107,72 @@ func (wr *SearchRequest) Resolve(svc *webtable.Service) (webtable.SearchRequest,
 		PageSize: wr.PageSize,
 		Cursor:   wr.Cursor,
 		Explain:  wr.Explain,
+		Debug:    wr.Debug,
 	}, nil
 }
 
-// SearchResponse is the wire form of a search result page.
+// SearchResponse is the wire form of a search result page. Debug is
+// present only when the request asked for it; with it omitted the
+// response bytes are identical to a debug-less build.
 type SearchResponse struct {
-	Answers    []Answer `json:"answers"`
-	Total      int      `json:"total"`
-	NextCursor string   `json:"next_cursor,omitempty"`
+	Answers    []Answer     `json:"answers"`
+	Total      int          `json:"total"`
+	NextCursor string       `json:"next_cursor,omitempty"`
+	Debug      *SearchDebug `json:"debug,omitempty"`
+}
+
+// SearchDebug is the response's EXPLAIN ANALYZE block: the execution
+// stats of this query, plus — on a routed query — each shard's own
+// stats in shard order (the merged counters are exactly their sums).
+type SearchDebug struct {
+	Stats  ExecStatsWire   `json:"stats"`
+	Shards []ExecStatsWire `json:"shards,omitempty"`
+}
+
+// ExecStatsWire is the wire form of webtable.SearchExecStats.
+type ExecStatsWire struct {
+	CandidatePairs    int64          `json:"candidate_pairs"`
+	PairsMatched      int64          `json:"pairs_matched"`
+	RowsScanned       int64          `json:"rows_scanned"`
+	SegmentsVisited   int            `json:"segments_visited"`
+	TombstonesSkipped int            `json:"tombstones_skipped"`
+	AnswersBeforeTopK int            `json:"answers_before_topk"`
+	Parallelism       int            `json:"parallelism"`
+	StageNanos        StageNanosWire `json:"stage_nanos"`
+}
+
+// StageNanosWire is the per-stage wall-clock breakdown on the wire.
+type StageNanosWire struct {
+	Validate  int64 `json:"validate"`
+	Plan      int64 `json:"plan"`
+	Scan      int64 `json:"scan"`
+	Aggregate int64 `json:"aggregate"`
+	Select    int64 `json:"select"`
+	Explain   int64 `json:"explain"`
+}
+
+// ToExecStatsWire converts engine execution stats to the wire shape.
+func ToExecStatsWire(st *webtable.SearchExecStats) ExecStatsWire {
+	if st == nil {
+		return ExecStatsWire{}
+	}
+	return ExecStatsWire{
+		CandidatePairs:    st.CandidatePairs,
+		PairsMatched:      st.PairsMatched,
+		RowsScanned:       st.RowsScanned,
+		SegmentsVisited:   st.SegmentsVisited,
+		TombstonesSkipped: st.TombstonesSkipped,
+		AnswersBeforeTopK: st.AnswersBeforeTopK,
+		Parallelism:       st.Parallelism,
+		StageNanos: StageNanosWire{
+			Validate:  st.Stage.Validate,
+			Plan:      st.Stage.Plan,
+			Scan:      st.Stage.Scan,
+			Aggregate: st.Stage.Aggregate,
+			Select:    st.Stage.Select,
+			Explain:   st.Stage.Explain,
+		},
+	}
 }
 
 // Answer is one ranked answer on the wire. Entity carries the canonical

@@ -46,6 +46,17 @@ func checkSearchIdentical(t *testing.T, w *worldgen.World, got, want *webtable.S
 			if err1 != nil || err2 != nil {
 				t.Fatalf("%s: req %d page %d: errs %v / %v", label, ri, page, err1, err2)
 			}
+			// Stats carry wall-clock timings (and corpus-shape counters
+			// that legitimately differ between a rebuilt reference and a
+			// mutated corpus); byte-identity covers the result page, and
+			// the scan counters are compared on their own.
+			if gotRes.Stats.RowsScanned != wantRes.Stats.RowsScanned ||
+				gotRes.Stats.CandidatePairs != wantRes.Stats.CandidatePairs ||
+				gotRes.Stats.PairsMatched != wantRes.Stats.PairsMatched {
+				t.Fatalf("%s: req %d page %d: scan counters diverge: %+v vs %+v",
+					label, ri, page, *gotRes.Stats, *wantRes.Stats)
+			}
+			gotRes.Stats, wantRes.Stats = nil, nil
 			wantJSON, _ := json.Marshal(wantRes)
 			gotJSON, _ := json.Marshal(gotRes)
 			if !bytes.Equal(wantJSON, gotJSON) {

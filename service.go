@@ -551,13 +551,17 @@ func (s *Service) Search(ctx context.Context, req SearchRequest) (*SearchResult,
 // MergeSearchPartials into pages byte-identical to a single-node
 // Search. The request is validated exactly as Search validates it;
 // PageSize, Cursor and Explain are ignored (merge-time concerns).
-func (s *Service) SearchPartial(ctx context.Context, req SearchRequest, tableOffset int) ([]PartialGroup, error) {
+//
+// The returned SearchExecStats carries the shard-local execution cost
+// (candidate pairs, rows scanned, stage timings); MergeSearchPartials
+// sums the per-shard stats into the merged result's Stats.
+func (s *Service) SearchPartial(ctx context.Context, req SearchRequest, tableOffset int) ([]PartialGroup, *SearchExecStats, error) {
 	eng, err := s.engine()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if err := validateRequest(req); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	return eng.ExecutePartial(ctx, req, tableOffset)
 }

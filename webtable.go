@@ -200,6 +200,13 @@ type (
 	SearchSource = search.SourceRef
 	// SearchMode selects Baseline / Type / TypeRel processing.
 	SearchMode = search.Mode
+	// SearchExecStats describes what one query execution cost (candidate
+	// pairs, rows scanned, per-stage timings); rides on
+	// SearchResult.Stats and never influences results.
+	SearchExecStats = search.ExecStats
+	// SearchStageNanos is the per-stage wall-clock breakdown inside
+	// SearchExecStats.
+	SearchStageNanos = search.StageNanos
 )
 
 // Distributed serving (shard servers + scatter-gather router).
@@ -223,8 +230,12 @@ type (
 var (
 	// MergeSearchPartials merges per-shard partial evidence into one
 	// result page, byte-identical to a single-node Search over the
-	// concatenated corpus.
+	// concatenated corpus; per-shard stats sum into the merged
+	// Result.Stats.
 	MergeSearchPartials = search.MergePartials
+	// MergeSearchExecStats folds per-shard execution stats into the
+	// cluster-wide view (counters sum; parallelism is the max).
+	MergeSearchExecStats = search.MergeExecStats
 	// ValidateSearchCursor checks a pagination cursor's well-formedness
 	// without executing anything (routers reject bad cursors before
 	// fanning out).
