@@ -19,6 +19,16 @@
 //
 // Both modes honor //lint:allow suppression (see internal/lint) and
 // print diagnostics as file:line:col: message [analyzer].
+//
+// A third mode audits the suppressions themselves:
+//
+//	tablint -allows ./...
+//
+// lists every //lint:allow directive with its location and
+// justification, and exits non-zero for directives that have rotted:
+// stale allows (the named analyzer no longer fires on the covered
+// lines), allows naming unknown analyzers, and allows with no written
+// justification. Suppressions are debt; this keeps the ledger honest.
 package main
 
 import (
@@ -51,11 +61,95 @@ func run(args []string) int {
 			return runVetCfg(args[0])
 		}
 	}
+	if len(args) > 0 && (args[0] == "-allows" || args[0] == "--allows") {
+		return runAllows(args[1:])
+	}
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: tablint <packages>   (or via go vet -vettool)")
+		fmt.Fprintln(os.Stderr, "usage: tablint <packages>   (or: tablint -allows <packages>, or via go vet -vettool)")
 		return 1
 	}
 	return runStandalone(args)
+}
+
+// runAllows audits every //lint:allow directive in the matched
+// packages. Exit 0 means every allow is live, known, and justified;
+// exit 2 reports the rot.
+func runAllows(patterns []string) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cfgs, err := load.Patterns(".", patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tablint:", err)
+		return 1
+	}
+	known := lint.AnalyzerNames()
+	total, bad := 0, 0
+	for _, cfg := range cfgs {
+		pkg, err := cfg.Load()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tablint:", err)
+			return 1
+		}
+		if len(pkg.TypeErrors) > 0 {
+			for _, e := range pkg.TypeErrors {
+				fmt.Fprintln(os.Stderr, e)
+			}
+			return 1
+		}
+		allows := lint.CollectAllows(pkg.Fset, pkg.Files)
+		if len(allows) == 0 {
+			continue
+		}
+		// The raw findings, before suppression: an allow is live only
+		// if the analyzer it names still fires on a line it covers.
+		diags, err := lint.RunUnsuppressed(pkg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tablint:", err)
+			return 1
+		}
+		for _, a := range allows {
+			total++
+			var problems []string
+			for _, name := range a.Analyzers {
+				if !known[name] {
+					problems = append(problems, fmt.Sprintf("unknown analyzer %q", name))
+					continue
+				}
+				one := a
+				one.Analyzers = []string{name}
+				live := false
+				for _, d := range diags {
+					if lint.Covers(pkg.Fset, one, d) {
+						live = true
+						break
+					}
+				}
+				if !live {
+					problems = append(problems, fmt.Sprintf("stale: %s no longer fires here — delete the directive", name))
+				}
+			}
+			if a.Justification == "" {
+				problems = append(problems, "missing justification (append ` -- why`)")
+			}
+			just := a.Justification
+			if just == "" {
+				just = "(none)"
+			}
+			fmt.Printf("%s:%d: allow %s -- %s\n", a.File, a.Line, strings.Join(a.Analyzers, ", "), just)
+			if len(problems) > 0 {
+				bad++
+				for _, p := range problems {
+					fmt.Printf("    PROBLEM: %s\n", p)
+				}
+			}
+		}
+	}
+	fmt.Printf("%d allow directive(s), %d with problems\n", total, bad)
+	if bad > 0 {
+		return 2
+	}
+	return 0
 }
 
 // runVetCfg analyzes the single package described by a vet config file

@@ -33,7 +33,7 @@ func TestFlagsHandshake(t *testing.T) {
 
 func TestStandaloneFindsFixtureViolations(t *testing.T) {
 	bin := buildTablint(t)
-	cmd := exec.Command(bin, ".")
+	cmd := exec.Command(bin, "./...")
 	cmd.Dir = "testdata/flagged"
 	out, err := cmd.CombinedOutput()
 	ee, ok := err.(*exec.ExitError)
@@ -41,13 +41,81 @@ func TestStandaloneFindsFixtureViolations(t *testing.T) {
 		t.Fatalf("tablint on fixture: err=%v, want exit 2\n%s", err, out)
 	}
 	text := string(out)
-	for _, want := range []string{"[maporder]", "[errcmp]", "[floatfold]", "[atomicwrite]"} {
+	// One deliberate violation per analyzer in the suite: the fixture is
+	// the self-test that every registered analyzer actually fires.
+	for _, want := range []string{
+		"[maporder]", "[errcmp]", "[floatfold]", "[atomicwrite]", "[ctxpoll]",
+		"[lockcheck]", "[goroleak]", "[wirebounds]", "[metriclabel]",
+	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("output missing a %s finding:\n%s", want, text)
 		}
 	}
 	if n := strings.Count(text, "[maporder]"); n != 1 {
 		t.Errorf("got %d maporder findings, want 1 (the suppressed one must not report):\n%s", n, text)
+	}
+}
+
+// TestAllowsAuditAcceptsHealthy: the flagged fixture's one directive is
+// live, known, and justified, so the audit exits zero and lists it.
+func TestAllowsAuditAcceptsHealthy(t *testing.T) {
+	bin := buildTablint(t)
+	cmd := exec.Command(bin, "-allows", "./...")
+	cmd.Dir = "testdata/flagged"
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("tablint -allows on healthy fixture: %v\n%s", err, out)
+	}
+	text := string(out)
+	if !strings.Contains(text, "e2e fixture for the suppression path") {
+		t.Errorf("audit should list the directive with its justification:\n%s", text)
+	}
+	if strings.Contains(text, "PROBLEM") {
+		t.Errorf("healthy fixture must have no problems:\n%s", text)
+	}
+}
+
+// TestAllowsAuditFlagsRot: every way a directive can rot — stale,
+// unknown analyzer, missing justification — exits non-zero and is
+// named in the output.
+func TestAllowsAuditFlagsRot(t *testing.T) {
+	bin := buildTablint(t)
+	cmd := exec.Command(bin, "-allows", ".")
+	cmd.Dir = "testdata/allows"
+	out, err := cmd.CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 2 {
+		t.Fatalf("tablint -allows on rot fixture: err=%v, want exit 2\n%s", err, out)
+	}
+	text := string(out)
+	for _, want := range []string{
+		"stale: errcmp no longer fires here",
+		`unknown analyzer "mapoder"`,
+		"missing justification",
+		"3 with problems",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("audit output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestAllowsAuditWholeRepo: every production //lint:allow in this
+// module is live and justified — the ledger is clean.
+func TestAllowsAuditWholeRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the whole module")
+	}
+	bin := buildTablint(t)
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(bin, "-allows", "./...")
+	cmd.Dir = root
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("tablint -allows over the repo found rot: %v\n%s", err, out)
 	}
 }
 

@@ -1,0 +1,3 @@
+module allows
+
+go 1.24

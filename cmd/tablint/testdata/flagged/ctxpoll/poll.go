@@ -1,0 +1,17 @@
+// Package ctxpoll is the fixture for the ctxpoll analyzer: the package
+// path contains "ctxpoll", so it is in scope.
+package ctxpoll
+
+import "context"
+
+// Scan trips ctxpoll: a context-accepting function whose nested
+// row-scale loops never poll the context.
+func Scan(ctx context.Context, rows [][]int) int {
+	total := 0
+	for _, row := range rows {
+		for _, v := range row {
+			total += v
+		}
+	}
+	return total
+}

@@ -1,0 +1,11 @@
+// Goroleak fixture: unbounded spawn in a loop with no join.
+package flagged
+
+// GoroLeak trips goroleak: one goroutine per job, nothing waits.
+func GoroLeak(jobs []int) {
+	for _, j := range jobs {
+		go func(n int) {
+			_ = n * n
+		}(j)
+	}
+}

@@ -1,0 +1,13 @@
+// Lockcheck fixture: a lock that escapes on one return path.
+package flagged
+
+import "sync"
+
+// LockLeak trips lockcheck: the early return leaves mu held.
+func LockLeak(mu *sync.Mutex, cond bool) {
+	mu.Lock()
+	if cond {
+		return
+	}
+	mu.Unlock()
+}

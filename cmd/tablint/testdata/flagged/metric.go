@@ -1,0 +1,14 @@
+// Metriclabel fixture: a request-derived metric label.
+package flagged
+
+import (
+	"net/http"
+
+	"flagged/obs"
+)
+
+// Metric trips metriclabel: r.Method is request-derived, not a finite
+// set the registry can bound.
+func Metric(requests *obs.CounterVec, r *http.Request) {
+	requests.With(r.Method).Inc()
+}

@@ -1,0 +1,16 @@
+// Package obs models the repo's metrics registry just enough for the
+// metriclabel fixture: a *Vec type with a With method. The analyzer
+// recognizes the sink by the type name suffix and the package basename.
+package obs
+
+// CounterVec is a labeled counter family.
+type CounterVec struct{}
+
+// With resolves one child counter for the given label values.
+func (v *CounterVec) With(labels ...string) *Counter { return &Counter{} }
+
+// Counter is a single time series.
+type Counter struct{}
+
+// Inc increments the counter.
+func (c *Counter) Inc() {}

@@ -1,0 +1,12 @@
+// Wirebounds fixture: a wire-decoded count allocated without a check.
+package flagged
+
+import "encoding/binary"
+
+// DecodeUnchecked trips wirebounds: n comes off the wire and sizes an
+// allocation with no dominating bounds check.
+func DecodeUnchecked(b []byte) []byte {
+	n := binary.BigEndian.Uint32(b)
+	out := make([]byte, int(n))
+	return out
+}

@@ -60,6 +60,19 @@ func FuncBody(fn ast.Node) *ast.BlockStmt {
 	return nil
 }
 
+// InspectShallow walks node like ast.Inspect but does not descend into
+// function literals (other than node itself). The flow-sensitive
+// analyzers use it because their facts are per-function: a nested func
+// is a different function with its own control flow.
+func InspectShallow(node ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(node, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok && n != node {
+			return false
+		}
+		return fn(n)
+	})
+}
+
 // IsLoop reports whether n is a for or range statement.
 func IsLoop(n ast.Node) bool {
 	switch n.(type) {

@@ -1,0 +1,127 @@
+package cfg
+
+// Facts is a dataflow fact set. Keys are analyzer-defined (comparable)
+// fact values; presence means the fact holds.
+type Facts map[any]bool
+
+// Clone returns an independent copy of f.
+func (f Facts) Clone() Facts {
+	g := make(Facts, len(f))
+	for k := range f {
+		g[k] = true
+	}
+	return g
+}
+
+func (f Facts) equal(g Facts) bool {
+	if len(f) != len(g) {
+		return false
+	}
+	for k := range f {
+		if !g[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// JoinMode selects how facts merge where paths meet.
+type JoinMode int
+
+const (
+	// Union keeps a fact if it arrives on ANY incoming path — a "may"
+	// analysis (a lock may still be held here).
+	Union JoinMode = iota
+	// Intersect keeps a fact only if it arrives on EVERY incoming path —
+	// a "must" analysis (a lock is definitely held here). Intersect
+	// needs a universe: the Top value unvisited paths contribute.
+	Intersect
+)
+
+// Forward solves a forward dataflow problem to fixpoint and returns the
+// fact set entering each block.
+//
+// entry seeds the Entry block. universe is the full fact set and is
+// required for Intersect (it is Top, the neutral element of the meet);
+// Union ignores it. transfer maps a block's incoming facts to its
+// outgoing facts; it receives a private copy it may mutate and return.
+// transfer must be deterministic and depend only on (b, in) — it runs
+// repeatedly until the solution stabilizes.
+//
+// Blocks unreachable from Entry get Top for Intersect and the empty set
+// for Union: claims about them are vacuous.
+func (g *Graph) Forward(mode JoinMode, entry, universe Facts, transfer func(b *Block, in Facts) Facts) map[*Block]Facts {
+	n := len(g.Blocks)
+	top := func() Facts {
+		if mode == Intersect {
+			return universe.Clone()
+		}
+		return Facts{}
+	}
+	out := make([]Facts, n)
+	in := make([]Facts, n)
+	for i := range out {
+		out[i] = top()
+	}
+
+	queued := make([]bool, n)
+	var worklist []*Block
+	push := func(b *Block) {
+		if !queued[b.Index] {
+			queued[b.Index] = true
+			worklist = append(worklist, b)
+		}
+	}
+	for _, b := range g.Blocks {
+		push(b)
+	}
+
+	for len(worklist) > 0 {
+		b := worklist[0]
+		worklist = worklist[1:]
+		queued[b.Index] = false
+
+		var inb Facts
+		if b == g.Entry {
+			inb = entry.Clone()
+		} else if len(b.Preds) == 0 {
+			inb = top()
+		} else {
+			inb = out[b.Preds[0].Index].Clone()
+			for _, p := range b.Preds[1:] {
+				po := out[p.Index]
+				switch mode {
+				case Union:
+					for k := range po {
+						inb[k] = true
+					}
+				case Intersect:
+					for k := range inb {
+						if !po[k] {
+							delete(inb, k)
+						}
+					}
+				}
+			}
+		}
+		in[b.Index] = inb
+
+		newOut := transfer(b, inb.Clone())
+		if !newOut.equal(out[b.Index]) {
+			out[b.Index] = newOut
+			for _, s := range b.Succs {
+				push(s)
+			}
+		}
+	}
+
+	res := make(map[*Block]Facts, n)
+	for i, blk := range g.Blocks {
+		if in[i] == nil {
+			// Never visited: unreachable from Entry.
+			in[i] = top()
+		}
+		res[blk] = in[i]
+	}
+	return res
+}

@@ -1,0 +1,230 @@
+// Package goroleak flags unbounded goroutine spawns on the paths where
+// they multiply: inside loops and inside HTTP handlers.
+//
+// A `go` statement in straight-line setup code runs once; the same
+// statement in a per-shard loop or a request handler runs N times or
+// once per request, and if nothing joins or bounds those goroutines the
+// process accumulates them until it dies — the scatter-gather router
+// and the parallel candidate scanner are exactly where this failure
+// mode lives. The rule: a goroutine started in a loop or handler must
+// be visibly tied to one of
+//
+//   - a sync.WaitGroup the enclosing function Wait()s on,
+//   - a channel the enclosing function also uses (a drain/join/
+//     semaphore handle), or
+//   - a context.Context (a cancellation-aware exit path).
+//
+// The check is intra-procedural and deliberately generous: referencing
+// the join primitive is enough, because proving the protocol correct is
+// out of scope for a linter. When the join genuinely lives elsewhere,
+// annotate //lint:allow goroleak with the location.
+package goroleak
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/astutil"
+)
+
+// Analyzer flags loop/handler goroutines with no visible join.
+var Analyzer = &analysis.Analyzer{
+	Name: "goroleak",
+	Doc:  "flags goroutines started in loops or HTTP handlers with no bounded join or ctx-aware exit",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if body := astutil.FuncBody(n); body != nil {
+				checkFunc(pass, n, body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fn ast.Node, body *ast.BlockStmt) {
+	handler := isHandlerShaped(pass, fn)
+
+	// Loop body extents within this function (nested funcs excluded:
+	// a literal's loops belong to the literal's own checkFunc pass).
+	var loops []*ast.BlockStmt
+	var spawns []*ast.GoStmt
+	astutil.InspectShallow(body, func(n ast.Node) bool {
+		if lb := astutil.LoopBody(n); lb != nil {
+			loops = append(loops, lb)
+		}
+		if g, ok := n.(*ast.GoStmt); ok {
+			spawns = append(spawns, g)
+		}
+		return true
+	})
+
+	for _, g := range spawns {
+		inLoop := false
+		for _, lb := range loops {
+			if g.Pos() >= lb.Pos() && g.End() <= lb.End() {
+				inLoop = true
+				break
+			}
+		}
+		if !inLoop && !handler {
+			continue
+		}
+		if joined(pass, body, g) {
+			continue
+		}
+		where := "an HTTP handler"
+		if inLoop {
+			where = "a loop"
+		}
+		pass.Reportf(g.Pos(), "goroutine started in %s has no visible join or exit path: tie it to a sync.WaitGroup this function Wait()s on, a channel this function drains, or a context — or annotate //lint:allow goroleak with where the join lives", where)
+	}
+}
+
+// joined reports whether the spawned call references a join primitive
+// the enclosing function cooperates with.
+func joined(pass *analysis.Pass, body *ast.BlockStmt, g *ast.GoStmt) bool {
+	var wgs, chans []types.Object
+	ctxFound := false
+	ast.Inspect(g.Call, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.ObjectOf(id)
+		if obj == nil {
+			return true
+		}
+		switch {
+		case isContextType(obj.Type()):
+			ctxFound = true
+		case isWaitGroup(obj.Type()):
+			wgs = append(wgs, obj)
+		case isChan(obj.Type()):
+			chans = append(chans, obj)
+		}
+		return true
+	})
+	if ctxFound {
+		return true
+	}
+	if len(wgs) > 0 && hasWaitCall(pass, body) {
+		return true
+	}
+	for _, ch := range chans {
+		if usesOutside(pass, body, g, ch) {
+			return true
+		}
+	}
+	return false
+}
+
+// hasWaitCall reports whether the function body calls Wait() on a
+// WaitGroup (outside nested function literals).
+func hasWaitCall(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	found := false
+	astutil.InspectShallow(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if ok && sel.Sel.Name == "Wait" && isWaitGroup(pass.TypeOf(sel.X)) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// usesOutside reports whether the function references obj anywhere
+// outside the go statement — the retained handle that lets it drain,
+// close, or bound the goroutine.
+func usesOutside(pass *analysis.Pass, body *ast.BlockStmt, g *ast.GoStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if n == g {
+			return false // skip the spawn itself
+		}
+		if id, ok := n.(*ast.Ident); ok && pass.ObjectOf(id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isHandlerShaped reports whether fn's parameters mark it as an HTTP
+// handler: an http.ResponseWriter and a *http.Request.
+func isHandlerShaped(pass *analysis.Pass, fn ast.Node) bool {
+	var ft *ast.FuncType
+	switch fn := fn.(type) {
+	case *ast.FuncDecl:
+		ft = fn.Type
+	case *ast.FuncLit:
+		ft = fn.Type
+	}
+	if ft == nil || ft.Params == nil {
+		return false
+	}
+	var w, r bool
+	for _, field := range ft.Params.List {
+		t := pass.TypeOf(field.Type)
+		if isNetHTTP(t, "ResponseWriter") {
+			w = true
+		}
+		if p, ok := t.(*types.Pointer); ok && isNetHTTP(p.Elem(), "Request") {
+			r = true
+		}
+	}
+	return w && r
+}
+
+func isNetHTTP(t types.Type, name string) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == "net/http"
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+func isWaitGroup(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "WaitGroup" && obj.Pkg() != nil && obj.Pkg().Path() == "sync"
+}
+
+func isChan(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}

@@ -1,0 +1,12 @@
+package goroleak_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/goroleak"
+	"repro/internal/lint/linttest"
+)
+
+func TestGoroleak(t *testing.T) {
+	linttest.Run(t, goroleak.Analyzer, "testdata/src/goroleak")
+}

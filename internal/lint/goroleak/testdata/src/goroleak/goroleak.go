@@ -1,0 +1,124 @@
+// Testdata for the goroleak analyzer: goroutines in loops and HTTP
+// handlers must have a visible join or exit path.
+package goroleak
+
+import (
+	"context"
+	"net/http"
+	"sync"
+)
+
+func work(i int) {}
+
+// --- loops ----------------------------------------------------------
+
+func leakInLoop(n int) {
+	for i := 0; i < n; i++ {
+		go work(i) // want `goroutine started in a loop has no visible join`
+	}
+}
+
+func leakInRange(xs []int) {
+	for _, x := range xs {
+		go func() { // want `goroutine started in a loop has no visible join`
+			work(x)
+		}()
+	}
+}
+
+func joinedByWaitGroup(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			work(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+func joinedByChannel(xs []int) []int {
+	results := make(chan int, len(xs))
+	for _, x := range xs {
+		go func(x int) {
+			results <- x * 2
+		}(x)
+	}
+	out := make([]int, 0, len(xs))
+	for range xs {
+		out = append(out, <-results)
+	}
+	return out
+}
+
+func boundedBySemaphore(xs []int) {
+	sem := make(chan struct{}, 4)
+	for _, x := range xs {
+		sem <- struct{}{}
+		go func(x int) {
+			defer func() { <-sem }()
+			work(x)
+		}(x)
+	}
+	for i := 0; i < cap(sem); i++ {
+		sem <- struct{}{}
+	}
+}
+
+func ctxAware(ctx context.Context, n int) {
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			select {
+			case <-ctx.Done():
+			default:
+				work(i)
+			}
+		}(i)
+	}
+}
+
+func allowedSpawn(n int) {
+	for i := 0; i < n; i++ {
+		//lint:allow goroleak -- joined by the registry's Shutdown(), which closes over these workers
+		go work(i)
+	}
+}
+
+func onceIsFine() {
+	go work(0) // not in a loop or handler: runs once
+}
+
+// --- handlers -------------------------------------------------------
+
+func leakyHandler(w http.ResponseWriter, r *http.Request) {
+	go work(1) // want `goroutine started in an HTTP handler has no visible join`
+	w.WriteHeader(http.StatusOK)
+}
+
+func handlerWithCtx(w http.ResponseWriter, r *http.Request) {
+	ctx := r.Context()
+	go func() {
+		<-ctx.Done()
+	}()
+	w.WriteHeader(http.StatusOK)
+}
+
+func leakyHandlerLit() http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		go work(2) // want `goroutine started in an HTTP handler has no visible join`
+	}
+}
+
+func handlerJoined(w http.ResponseWriter, r *http.Request) {
+	done := make(chan struct{})
+	go func() {
+		work(3)
+		close(done)
+	}()
+	<-done
+}
+
+func notAHandler(w http.ResponseWriter) {
+	go work(4) // only one handler param: not handler-shaped, not in a loop
+}

@@ -8,6 +8,7 @@
 package lint
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"sort"
@@ -18,11 +19,17 @@ import (
 	"repro/internal/lint/ctxpoll"
 	"repro/internal/lint/errcmp"
 	"repro/internal/lint/floatfold"
+	"repro/internal/lint/goroleak"
 	"repro/internal/lint/load"
+	"repro/internal/lint/lockcheck"
 	"repro/internal/lint/maporder"
+	"repro/internal/lint/metriclabel"
+	"repro/internal/lint/wirebounds"
 )
 
-// Suite returns the full tablint analyzer suite, in reporting order.
+// Suite returns the full tablint analyzer suite, in reporting order:
+// the five intra-procedural analyzers from PR 6, then the four
+// flow-sensitive ones built on internal/lint/cfg.
 func Suite() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		maporder.Analyzer,
@@ -30,15 +37,44 @@ func Suite() []*analysis.Analyzer {
 		errcmp.Analyzer,
 		atomicwrite.Analyzer,
 		floatfold.Analyzer,
+		lockcheck.Analyzer,
+		goroleak.Analyzer,
+		wirebounds.Analyzer,
+		metriclabel.Analyzer,
 	}
 }
 
+// AnalyzerNames returns the set of registered analyzer names.
+func AnalyzerNames() map[string]bool {
+	names := make(map[string]bool)
+	for _, a := range Suite() {
+		names[a.Name] = true
+	}
+	return names
+}
+
 // Run executes every suite analyzer over one loaded package and returns
-// the findings that survive //lint:allow suppression, in file order.
+// the findings that survive //lint:allow suppression, in file order. An
+// allow directive naming an unknown analyzer is an error, not a silent
+// no-op: a typoed suppression must not look like a fixed finding.
 func Run(pkg *load.Package) ([]analysis.Diagnostic, error) {
 	if len(pkg.Files) == 0 {
 		return nil, nil
 	}
+	if err := ValidateAllows(CollectAllows(pkg.Fset, pkg.Files)); err != nil {
+		return nil, err
+	}
+	diags, err := RunUnsuppressed(pkg)
+	if err != nil {
+		return nil, err
+	}
+	return Suppress(pkg.Fset, pkg.Files, diags), nil
+}
+
+// RunUnsuppressed executes the suite without applying //lint:allow
+// directives — the raw findings the -allows audit cross-references
+// against the directive list.
+func RunUnsuppressed(pkg *load.Package) ([]analysis.Diagnostic, error) {
 	var diags []analysis.Diagnostic
 	for _, a := range Suite() {
 		pass := &analysis.Pass{
@@ -53,7 +89,7 @@ func Run(pkg *load.Package) ([]analysis.Diagnostic, error) {
 		}
 		diags = append(diags, pass.Diagnostics()...)
 	}
-	return Suppress(pkg.Fset, pkg.Files, diags), nil
+	return diags, nil
 }
 
 // allowDirective is the suppression marker: a comment of the form
@@ -66,10 +102,23 @@ func Run(pkg *load.Package) ([]analysis.Diagnostic, error) {
 // deletes the directive needs to know what it protected.
 const allowDirective = "lint:allow"
 
-// Suppress drops diagnostics covered by a //lint:allow directive.
-func Suppress(fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) []analysis.Diagnostic {
-	// allowed[file][line] lists the analyzer names allowed there.
-	allowed := make(map[string]map[int][]string)
+// Allow is one parsed //lint:allow directive.
+type Allow struct {
+	// File and Line locate the directive comment.
+	File string
+	Line int
+	// Pos is the comment's position in the fileset.
+	Pos token.Pos
+	// Analyzers lists the names the directive suppresses.
+	Analyzers []string
+	// Justification is the free text after " -- ", "" when omitted.
+	Justification string
+}
+
+// CollectAllows parses every //lint:allow directive in files, in
+// source order.
+func CollectAllows(fset *token.FileSet, files []*ast.File) []Allow {
+	var allows []Allow
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -79,22 +128,62 @@ func Suppress(fset *token.FileSet, files []*ast.File, diags []analysis.Diagnosti
 					continue
 				}
 				names := strings.TrimSpace(strings.TrimPrefix(text, allowDirective))
+				just := ""
 				if i := strings.Index(names, "--"); i >= 0 {
+					just = strings.TrimSpace(names[i+2:])
 					names = names[:i]
 				}
 				pos := fset.Position(c.Pos())
-				m := allowed[pos.Filename]
-				if m == nil {
-					m = make(map[int][]string)
-					allowed[pos.Filename] = m
-				}
+				a := Allow{File: pos.Filename, Line: pos.Line, Pos: c.Pos(), Justification: just}
 				for _, n := range strings.Split(names, ",") {
 					if n = strings.TrimSpace(n); n != "" {
-						m[pos.Line] = append(m[pos.Line], n)
+						a.Analyzers = append(a.Analyzers, n)
 					}
+				}
+				if len(a.Analyzers) > 0 {
+					allows = append(allows, a)
 				}
 			}
 		}
+	}
+	return allows
+}
+
+// ValidateAllows rejects directives naming analyzers the suite does not
+// register: a typo like //lint:allow mapoder would otherwise read as a
+// suppression while suppressing nothing.
+func ValidateAllows(allows []Allow) error {
+	known := AnalyzerNames()
+	for _, a := range allows {
+		for _, name := range a.Analyzers {
+			if !known[name] {
+				return fmt.Errorf("%s:%d: //lint:allow names unknown analyzer %q (known: %s)", a.File, a.Line, name, strings.Join(sortedNames(known), ", "))
+			}
+		}
+	}
+	return nil
+}
+
+func sortedNames(m map[string]bool) []string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Suppress drops diagnostics covered by a //lint:allow directive.
+func Suppress(fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) []analysis.Diagnostic {
+	// allowed[file][line] lists the analyzer names allowed there.
+	allowed := make(map[string]map[int][]string)
+	for _, a := range CollectAllows(fset, files) {
+		m := allowed[a.File]
+		if m == nil {
+			m = make(map[int][]string)
+			allowed[a.File] = m
+		}
+		m[a.Line] = append(m[a.Line], a.Analyzers...)
 	}
 	var kept []analysis.Diagnostic
 	for _, d := range diags {
@@ -105,6 +194,24 @@ func Suppress(fset *token.FileSet, files []*ast.File, diags []analysis.Diagnosti
 		kept = append(kept, d)
 	}
 	return kept
+}
+
+// Covers reports whether allow a covers diagnostic d: same file, and d
+// sits on the directive's line or the line directly below it.
+func Covers(fset *token.FileSet, a Allow, d analysis.Diagnostic) bool {
+	pos := fset.Position(d.Pos)
+	if pos.Filename != a.File {
+		return false
+	}
+	if pos.Line != a.Line && pos.Line != a.Line+1 {
+		return false
+	}
+	for _, n := range a.Analyzers {
+		if n == d.Analyzer {
+			return true
+		}
+	}
+	return false
 }
 
 // lineAllows reports whether a directive on the diagnostic's line or

@@ -4,6 +4,7 @@ import (
 	"go/ast"
 	"go/parser"
 	"go/token"
+	"strings"
 	"testing"
 
 	"repro/internal/lint"
@@ -26,10 +27,12 @@ func diagAt(fset *token.FileSet, files []*ast.File, line int, name string) analy
 	return analysis.Diagnostic{Pos: tf.LineStart(line), Analyzer: name, Message: "m"}
 }
 
-func TestSuiteHasFiveNamedAnalyzers(t *testing.T) {
+func TestSuiteHasNineNamedAnalyzers(t *testing.T) {
 	want := map[string]bool{
 		"maporder": true, "ctxpoll": true, "errcmp": true,
 		"atomicwrite": true, "floatfold": true,
+		"lockcheck": true, "goroleak": true, "wirebounds": true,
+		"metriclabel": true,
 	}
 	suite := lint.Suite()
 	if len(suite) != len(want) {
@@ -42,6 +45,99 @@ func TestSuiteHasFiveNamedAnalyzers(t *testing.T) {
 		if a.Doc == "" || a.Run == nil {
 			t.Errorf("analyzer %q missing Doc or Run", a.Name)
 		}
+	}
+	names := lint.AnalyzerNames()
+	for n := range want {
+		if !names[n] {
+			t.Errorf("AnalyzerNames missing %q", n)
+		}
+	}
+}
+
+func TestCollectAllows(t *testing.T) {
+	src := `package p
+
+func f() {
+	//lint:allow maporder -- keys sorted by the collector downstream
+	_ = 1
+	_ = 2 //lint:allow errcmp, floatfold -- two at once
+	//lint:allow ctxpoll
+	_ = 3
+}
+`
+	fset, files := parseSrc(t, src)
+	allows := lint.CollectAllows(fset, files)
+	if len(allows) != 3 {
+		t.Fatalf("collected %d allows, want 3: %+v", len(allows), allows)
+	}
+	if allows[0].Line != 4 || allows[0].Justification != "keys sorted by the collector downstream" {
+		t.Errorf("first allow wrong: %+v", allows[0])
+	}
+	if len(allows[1].Analyzers) != 2 || allows[1].Analyzers[0] != "errcmp" || allows[1].Analyzers[1] != "floatfold" {
+		t.Errorf("second allow analyzers wrong: %+v", allows[1])
+	}
+	if allows[2].Justification != "" {
+		t.Errorf("third allow should have empty justification: %+v", allows[2])
+	}
+}
+
+func TestValidateAllowsRejectsUnknownNames(t *testing.T) {
+	src := `package p
+
+func f() {
+	//lint:allow mapoder -- typo for maporder
+	_ = 1
+}
+`
+	fset, files := parseSrc(t, src)
+	err := lint.ValidateAllows(lint.CollectAllows(fset, files))
+	if err == nil {
+		t.Fatal("want error for unknown analyzer name, got nil")
+	}
+	if !strings.Contains(err.Error(), "mapoder") || !strings.Contains(err.Error(), "fixture.go:4") {
+		t.Errorf("error should name the bad analyzer and its location: %v", err)
+	}
+}
+
+func TestValidateAllowsAcceptsKnownNames(t *testing.T) {
+	src := `package p
+
+func f() {
+	//lint:allow lockcheck, metriclabel -- both real
+	_ = 1
+}
+`
+	fset, files := parseSrc(t, src)
+	if err := lint.ValidateAllows(lint.CollectAllows(fset, files)); err != nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestCovers(t *testing.T) {
+	src := `package p
+
+func f() {
+	//lint:allow maporder -- j
+	_ = 1
+}
+`
+	fset, files := parseSrc(t, src)
+	allows := lint.CollectAllows(fset, files)
+	if len(allows) != 1 {
+		t.Fatalf("collected %d allows, want 1", len(allows))
+	}
+	a := allows[0]
+	if !lint.Covers(fset, a, diagAt(fset, files, 4, "maporder")) {
+		t.Errorf("allow should cover its own line")
+	}
+	if !lint.Covers(fset, a, diagAt(fset, files, 5, "maporder")) {
+		t.Errorf("allow should cover the line below")
+	}
+	if lint.Covers(fset, a, diagAt(fset, files, 6, "maporder")) {
+		t.Errorf("allow must not cover two lines below")
+	}
+	if lint.Covers(fset, a, diagAt(fset, files, 4, "errcmp")) {
+		t.Errorf("allow must not cover other analyzers")
 	}
 }
 

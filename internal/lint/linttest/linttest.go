@@ -36,29 +36,57 @@ import (
 // relative to the test's working directory) with a and compares the
 // surviving diagnostics against want comments. The package is
 // type-checked for real: imports resolve to the standard library's
-// export data via `go list`.
+// export data via `go list`. A //lint:allow directive naming an
+// analyzer the suite does not register fails the test — in testdata as
+// in production, a typoed suppression must not pass silently.
 func Run(t *testing.T, a *analysis.Analyzer, dir string) {
 	t.Helper()
+	problems, err := check(a, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range problems {
+		t.Error(p)
+	}
+}
+
+// check is Run's testable core: fatal setup failures come back as err,
+// want-comment mismatches as problems.
+func check(a *analysis.Analyzer, dir string) (problems []string, err error) {
 	fset := token.NewFileSet()
 	files, imports, err := parseDir(fset, dir)
 	if err != nil {
-		t.Fatal(err)
+		return nil, err
 	}
 	if len(files) == 0 {
-		t.Fatalf("linttest: no Go files in %s", dir)
+		return nil, fmt.Errorf("linttest: no Go files in %s", dir)
+	}
+	// Allow directives must name analyzers that exist — with one
+	// extension: the analyzer under test may be a fixture that is not
+	// registered in the suite (linttest's own tests use one).
+	known := lint.AnalyzerNames()
+	if !known[a.Name] {
+		known[a.Name] = true
+	}
+	for _, al := range lint.CollectAllows(fset, files) {
+		for _, name := range al.Analyzers {
+			if !known[name] {
+				return nil, fmt.Errorf("linttest: %s:%d: //lint:allow names unknown analyzer %q", al.File, al.Line, name)
+			}
+		}
 	}
 	packageFile, err := load.ExportData(dir, imports)
 	if err != nil {
-		t.Fatal(err)
+		return nil, err
 	}
 	// The import path is the analyzer's name so path-scoped analyzers
 	// (ctxpoll) see their own testdata as in scope.
 	pkg, err := load.CheckFiles(a.Name, fset, files, packageFile)
 	if err != nil {
-		t.Fatal(err)
+		return nil, err
 	}
 	if len(pkg.TypeErrors) > 0 {
-		t.Fatalf("linttest: testdata does not type-check: %v", pkg.TypeErrors)
+		return nil, fmt.Errorf("linttest: testdata does not type-check: %v", pkg.TypeErrors)
 	}
 
 	pass := &analysis.Pass{
@@ -69,11 +97,11 @@ func Run(t *testing.T, a *analysis.Analyzer, dir string) {
 		TypesInfo: pkg.Info,
 	}
 	if err := a.Run(pass); err != nil {
-		t.Fatal(err)
+		return nil, err
 	}
 	diags := lint.Suppress(fset, files, pass.Diagnostics())
 	lint.Sort(fset, diags)
-	checkWants(t, fset, files, diags)
+	return checkWants(fset, files, diags)
 }
 
 // parseDir parses every .go file in dir and collects the union of
@@ -121,8 +149,7 @@ type want struct {
 var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
 
 // checkWants matches diagnostics against want comments 1:1.
-func checkWants(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
-	t.Helper()
+func checkWants(fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) (problems []string, err error) {
 	var wants []*want
 	for _, f := range files {
 		for _, cg := range f.Comments {
@@ -134,7 +161,7 @@ func checkWants(t *testing.T, fset *token.FileSet, files []*ast.File, diags []an
 				pos := fset.Position(c.Pos())
 				res, err := parsePatterns(m[1])
 				if err != nil {
-					t.Fatalf("%s:%d: %v", pos.Filename, pos.Line, err)
+					return nil, fmt.Errorf("%s:%d: %v", pos.Filename, pos.Line, err)
 				}
 				for _, re := range res {
 					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
@@ -153,14 +180,15 @@ func checkWants(t *testing.T, fset *token.FileSet, files []*ast.File, diags []an
 			}
 		}
 		if !matched {
-			t.Errorf("%s:%d: unexpected diagnostic [%s]: %s", pos.Filename, pos.Line, d.Analyzer, d.Message)
+			problems = append(problems, fmt.Sprintf("%s:%d: unexpected diagnostic [%s]: %s", pos.Filename, pos.Line, d.Analyzer, d.Message))
 		}
 	}
 	for _, w := range wants {
 		if !w.hit {
-			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+			problems = append(problems, fmt.Sprintf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re))
 		}
 	}
+	return problems, nil
 }
 
 // parsePatterns reads a sequence of quoted regexps ("..." or `...`)

@@ -1,0 +1,108 @@
+package linttest
+
+import (
+	"go/ast"
+	"strings"
+	"testing"
+
+	"repro/internal/lint/analysis"
+)
+
+// fakeAnalyzer reports a message full of regexp metacharacters at every
+// call to a trigger* function — the fixture for linttest's own
+// want-comment edge cases.
+var fakeAnalyzer = &analysis.Analyzer{
+	Name: "fake",
+	Doc:  "linttest fixture: flags trigger* calls",
+	Run: func(pass *analysis.Pass) error {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if id, ok := call.Fun.(*ast.Ident); ok && strings.HasPrefix(id.Name, "trigger") {
+					pass.Reportf(call.Pos(), "boom [%s] (cost=$1+)", id.Name)
+					// triggerTwice yields a second diagnostic on the same
+					// line: the multiple-wants-per-line edge case.
+					if id.Name == "triggerTwice" {
+						pass.Reportf(call.Pos(), "again [%s]", id.Name)
+					}
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+// TestWantEdgeCases drives the documented tricky shapes end to end:
+// two wants on one line, regexp metacharacters in the message, and a
+// suppression of the analyzer under test.
+func TestWantEdgeCases(t *testing.T) {
+	problems, err := check(fakeAnalyzer, "testdata/src/faketest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 0 {
+		t.Fatalf("want no problems, got: %v", problems)
+	}
+}
+
+// TestUnknownAllowErrors: an allow naming a nonexistent analyzer must
+// error out, not silently suppress nothing.
+func TestUnknownAllowErrors(t *testing.T) {
+	_, err := check(fakeAnalyzer, "testdata/src/badallow")
+	if err == nil {
+		t.Fatal("want error for unknown analyzer in //lint:allow, got nil")
+	}
+	if !strings.Contains(err.Error(), "nosuchanalyzer") || !strings.Contains(err.Error(), "bad.go:6") {
+		t.Errorf("error should name the bad analyzer and its location: %v", err)
+	}
+}
+
+// TestMismatchesReported: both an unexpected diagnostic and an unfired
+// want come back as problems.
+func TestMismatchesReported(t *testing.T) {
+	problems, err := check(fakeAnalyzer, "testdata/src/wantmiss")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 2 {
+		t.Fatalf("want 2 problems, got %d: %v", len(problems), problems)
+	}
+	var unexpected, unfired bool
+	for _, p := range problems {
+		if strings.Contains(p, "unexpected diagnostic") {
+			unexpected = true
+		}
+		if strings.Contains(p, "expected diagnostic matching") {
+			unfired = true
+		}
+	}
+	if !unexpected || !unfired {
+		t.Errorf("want both mismatch directions, got: %v", problems)
+	}
+}
+
+func TestParsePatterns(t *testing.T) {
+	res, err := parsePatterns("`one` \"two\\\\[x\\\\]\" `three (a+)`")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 {
+		t.Fatalf("want 3 patterns, got %d", len(res))
+	}
+	if !res[1].MatchString("two[x]") {
+		t.Errorf("metacharacter pattern should match literal brackets: %v", res[1])
+	}
+	if _, err := parsePatterns("`unterminated"); err == nil {
+		t.Error("want error for unterminated pattern")
+	}
+	if _, err := parsePatterns("unquoted"); err == nil {
+		t.Error("want error for unquoted pattern")
+	}
+	if _, err := parsePatterns("`bad(regexp`"); err == nil {
+		t.Error("want error for invalid regexp")
+	}
+}

@@ -1,0 +1,8 @@
+// Fixture: an allow directive naming an analyzer that does not exist
+// must be an error, never a silent no-op.
+package badallow
+
+func f() {
+	//lint:allow nosuchanalyzer -- typo fixture
+	_ = 1
+}

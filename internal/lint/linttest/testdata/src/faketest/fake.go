@@ -1,0 +1,25 @@
+// Fixture for linttest's own tests: the fake analyzer reports
+// "boom [<name>] (cost=$1+)" at every call to a trigger* function, and
+// a second "again [<name>]" diagnostic for triggerTwice.
+package faketest
+
+func trigger()      {}
+func triggerTwice() {}
+func quiet()        {}
+
+func multiOnOneLine() {
+	triggerTwice() // want `boom \[triggerTwice\]` `again \[triggerTwice\]`
+}
+
+func metachars() {
+	trigger() // want "boom \\[trigger\\] \\(cost=\\$1\\+\\)"
+}
+
+func suppressed() {
+	//lint:allow fake -- fixture: asserting the directive silences the fake analyzer
+	trigger()
+}
+
+func unflagged() {
+	quiet()
+}

@@ -1,0 +1,13 @@
+// Fixture: both mismatch directions — a diagnostic with no expectation
+// comment, and an expectation that never fires.
+package wantmiss
+
+func trigger() {}
+
+func fires() {
+	trigger() // no expectation comment here: an "unexpected diagnostic" problem
+}
+
+func neverFires() {
+	_ = 1 // want `this never happens`
+}

@@ -1,0 +1,12 @@
+package lockcheck_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/lockcheck"
+)
+
+func TestLockcheck(t *testing.T) {
+	linttest.Run(t, lockcheck.Analyzer, "testdata/src/lockcheck")
+}

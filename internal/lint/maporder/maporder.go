@@ -11,9 +11,14 @@
 // so any ordered output assembled from a raw map walk differs between
 // two executions of the same query.
 //
+// The maps.Keys/Values/All iterators (Go 1.23) and slices.Collect of
+// them iterate in the same randomized order as the map itself and are
+// checked identically.
+//
 // Allowed idioms (not flagged):
 //
-//   - collect keys, sort, then range the sorted slice;
+//   - collect keys, sort, then range the sorted slice — including the
+//     one-liner: for _, k := range slices.Sorted(maps.Keys(m));
 //   - append-then-sort: the appended slice is passed to sort.*,
 //     slices.*, or a local sort*/Sort* helper later in the same
 //     function;
@@ -72,14 +77,38 @@ func run(pass *analysis.Pass) error {
 	return nil
 }
 
-// isMapRange reports whether rng iterates a map.
+// isMapRange reports whether rng iterates in map order: directly over
+// a map, over a maps.Keys/Values/All iterator (Go 1.23 — same
+// randomized order as ranging the map), or over the slice
+// slices.Collect materializes from such an iterator. Ranging
+// slices.Sorted(maps.Keys(m)) is NOT map-order iteration: Sorted
+// establishes the order, so the modern one-liner replaces the older
+// collect-keys-sort-range shape without tripping this analyzer.
 func isMapRange(pass *analysis.Pass, rng *ast.RangeStmt) bool {
-	t := pass.TypeOf(rng.X)
-	if t == nil {
+	if t := pass.TypeOf(rng.X); t != nil {
+		if _, ok := t.Underlying().(*types.Map); ok {
+			return true
+		}
+	}
+	return isMapIterExpr(pass, rng.X)
+}
+
+// isMapIterExpr recognizes expressions that yield map-order sequences:
+// maps.Keys/Values/All and slices.Collect of one.
+func isMapIterExpr(pass *analysis.Pass, e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
 		return false
 	}
-	_, ok := t.Underlying().(*types.Map)
-	return ok
+	for _, name := range [...]string{"Keys", "Values", "All"} {
+		if pass.IsPkgCall(call, "maps", name) {
+			return true
+		}
+	}
+	if pass.IsPkgCall(call, "slices", "Collect") && len(call.Args) == 1 {
+		return isMapIterExpr(pass, call.Args[0])
+	}
+	return false
 }
 
 // checkMapRange inspects one map-range body for order-sensitive sinks.

@@ -1,0 +1,66 @@
+// Go 1.23 iterator idioms: maps.Keys/Values/All iterate in the same
+// randomized order as the map; slices.Sorted establishes an order.
+package maporder
+
+import (
+	"maps"
+	"slices"
+)
+
+// flaggedKeysIter: the iterator is as unordered as the map itself.
+func flaggedKeysIter(m map[string]int) []string {
+	var out []string
+	for k := range maps.Keys(m) {
+		out = append(out, k) // want `append to out inside map iteration`
+	}
+	return out
+}
+
+// flaggedValuesIter: same for values.
+func flaggedValuesIter(m map[string]int) []int {
+	var out []int
+	for v := range maps.Values(m) {
+		out = append(out, v) // want `append to out inside map iteration`
+	}
+	return out
+}
+
+// flaggedCollect: slices.Collect materializes the iterator's order —
+// still the map's randomized order.
+func flaggedCollect(m map[string]int) []string {
+	var out []string
+	for _, k := range slices.Collect(maps.Keys(m)) {
+		out = append(out, k) // want `append to out inside map iteration`
+	}
+	return out
+}
+
+// sortedOneLiner is the modern replacement for collect-sort-range:
+// slices.Sorted fixes the order, so nothing is flagged.
+func sortedOneLiner(m map[string]int) []string {
+	var out []string
+	for _, k := range slices.Sorted(maps.Keys(m)) {
+		out = append(out, k)
+	}
+	return out
+}
+
+// iterThenSort still passes via the append-then-sort idiom.
+func iterThenSort(m map[string]int) []string {
+	var out []string
+	for k := range maps.Keys(m) {
+		out = append(out, k)
+	}
+	slices.Sort(out)
+	return out
+}
+
+// keyedViaIter: writes keyed by the iteration variable stay
+// order-independent.
+func keyedViaIter(m map[string]int) map[string]int {
+	inv := make(map[string]int, len(m))
+	for k, v := range maps.All(m) {
+		inv[k] = v * 2
+	}
+	return inv
+}

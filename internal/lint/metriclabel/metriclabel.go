@@ -1,0 +1,307 @@
+// Package metriclabel enforces finite metric label cardinality: every
+// label value handed to an internal/obs *Vec accessor must provably
+// come from a finite set.
+//
+// A metrics registry keys one time series per distinct label tuple. A
+// label derived from request data — a raw method string, a query, a
+// caller-supplied name — lets any client mint unbounded series until
+// the scrape payload and the registry's memory fall over; on a public
+// endpoint that is a one-line denial of service. The finite sources
+// this analyzer accepts:
+//
+//   - constants and literals (and concatenations/Sprintf of them),
+//   - package-level variables (curated tables like a stage-name list),
+//   - numbers and booleans, however formatted (strconv.*): numeric
+//     labels are shard indexes and status codes, finite in practice,
+//   - no-argument String() calls — the Stringer of an enum type,
+//   - (*http.Request).Pattern — the matched route template, a finite
+//     set fixed by mux registration (never the raw URL),
+//   - locals every one of whose assignments is itself bounded, and
+//   - calls to normalize*/Normalize* helpers: the naming convention,
+//     like maporder's sort* rule, marks a function whose contract is
+//     mapping arbitrary input onto a finite set.
+//
+// Everything else — parameters, struct fields of request types,
+// error.Error() text, unknown call results — is flagged.
+package metriclabel
+
+import (
+	"go/ast"
+	"go/types"
+	"path"
+	"strings"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/astutil"
+)
+
+// Analyzer enforces provably-finite metric label values.
+var Analyzer = &analysis.Analyzer{
+	Name: "metriclabel",
+	Doc:  "flags metric label values not provably drawn from a finite set",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	c := &checker{pass: pass, bindings: map[types.Object][]binding{}}
+	for _, f := range pass.Files {
+		c.collectBindings(f)
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "With" || !isObsVec(pass.TypeOf(sel.X)) {
+				return true
+			}
+			for _, arg := range call.Args {
+				if !c.bounded(arg, 0) {
+					pass.Reportf(arg.Pos(), "metric label value %s is not provably from a finite set; request-derived labels mint unbounded time series — use a constant, enum Stringer, route pattern, or a normalize* helper, or annotate //lint:allow metriclabel", astutil.Render(arg))
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isObsVec reports whether t is a *Vec family type from an obs metrics
+// package (repro/internal/obs in the repo; any package whose import
+// path ends in /obs elsewhere, so fixtures can model the registry).
+// The analyzer's own testdata package is accepted by name.
+func isObsVec(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if !strings.HasSuffix(obj.Name(), "Vec") || obj.Pkg() == nil {
+		return false
+	}
+	p := obj.Pkg().Path()
+	return path.Base(p) == "obs" || strings.Contains(p, "metriclabel")
+}
+
+// binding is one assignment a local variable received.
+type binding struct {
+	rhs     ast.Expr
+	isRange bool // rhs is the operand of a range whose value var this is
+}
+
+type checker struct {
+	pass     *analysis.Pass
+	bindings map[types.Object][]binding
+	visiting map[types.Object]bool
+}
+
+// collectBindings records every RHS each variable in the file receives,
+// so locals can be judged by the union of their sources. Parameters and
+// multi-value results get no bindings and stay unbounded.
+func (c *checker) collectBindings(f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					if obj := c.pass.ObjectOf(id); obj != nil {
+						c.bindings[obj] = append(c.bindings[obj], binding{rhs: n.Rhs[i]})
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			if len(n.Names) != len(n.Values) {
+				return true
+			}
+			for i, id := range n.Names {
+				if obj := c.pass.ObjectOf(id); obj != nil {
+					c.bindings[obj] = append(c.bindings[obj], binding{rhs: n.Values[i]})
+				}
+			}
+		case *ast.RangeStmt:
+			for _, v := range []ast.Expr{n.Key, n.Value} {
+				if id, ok := v.(*ast.Ident); ok {
+					if obj := c.pass.ObjectOf(id); obj != nil {
+						c.bindings[obj] = append(c.bindings[obj], binding{rhs: n.X, isRange: true})
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+const maxDepth = 24
+
+// bounded reports whether e provably evaluates into a finite value set.
+func (c *checker) bounded(e ast.Expr, depth int) bool {
+	if e == nil || depth > maxDepth {
+		return false
+	}
+	// Numbers and booleans are finite labels however they are
+	// rendered: status codes, shard indexes, flags.
+	if t := c.pass.TypeOf(e); t != nil {
+		if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&(types.IsNumeric|types.IsBoolean) != 0 {
+			return true
+		}
+	}
+	switch e := e.(type) {
+	case *ast.BasicLit:
+		return true
+	case *ast.ParenExpr:
+		return c.bounded(e.X, depth+1)
+	case *ast.Ident:
+		return c.objBounded(c.pass.ObjectOf(e), depth)
+	case *ast.SelectorExpr:
+		if obj := c.pass.ObjectOf(e.Sel); obj != nil {
+			if _, ok := obj.(*types.Const); ok {
+				return true
+			}
+			if v, ok := obj.(*types.Var); ok && !v.IsField() && isPkgLevel(v) {
+				return true
+			}
+		}
+		if isRequestPattern(c.pass, e) {
+			return true
+		}
+		// A field of a bounded value (a curated table entry's field).
+		return c.bounded(e.X, depth+1)
+	case *ast.IndexExpr:
+		return c.bounded(e.X, depth+1)
+	case *ast.BinaryExpr:
+		return c.bounded(e.X, depth+1) && c.bounded(e.Y, depth+1)
+	case *ast.UnaryExpr:
+		return c.bounded(e.X, depth+1)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				el = kv.Value
+			}
+			if !c.bounded(el, depth+1) {
+				return false
+			}
+		}
+		return true
+	case *ast.CallExpr:
+		return c.callBounded(e, depth)
+	}
+	return false
+}
+
+// objBounded judges an identifier: constants always, package-level
+// variables as curated tables, locals by their recorded bindings.
+func (c *checker) objBounded(obj types.Object, depth int) bool {
+	switch obj := obj.(type) {
+	case *types.Const:
+		return true
+	case *types.Var:
+		if obj.IsField() {
+			return false
+		}
+		if isPkgLevel(obj) {
+			return true
+		}
+		if c.visiting[obj] {
+			// A self-referential binding (s = s + x in a loop) grows
+			// without bound; refuse the cycle.
+			return false
+		}
+		bs := c.bindings[obj]
+		if len(bs) == 0 {
+			return false // parameter, closure freevar, or tuple result
+		}
+		if c.visiting == nil {
+			c.visiting = map[types.Object]bool{}
+		}
+		c.visiting[obj] = true
+		defer delete(c.visiting, obj)
+		for _, b := range bs {
+			if b.isRange {
+				if !c.bounded(b.rhs, depth+1) {
+					return false
+				}
+				continue
+			}
+			if !c.bounded(b.rhs, depth+1) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// callBounded judges call expressions: conversions and formatting of
+// bounded inputs, enum Stringers, and normalize* helpers.
+func (c *checker) callBounded(call *ast.CallExpr, depth int) bool {
+	// A type conversion of a bounded value.
+	if len(call.Args) == 1 {
+		if tv, ok := c.pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+			return c.bounded(call.Args[0], depth+1)
+		}
+	}
+	// strconv formats numbers/bools: finite by the numeric rule.
+	for _, name := range []string{"Itoa", "FormatInt", "FormatUint", "FormatFloat", "FormatBool", "Quote"} {
+		if c.pass.IsPkgCall(call, "strconv", name) {
+			return true
+		}
+	}
+	// Sprintf of bounded operands is bounded.
+	if c.pass.IsPkgCall(call, "fmt", "Sprintf") {
+		for _, a := range call.Args {
+			if !c.bounded(a, depth+1) {
+				return false
+			}
+		}
+		return true
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	name := ""
+	if ok {
+		name = sel.Sel.Name
+	} else if id, okID := call.Fun.(*ast.Ident); okID {
+		name = id.Name
+	}
+	// A no-argument String() is an enum Stringer: its range is the
+	// type's value set.
+	if name == "String" && len(call.Args) == 0 {
+		return true
+	}
+	// The normalize* naming convention promises a finite codomain
+	// (mirrors maporder's trust in sort* helpers).
+	if strings.HasPrefix(name, "normalize") || strings.HasPrefix(name, "Normalize") {
+		return true
+	}
+	return false
+}
+
+// isPkgLevel reports whether v is declared at package scope.
+func isPkgLevel(v *types.Var) bool {
+	return v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+}
+
+// isRequestPattern matches r.Pattern on *http.Request: the matched
+// route template, finite by mux registration.
+func isRequestPattern(pass *analysis.Pass, sel *ast.SelectorExpr) bool {
+	if sel.Sel.Name != "Pattern" {
+		return false
+	}
+	t := pass.TypeOf(sel.X)
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Request" && obj.Pkg() != nil && obj.Pkg().Path() == "net/http"
+}

@@ -1,0 +1,12 @@
+package metriclabel_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/metriclabel"
+)
+
+func TestMetriclabel(t *testing.T) {
+	linttest.Run(t, metriclabel.Analyzer, "testdata/src/metriclabel")
+}

@@ -1,0 +1,105 @@
+// Testdata for the metriclabel analyzer. CounterVec models the
+// internal/obs registry's family type (the analyzer accepts its own
+// testdata package as an obs package).
+package metriclabel
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+)
+
+type CounterVec struct{}
+
+func (v *CounterVec) With(values ...string) *CounterVec { return v }
+func (v *CounterVec) Inc()                              {}
+
+var reqTotal = &CounterVec{}
+
+const modeLabel = "strict"
+
+var stageNames = []string{"validate", "plan", "scan"}
+
+type Mode int
+
+func (m Mode) String() string { return "mode" }
+
+// --- bounded sources ------------------------------------------------
+
+func literalLabel() { reqTotal.With("ok").Inc() }
+
+func constLabel() { reqTotal.With(modeLabel).Inc() }
+
+func numericLabel(shard int) { reqTotal.With(strconv.Itoa(shard)).Inc() }
+
+func stringerLabel(m Mode) { reqTotal.With(m.String()).Inc() }
+
+func patternLabel(r *http.Request) { reqTotal.With(r.Pattern).Inc() }
+
+func tableLabel(i int) { reqTotal.With(stageNames[i]).Inc() }
+
+func boundedLocal(r *http.Request) {
+	route := r.Pattern
+	if route == "" {
+		route = "unmatched"
+	}
+	reqTotal.With(route).Inc()
+}
+
+func sprintfBounded(shard int) { reqTotal.With(fmt.Sprintf("shard-%d", shard)).Inc() }
+
+func concatBounded(m Mode) { reqTotal.With("mode-" + m.String()).Inc() }
+
+func normalizeMethod(m string) string {
+	switch m {
+	case http.MethodGet, http.MethodPost:
+		return m
+	}
+	return "other"
+}
+
+func normalizedLabel(r *http.Request) { reqTotal.With(normalizeMethod(r.Method)).Inc() }
+
+func rangeOverTable() {
+	for _, s := range []struct {
+		name string
+		ns   int64
+	}{{"validate", 1}, {"plan", 2}} {
+		reqTotal.With(s.name).Inc()
+	}
+}
+
+// --- unbounded sources ----------------------------------------------
+
+func rawMethod(r *http.Request) {
+	reqTotal.With(r.Method).Inc() // want `metric label value r\.Method is not provably from a finite set`
+}
+
+func rawParam(name string) {
+	reqTotal.With(name).Inc() // want `metric label value name is not provably from a finite set`
+}
+
+func errorText(err error) {
+	reqTotal.With(err.Error()).Inc() // want `metric label value err\.Error\(\.\.\.\) is not provably from a finite set`
+}
+
+func urlPath(r *http.Request) {
+	reqTotal.With(r.URL.Path).Inc() // want `metric label value r\.URL\.Path is not provably from a finite set`
+}
+
+func growingLocal(parts []string) {
+	s := ""
+	for _, p := range parts {
+		s = s + p
+	}
+	reqTotal.With(s).Inc() // want `metric label value s is not provably from a finite set`
+}
+
+func mixedArgs(r *http.Request, shard int) {
+	reqTotal.With(strconv.Itoa(shard), r.Method).Inc() // want `metric label value r\.Method is not provably from a finite set`
+}
+
+func allowedLabel(r *http.Request) {
+	//lint:allow metriclabel -- admission layer rejects nonstandard methods before routing
+	reqTotal.With(r.Method).Inc()
+}

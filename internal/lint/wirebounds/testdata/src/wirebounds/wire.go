@@ -1,0 +1,114 @@
+// Testdata for the wirebounds analyzer. The file is named wire.go
+// because the analyzer scopes itself to wire-format boundary files.
+package wirebounds
+
+import "encoding/binary"
+
+type item struct{ v uint32 }
+
+type reader struct {
+	data []byte
+	off  int
+}
+
+func (r *reader) remaining() int { return len(r.data) - r.off }
+
+func (r *reader) u32() (uint32, error) {
+	b := r.data[r.off : r.off+4]
+	r.off += 4
+	return binary.BigEndian.Uint32(b), nil
+}
+
+// count mirrors partialReader.count: the bounds check is its contract.
+func (r *reader) count(min int) (int, error) {
+	n, err := r.u32()
+	if err != nil {
+		return 0, err
+	}
+	if int64(n)*int64(min) > int64(r.remaining()) {
+		return 0, errTruncated
+	}
+	return int(n), nil
+}
+
+var errTruncated = error(nil)
+
+func decodeUnchecked(r *reader) ([]item, error) {
+	n, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	return make([]item, n), nil // want `n decoded from the wire reaches a make without a dominating bounds check`
+}
+
+func decodeGuarded(r *reader) ([]item, error) {
+	n, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if int(n)*4 > r.remaining() {
+		return nil, errTruncated
+	}
+	return make([]item, 0, n), nil
+}
+
+func decodeViaCount(r *reader) ([]item, error) {
+	n, err := r.count(4)
+	if err != nil {
+		return nil, err
+	}
+	return make([]item, 0, n), nil
+}
+
+// A guard in one branch does not protect the use after the join.
+func decodeBranchGuard(r *reader, strict bool) ([]item, error) {
+	n, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if strict {
+		if int(n) > r.remaining() {
+			return nil, errTruncated
+		}
+	}
+	return make([]item, n), nil // want `n decoded from the wire reaches a make without a dominating bounds check`
+}
+
+func sliceUnchecked(r *reader) ([]byte, error) {
+	ln, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	return r.data[r.off : r.off+int(ln)], nil // want `ln decoded from the wire reaches a slice bound without a dominating bounds check`
+}
+
+func sliceGuarded(r *reader) ([]byte, error) {
+	ln, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if int(ln) > r.remaining() {
+		return nil, errTruncated
+	}
+	return r.data[r.off : r.off+int(ln)], nil
+}
+
+func rawEndian(b []byte) []item {
+	n := binary.BigEndian.Uint32(b)
+	return make([]item, n) // want `n decoded from the wire reaches a make without a dominating bounds check`
+}
+
+func notWireDerived(xs []uint32) []item {
+	return make([]item, len(xs)) // lengths of in-memory values are fine
+}
+
+func allowedUse(r *reader) ([]item, error) {
+	n, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	// The caller slices the result against len(data) immediately; see
+	// the fuzz harness for the covering test.
+	//lint:allow wirebounds -- bounded by the fixed-size header contract, fuzzed in decode_fuzz_test
+	return make([]item, n), nil
+}

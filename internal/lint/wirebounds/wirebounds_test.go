@@ -1,0 +1,12 @@
+package wirebounds_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/wirebounds"
+)
+
+func TestWirebounds(t *testing.T) {
+	linttest.Run(t, wirebounds.Analyzer, "testdata/src/wirebounds")
+}

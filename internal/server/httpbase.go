@@ -193,7 +193,7 @@ func (b *HTTPBase) Middleware(next http.Handler) http.Handler {
 		sp.End()
 		dur := time.Since(start)
 		if reqTotal != nil {
-			reqTotal.With(route, r.Method, strconv.Itoa(sw.status)).Inc()
+			reqTotal.With(route, normalizeMethodLabel(r.Method), strconv.Itoa(sw.status)).Inc()
 			reqDur.With(route).Observe(dur.Seconds())
 		}
 		b.Log.Info("request",
@@ -205,6 +205,19 @@ func (b *HTTPBase) Middleware(next http.Handler) http.Handler {
 			"remote", r.RemoteAddr,
 		)
 	})
+}
+
+// normalizeMethodLabel folds the request method into the finite set of
+// standard HTTP methods so a client sending arbitrary method strings
+// cannot mint unbounded label values in the request metrics.
+func normalizeMethodLabel(method string) string {
+	switch method {
+	case http.MethodGet, http.MethodHead, http.MethodPost, http.MethodPut,
+		http.MethodPatch, http.MethodDelete, http.MethodConnect,
+		http.MethodOptions, http.MethodTrace:
+		return method
+	}
+	return "other"
 }
 
 // MetricsHandler serves this base's registry merged with the
